@@ -1,0 +1,110 @@
+// E8 -- Theorem 1.1 end to end: approxPSDP returns a (1+eps)-approximation.
+// Two checks:
+//   (a) packing instances with analytically-known OPT (independent axes:
+//       OPT = sum_i 1/d_i): the returned bracket must contain OPT and have
+//       ratio <= 1+eps;
+//   (b) covering instances (beamforming, graph): the produced Y must be
+//       feasible and its objective within (1+eps) of the certified dual
+//       lower bound.
+#include "apps/beamforming.hpp"
+#include "apps/graph.hpp"
+#include "bench_common.hpp"
+#include "core/optimize.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psdp;
+
+  util::Cli cli("bench_approx_quality", "E8: (1+eps) end-to-end quality");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  bench::print_header(
+      "E8: approximation quality (Theorem 1.1)",
+      "Claim: approxPSDP produces a (1+eps)-approximation of the optimum "
+      "using O(log n) decision calls.");
+
+  // ---- (a) known-OPT packing ----------------------------------------
+  std::cout << "(a) packing with known OPT (independent axes)\n";
+  util::Table pack({"eps", "OPT", "lower", "upper", "upper/OPT", "ratio",
+                    "calls"});
+  bool pack_ok = true;
+  const std::vector<Real> d = {2.0, 4.0, 0.5, 1.0, 8.0};
+  Real opt = 0;
+  for (Real di : d) opt += 1 / di;
+  std::vector<linalg::Matrix> axes;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    linalg::Matrix a(static_cast<Index>(d.size()), static_cast<Index>(d.size()));
+    a(static_cast<Index>(i), static_cast<Index>(i)) = d[i];
+    axes.push_back(std::move(a));
+  }
+  const core::PackingInstance instance{std::move(axes)};
+  for (Real eps : {0.5, 0.25, 0.1, 0.05}) {
+    core::OptimizeOptions options;
+    options.eps = eps;
+    const core::PackingOptimum r = core::approx_packing(instance, options);
+    const bool contains = r.lower <= opt * (1 + 1e-9) && r.upper >= opt * (1 - 1e-9);
+    const Real ratio = r.upper / r.lower;
+    pack_ok &= contains && ratio <= 1 + eps + 0.02;
+    pack.add_row({util::Table::cell(eps, 3), util::Table::cell(opt, 5),
+                  util::Table::cell(r.lower, 5), util::Table::cell(r.upper, 5),
+                  util::Table::cell(r.upper / opt, 4),
+                  util::Table::cell(ratio, 4),
+                  util::Table::cell(r.decision_calls)});
+  }
+  pack.print();
+
+  // ---- (b) covering applications -------------------------------------
+  std::cout << "\n(b) covering applications (feasible Y, certified gap)\n";
+  util::Table cover({"instance", "eps", "objective", "lower bound", "gap",
+                     "min slack", "seconds"});
+  bool cover_ok = true;
+  struct Case {
+    std::string name;
+    core::CoveringProblem problem;
+  };
+  std::vector<Case> cases;
+  {
+    apps::BeamformingOptions bf;
+    bf.users = 10;
+    bf.antennas = 5;
+    cases.push_back({"beamforming 10x5", apps::beamforming_problem(bf)});
+    cases.push_back({"cycle graph C8",
+                     apps::edge_covering_problem(apps::cycle_graph(8))});
+    cases.push_back(
+        {"random graph", apps::edge_covering_problem(
+                             apps::random_connected_graph(10, 8))});
+  }
+  for (const Case& c : cases) {
+    for (Real eps : {0.3, 0.15}) {
+      core::OptimizeOptions options;
+      options.eps = eps;
+      util::WallTimer timer;
+      const core::CoveringOptimum r = core::approx_covering(c.problem, options);
+      Real min_slack = std::numeric_limits<Real>::infinity();
+      for (Index i = 0; i < c.problem.size(); ++i) {
+        min_slack = std::min(
+            min_slack,
+            linalg::frobenius_dot(
+                c.problem.constraints[static_cast<std::size_t>(i)], r.y) -
+                c.problem.rhs[i]);
+      }
+      const Real gap = r.objective / r.lower_bound;
+      cover_ok &= min_slack >= -1e-6;
+      cover.add_row({c.name, util::Table::cell(eps, 3),
+                     util::Table::cell(r.objective, 5),
+                     util::Table::cell(r.lower_bound, 5),
+                     util::Table::cell(gap, 4),
+                     util::Table::cell(min_slack, 3),
+                     util::Table::cell(timer.seconds(), 3)});
+    }
+  }
+  cover.print();
+
+  bench::print_verdict(
+      pack_ok && cover_ok,
+      "brackets contain the true optimum at ratio <= 1+eps; covering "
+      "solutions are feasible with certified duality gaps.");
+  return 0;
+}

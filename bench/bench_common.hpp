@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harness binaries (E1..E10).
+//
+// Every experiment prints: a header identifying the paper claim it
+// regenerates, a table of measurements, and a one-line verdict comparing
+// the measured shape with the claim (EXPERIMENTS.md records these).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace psdp::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void print_verdict(bool ok, const std::string& text) {
+  std::cout << "\n[" << (ok ? "SHAPE OK" : "SHAPE MISMATCH") << "] " << text
+            << "\n";
+}
+
+/// Fitted power-law exponent of ys in xs, reported with R^2.
+inline util::LinearFit report_exponent(const std::string& what,
+                                       const std::vector<Real>& xs,
+                                       const std::vector<Real>& ys) {
+  const util::LinearFit fit = util::fit_loglog(xs, ys);
+  std::cout << what << ": fitted exponent " << fit.slope
+            << " (R^2 = " << fit.r_squared << ")\n";
+  return fit;
+}
+
+}  // namespace psdp::bench

@@ -1,0 +1,163 @@
+// E14 -- the preprocessing step of Section 1 ("Work and Depth"): factoring
+// dense constraints A_i = Q_i Q_i^T so the nearly-linear-work path of
+// Theorem 4.1 applies. The paper budgets O(m^4) work for generic parallel
+// QR and notes structured matrices factor faster; this bench measures the
+// two engines the library ships and the factor-compression utility:
+//
+//   (a) engine scaling: rank-revealing pivoted Cholesky is O(m r^2) per
+//       constraint on rank-r input -- near-linear in m for the low-rank
+//       constraints applications produce -- vs the O(m^3) eigendecomposition
+//       reference engine;
+//   (b) factor compression (LQ trick): a rank-inflated factor with k >> m
+//       columns is rebuilt as an equivalent factor with <= m columns,
+//       shrinking the q of Corollary 1.2;
+//   (c) end-to-end: dense instance -> factorize -> factorized decision
+//       agrees with the dense decision.
+#include "apps/generators.hpp"
+#include "bench_common.hpp"
+#include "core/decision.hpp"
+#include "core/factorize.hpp"
+#include "linalg/qr.hpp"
+#include "rand/rng.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace psdp;
+
+linalg::Matrix rank_r_psd(Index m, Index r, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  linalg::Matrix g(m, r);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < r; ++j) g(i, j) = rng.normal();
+  }
+  linalg::Matrix a = linalg::gemm(g, g.transposed());
+  a.symmetrize();
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_factorize", "E14: factorization preprocessing");
+  auto& rank = cli.flag<Index>("rank", 3, "constraint rank for the sweep");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  bench::print_header(
+      "E14: dense -> prefactored preprocessing",
+      "Cost and quality of factoring A_i = Q_i Q_i^T: the rank-revealing "
+      "pivoted Cholesky engine vs the eigendecomposition reference, the LQ "
+      "factor compression, and end-to-end solver agreement.");
+
+  // ---- (a) engine scaling in m at fixed rank -------------------------
+  std::cout << "(a) engine scaling, rank " << rank.value << " constraints\n";
+  std::vector<Real> ms;
+  std::vector<Real> pc_times;
+  std::vector<Real> eig_times;
+  {
+    util::Table table({"m", "pivchol s", "eig s", "speedup", "pc rank",
+                       "pc residual"});
+    for (Index m : {16, 32, 64, 128, 256}) {
+      const linalg::Matrix a =
+          rank_r_psd(m, rank.value, static_cast<std::uint64_t>(m));
+      std::vector<linalg::Matrix> one{a};
+      const core::PackingInstance instance{std::move(one)};
+
+      core::FactorizeOptions pc;
+      pc.method = core::FactorizeOptions::Method::kPivotedCholesky;
+      core::FactorizeReport pc_report;
+      util::WallTimer pc_timer;
+      const auto pc_fact = core::factorize(instance, pc, &pc_report);
+      const Real pc_seconds = pc_timer.seconds();
+
+      core::FactorizeOptions eig;
+      eig.method = core::FactorizeOptions::Method::kEigendecomposition;
+      core::FactorizeReport eig_report;
+      util::WallTimer eig_timer;
+      const auto eig_fact = core::factorize(instance, eig, &eig_report);
+      const Real eig_seconds = eig_timer.seconds();
+
+      ms.push_back(static_cast<Real>(m));
+      pc_times.push_back(std::max<Real>(pc_seconds, 1e-7));
+      eig_times.push_back(std::max<Real>(eig_seconds, 1e-7));
+      table.add_row({util::Table::cell(m), util::Table::cell(pc_seconds, 5),
+                     util::Table::cell(eig_seconds, 5),
+                     util::Table::cell(eig_seconds / pc_seconds, 1),
+                     util::Table::cell(pc_report.max_rank),
+                     util::Table::cell(pc_report.max_residual_rel, 2)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  const util::LinearFit pc_fit =
+      bench::report_exponent("pivoted Cholesky time vs m", ms, pc_times);
+  const util::LinearFit eig_fit =
+      bench::report_exponent("eigendecomposition time vs m", ms, eig_times);
+
+  // ---- (b) factor compression ----------------------------------------
+  std::cout << "\n(b) LQ factor compression (k = 4m columns -> <= m)\n";
+  bool compression_exact = true;
+  {
+    util::Table table({"m", "k before", "cols after", "nnz shrink",
+                       "|GG^T - LL^T|_max"});
+    rand::Rng rng(77);
+    for (Index m : {8, 16, 32, 64}) {
+      const Index k = 4 * m;
+      linalg::Matrix g(m, k);
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < k; ++j) g(i, j) = rng.normal();
+      }
+      const linalg::Matrix l = linalg::compress_factor(g);
+      const Real err = linalg::max_abs_diff(
+          linalg::gemm(g, g.transposed()), linalg::gemm(l, l.transposed()));
+      const Real scale =
+          linalg::frobenius_norm(linalg::gemm(g, g.transposed()));
+      if (err > 1e-9 * scale) compression_exact = false;
+      table.add_row({util::Table::cell(m), util::Table::cell(k),
+                     util::Table::cell(l.cols()),
+                     util::Table::cell(static_cast<Real>(k) /
+                                           static_cast<Real>(l.cols()), 1),
+                     util::Table::cell(err, 2)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  // ---- (c) end-to-end agreement ---------------------------------------
+  std::cout << "(c) dense vs factorize->factorized decision agreement\n";
+  bool outcomes_agree = true;
+  {
+    util::Table table({"scale", "dense outcome", "factorized outcome",
+                       "dense dual", "fact dual"});
+    const core::PackingInstance instance =
+        apps::random_ellipses({.n = 16, .m = 10, .rank = 2, .seed = 21});
+    for (Real scale : {0.05, 40.0}) {
+      const core::PackingInstance scaled = instance.scaled(scale);
+      const core::FactorizedPackingInstance fact = core::factorize(scaled);
+      core::DecisionOptions options;
+      options.eps = 0.2;
+      const core::DecisionResult dense = core::decision_dense(scaled, options);
+      const core::DecisionResult sparse =
+          core::decision_factorized(fact, options);
+      if (dense.outcome != sparse.outcome) outcomes_agree = false;
+      table.add_row(
+          {util::Table::cell(scale, 2),
+           dense.outcome == core::DecisionOutcome::kDual ? "dual" : "primal",
+           sparse.outcome == core::DecisionOutcome::kDual ? "dual" : "primal",
+           util::Table::cell(linalg::norm1(dense.dual_x_tight), 4),
+           util::Table::cell(linalg::norm1(sparse.dual_x_tight), 4)});
+    }
+    table.print();
+  }
+
+  const bool shape_ok = pc_fit.slope < eig_fit.slope - 0.5 &&
+                        compression_exact && outcomes_agree;
+  bench::print_verdict(
+      shape_ok,
+      "pivoted Cholesky scales at least half an exponent better than the "
+      "eig engine on low-rank input, compression is exact, and both solver "
+      "paths agree after preprocessing");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// E2 -- Theorem 3.1 (scaling in eps): iterations grow as O(eps^-3 log^2 n).
+// We sweep eps at fixed n and fit the empirical exponent of 1/eps. The
+// theory exponent is 3 (the budget R); the dual-exit path typically
+// terminates earlier, so the measured exponent lands in (1, 3].
+#include "apps/generators.hpp"
+#include "bench_common.hpp"
+#include "core/decision.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psdp;
+
+  util::Cli cli("bench_iters_vs_eps", "E2: iterations vs eps (Theorem 3.1)");
+  auto& n = cli.flag<Index>("n", 64, "constraint count");
+  auto& m = cli.flag<Index>("m", 6, "matrix dimension");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  bench::print_header(
+      "E2: iterations vs eps",
+      str("Claim (Thm 3.1): iteration budget R = 32 ln(n)/(eps alpha) = "
+          "O(eps^-3 log^2 n). Sweep eps at n = ", n.value, "."));
+
+  apps::EllipseOptions gen;
+  gen.n = n.value;
+  gen.m = m.value;
+  const core::PackingInstance instance =
+      apps::random_ellipses(gen).scaled(0.05);
+
+  // R is not a pure power law over a moderate eps range (the (1+10 eps)
+  // factor varies several-fold), so alongside the fitted exponent we check
+  // the *exact* identity: R * eps^3 / (1 + 10 eps) is a constant multiple
+  // of ln(n)(1 + ln n).
+  util::Table table({"eps", "iterations", "R (budget)",
+                     "R eps^3/(1+10eps)", "seconds"});
+  std::vector<Real> inv_eps, iters, budgets, normalized;
+  for (Real eps : {0.5, 0.4, 0.3, 0.2, 0.15, 0.1}) {
+    core::DecisionOptions options;
+    options.eps = eps;
+    util::WallTimer timer;
+    const core::DecisionResult r = core::decision_dense(instance, options);
+    const Real norm = static_cast<Real>(r.constants.r_limit) * eps * eps *
+                      eps / (1 + 10 * eps);
+    table.add_row(
+        {util::Table::cell(eps, 3), util::Table::cell(r.iterations),
+         util::Table::cell(r.constants.r_limit), util::Table::cell(norm, 5),
+         util::Table::cell(timer.seconds(), 3)});
+    inv_eps.push_back(1 / eps);
+    iters.push_back(static_cast<Real>(r.iterations));
+    budgets.push_back(static_cast<Real>(r.constants.r_limit));
+    normalized.push_back(norm);
+  }
+  table.print();
+
+  const util::LinearFit measured =
+      bench::report_exponent("measured iterations vs 1/eps", inv_eps, iters);
+  const util::LinearFit budget =
+      bench::report_exponent("theory budget R vs 1/eps", inv_eps, budgets);
+  Real norm_lo = normalized[0], norm_hi = normalized[0];
+  for (Real v : normalized) {
+    norm_lo = std::min(norm_lo, v);
+    norm_hi = std::max(norm_hi, v);
+  }
+  bench::print_verdict(
+      norm_hi / norm_lo < 1.01 && measured.slope > 0.5 && measured.slope < 3.5,
+      str("R eps^3/(1+10eps) constant to ", norm_hi / norm_lo,
+          " -- the exact eps^-3 law of Theorem 3.1; raw fitted exponents: "
+          "budget ", budget.slope, ", measured ", measured.slope,
+          " (dual exit fires before the worst case)."));
+  return 0;
+}

@@ -1,0 +1,225 @@
+// K1 -- google-benchmark microbenchmarks of the substrate kernels the
+// solver's cost model is built on: GEMM, Jacobi eigendecomposition, matrix
+// exponential, sparse matvec, JL sketching, and truncated-Taylor
+// application. These are the constants behind Corollary 1.2's asymptotics.
+#include <benchmark/benchmark.h>
+
+#include "apps/generators.hpp"
+#include "core/bigdotexp.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/pivoted_cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/taylor.hpp"
+#include "rand/jl.hpp"
+#include "rand/rng.hpp"
+#include "sparse/csr.hpp"
+
+namespace {
+
+using namespace psdp;
+
+linalg::Matrix random_sym(Index m, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  linalg::Matrix a(m, m);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = i; j < m; ++j) {
+      const Real v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+linalg::Matrix random_psd(Index m, std::uint64_t seed) {
+  linalg::Matrix g = random_sym(m, seed);
+  linalg::Matrix a = linalg::gemm(g, g.transposed());
+  a.scale(Real{1} / static_cast<Real>(m));
+  a.symmetrize();
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_sym(m, 1);
+  const linalg::Matrix b = random_sym(m, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * m * m);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_JacobiEig(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_sym(m, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::jacobi_eig(a));
+  }
+}
+BENCHMARK(BM_JacobiEig)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExpmEig(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_psd(m, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm_eig(a));
+  }
+}
+BENCHMARK(BM_ExpmEig)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ExpmPade(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_psd(m, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::expm_pade(a));
+  }
+}
+BENCHMARK(BM_ExpmPade)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SparseMatvec(benchmark::State& state) {
+  const Index m = state.range(0);
+  // Tridiagonal Laplacian: 3 nnz per row.
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 2.0});
+    if (i > 0) triplets.push_back({i, i - 1, -1.0});
+    if (i + 1 < m) triplets.push_back({i, i + 1, -1.0});
+  }
+  const sparse::Csr a = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  linalg::Vector x(m, 1.0), y(m);
+  for (auto _ : state) {
+    a.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SparseMatvec)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_JlSketchApply(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Index rows = 128;
+  const rand::GaussianSketch pi(rows, m, 7);
+  std::vector<Real> x(static_cast<std::size_t>(m), 1.0);
+  std::vector<Real> y(static_cast<std::size_t>(rows));
+  for (auto _ : state) {
+    pi.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * m);
+}
+BENCHMARK(BM_JlSketchApply)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_TaylorApply(benchmark::State& state) {
+  const Index m = 1 << 14;
+  const Index degree = state.range(0);
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 0.5});
+    if (i + 1 < m) triplets.push_back({i, i + 1, 0.1});
+    if (i > 0) triplets.push_back({i, i - 1, 0.1});
+  }
+  const sparse::Csr b = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  const linalg::SymmetricOp op = [&b](const linalg::Vector& x,
+                                      linalg::Vector& y) { b.apply(x, y); };
+  linalg::Vector x(m, 1.0), y(m);
+  for (auto _ : state) {
+    linalg::apply_exp_taylor(op, degree, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TaylorApply)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BigDotExp(benchmark::State& state) {
+  const Index m = state.range(0);
+  apps::FactorizedOptions gen;
+  gen.n = m / 8;
+  gen.m = m;
+  gen.nnz_per_column = 8;
+  const core::FactorizedPackingInstance inst = apps::random_factorized(gen);
+  const sparse::Csr phi = inst.set().weighted_sum(
+      linalg::Vector(inst.size(), 0.02 / static_cast<Real>(inst.size())));
+  core::BigDotExpOptions options;
+  options.eps = 0.25;
+  options.sketch_rows_override = 64;
+  options.taylor_degree_override = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::big_dot_exp(phi, 2.0, inst.set(), options));
+  }
+}
+BENCHMARK(BM_BigDotExp)->Arg(256)->Arg(1024);
+
+void BM_DecisionIteration(benchmark::State& state) {
+  // One dense solver iteration == one eig + one expm + n Frobenius dots.
+  const Index m = 32;
+  const Index n = state.range(0);
+  apps::EllipseOptions gen;
+  gen.n = n;
+  gen.m = m;
+  const core::PackingInstance inst = apps::random_ellipses(gen);
+  linalg::Matrix psi(m, m);
+  for (Index i = 0; i < n; ++i) psi.add_scaled(inst[i], 0.01);
+  for (auto _ : state) {
+    const auto eig = linalg::jacobi_eig(psi);
+    const linalg::Matrix w = linalg::expm_from_eig(eig);
+    Real sink = 0;
+    for (Index i = 0; i < n; ++i) {
+      sink += linalg::frobenius_dot(inst[i], w);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_DecisionIteration)->Arg(64)->Arg(256);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_sym(m, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::qr(a));
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PivotedCholeskyFullRank(benchmark::State& state) {
+  const Index m = state.range(0);
+  const linalg::Matrix a = random_psd(m, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::pivoted_cholesky(a));
+  }
+}
+BENCHMARK(BM_PivotedCholeskyFullRank)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PivotedCholeskyLowRank(benchmark::State& state) {
+  // Rank-4 PSD matrix of growing dimension: the factorization should scale
+  // as O(m r^2), i.e. near-linearly in m -- the reason the preprocessing
+  // step is cheap for the low-rank constraints the applications produce.
+  const Index m = state.range(0);
+  const Index r = 4;
+  rand::Rng rng(17);
+  linalg::Matrix g(m, r);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < r; ++j) g(i, j) = rng.normal();
+  }
+  linalg::Matrix a = linalg::gemm(g, g.transposed());
+  a.symmetrize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::pivoted_cholesky(a));
+  }
+}
+BENCHMARK(BM_PivotedCholeskyLowRank)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CompressFactor(benchmark::State& state) {
+  // Rank-inflated factor (k = 4m columns) compressed back to m.
+  const Index m = state.range(0);
+  rand::Rng rng(19);
+  linalg::Matrix g(m, 4 * m);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < 4 * m; ++j) g(i, j) = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::compress_factor(g));
+  }
+}
+BENCHMARK(BM_CompressFactor)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace

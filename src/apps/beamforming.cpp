@@ -1,0 +1,59 @@
+#include "apps/beamforming.hpp"
+
+#include <cmath>
+
+#include "rand/rng.hpp"
+
+namespace psdp::apps {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Channel vector of user i: i.i.d. Gaussian (Rayleigh fading) scaled by a
+/// log-uniform path loss.
+Vector channel(const BeamformingOptions& options, Index user) {
+  rand::Rng rng(rand::stream_seed(options.seed, static_cast<std::uint64_t>(user)));
+  Vector h(options.antennas);
+  for (Index j = 0; j < options.antennas; ++j) h[j] = rng.normal();
+  const Real loss =
+      std::exp(rng.uniform(-std::log(options.spread), 0.0));
+  h.scale(loss);
+  return h;
+}
+
+}  // namespace
+
+core::CoveringProblem beamforming_problem(const BeamformingOptions& options) {
+  PSDP_CHECK(options.users >= 1 && options.antennas >= 1,
+             "beamforming: bad sizes");
+  PSDP_CHECK(options.spread >= 1, "beamforming: spread must be >= 1");
+  PSDP_CHECK(options.demand > 0, "beamforming: demand must be positive");
+  core::CoveringProblem problem;
+  problem.objective = Matrix::identity(options.antennas);
+  problem.rhs = Vector(options.users);
+  for (Index i = 0; i < options.users; ++i) {
+    Matrix a = Matrix::outer(channel(options, i));
+    a.symmetrize();
+    problem.constraints.push_back(std::move(a));
+    problem.rhs[i] = options.demand;
+  }
+  return problem;
+}
+
+core::FactorizedPackingInstance beamforming_factorized(
+    const BeamformingOptions& options) {
+  PSDP_CHECK(options.demand > 0, "beamforming: demand must be positive");
+  std::vector<sparse::FactorizedPsd> items;
+  const Real inv_sqrt_demand = 1 / std::sqrt(options.demand);
+  for (Index i = 0; i < options.users; ++i) {
+    Vector h = channel(options, i);
+    h.scale(inv_sqrt_demand);
+    items.push_back(sparse::FactorizedPsd::rank_one(h));
+  }
+  return core::FactorizedPackingInstance(
+      sparse::FactorizedSet(std::move(items)));
+}
+
+}  // namespace psdp::apps

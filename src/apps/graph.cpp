@@ -1,0 +1,95 @@
+#include "apps/graph.hpp"
+
+#include <cmath>
+
+#include "rand/rng.hpp"
+
+namespace psdp::apps {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Graph random_connected_graph(Index vertices, Index extra_edges, Real w_min,
+                             Real w_max, std::uint64_t seed) {
+  PSDP_CHECK(vertices >= 2, "graph needs at least two vertices");
+  PSDP_CHECK(w_min > 0 && w_max >= w_min, "bad weight range");
+  rand::Rng rng(seed);
+  Graph g;
+  g.vertices = vertices;
+  // Random spanning path over a shuffled vertex order keeps connectivity.
+  std::vector<Index> order(static_cast<std::size_t>(vertices));
+  for (Index i = 0; i < vertices; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (Index i = vertices - 1; i > 0; --i) {
+    const Index j = rng.uniform_index(i + 1);
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  }
+  for (Index i = 0; i + 1 < vertices; ++i) {
+    g.edges.push_back({order[static_cast<std::size_t>(i)],
+                       order[static_cast<std::size_t>(i + 1)],
+                       rng.uniform(w_min, w_max)});
+  }
+  for (Index e = 0; e < extra_edges; ++e) {
+    Index u = rng.uniform_index(vertices);
+    Index v = rng.uniform_index(vertices);
+    if (u == v) v = (v + 1) % vertices;
+    g.edges.push_back({u, v, rng.uniform(w_min, w_max)});
+  }
+  return g;
+}
+
+Graph cycle_graph(Index vertices) {
+  PSDP_CHECK(vertices >= 3, "cycle needs at least three vertices");
+  Graph g;
+  g.vertices = vertices;
+  for (Index i = 0; i < vertices; ++i) {
+    g.edges.push_back({i, (i + 1) % vertices, 1.0});
+  }
+  return g;
+}
+
+core::CoveringProblem edge_covering_problem(const Graph& graph) {
+  PSDP_CHECK(!graph.edges.empty(), "graph has no edges");
+  core::CoveringProblem problem;
+  problem.objective = Matrix::identity(graph.vertices);
+  problem.rhs = Vector(static_cast<Index>(graph.edges.size()));
+  Index e = 0;
+  for (const auto& edge : graph.edges) {
+    Vector b(graph.vertices);
+    const Real s = std::sqrt(edge.weight);
+    b[edge.u] = s;
+    b[edge.v] = -s;
+    Matrix l = Matrix::outer(b);
+    l.symmetrize();
+    problem.constraints.push_back(std::move(l));
+    problem.rhs[e] = 1;
+    ++e;
+  }
+  return problem;
+}
+
+core::FactorizedPackingInstance edge_packing_factorized(const Graph& graph) {
+  PSDP_CHECK(!graph.edges.empty(), "graph has no edges");
+  std::vector<sparse::FactorizedPsd> items;
+  for (const auto& edge : graph.edges) {
+    Vector b(graph.vertices);
+    const Real s = std::sqrt(edge.weight);
+    b[edge.u] = s;
+    b[edge.v] = -s;
+    items.push_back(sparse::FactorizedPsd::rank_one(b));
+  }
+  return core::FactorizedPackingInstance(
+      sparse::FactorizedSet(std::move(items)));
+}
+
+Matrix laplacian(const Graph& graph) {
+  Matrix l(graph.vertices, graph.vertices);
+  for (const auto& edge : graph.edges) {
+    l(edge.u, edge.u) += edge.weight;
+    l(edge.v, edge.v) += edge.weight;
+    l(edge.u, edge.v) -= edge.weight;
+    l(edge.v, edge.u) -= edge.weight;
+  }
+  return l;
+}
+
+}  // namespace psdp::apps

@@ -1,0 +1,55 @@
+// Graph-derived positive SDP instances.
+//
+// Each edge e = (u, v) of a weighted graph contributes the rank-one PSD
+// matrix L_e = w_e (chi_u - chi_v)(chi_u - chi_v)^T (a Laplacian term).
+// The covering SDP
+//
+//     min Tr[Y]   s.t.  L_e . Y >= 1 for every edge e,  Y >= 0
+//
+// asks for a PSD "resistance certificate" in which every edge sees at least
+// unit effective energy -- the natural graph member of the packing/covering
+// family (MaxCut itself needs matrix-covering constraints that fall outside
+// the framework, as the paper's Section 5 discusses; this instance is the
+// in-framework graph workload). Incidence vectors have two nonzeros, so the
+// factorized form is extremely sparse: q = 2 |E|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace psdp::apps {
+
+/// Simple undirected weighted graph.
+struct Graph {
+  struct Edge {
+    Index u = 0;
+    Index v = 0;
+    Real weight = 1;
+  };
+  Index vertices = 0;
+  std::vector<Edge> edges;
+};
+
+/// Erdos-Renyi-style random connected graph: a random spanning path plus
+/// `extra_edges` random chords, weights uniform in [w_min, w_max].
+Graph random_connected_graph(Index vertices, Index extra_edges,
+                             Real w_min = 0.5, Real w_max = 2.0,
+                             std::uint64_t seed = 17);
+
+/// Cycle graph C_n with unit weights (analytically tractable in tests).
+Graph cycle_graph(Index vertices);
+
+/// The edge-covering SDP in the paper's primal form (C = I, A_e = L_e,
+/// b_e = 1).
+core::CoveringProblem edge_covering_problem(const Graph& graph);
+
+/// The same constraints as a factorized packing instance
+/// (Q_e = sqrt(w_e) (chi_u - chi_v), so every factor has 2 nonzeros).
+core::FactorizedPackingInstance edge_packing_factorized(const Graph& graph);
+
+/// Graph Laplacian (dense), for tests.
+linalg::Matrix laplacian(const Graph& graph);
+
+}  // namespace psdp::apps

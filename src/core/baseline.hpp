@@ -1,0 +1,56 @@
+// Width-DEPENDENT baseline: the classical Arora-Kale-style MMW packing
+// solver whose iteration count scales with the width
+//     rho = max_i lambda_max(A_i).
+//
+// This is the comparator for the paper's headline claim. The pre-[JY11]
+// algorithms ([AHK05, AK07] and the Plotkin-Shmoys-Tardos tradition) solve
+// the same decision problem in O(rho log m / eps^2) iterations: the dual
+// player runs matrix multiplicative weights with gains A_j / rho (scaling by
+// rho is forced by the M <= I requirement of Theorem 2.1), the primal
+// player best-responds with the constraint of least penalty. When rho grows
+// -- e.g. one "needle" constraint with a huge eigenvalue -- the iteration
+// count grows linearly, while Algorithm 3.1 stays flat. Bench E3 plots
+// exactly this.
+//
+// The oracle: given P(t), pick j(t) = argmin_i A_i . P(t). If even the
+// minimum exceeds (1 + eps), no distribution packs (by LP duality on the
+// game value) and the average P is a primal certificate. Otherwise play
+// gain A_{j(t)}/rho and give x one unit of mass on j(t). After
+// T = ceil(rho ln(m) / eps^2) rounds, the regret bound turns the average
+// play into a dual solution with value >= (1 - O(eps)).
+#pragma once
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+
+namespace psdp::core {
+
+struct BaselineOptions {
+  Real eps = 0.1;
+  /// Iteration override for experiments (0 = rho-dependent formula).
+  Index max_iterations_override = 0;
+  /// Width override when the caller has already computed it (0 = exact
+  /// lambda_max per constraint via the dense eigensolver).
+  Real width_override = 0;
+};
+
+struct BaselineResult {
+  DecisionOutcome outcome = DecisionOutcome::kPrimal;
+  Vector dual_x;     ///< dual solution (kDual), scaled feasible
+  Matrix primal_y;   ///< average probability matrix (kPrimal certificate)
+  Index iterations = 0;
+  Real width = 0;          ///< the rho used
+  Index planned_iterations = 0;  ///< the rho-dependent budget T(rho)
+};
+
+/// Width of an instance: max_i lambda_max(A_i) (exact, dense eigensolver).
+Real instance_width(const PackingInstance& instance);
+
+/// The width-dependent T(rho) = ceil(rho * ln(max(m,2)) / eps^2) + 1.
+Index width_dependent_iterations(Real width, Index m, Real eps);
+
+/// Solve the eps-decision problem with the width-dependent MMW algorithm.
+BaselineResult decision_width_dependent(const PackingInstance& instance,
+                                        const BaselineOptions& options = {});
+
+}  // namespace psdp::core

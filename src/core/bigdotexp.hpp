@@ -1,0 +1,66 @@
+// bigDotExp (Theorem 4.1): batch evaluation of exp(Phi) . A_i for all i,
+// given Phi PSD with ||Phi||_2 <= kappa and A_i = Q_i Q_i^T prefactored.
+//
+// Pipeline (exactly the paper's proof):
+//   1. exp(Phi) . Q Q^T = ||exp(Phi/2) Q||_F^2           (factorization)
+//   2. exp(Phi/2) ~ p_hat = truncated Taylor series      (Lemma 4.2,
+//      degree k = max(e^2 kappa/2, ln(2/eps)))            applied as matvecs
+//   3. ||v||^2 ~ ||Pi v||^2 with a JL sketch Pi          ([DG03, IM98],
+//      r = O(eps^-2 log m) rows)
+//
+// so each estimate is S = Pi p_hat, dots_i = ||S Q_i||_F^2, and the trace
+// Tr[exp(Phi)] = exp(Phi) . I is the same computation with Q = I, i.e.
+// ||S||_F^2. Work: O(r k p + r q); depth: O(k log m) -- both metered.
+//
+// When r >= m the sketch is replaced by the exact identity "sketch"
+// (S = p_hat itself, computed column by column), which removes all sketching
+// error; small instances therefore get exact answers automatically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "linalg/power.hpp"
+#include "linalg/vector.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/factorized.hpp"
+
+namespace psdp::core {
+
+using linalg::Vector;
+
+struct BigDotExpOptions {
+  /// Target relative accuracy of each dot product (the eps of Theorem 4.1).
+  Real eps = 0.1;
+  /// JL failure probability (union-bounded over the n+1 estimates).
+  Real delta = 1e-3;
+  /// Sketch seed; every call with the same seed uses the same Pi.
+  std::uint64_t seed = 1;
+  /// Override the Taylor degree (0 = Lemma 4.2 formula).
+  Index taylor_degree_override = 0;
+  /// Override the sketch row count (0 = JL formula capped at m).
+  Index sketch_rows_override = 0;
+};
+
+struct BigDotExpResult {
+  Vector dots;       ///< estimates of exp(Phi) . A_i, length n
+  Real trace_exp;    ///< estimate of Tr[exp(Phi)]
+  Index taylor_degree = 0;
+  Index sketch_rows = 0;
+  bool exact_sketch = false;  ///< true when r >= m made the sketch exact
+};
+
+/// Phi as an abstract symmetric PSD operator of dimension `dim` (matvec).
+/// The solver passes sum_i x_i A_i without forming it; standalone callers
+/// can pass a CSR matrix via the overload below.
+BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi, Index dim,
+                            Real kappa, const sparse::FactorizedSet& as,
+                            const BigDotExpOptions& options = {});
+
+/// Convenience overload: Phi given as a sparse CSR matrix. If kappa <= 0 it
+/// is estimated with power iteration (inflated to an upper bound).
+BigDotExpResult big_dot_exp(const sparse::Csr& phi, Real kappa,
+                            const sparse::FactorizedSet& as,
+                            const BigDotExpOptions& options = {});
+
+}  // namespace psdp::core

@@ -1,0 +1,47 @@
+// Independent verification of the ε-decision problem's certificates.
+//
+// The solvers return either
+//   * a dual (packing) solution x with ||x||_1 >= 1 - eps and
+//     sum_i x_i A_i <= I, or
+//   * a primal (covering) certificate Y with Tr Y = 1 and A_i . Y >= 1.
+//
+// These checkers recompute feasibility from scratch (exact eigensolver, no
+// sketching), so tests can validate solver outputs without trusting any of
+// the solver's internal quantities.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace psdp::core {
+
+/// Verification of a dual packing vector.
+struct DualCheck {
+  bool feasible = false;  ///< x >= 0 and lambda_max(sum x_i A_i) <= 1 + tol
+  Real value = 0;         ///< 1^T x
+  Real lambda_max = 0;    ///< lambda_max(sum_i x_i A_i)
+};
+
+DualCheck check_dual(const PackingInstance& instance, const Vector& x,
+                     Real tol = 1e-8);
+DualCheck check_dual(const FactorizedPackingInstance& instance,
+                     const Vector& x, Real tol = 1e-8);
+
+/// Verification of a primal covering certificate.
+struct PrimalCheck {
+  bool feasible = false;  ///< PSD, Tr = 1 (+-tol), min_i A_i . Y >= 1 - tol
+  Real trace = 0;
+  Real min_dot = 0;  ///< min_i A_i . Y
+  Index argmin = -1;
+};
+
+PrimalCheck check_primal(const PackingInstance& instance, const Matrix& y,
+                         Real tol = 1e-6);
+
+/// Weak-duality audit for the *same* packing instance: every dual-feasible
+/// x and primal-feasible Y satisfy 1^T x <= max(1, 1/min_i A_i.Y) -- used by
+/// property tests to confirm the two certificates cannot both be "strong".
+/// Returns 1^T x * min_i(A_i . Y); values > 1 + tol indicate a bug.
+Real duality_product(const PackingInstance& instance, const Vector& x,
+                     const Matrix& y);
+
+}  // namespace psdp::core

@@ -1,0 +1,268 @@
+#include "core/optimize.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace psdp::core {
+
+namespace {
+
+/// What one decision probe at scale v tells the search.
+struct ProbeOutcome {
+  DecisionOutcome outcome = DecisionOutcome::kPrimal;
+  Real dual_value = 0;  ///< ||x_hat||_1 of the scaled-instance dual
+  Vector dual_x;        ///< x_hat, indexed over the FULL instance (zeros for
+                        ///< trace-bounded coordinates)
+  Matrix primal_y;      ///< scaled-instance primal certificate (dense path)
+  Real min_dot = 0;     ///< mu = min_i (v A_i) . Y over surviving i
+  Real dropped_value_bound = 0;  ///< max total value of dropped coordinates
+  Index iterations = 0;
+};
+
+using Oracle = std::function<ProbeOutcome(Real scale)>;
+
+/// Dense-path oracle: scale, trace-bound (Lemma 2.2), decide, map back.
+Oracle make_dense_oracle(const PackingInstance& instance,
+                         const OptimizeOptions& options,
+                         DecisionOptions decision_options) {
+  return [&instance, options, decision_options](Real v) {
+    const PackingInstance scaled = instance.scaled(v);
+    const Index n = instance.size();
+    const Index m = instance.dim();
+
+    TraceBoundResult bounded;
+    if (options.trace_bound) {
+      bounded = bound_traces(scaled);
+    } else {
+      bounded.instance = scaled;
+      bounded.kept.resize(static_cast<std::size_t>(n));
+      for (Index i = 0; i < n; ++i) bounded.kept[static_cast<std::size_t>(i)] = i;
+    }
+
+    const DecisionResult r = decision_dense(bounded.instance, decision_options);
+
+    ProbeOutcome probe;
+    probe.outcome = r.outcome;
+    probe.iterations = r.iterations;
+    probe.dual_x = Vector(n);
+    for (Index j = 0; j < bounded.instance.size(); ++j) {
+      // The measured-tight dual (exactly feasible, much larger than the
+      // worst-case rescaling) is what makes the bracket converge.
+      probe.dual_x[bounded.kept[static_cast<std::size_t>(j)]] =
+          r.dual_x_tight[j];
+    }
+    probe.dual_value = linalg::sum(probe.dual_x);
+    probe.primal_y = r.primal_y;
+    probe.min_dot = std::numeric_limits<Real>::infinity();
+    for (Index j = 0; j < r.primal_dots.size(); ++j) {
+      probe.min_dot = std::min(probe.min_dot, r.primal_dots[j]);
+    }
+    // A dropped coordinate i can contribute at most 1/lambda_max(v A_i)
+    // <= m/(v Tr A_i) to any feasible objective.
+    if (bounded.dropped > 0) {
+      std::vector<bool> kept(static_cast<std::size_t>(n), false);
+      for (Index j : bounded.kept) kept[static_cast<std::size_t>(j)] = true;
+      for (Index i = 0; i < n; ++i) {
+        if (!kept[static_cast<std::size_t>(i)]) {
+          probe.dropped_value_bound +=
+              static_cast<Real>(m) / (v * instance.constraint_trace(i));
+        }
+      }
+    }
+    return probe;
+  };
+}
+
+/// Factorized-path oracle (no dense primal certificate; dots only).
+Oracle make_factorized_oracle(const FactorizedPackingInstance& instance,
+                              DecisionOptions decision_options) {
+  return [&instance, decision_options](Real v) {
+    const FactorizedPackingInstance scaled = instance.scaled(v);
+    const DecisionResult r = decision_factorized(scaled, decision_options);
+    ProbeOutcome probe;
+    probe.outcome = r.outcome;
+    probe.iterations = r.iterations;
+    probe.dual_x = r.dual_x_tight;
+    probe.dual_value = linalg::sum(probe.dual_x);
+    probe.min_dot = std::numeric_limits<Real>::infinity();
+    for (Index j = 0; j < r.primal_dots.size(); ++j) {
+      probe.min_dot = std::min(probe.min_dot, r.primal_dots[j]);
+    }
+    return probe;
+  };
+}
+
+/// The Lemma 2.2 geometric binary search, shared by both paths.
+PackingOptimum search(const Oracle& oracle, Real min_trace, Index m,
+                      const OptimizeOptions& options) {
+  PSDP_CHECK(options.eps > 0 && options.eps < 1,
+             "approx_packing: eps must lie in (0,1)");
+  PackingOptimum best;
+  // Single-coordinate feasibility gives the initial lower bound; the trace
+  // inequality Tr[sum x_i A_i] <= m gives the upper bound.
+  best.lower = 1 / min_trace;
+  best.upper = static_cast<Real>(m) / min_trace;
+
+  Index stalls = 0;
+  while (best.upper > best.lower * (1 + options.eps) &&
+         best.decision_calls < options.max_probes && stalls < 3) {
+    const Real v = std::sqrt(best.lower * best.upper);
+    const ProbeOutcome probe = oracle(v);
+    ++best.decision_calls;
+    best.total_iterations += probe.iterations;
+
+    bool progressed = false;
+    if (probe.outcome == DecisionOutcome::kDual) {
+      const Real value = v * probe.dual_value;
+      if (value > best.lower * (1 + 1e-12)) {
+        best.lower = value;
+        best.best_x = probe.dual_x;
+        best.best_x.scale(v);
+        progressed = true;
+      }
+    } else {
+      PSDP_NUMERIC_CHECK(probe.min_dot > 0,
+                         "approx_packing: degenerate primal certificate");
+      const Real upper = v / probe.min_dot + probe.dropped_value_bound;
+      if (upper < best.upper * (1 - 1e-12)) {
+        best.upper = upper;
+        progressed = true;
+      }
+      if (probe.primal_y.rows() > 0 &&
+          (best.primal_scale == 0 || upper < best.primal_scale / best.primal_min_dot)) {
+        best.primal_y = probe.primal_y;
+        best.primal_scale = v;
+        best.primal_min_dot = probe.min_dot;
+      }
+    }
+    stalls = progressed ? 0 : stalls + 1;
+    PSDP_LOG(kInfo) << "approx_packing probe v=" << v << " -> ["
+                    << best.lower << ", " << best.upper << "]";
+  }
+
+  // Materialize the initial single-coordinate solution if no probe improved
+  // on it (callers expect best_x to certify `lower`).
+  if (best.best_x.empty()) {
+    best.best_x = Vector(0);  // filled by the caller, which knows argmin
+  }
+  return best;
+}
+
+/// Ensure `best` carries a primal certificate (needed by the covering
+/// wrapper); escalates the probe scale slightly until one is found.
+void ensure_primal_certificate(PackingOptimum& best, const Oracle& oracle,
+                               const OptimizeOptions& options) {
+  Real v = best.upper;
+  for (int attempt = 0; attempt < 6 && best.primal_scale == 0; ++attempt) {
+    const ProbeOutcome probe = oracle(v);
+    ++best.decision_calls;
+    best.total_iterations += probe.iterations;
+    if (probe.outcome == DecisionOutcome::kPrimal &&
+        probe.primal_y.rows() > 0) {
+      PSDP_NUMERIC_CHECK(probe.min_dot > 0,
+                         "ensure_primal: degenerate certificate");
+      best.primal_y = probe.primal_y;
+      best.primal_scale = v;
+      best.primal_min_dot = probe.min_dot;
+      best.upper =
+          std::min(best.upper, v / probe.min_dot + probe.dropped_value_bound);
+    } else {
+      // Still dual-feasible this high: the optimum is larger than believed.
+      best.lower = std::max(best.lower, v * probe.dual_value);
+      v *= (1 + options.eps);
+    }
+  }
+  PSDP_NUMERIC_CHECK(best.primal_scale > 0,
+                     "approx_covering: could not obtain a primal certificate");
+}
+
+template <typename Inst>
+Real min_constraint_trace(const Inst& instance) {
+  Real min_trace = instance.constraint_trace(0);
+  for (Index i = 1; i < instance.size(); ++i) {
+    min_trace = std::min(min_trace, instance.constraint_trace(i));
+  }
+  return min_trace;
+}
+
+template <typename Inst>
+void fill_initial_best_x(const Inst& instance, PackingOptimum& best) {
+  if (!best.best_x.empty()) return;
+  Index argmin = 0;
+  for (Index i = 1; i < instance.size(); ++i) {
+    if (instance.constraint_trace(i) < instance.constraint_trace(argmin)) {
+      argmin = i;
+    }
+  }
+  best.best_x = Vector(instance.size());
+  best.best_x[argmin] = 1 / instance.constraint_trace(argmin);
+}
+
+DecisionOptions probe_decision_options(const OptimizeOptions& options) {
+  DecisionOptions d = options.decision;
+  // The probe eps trades per-probe iteration count (~eps^-2 log n on the
+  // dual side) against certificate strength. Because the bracket is built
+  // from *measured* certificate quality, a floor of 0.03 keeps probes fast
+  // without invalidating anything; callers can override via decision_eps.
+  d.eps = options.decision_eps > 0
+              ? options.decision_eps
+              : std::clamp(options.eps / 4, 0.03, 0.25);
+  return d;
+}
+
+}  // namespace
+
+PackingOptimum approx_packing(const PackingInstance& instance,
+                              const OptimizeOptions& options) {
+  instance.validate(/*check_psd=*/false);
+  const Oracle oracle =
+      make_dense_oracle(instance, options, probe_decision_options(options));
+  PackingOptimum best =
+      search(oracle, min_constraint_trace(instance), instance.dim(), options);
+  fill_initial_best_x(instance, best);
+  return best;
+}
+
+PackingOptimum approx_packing(const FactorizedPackingInstance& instance,
+                              const OptimizeOptions& options) {
+  const Oracle oracle =
+      make_factorized_oracle(instance, probe_decision_options(options));
+  PackingOptimum best =
+      search(oracle, min_constraint_trace(instance), instance.dim(), options);
+  fill_initial_best_x(instance, best);
+  return best;
+}
+
+CoveringOptimum approx_covering(const CoveringProblem& problem,
+                                const OptimizeOptions& options) {
+  const NormalizedProblem normalized = normalize(problem);
+  const Oracle oracle = make_dense_oracle(normalized.packing, options,
+                                          probe_decision_options(options));
+  PackingOptimum packing = search(
+      oracle, min_constraint_trace(normalized.packing),
+      normalized.packing.dim(), options);
+  fill_initial_best_x(normalized.packing, packing);
+  ensure_primal_certificate(packing, oracle, options);
+
+  CoveringOptimum result;
+  // Z = (v / mu) Y: B_i . Z >= 1 for all i, Tr Z = (v/mu) Tr Y.
+  Matrix z = packing.primal_y;
+  z.scale(packing.primal_scale / packing.primal_min_dot);
+  // The probe may have trace-bounded away some coordinates; re-verify the
+  // full constraint set and rescale up if any is (slightly) uncovered.
+  Real full_min = std::numeric_limits<Real>::infinity();
+  for (Index i = 0; i < normalized.packing.size(); ++i) {
+    full_min = std::min(full_min,
+                        linalg::frobenius_dot(normalized.packing[i], z));
+  }
+  PSDP_NUMERIC_CHECK(full_min > 0, "approx_covering: certificate degenerate");
+  if (full_min < 1) z.scale(1 / full_min);
+  result.objective = linalg::trace(z);
+  result.y = denormalize_primal(normalized, z);
+  result.lower_bound = packing.lower;
+  result.packing = std::move(packing);
+  return result;
+}
+
+}  // namespace psdp::core

@@ -1,0 +1,85 @@
+// approxPSDP (Theorem 1.1): (1+eps)-approximate *optimization* of positive
+// SDPs, by reduction to O(log n) calls of the eps-decision problem
+// (Lemma 2.2) after the Appendix-A normalization.
+//
+// Packing side  max 1^T x s.t. sum x_i A_i <= I:
+//   * initial bracket: OPT in [1/min_i Tr A_i, m/min_i Tr A_i]
+//     (single-coordinate feasibility vs. the trace bound Tr[sum] <= m);
+//   * probe at the geometric midpoint v: run decisionPSDP on {v A_i}
+//     (after Lemma 2.2 trace-bounding). A dual answer x_hat yields the
+//     exactly-feasible x = v x_hat, raising the lower bound to v ||x_hat||_1.
+//     A primal answer Y with mu = min_i (v A_i) . Y > 0 proves
+//     OPT <= v / mu (weak duality), lowering the upper bound.
+//   * the bracket is maintained from *measured* certificate quality, never
+//     from the worst-case theory constants, so correctness does not depend
+//     on the (astronomically conservative) constant factors; the constants
+//     only control how fast probes make progress.
+//
+// Covering side  min C . Y s.t. A_i . Y >= b_i (the paper's primal 1.1):
+//   normalize (B_i = C^{-1/2} A_i C^{-1/2}/b_i), optimize the dual packing
+//   program, and turn the best primal certificate Y_z (Tr = 1,
+//   B_i . (v Y_z) >= mu) into the feasible covering solution
+//   Z = (v/mu) Y_z, mapped back through C^{-1/2}. Strong duality (assumed,
+//   as in the paper) makes the packing bracket a bracket on the covering
+//   optimum too.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+
+namespace psdp::core {
+
+struct OptimizeOptions {
+  /// Target relative accuracy of the returned bracket.
+  Real eps = 0.1;
+  /// eps handed to each decision call; 0 = auto (eps/4). The bracket stays
+  /// correct for any value; smaller is slower per probe but shrinks the
+  /// bracket in fewer probes.
+  Real decision_eps = 0;
+  /// Probe budget (a safety net; the search stops at bracket ratio 1+eps).
+  Index max_probes = 60;
+  /// Apply the Lemma 2.2 trace-bounding preprocessing per probe.
+  bool trace_bound = true;
+  /// Forwarded to every decision call (trajectory tracking, overrides...).
+  DecisionOptions decision;
+};
+
+/// Result of packing optimization.
+struct PackingOptimum {
+  Real lower = 0;  ///< value of `best_x`, a certified lower bound on OPT
+  Real upper = 0;  ///< certified upper bound on OPT
+  Vector best_x;   ///< exactly-feasible dual solution attaining `lower`
+  /// Best primal certificate found: Y (trace 1) for the probe scale
+  /// `primal_scale`, with min_i (scale A_i) . Y = `primal_min_dot`.
+  /// Dense-path only (factorized keeps dots, not Y).
+  Matrix primal_y;
+  Real primal_scale = 0;
+  Real primal_min_dot = 0;
+  Index decision_calls = 0;
+  Index total_iterations = 0;  ///< decision iterations summed over probes
+};
+
+/// (1+eps)-approximate packing optimum, dense path.
+PackingOptimum approx_packing(const PackingInstance& instance,
+                              const OptimizeOptions& options = {});
+
+/// (1+eps)-approximate packing optimum, factorized nearly-linear-work path.
+PackingOptimum approx_packing(const FactorizedPackingInstance& instance,
+                              const OptimizeOptions& options = {});
+
+/// Result of covering optimization (the paper's form 1.1).
+struct CoveringOptimum {
+  Matrix y;          ///< feasible: A_i . Y >= b_i (up to tol), Y PSD
+  Real objective = 0;  ///< C . Y, within (1+eps) of OPT on convergence
+  Real lower_bound = 0;  ///< dual certificate: OPT >= lower_bound
+  PackingOptimum packing;  ///< the underlying packing search
+};
+
+/// (1+eps)-approximate covering optimization via normalization + duality.
+CoveringOptimum approx_covering(const CoveringProblem& problem,
+                                const OptimizeOptions& options = {});
+
+}  // namespace psdp::core

@@ -1,0 +1,103 @@
+// Phase-scheduled variant of Algorithm 3.1, in the spirit of the
+// conference version [PT12].
+//
+// The arXiv revision the library implements (decision.hpp) removes phases;
+// its Section 1.1 notes the phase-based pseudocode "can be analyzed
+// similarly". This module reconstructs that schedule and exploits its
+// defining algebraic property: while the weight matrix W = exp(Psi) is held
+// fixed, the selected set B = { i : W . A_i <= (1+eps) Tr W } is also fixed
+// (the dots depend on W only), so j consecutive iterations multiply the
+// selected coordinates by (1+alpha)^j *in closed form*. A phase is then:
+//
+//   1. one matrix exponential (the only O(m^3) work),
+//   2. the largest j such that within j iterations ||x||_1 stays below the
+//      phase budget (a (1+phase_growth) multiple of its phase-start value),
+//      the dual exit ||x||_1 > K is not crossed, the running primal average
+//      does not certify, and the global budget R is not exhausted,
+//   3. the batched update x_B *= (1+alpha)^j.
+//
+// Iteration-for-iteration this reproduces exp_stride-style lazy refresh,
+// but the stride is *adaptive* (phases get shorter as ||x||_1 accelerates)
+// and each phase costs O(1) exponentials regardless of its length.
+//
+// Guarantees: the per-phase selections act on phase-start penalties, so the
+// worst-case Lemma 3.2 proof does not directly apply. Every certificate is
+// therefore measured: the dual is rescaled by the *exact* lambda_max of the
+// final Psi (feasible by construction), and the primal running average is
+// self-verifying exactly as in the phase-free solver. The result reports
+// whether the Lemma 3.2 bound was ever exceeded (empirically it is not for
+// moderate phase_growth; bench_variants quantifies the trade-off).
+#pragma once
+
+#include <vector>
+
+#include "core/decision.hpp"
+
+namespace psdp::core {
+
+struct PhasedOptions {
+  /// Algorithm accuracy parameter, in (0, 1).
+  Real eps = 0.1;
+  /// A phase ends once ||x||_1 exceeds (1 + phase_growth) times its value
+  /// at phase start. 0 = auto (= eps, matching the step geometry of the
+  /// phase-free algorithm). Smaller values track the phase-free algorithm
+  /// more closely at the cost of more exponentials.
+  Real phase_growth = 0;
+  /// Cap on *virtual* iterations; 0 means the paper's R.
+  Index max_iterations_override = 0;
+  /// Exit as soon as the running primal average certifies (self-verifying;
+  /// same semantics as DecisionOptions::early_primal_exit).
+  bool early_primal_exit = true;
+};
+
+/// Diagnostics for one phase.
+struct PhaseStat {
+  Index phase = 0;          ///< phase number (1-based)
+  Index start_iteration = 0;  ///< virtual iteration count before the phase
+  Index length = 0;         ///< iterations batched into this phase
+  Real x_norm1 = 0;         ///< ||x||_1 after the phase
+  Index selected = 0;       ///< |B| during the phase
+};
+
+struct PhasedResult {
+  DecisionOutcome outcome = DecisionOutcome::kPrimal;
+  /// Measured-tight dual: x / lambda_max(final Psi), exactly feasible.
+  Vector dual_x;
+  /// Exact lambda_max of the final Psi.
+  Real psi_lambda_max = 0;
+  /// True when lambda_max exceeded the Lemma 3.2 bound (1+10 eps) K at exit
+  /// -- possible in principle because selections act on stale penalties.
+  bool spectrum_bound_exceeded = false;
+  Matrix primal_y;      ///< running average of P (trace 1)
+  Vector primal_dots;   ///< A_i . Y for the returned average
+  Real primal_trace = 0;
+  Index iterations = 0;    ///< virtual iterations (comparable to Alg 3.1's t)
+  Index phases = 0;        ///< = number of matrix exponentials computed
+  AlgorithmConstants constants;
+  std::vector<PhaseStat> phase_stats;
+};
+
+/// Solve the eps-decision problem with the phased schedule (dense path).
+PhasedResult decision_phased(const PackingInstance& instance,
+                             const PhasedOptions& options = {});
+
+struct FactorizedPhasedOptions : PhasedOptions {
+  /// Accuracy of the per-phase exp-dot batch (0 = auto, eps/2).
+  Real dot_eps = 0;
+  /// Sketch/Taylor knobs forwarded to bigDotExp; the seed advances per
+  /// phase so sketch noise is independent across phases.
+  BigDotExpOptions dot_options;
+};
+
+/// Phased schedule over prefactored input: one bigDotExp batch per phase
+/// instead of per iteration, which multiplies the Theorem 4.1 path's
+/// throughput by the mean phase length. The dual is rescaled by a
+/// certified Lanczos upper bound on lambda_max(Psi) (as in
+/// decision_factorized); primal_y stays empty (never forms an m x m
+/// matrix), with the certificate values in primal_dots. Note the primal
+/// dots inherit the sketch's (1 +- dot_eps) noise, so the early primal
+/// exit certifies against 1 + dot_eps rather than 1.
+PhasedResult decision_phased(const FactorizedPackingInstance& instance,
+                             const FactorizedPhasedOptions& options = {});
+
+}  // namespace psdp::core

@@ -1,0 +1,282 @@
+#include "core/poslp.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace psdp::core {
+
+PackingLp::PackingLp(Matrix p) : p_(std::move(p)) {
+  PSDP_CHECK(p_.rows() >= 1 && p_.cols() >= 1, "PackingLp: empty matrix");
+  PSDP_CHECK(linalg::all_finite(p_), "PackingLp: non-finite entries");
+  column_sums_.assign(static_cast<std::size_t>(p_.cols()), 0);
+  for (Index j = 0; j < p_.rows(); ++j) {
+    for (Index i = 0; i < p_.cols(); ++i) {
+      PSDP_CHECK(p_(j, i) >= 0,
+                 str("PackingLp: negative entry at (", j, ",", i, ")"));
+      column_sums_[static_cast<std::size_t>(i)] += p_(j, i);
+    }
+  }
+  for (Index i = 0; i < p_.cols(); ++i) {
+    PSDP_CHECK(column_sums_[static_cast<std::size_t>(i)] > 0,
+               str("PackingLp: column ", i,
+                   " is zero (unbounded variable); remove it first"));
+  }
+}
+
+Real PackingLp::column_sum(Index i) const {
+  PSDP_CHECK(i >= 0 && i < size(), "PackingLp::column_sum: index out of range");
+  return column_sums_[static_cast<std::size_t>(i)];
+}
+
+PackingLp PackingLp::scaled(Real s) const {
+  PSDP_CHECK(s >= 0 && std::isfinite(s), "PackingLp::scaled: bad scale");
+  Matrix p = p_;
+  p.scale(s);
+  return PackingLp(std::move(p));
+}
+
+PackingInstance PackingLp::to_diagonal_sdp() const {
+  std::vector<Matrix> constraints;
+  constraints.reserve(static_cast<std::size_t>(size()));
+  for (Index i = 0; i < size(); ++i) {
+    Vector diag(rows());
+    for (Index j = 0; j < rows(); ++j) diag[j] = p_(j, i);
+    constraints.push_back(Matrix::diagonal(diag));
+  }
+  return PackingInstance(std::move(constraints));
+}
+
+LpDecisionResult lp_decision(const PackingLp& lp,
+                             const DecisionOptions& options) {
+  const Index n = lp.size();
+  const Index l = lp.rows();
+  const Real eps = options.eps;
+  const AlgorithmConstants c = algorithm_constants(n, eps);
+  const Index r_limit = options.max_iterations_override > 0
+                            ? options.max_iterations_override
+                            : c.r_limit;
+  const Matrix& p = lp.matrix();
+
+  LpDecisionResult result;
+  result.constants = c;
+
+  // x_i(0) = 1/(n Tr[A_i]) with Tr[A_i] = column sum; Psi = P x maintained
+  // incrementally (all updates add non-negative terms).
+  Vector x(n);
+  Real x_norm1 = 0;
+  Vector psi(l);
+  for (Index i = 0; i < n; ++i) {
+    x[i] = 1 / (static_cast<Real>(n) * lp.column_sum(i));
+    x_norm1 += x[i];
+    for (Index j = 0; j < l; ++j) psi[j] += x[i] * p(j, i);
+  }
+
+  Vector w(l);
+  Vector dots(n);
+  Vector y_sum(l);           // running sum of w/||w||_1
+  Vector primal_sums(n);     // running sum of dots/tr_w
+  Real min_primal_sum = 0;
+  Real primal_trace = 0;
+  Index t = 0;
+
+  const auto primal_certified = [&]() {
+    return t > 0 && min_primal_sum >= static_cast<Real>(t);
+  };
+
+  while (x_norm1 <= c.k_cap && t < r_limit &&
+         !(options.early_primal_exit && primal_certified())) {
+    ++t;
+    // Scalar soft-max weights, shifted by max_j Psi_j for overflow safety
+    // (the selection rule and the primal average are scale-invariant).
+    const Real shift = linalg::max_entry(psi);
+    Real tr_w = 0;
+    for (Index j = 0; j < l; ++j) {
+      w[j] = std::exp(psi[j] - shift);
+      tr_w += w[j];
+    }
+    PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
+                       "lp_decision: weight sum is not positive finite");
+    // dots_i = (P^T w)_i = exp-penalty of variable i.
+    for (Index i = 0; i < n; ++i) dots[i] = 0;
+    for (Index j = 0; j < l; ++j) {
+      const Real wj = w[j];
+      if (wj == 0) continue;
+      for (Index i = 0; i < n; ++i) dots[i] += wj * p(j, i);
+    }
+
+    const Real threshold = (1 + eps) * tr_w;
+    Index updated = 0;
+    Real norm_gain = 0;
+    Real min_sum = std::numeric_limits<Real>::infinity();
+    for (Index i = 0; i < n; ++i) {
+      primal_sums[i] += dots[i] / tr_w;
+      min_sum = std::min(min_sum, primal_sums[i]);
+      if (dots[i] <= threshold) {
+        const Real delta = c.alpha * x[i];
+        x[i] += delta;
+        norm_gain += delta;
+        for (Index j = 0; j < l; ++j) psi[j] += delta * p(j, i);
+        ++updated;
+      }
+    }
+    x_norm1 += norm_gain;
+    min_primal_sum = min_sum;
+    primal_trace += 1;
+    y_sum.add_scaled(w, 1 / tr_w);
+
+    if (options.track_trajectory) {
+      IterationStat stat;
+      stat.t = t;
+      stat.x_norm1 = x_norm1;
+      stat.trace_w = tr_w;  // note: shifted scale; ratios are meaningful
+      stat.updated = updated;
+      stat.lambda_max_psi = shift;
+      result.trajectory.push_back(stat);
+    }
+    PSDP_LOG(kDebug) << "lp iter " << t << " |x|=" << x_norm1
+                     << " max(Px)=" << shift << " |B|=" << updated;
+  }
+
+  result.iterations = t;
+  result.psi_max = linalg::max_entry(psi);
+  result.outcome = x_norm1 > c.k_cap ? DecisionOutcome::kDual
+                                     : DecisionOutcome::kPrimal;
+  const Real t_count = std::max<Real>(1, static_cast<Real>(t));
+  result.primal_dots = std::move(primal_sums);
+  result.primal_dots.scale(1 / t_count);
+  result.primal_trace = primal_trace / t_count;
+  if (t > 0) {
+    result.primal_y = std::move(y_sum);
+    result.primal_y.scale(1 / static_cast<Real>(t));
+  } else {
+    result.primal_y = Vector(l, 1 / static_cast<Real>(l));
+    result.primal_trace = 1;
+  }
+  result.dual_x_tight = x;
+  result.dual_x_tight.scale(result.psi_max > 0 ? 1 / result.psi_max
+                                               : 1 / c.spectrum_bound);
+  result.dual_x = std::move(x);
+  result.dual_x.scale(1 / c.spectrum_bound);
+  return result;
+}
+
+LpOptimum approx_packing_lp(const PackingLp& lp,
+                            const OptimizeOptions& options) {
+  PSDP_CHECK(options.eps > 0 && options.eps < 1,
+             "approx_packing_lp: eps must lie in (0,1)");
+  DecisionOptions decision = options.decision;
+  decision.eps = options.decision_eps > 0
+                     ? options.decision_eps
+                     : std::clamp(options.eps / 4, 0.03, 0.25);
+
+  const Index n = lp.size();
+  Real min_sum = lp.column_sum(0);
+  Index argmin = 0;
+  for (Index i = 1; i < n; ++i) {
+    if (lp.column_sum(i) < min_sum) {
+      min_sum = lp.column_sum(i);
+      argmin = i;
+    }
+  }
+
+  LpOptimum best;
+  // Single-variable feasibility: x = e_i / max_j P_ji, and max_j P_ji >=
+  // column_sum / l, so OPT >= 1/column_sum. Row-sum bound: summing P x <= 1
+  // over rows gives sum_i column_sum_i x_i <= l, so OPT <= l / min column
+  // sum.
+  best.lower = 1 / min_sum;
+  best.upper = static_cast<Real>(lp.rows()) / min_sum;
+  best.best_x = Vector(n);
+  best.best_x[argmin] = 1 / min_sum;
+
+  Index stalls = 0;
+  while (best.upper > best.lower * (1 + options.eps) &&
+         best.decision_calls < options.max_probes && stalls < 3) {
+    const Real v = std::sqrt(best.lower * best.upper);
+    const LpDecisionResult probe = lp_decision(lp.scaled(v), decision);
+    ++best.decision_calls;
+    best.total_iterations += probe.iterations;
+
+    bool progressed = false;
+    if (probe.outcome == DecisionOutcome::kDual) {
+      const Real value = v * linalg::sum(probe.dual_x_tight);
+      if (value > best.lower * (1 + 1e-12)) {
+        best.lower = value;
+        best.best_x = probe.dual_x_tight;
+        best.best_x.scale(v);
+        progressed = true;
+      }
+    } else {
+      Real min_dot = std::numeric_limits<Real>::infinity();
+      for (Index i = 0; i < probe.primal_dots.size(); ++i) {
+        min_dot = std::min(min_dot, probe.primal_dots[i]);
+      }
+      PSDP_NUMERIC_CHECK(min_dot > 0,
+                         "approx_packing_lp: degenerate primal certificate");
+      const Real upper = v / min_dot;
+      if (upper < best.upper * (1 - 1e-12)) {
+        best.upper = upper;
+        progressed = true;
+      }
+    }
+    stalls = progressed ? 0 : stalls + 1;
+    PSDP_LOG(kInfo) << "approx_packing_lp probe v=" << v << " -> ["
+                    << best.lower << ", " << best.upper << "]";
+  }
+  return best;
+}
+
+LpCoveringOptimum approx_covering_lp(const PackingLp& lp,
+                                     const OptimizeOptions& options) {
+  LpCoveringOptimum result;
+  result.packing = approx_packing_lp(lp, options);
+  result.lower_bound = result.packing.lower;
+
+  DecisionOptions decision = options.decision;
+  decision.eps = options.decision_eps > 0
+                     ? options.decision_eps
+                     : std::clamp(options.eps / 4, 0.03, 0.25);
+
+  // Obtain a primal certificate: probe at (just above) the packing upper
+  // bound, escalating if the dual side still wins there.
+  Real v = result.packing.upper;
+  bool found = false;
+  for (int attempt = 0; attempt < 6 && !found; ++attempt) {
+    const LpDecisionResult probe = lp_decision(lp.scaled(v), decision);
+    ++result.packing.decision_calls;
+    result.packing.total_iterations += probe.iterations;
+    if (probe.outcome == DecisionOutcome::kPrimal) {
+      Real mu = std::numeric_limits<Real>::infinity();
+      for (Index i = 0; i < probe.primal_dots.size(); ++i) {
+        mu = std::min(mu, probe.primal_dots[i]);
+      }
+      PSDP_NUMERIC_CHECK(mu > 0,
+                         "approx_covering_lp: degenerate primal certificate");
+      // y' = (v / mu) y covers: P^T y' = (v P)^T y / mu >= 1.
+      Vector y = probe.primal_y;
+      y.scale(v / mu);
+      // Exact re-verification (and roundoff repair) on the original P.
+      const Vector coverage = linalg::matvec_transpose(lp.matrix(), y);
+      Real cover_min = std::numeric_limits<Real>::infinity();
+      for (Index i = 0; i < coverage.size(); ++i) {
+        cover_min = std::min(cover_min, coverage[i]);
+      }
+      PSDP_NUMERIC_CHECK(cover_min > 0, "approx_covering_lp: zero coverage");
+      if (cover_min < 1) y.scale(1 / cover_min);
+      result.y = std::move(y);
+      result.objective = linalg::sum(result.y);
+      found = true;
+    } else {
+      result.lower_bound = std::max(
+          result.lower_bound, v * linalg::sum(probe.dual_x_tight));
+      v *= (1 + options.eps);
+    }
+  }
+  PSDP_NUMERIC_CHECK(found,
+                     "approx_covering_lp: could not obtain a primal "
+                     "certificate (escalation exhausted)");
+  return result;
+}
+
+}  // namespace psdp::core

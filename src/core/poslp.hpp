@@ -1,0 +1,112 @@
+// Width-independent positive *linear* programming -- the scalar special
+// case ([LN93, You01]) that Algorithm 3.1 generalizes.
+//
+// Packing LP:  max 1^T x  s.t.  P x <= 1,  x >= 0,  with P >= 0 (l x n).
+//
+// In the paper's geometric picture (Figure 1), this is the restriction of
+// positive SDPs to axis-aligned ellipsoids: variable i corresponds to the
+// diagonal constraint matrix A_i = diag(P_{.,i}), the matrix exponential
+// collapses to the scalar soft-max weights w_j = exp((P x)_j), and
+// Tr[exp(Psi)] = sum_j w_j. Everything else -- the constants K, alpha, R,
+// the B(t) selection rule, both exit certificates -- is *identical* to
+// Algorithm 3.1, and the test suite verifies that lp_decision and
+// decision_dense produce the same iterates on diagonal embeddings. The
+// module exists (a) as the natural entry point when the input really is an
+// LP (each iteration is O(nnz(P)) instead of matrix-exponential work), and
+// (b) as an executable statement of what, exactly, the paper's
+// generalization had to add (see bench_lp_embedding).
+//
+// Numerical note: the scalar path can subtract max_j Psi_j before
+// exponentiating (the selection test dots_i <= (1+eps) Tr[W] and the primal
+// average W/Tr[W] are both scale-invariant), so it tolerates much smaller
+// eps than the dense-exponential path before overflow.
+#pragma once
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+#include "core/optimize.hpp"
+
+namespace psdp::core {
+
+/// A positive packing LP instance: max 1^T x s.t. P x <= 1, x >= 0.
+class PackingLp {
+ public:
+  PackingLp() = default;
+  /// P is l x n with non-negative finite entries and no zero column (a zero
+  /// column means an unbounded optimum and must be handled by the caller).
+  explicit PackingLp(Matrix p);
+
+  Index rows() const { return p_.rows(); }  ///< l, number of constraints
+  Index size() const { return p_.cols(); }  ///< n, number of variables
+
+  const Matrix& matrix() const { return p_; }
+
+  /// Column sum of column i -- the trace of the diagonal embedding's A_i.
+  Real column_sum(Index i) const;
+
+  /// Copy with P scaled by s >= 0 (the binary-search probe).
+  PackingLp scaled(Real s) const;
+
+  /// The diagonal-matrix embedding A_i = diag(P_{.,i}) as a dense packing
+  /// SDP instance (tests and the bench_lp_embedding comparison).
+  PackingInstance to_diagonal_sdp() const;
+
+ private:
+  Matrix p_;
+  std::vector<Real> column_sums_;
+};
+
+/// Result of the LP decision routine; mirrors DecisionResult with the
+/// primal certificate being a probability *vector* y over the rows.
+struct LpDecisionResult {
+  DecisionOutcome outcome = DecisionOutcome::kPrimal;
+  Vector dual_x;        ///< x / ((1+10 eps) K), worst-case feasible
+  Vector dual_x_tight;  ///< x / max_j (P x)_j, measured-tight feasible
+  Real psi_max = 0;     ///< max_j (P x)_j at exit (the scalar lambda_max)
+  Vector primal_y;      ///< avg_t w(t)/||w(t)||_1 (Tr Y = 1 analogue)
+  Vector primal_dots;   ///< avg penalties per variable, (P^T y)_i
+  Real primal_trace = 0;
+  Index iterations = 0;
+  AlgorithmConstants constants;
+  std::vector<IterationStat> trajectory;
+};
+
+/// Algorithm 3.1 specialized to the scalar case. Honors eps,
+/// track_trajectory, max_iterations_override and early_primal_exit from
+/// DecisionOptions (the exponential-refresh and sketch knobs do not apply:
+/// the scalar exponential is exact and cheap).
+LpDecisionResult lp_decision(const PackingLp& lp,
+                             const DecisionOptions& options = {});
+
+/// (1+eps)-approximate LP packing optimum via the same measured-certificate
+/// geometric search as approx_packing.
+struct LpOptimum {
+  Real lower = 0;   ///< value of best_x, certified
+  Real upper = 0;   ///< certified upper bound
+  Vector best_x;    ///< exactly feasible: P best_x <= 1
+  Index decision_calls = 0;
+  Index total_iterations = 0;
+};
+
+LpOptimum approx_packing_lp(const PackingLp& lp,
+                            const OptimizeOptions& options = {});
+
+/// (1+eps)-approximate *covering* LP optimization:
+///     min 1^T y   s.t.   P^T y >= 1,  y >= 0,
+/// the LP dual of the packing program over the same matrix (rows of P are
+/// the covering variables, columns the covering constraints). Mirrors
+/// approx_covering: strong LP duality makes the packing bracket a bracket
+/// on the covering optimum, and the best primal certificate of a packing
+/// probe at scale v -- a probability vector y with (vP)^T y >= mu --
+/// rescales to the feasible covering solution v y / mu.
+struct LpCoveringOptimum {
+  Vector y;            ///< feasible: P^T y >= 1 (up to roundoff)
+  Real objective = 0;  ///< 1^T y, within (1+eps) of OPT on convergence
+  Real lower_bound = 0;  ///< dual certificate: OPT >= lower_bound
+  LpOptimum packing;     ///< the underlying packing search
+};
+
+LpCoveringOptimum approx_covering_lp(const PackingLp& lp,
+                                     const OptimizeOptions& options = {});
+
+}  // namespace psdp::core

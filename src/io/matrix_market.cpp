@@ -1,0 +1,267 @@
+#include "io/matrix_market.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace psdp::io {
+
+namespace {
+
+struct MmHeader {
+  bool coordinate = true;   // false = array
+  bool symmetric = false;   // general otherwise
+};
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Parse the banner "%%MatrixMarket matrix <format> <field> <symmetry>".
+MmHeader read_banner(std::istream& in) {
+  std::string line;
+  PSDP_CHECK(std::getline(in, line), "matrix market: empty stream");
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  PSDP_CHECK(lower(tag) == "%%matrixmarket",
+             "matrix market: missing %%MatrixMarket banner");
+  PSDP_CHECK(lower(object) == "matrix",
+             str("matrix market: unsupported object '", object, "'"));
+  MmHeader header;
+  const std::string f = lower(format);
+  if (f == "coordinate") {
+    header.coordinate = true;
+  } else if (f == "array") {
+    header.coordinate = false;
+  } else {
+    PSDP_CHECK(false, str("matrix market: unsupported format '", format, "'"));
+  }
+  const std::string fl = lower(field);
+  PSDP_CHECK(fl == "real" || fl == "double",
+             str("matrix market: unsupported field '", field,
+                 "' (only real is supported)"));
+  const std::string sym = lower(symmetry);
+  if (sym == "symmetric") {
+    header.symmetric = true;
+  } else if (sym == "general") {
+    header.symmetric = false;
+  } else {
+    PSDP_CHECK(false, str("matrix market: unsupported symmetry '", symmetry,
+                          "' (general or symmetric)"));
+  }
+  return header;
+}
+
+/// Next content line (skips '%' comments and blank lines).
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+struct ParsedSparse {
+  Index rows = 0;
+  Index cols = 0;
+  std::vector<sparse::Triplet> triplets;
+};
+
+ParsedSparse read_coordinate_body(std::istream& in, const MmHeader& header) {
+  std::string line;
+  PSDP_CHECK(next_line(in, line), "matrix market: missing size line");
+  std::istringstream sizes(line);
+  Index rows = 0, cols = 0, nnz = 0;
+  PSDP_CHECK(static_cast<bool>(sizes >> rows >> cols >> nnz),
+             "matrix market: malformed size line");
+  PSDP_CHECK(rows >= 1 && cols >= 1 && nnz >= 0,
+             "matrix market: non-positive dimensions");
+  PSDP_CHECK(!header.symmetric || rows == cols,
+             "matrix market: symmetric matrix must be square");
+
+  ParsedSparse parsed;
+  parsed.rows = rows;
+  parsed.cols = cols;
+  parsed.triplets.reserve(static_cast<std::size_t>(nnz));
+  for (Index k = 0; k < nnz; ++k) {
+    PSDP_CHECK(next_line(in, line),
+               str("matrix market: expected ", nnz, " entries, got ", k));
+    std::istringstream entry(line);
+    Index r = 0, c = 0;
+    Real v = 0;
+    PSDP_CHECK(static_cast<bool>(entry >> r >> c >> v),
+               str("matrix market: malformed entry line '", line, "'"));
+    PSDP_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+               str("matrix market: index (", r, ",", c, ") out of range"));
+    PSDP_CHECK(std::isfinite(v), "matrix market: non-finite value");
+    parsed.triplets.push_back({r - 1, c - 1, v});
+    if (header.symmetric && r != c) {
+      parsed.triplets.push_back({c - 1, r - 1, v});
+    }
+  }
+  return parsed;
+}
+
+linalg::Matrix read_array_body(std::istream& in, const MmHeader& header) {
+  std::string line;
+  PSDP_CHECK(next_line(in, line), "matrix market: missing size line");
+  std::istringstream sizes(line);
+  Index rows = 0, cols = 0;
+  PSDP_CHECK(static_cast<bool>(sizes >> rows >> cols),
+             "matrix market: malformed size line");
+  PSDP_CHECK(rows >= 1 && cols >= 1, "matrix market: non-positive dimensions");
+  PSDP_CHECK(!header.symmetric || rows == cols,
+             "matrix market: symmetric matrix must be square");
+
+  linalg::Matrix result(rows, cols);
+  // Array body is column-major; symmetric array stores the lower triangle
+  // of each column.
+  for (Index j = 0; j < cols; ++j) {
+    const Index start = header.symmetric ? j : 0;
+    for (Index i = start; i < rows; ++i) {
+      PSDP_CHECK(next_line(in, line), "matrix market: truncated array body");
+      std::istringstream entry(line);
+      Real v = 0;
+      PSDP_CHECK(static_cast<bool>(entry >> v),
+                 str("matrix market: malformed value line '", line, "'"));
+      PSDP_CHECK(std::isfinite(v), "matrix market: non-finite value");
+      result(i, j) = v;
+      if (header.symmetric) result(j, i) = v;
+    }
+  }
+  return result;
+}
+
+void write_banner(std::ostream& out, bool coordinate, bool symmetric) {
+  out << "%%MatrixMarket matrix " << (coordinate ? "coordinate" : "array")
+      << " real " << (symmetric ? "symmetric" : "general") << "\n";
+}
+
+void check_symmetric_csr(const sparse::Csr& matrix) {
+  PSDP_CHECK(matrix.rows() == matrix.cols(),
+             "matrix market: symmetric output requires a square matrix");
+  // Verify symmetry entry-by-entry through a transposed copy: the CSR rows
+  // are sorted, so mirror lookup via binary search per entry.
+  for (Index i = 0; i < matrix.rows(); ++i) {
+    const auto cols = matrix.row_cols(i);
+    const auto vals = matrix.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index j = cols[k];
+      const auto mirror_cols = matrix.row_cols(j);
+      const auto mirror_vals = matrix.row_vals(j);
+      const auto it = std::lower_bound(mirror_cols.begin(), mirror_cols.end(), i);
+      const bool found = it != mirror_cols.end() && *it == i;
+      PSDP_CHECK(found, str("matrix market: entry (", i, ",", j,
+                            ") has no symmetric mirror"));
+      const Real mirrored =
+          mirror_vals[static_cast<std::size_t>(it - mirror_cols.begin())];
+      PSDP_CHECK(std::abs(mirrored - vals[k]) <=
+                     1e-12 * std::max<Real>(1, std::abs(vals[k])),
+                 str("matrix market: asymmetric values at (", i, ",", j, ")"));
+    }
+  }
+}
+
+}  // namespace
+
+void write_matrix_market(std::ostream& out, const sparse::Csr& matrix,
+                         bool symmetric) {
+  if (symmetric) check_symmetric_csr(matrix);
+  write_banner(out, /*coordinate=*/true, symmetric);
+  // Count emitted entries (lower triangle only when symmetric).
+  Index count = 0;
+  for (Index i = 0; i < matrix.rows(); ++i) {
+    for (const Index j : matrix.row_cols(i)) {
+      if (!symmetric || j <= i) ++count;
+    }
+  }
+  out << matrix.rows() << " " << matrix.cols() << " " << count << "\n";
+  out << std::setprecision(17);
+  for (Index i = 0; i < matrix.rows(); ++i) {
+    const auto cols = matrix.row_cols(i);
+    const auto vals = matrix.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (symmetric && cols[k] > i) continue;
+      out << (i + 1) << " " << (cols[k] + 1) << " " << vals[k] << "\n";
+    }
+  }
+  PSDP_CHECK(static_cast<bool>(out), "matrix market: write failed");
+}
+
+void write_matrix_market(std::ostream& out, const linalg::Matrix& matrix,
+                         bool symmetric) {
+  PSDP_CHECK(matrix.rows() >= 1 && matrix.cols() >= 1,
+             "matrix market: empty matrix");
+  if (symmetric) {
+    PSDP_CHECK(linalg::is_symmetric(matrix, 1e-12),
+               "matrix market: symmetric output requires a symmetric matrix");
+  }
+  write_banner(out, /*coordinate=*/false, symmetric);
+  out << matrix.rows() << " " << matrix.cols() << "\n";
+  out << std::setprecision(17);
+  for (Index j = 0; j < matrix.cols(); ++j) {
+    const Index start = symmetric ? j : 0;
+    for (Index i = start; i < matrix.rows(); ++i) {
+      out << matrix(i, j) << "\n";
+    }
+  }
+  PSDP_CHECK(static_cast<bool>(out), "matrix market: write failed");
+}
+
+sparse::Csr read_matrix_market_sparse(std::istream& in) {
+  const MmHeader header = read_banner(in);
+  if (header.coordinate) {
+    ParsedSparse parsed = read_coordinate_body(in, header);
+    return sparse::Csr::from_triplets(parsed.rows, parsed.cols,
+                                      std::move(parsed.triplets));
+  }
+  return sparse::Csr::from_dense(read_array_body(in, header));
+}
+
+linalg::Matrix read_matrix_market_dense(std::istream& in) {
+  const MmHeader header = read_banner(in);
+  if (!header.coordinate) return read_array_body(in, header);
+  ParsedSparse parsed = read_coordinate_body(in, header);
+  linalg::Matrix result(parsed.rows, parsed.cols);
+  for (const sparse::Triplet& t : parsed.triplets) {
+    result(t.row, t.col) += t.value;  // duplicates accumulate, like CSR
+  }
+  return result;
+}
+
+void save_matrix_market(const std::string& path, const sparse::Csr& matrix,
+                        bool symmetric) {
+  std::ofstream out(path);
+  PSDP_CHECK(out.is_open(), str("matrix market: cannot open '", path, "'"));
+  write_matrix_market(out, matrix, symmetric);
+}
+
+void save_matrix_market(const std::string& path, const linalg::Matrix& matrix,
+                        bool symmetric) {
+  std::ofstream out(path);
+  PSDP_CHECK(out.is_open(), str("matrix market: cannot open '", path, "'"));
+  write_matrix_market(out, matrix, symmetric);
+}
+
+sparse::Csr load_matrix_market_sparse(const std::string& path) {
+  std::ifstream in(path);
+  PSDP_CHECK(in.is_open(), str("matrix market: cannot open '", path, "'"));
+  return read_matrix_market_sparse(in);
+}
+
+linalg::Matrix load_matrix_market_dense(const std::string& path) {
+  std::ifstream in(path);
+  PSDP_CHECK(in.is_open(), str("matrix market: cannot open '", path, "'"));
+  return read_matrix_market_dense(in);
+}
+
+}  // namespace psdp::io

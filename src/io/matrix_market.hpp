@@ -1,0 +1,56 @@
+// MatrixMarket (MM) interchange format support.
+//
+// Instances often originate in other tools (graph collections, SDP
+// benchmark suites) that speak MatrixMarket; this module reads and writes
+// the two layouts the library uses:
+//
+//   * coordinate real general/symmetric  <->  sparse::Csr
+//   * array real general/symmetric       <->  linalg::Matrix (dense)
+//
+// Writers always emit "general" for rectangular data and "symmetric" (lower
+// triangle) for symmetric square input when asked. Readers accept both and
+// expand symmetric storage. Pattern, complex and integer fields are
+// rejected with a clear error; integer data can be read as real by most
+// producers' own tooling.
+//
+// Conventions follow the NIST specification: 1-based indices, '%' comment
+// lines, a blank-line-free body. Values round-trip at 17 significant
+// digits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace psdp::io {
+
+/// Write a sparse matrix in coordinate format. When `symmetric` is true the
+/// matrix must be square and symmetric (checked against its dense pattern);
+/// only the lower triangle is emitted.
+void write_matrix_market(std::ostream& out, const sparse::Csr& matrix,
+                         bool symmetric = false);
+
+/// Write a dense matrix in array format (column-major body, per the spec).
+void write_matrix_market(std::ostream& out, const linalg::Matrix& matrix,
+                         bool symmetric = false);
+
+/// Read a coordinate-format MatrixMarket stream into CSR. Symmetric files
+/// are expanded to full storage. Throws InvalidArgument on malformed input
+/// or an unsupported field/format combination.
+sparse::Csr read_matrix_market_sparse(std::istream& in);
+
+/// Read an array-format (dense) MatrixMarket stream. Coordinate files are
+/// also accepted and densified.
+linalg::Matrix read_matrix_market_dense(std::istream& in);
+
+/// File convenience wrappers.
+void save_matrix_market(const std::string& path, const sparse::Csr& matrix,
+                        bool symmetric = false);
+void save_matrix_market(const std::string& path, const linalg::Matrix& matrix,
+                        bool symmetric = false);
+sparse::Csr load_matrix_market_sparse(const std::string& path);
+linalg::Matrix load_matrix_market_dense(const std::string& path);
+
+}  // namespace psdp::io

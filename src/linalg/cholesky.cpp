@@ -1,0 +1,76 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace psdp::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a, Real tol) {
+  PSDP_CHECK(a.square(), "cholesky: matrix must be square");
+  PSDP_CHECK(is_symmetric(a, 1e-8), "cholesky: matrix must be symmetric");
+  const Index n = a.rows();
+  // Scale for the semidefinite pivot threshold: a pivot within
+  // [-tol*scale, tol*scale] is treated as an exact zero (rank deficiency).
+  Real scale = 0;
+  for (Index i = 0; i < n; ++i) scale = std::max(scale, std::abs(a(i, i)));
+  scale = std::max(scale, Real{1});
+
+  Matrix l(n, n);
+  for (Index j = 0; j < n; ++j) {
+    Real d = a(j, j);
+    for (Index k = 0; k < j; ++k) d -= sq(l(j, k));
+    if (d < -tol * scale) return std::nullopt;  // indefinite
+    if (d <= tol * scale) {
+      // Semidefinite direction: zero column. Entries below must also be
+      // (numerically) zero for A to be PSD; check and fail otherwise.
+      for (Index i = j + 1; i < n; ++i) {
+        Real s = a(i, j);
+        for (Index k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+        if (std::abs(s) > std::sqrt(tol) * scale) return std::nullopt;
+      }
+      continue;  // l(i, j) stays 0 for all i
+    }
+    const Real ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Real s = a(i, j);
+      for (Index k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+bool is_psd(const Matrix& a, Real tol) { return cholesky(a, tol).has_value(); }
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  PSDP_CHECK(l.square() && l.rows() == b.size(), "solve_lower: dimension mismatch");
+  const Index n = l.rows();
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    Real s = b[i];
+    for (Index k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    PSDP_NUMERIC_CHECK(l(i, i) != 0, "solve_lower: singular factor");
+    y[i] = s / l(i, i);
+  }
+  return y;
+}
+
+Vector solve_lower_transpose(const Matrix& l, const Vector& y) {
+  PSDP_CHECK(l.square() && l.rows() == y.size(),
+             "solve_lower_transpose: dimension mismatch");
+  const Index n = l.rows();
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = y[i];
+    for (Index k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    PSDP_NUMERIC_CHECK(l(i, i) != 0, "solve_lower_transpose: singular factor");
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+}  // namespace psdp::linalg

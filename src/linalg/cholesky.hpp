@@ -1,0 +1,29 @@
+// Cholesky factorization of symmetric positive (semi)definite matrices.
+// Used for PSD verification, factorizing constraint matrices A_i = Q Q^T
+// when the input is not prefactored, and solving small systems.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace psdp::linalg {
+
+/// Attempts A = L L^T with L lower-triangular. Returns std::nullopt when a
+/// pivot is more negative than -tol * trace-scale, i.e. A is (numerically)
+/// not PSD. Semidefinite inputs are handled by zeroing tiny pivot columns.
+std::optional<Matrix> cholesky(const Matrix& a, Real tol = 1e-10);
+
+/// PSD test via cholesky().
+bool is_psd(const Matrix& a, Real tol = 1e-10);
+
+/// Solve L y = b for lower-triangular L (forward substitution).
+Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = y for lower-triangular L (back substitution).
+Vector solve_lower_transpose(const Matrix& l, const Vector& y);
+
+/// Solve A x = b given the Cholesky factor L of A.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+}  // namespace psdp::linalg

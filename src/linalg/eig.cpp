@@ -1,0 +1,121 @@
+#include "linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "par/cost_meter.hpp"
+
+namespace psdp::linalg {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries.
+Real off_diagonal_norm2(const Matrix& a) {
+  Real acc = 0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += sq(a(i, j));
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+EigResult jacobi_eig(const Matrix& input, const JacobiOptions& options) {
+  PSDP_CHECK(input.square(), "jacobi_eig: matrix must be square");
+  PSDP_CHECK(is_symmetric(input, 1e-8), "jacobi_eig: matrix must be symmetric");
+  PSDP_CHECK(all_finite(input), "jacobi_eig: matrix has non-finite entries");
+
+  const Index n = input.rows();
+  Matrix a = input;
+  a.symmetrize();
+  Matrix v = Matrix::identity(n);
+
+  const Real fro = frobenius_norm(a);
+  const Real threshold2 = sq(options.tol * std::max(fro, Real{1}));
+
+  bool converged = off_diagonal_norm2(a) <= threshold2;
+  for (Index sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    // Cyclic-by-row sweep of all (p, q) pairs.
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const Real apq = a(p, q);
+        if (apq == 0) continue;
+        const Real app = a(p, p);
+        const Real aqq = a(q, q);
+        // Rotation angle: standard stable formulas (Golub & Van Loan 8.4).
+        const Real theta = (aqq - app) / (2 * apq);
+        const Real t = (theta >= 0 ? 1.0 : -1.0) /
+                       (std::abs(theta) + std::sqrt(theta * theta + 1));
+        const Real c = 1 / std::sqrt(t * t + 1);
+        const Real s = t * c;
+
+        // Apply the rotation to rows/columns p and q of A.
+        for (Index k = 0; k < n; ++k) {
+          const Real akp = a(k, p);
+          const Real akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const Real apk = a(p, k);
+          const Real aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (Index k = 0; k < n; ++k) {
+          const Real vkp = v(k, p);
+          const Real vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diagonal_norm2(a) <= threshold2;
+  }
+  PSDP_NUMERIC_CHECK(converged, "jacobi_eig: sweep limit exhausted");
+  par::CostMeter::add_work(static_cast<std::uint64_t>(
+      6 * n * n * n));  // ~ sweeps * n^2 rotations * O(n) each
+  par::CostMeter::add_depth(static_cast<std::uint64_t>(n));
+
+  // Sort eigenpairs by decreasing eigenvalue.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&](Index i, Index j) { return a(i, i) > a(j, j); });
+
+  EigResult result;
+  result.eigenvalues = Vector(n);
+  result.eigenvectors = Matrix(n, n);
+  for (Index c = 0; c < n; ++c) {
+    const Index src = order[static_cast<std::size_t>(c)];
+    result.eigenvalues[c] = a(src, src);
+    for (Index r = 0; r < n; ++r) result.eigenvectors(r, c) = v(r, src);
+  }
+  return result;
+}
+
+Real lambda_max_exact(const Matrix& a) {
+  const EigResult eig = jacobi_eig(a);
+  return eig.eigenvalues[0];
+}
+
+Matrix reconstruct(const EigResult& eig, const std::function<Real(Real)>& f) {
+  const Index n = eig.eigenvalues.size();
+  PSDP_CHECK(eig.eigenvectors.rows() == n && eig.eigenvectors.cols() == n,
+             "reconstruct: inconsistent eigendecomposition");
+  // B = V diag(f(lambda)) V^T computed as (V * D) * V^T.
+  Matrix vd = eig.eigenvectors;
+  for (Index c = 0; c < n; ++c) {
+    const Real fl = f(eig.eigenvalues[c]);
+    for (Index r = 0; r < n; ++r) vd(r, c) *= fl;
+  }
+  Matrix result = gemm(vd, eig.eigenvectors.transposed());
+  result.symmetrize();
+  return result;
+}
+
+}  // namespace psdp::linalg

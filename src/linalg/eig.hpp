@@ -1,0 +1,46 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Jacobi is the right tool here: it is simple, unconditionally convergent
+// for symmetric matrices, accurate to machine precision for the
+// well-conditioned PSD matrices the solver produces, and its rotations are
+// embarrassingly regular. The dense reference solver uses it for exact
+// matrix exponentials and for C^{-1/2} in the Appendix-A normalization.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace psdp::linalg {
+
+/// Eigendecomposition A = V diag(lambda) V^T of a symmetric matrix.
+/// `eigenvalues` are sorted in decreasing order and `eigenvectors` stores
+/// the corresponding eigenvectors as *columns*.
+struct EigResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Options for the Jacobi sweep loop.
+struct JacobiOptions {
+  Index max_sweeps = 64;
+  /// Converged when off(A) <= tol * ||A||_F.
+  Real tol = 1e-14;
+};
+
+/// Full symmetric eigendecomposition. Throws NumericalError if the sweep
+/// limit is exhausted before convergence (does not happen for symmetric
+/// input; the limit guards against NaNs).
+EigResult jacobi_eig(const Matrix& a, const JacobiOptions& options = {});
+
+/// Largest eigenvalue via jacobi_eig (exact, O(m^3); for the iterative
+/// estimate see power.hpp).
+Real lambda_max_exact(const Matrix& a);
+
+/// Reconstruct V diag(f(lambda)) V^T; the building block for matrix
+/// functions (matfunc.hpp).
+Matrix reconstruct(const EigResult& eig,
+                   const std::function<Real(Real)>& f);
+
+}  // namespace psdp::linalg

@@ -1,0 +1,25 @@
+// Matrix functions of symmetric PSD matrices via eigendecomposition:
+// square roots and (pseudo-)inverse square roots. The Appendix-A
+// normalization B_i = C^{-1/2} A_i C^{-1/2} / b_i is built on these.
+#pragma once
+
+#include "linalg/eig.hpp"
+
+namespace psdp::linalg {
+
+/// PSD square root A^{1/2}. Eigenvalues below -tol*lambda_max are rejected
+/// (input not PSD); small negatives from roundoff are clamped to zero.
+Matrix sqrt_psd(const Matrix& a, Real tol = 1e-10);
+
+/// Pseudo-inverse square root A^{-1/2}: eigenvalues <= tol*lambda_max are
+/// treated as the null space and mapped to 0, matching the paper's
+/// convention of restricting to the support of C.
+Matrix inv_sqrt_psd(const Matrix& a, Real tol = 1e-10);
+
+/// Pseudo-inverse A^+ with the same null-space convention.
+Matrix pinv_psd(const Matrix& a, Real tol = 1e-10);
+
+/// Numerical rank with the same eigenvalue threshold.
+Index rank_psd(const Matrix& a, Real tol = 1e-10);
+
+}  // namespace psdp::linalg

@@ -1,0 +1,111 @@
+#include "linalg/pivoted_cholesky.hpp"
+
+#include <cmath>
+
+#include "par/cost_meter.hpp"
+#include "par/parallel.hpp"
+#include "util/common.hpp"
+
+namespace psdp::linalg {
+
+PivotedCholeskyResult pivoted_cholesky(const Matrix& a,
+                                       const PivotedCholeskyOptions& options) {
+  PSDP_CHECK(a.square(), "pivoted_cholesky: matrix must be square");
+  PSDP_CHECK(all_finite(a), "pivoted_cholesky: non-finite entries");
+  PSDP_CHECK(is_symmetric(a, 1e-10), "pivoted_cholesky: matrix must be symmetric");
+  PSDP_CHECK(options.rel_tol >= 0, "pivoted_cholesky: rel_tol must be >= 0");
+
+  const Index m = a.rows();
+  const Index max_rank = options.max_rank > 0 ? std::min(options.max_rank, m) : m;
+
+  // Running residual diagonal d = diag(A - L_k L_k^T); its sum equals the
+  // trace of the PSD residual, which is the stopping quantity.
+  Vector d(m);
+  Real trace_a = 0;
+  for (Index i = 0; i < m; ++i) {
+    d[i] = a(i, i);
+    PSDP_NUMERIC_CHECK(d[i] >= -1e-12 * std::max<Real>(1, std::abs(a(i, i))),
+                       "pivoted_cholesky: negative diagonal entry (not PSD)");
+    trace_a += std::max<Real>(d[i], 0);
+  }
+  const Real stop = options.rel_tol * trace_a;
+
+  // Columns are built into `cols` and assembled at the end; each step costs
+  // O(m k) with the inner subtraction parallel over rows.
+  std::vector<Vector> cols;
+  std::vector<Index> pivots;
+  Real remaining = trace_a;
+
+  // Negative-pivot guard scale: anything more negative than this is a PSD
+  // violation rather than roundoff.
+  const Real pivot_floor = -1e-10 * std::max<Real>(1, trace_a);
+
+  while (static_cast<Index>(cols.size()) < max_rank && remaining > stop) {
+    // Pick the largest remaining diagonal entry.
+    Index piv = 0;
+    Real best = -std::numeric_limits<Real>::infinity();
+    for (Index i = 0; i < m; ++i) {
+      if (d[i] > best) {
+        best = d[i];
+        piv = i;
+      }
+    }
+    PSDP_NUMERIC_CHECK(best >= pivot_floor,
+                       "pivoted_cholesky: negative pivot (matrix not PSD)");
+    if (best <= 0) break;  // exactly rank-deficient; residual is roundoff
+
+    const Index k = static_cast<Index>(cols.size());
+    const Real sqrt_piv = std::sqrt(best);
+    Vector col(m);
+    par::parallel_for(0, m, [&](Index i) {
+      Real v = a(i, piv);
+      for (Index s = 0; s < k; ++s) v -= cols[static_cast<std::size_t>(s)][i] *
+                                         cols[static_cast<std::size_t>(s)][piv];
+      col[i] = v / sqrt_piv;
+    }, /*grain=*/std::max<Index>(64, m / 64));
+    // Exact zero at the pivot row's future updates.
+    col[piv] = sqrt_piv;
+
+    remaining = 0;
+    for (Index i = 0; i < m; ++i) {
+      d[i] -= col[i] * col[i];
+      // For PSD input the residual diagonal stays non-negative up to
+      // roundoff; a clearly negative value means the matrix is indefinite.
+      PSDP_NUMERIC_CHECK(
+          d[i] >= pivot_floor,
+          "pivoted_cholesky: residual diagonal went negative (matrix not PSD)");
+      if (d[i] < 0) d[i] = 0;  // clamp roundoff
+      remaining += d[i];
+    }
+    d[piv] = 0;
+
+    cols.push_back(std::move(col));
+    pivots.push_back(piv);
+  }
+
+  // Model cost: O(m r^2) work (each of the r steps subtracts k previous
+  // columns across m rows), depth r sequential steps of log-reductions.
+  {
+    const std::uint64_t r = static_cast<std::uint64_t>(cols.size());
+    par::CostMeter::add_work(static_cast<std::uint64_t>(m) * r * (r + 2));
+    par::CostMeter::add_depth(r * par::reduction_depth(m));
+  }
+
+  PivotedCholeskyResult result;
+  result.rank = static_cast<Index>(cols.size());
+  result.residual_trace = remaining;
+  result.pivots = std::move(pivots);
+  if (result.rank == 0) {
+    // The zero matrix: keep a single zero column so the factor has a dim.
+    result.l = Matrix(m, 1);
+    return result;
+  }
+  result.l = Matrix(m, result.rank);
+  for (Index j = 0; j < result.rank; ++j) {
+    const Vector& col = cols[static_cast<std::size_t>(j)];
+    for (Index i = 0; i < m; ++i) result.l(i, j) = col[i];
+  }
+  return result;
+}
+
+}  // namespace psdp::linalg

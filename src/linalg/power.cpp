@@ -1,0 +1,60 @@
+#include "linalg/power.hpp"
+
+#include <cmath>
+
+#include "rand/rng.hpp"
+
+namespace psdp::linalg {
+
+PowerResult power_iteration(const SymmetricOp& op, Index n,
+                            const PowerOptions& options) {
+  PSDP_CHECK(n >= 1, "power_iteration: dimension must be positive");
+  rand::Rng rng(options.seed);
+  Vector x(n);
+  for (Index i = 0; i < n; ++i) x[i] = rng.normal();
+  const Real nrm = norm2(x);
+  PSDP_ASSERT(nrm > 0);
+  x.scale(1 / nrm);
+
+  Vector y(n);
+  PowerResult result;
+  Real prev = 0;
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    op(x, y);
+    const Real rayleigh = dot(x, y);
+    const Real ynorm = norm2(y);
+    result.iterations = it + 1;
+    if (ynorm == 0) {
+      // Operator annihilated the iterate: restart from a fresh direction,
+      // unless the operator is (numerically) zero.
+      result.lambda_max = 0;
+      result.converged = true;
+      return result;
+    }
+    for (Index i = 0; i < n; ++i) x[i] = y[i] / ynorm;
+    if (it > 0 && std::abs(rayleigh - prev) <=
+                      options.tol * std::max(Real{1}, std::abs(rayleigh))) {
+      result.lambda_max = rayleigh;
+      result.converged = true;
+      return result;
+    }
+    prev = rayleigh;
+  }
+  result.lambda_max = prev;
+  result.converged = false;
+  return result;
+}
+
+PowerResult power_iteration(const Matrix& a, const PowerOptions& options) {
+  PSDP_CHECK(a.square(), "power_iteration: matrix must be square");
+  SymmetricOp op = [&a](const Vector& x, Vector& y) { matvec(a, x, y); };
+  return power_iteration(op, a.rows(), options);
+}
+
+Real lambda_max_upper_bound(const SymmetricOp& op, Index n,
+                            const PowerOptions& options) {
+  const PowerResult r = power_iteration(op, n, options);
+  return r.lambda_max * (1 + 2 * options.tol);
+}
+
+}  // namespace psdp::linalg

@@ -1,0 +1,51 @@
+// Spectral-norm (largest-eigenvalue) estimation by power iteration on an
+// abstract symmetric PSD operator.
+//
+// bigDotExp (Theorem 4.1) needs kappa >= ||Phi||_2 to choose the Taylor
+// degree. Inside Algorithm 3.1 the a-priori bound (1+10eps)K from Lemma 3.2
+// is used instead; power iteration serves standalone bigDotExp callers and
+// the width computation of the baseline solver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace psdp::linalg {
+
+/// A symmetric linear operator given by its matvec. Dimension must be the
+/// length of the vectors passed in.
+using SymmetricOp = std::function<void(const Vector& x, Vector& y)>;
+
+struct PowerOptions {
+  Index max_iterations = 200;
+  /// Stop when successive Rayleigh quotients agree to this relative tolerance.
+  Real tol = 1e-6;
+  std::uint64_t seed = 0x9d2c5680u;
+};
+
+/// Estimate of lambda_max and the iteration count used.
+struct PowerResult {
+  Real lambda_max = 0;
+  Index iterations = 0;
+  bool converged = false;
+};
+
+/// Power iteration for a PSD operator of dimension n. For PSD matrices the
+/// Rayleigh quotient converges monotonically from below, so the returned
+/// value is a (slight) underestimate; callers needing an upper bound should
+/// multiply by (1 + tol) -- lambda_max_upper_bound() does this.
+PowerResult power_iteration(const SymmetricOp& op, Index n,
+                            const PowerOptions& options = {});
+
+/// Convenience overload for a dense symmetric matrix.
+PowerResult power_iteration(const Matrix& a, const PowerOptions& options = {});
+
+/// (1 + 2 tol)-inflated power-iteration estimate, usable as the kappa
+/// upper bound required by Lemma 4.2.
+Real lambda_max_upper_bound(const SymmetricOp& op, Index n,
+                            const PowerOptions& options = {});
+
+}  // namespace psdp::linalg

@@ -1,0 +1,171 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "par/cost_meter.hpp"
+#include "par/parallel.hpp"
+#include "util/common.hpp"
+
+namespace psdp::linalg {
+
+namespace {
+
+/// Householder vector for the column x = A(k:m, k): v with v[0] = 1 such
+/// that (I - beta v v^T) x = ||x|| e_1. Returns beta (0 when the column is
+/// already collapsed).
+Real make_householder(std::vector<Real>& v) {
+  const Index len = static_cast<Index>(v.size());
+  Real sigma = 0;
+  for (Index i = 1; i < len; ++i) sigma += v[i] * v[i];
+  const Real x0 = v[0];
+  if (sigma == 0) {
+    // Column already e_1-aligned. Flip to enforce a non-negative diagonal.
+    const Real beta = x0 < 0 ? 2 : 0;
+    v[0] = 1;
+    return beta;
+  }
+  const Real norm = std::sqrt(x0 * x0 + sigma);
+  // Pick the sign that avoids cancellation (Golub & Van Loan 5.1.3).
+  const Real v0 = x0 <= 0 ? x0 - norm : -sigma / (x0 + norm);
+  const Real beta = 2 * v0 * v0 / (sigma + v0 * v0);
+  for (Index i = 1; i < len; ++i) v[i] /= v0;
+  v[0] = 1;
+  return beta;
+}
+
+}  // namespace
+
+QrResult qr(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  PSDP_CHECK(m >= n, "qr: requires rows >= cols (thin QR)");
+  PSDP_CHECK(all_finite(a), "qr: input has non-finite entries");
+
+  // Work in-place on a copy; the Householder vectors live below the
+  // diagonal, R on and above it.
+  Matrix work = a;
+  std::vector<Real> betas(static_cast<std::size_t>(n), 0);
+  std::vector<Real> v;
+
+  for (Index k = 0; k < n; ++k) {
+    v.assign(static_cast<std::size_t>(m - k), 0);
+    for (Index i = k; i < m; ++i) v[static_cast<std::size_t>(i - k)] = work(i, k);
+    const Real beta = make_householder(v);
+    betas[static_cast<std::size_t>(k)] = beta;
+
+    if (beta != 0) {
+      // Apply H = I - beta v v^T to the trailing columns, in parallel.
+      par::parallel_for(k, n, [&](Index j) {
+        Real dot = 0;
+        for (Index i = k; i < m; ++i) {
+          dot += v[static_cast<std::size_t>(i - k)] * work(i, j);
+        }
+        dot *= beta;
+        for (Index i = k; i < m; ++i) {
+          work(i, j) -= dot * v[static_cast<std::size_t>(i - k)];
+        }
+      }, /*grain=*/std::max<Index>(1, 2048 / (m - k + 1)));
+    }
+    // Store the Householder vector tail below the diagonal of column k.
+    for (Index i = k + 1; i < m; ++i) {
+      work(i, k) = v[static_cast<std::size_t>(i - k)];
+    }
+  }
+
+  // Model cost of Householder QR: 2n^2(m - n/3) flops, depth one
+  // log-reduction per reflector application.
+  par::CostMeter::add_work(static_cast<std::uint64_t>(
+      2 * n * n * (m - n / 3 + 1)));
+  par::CostMeter::add_depth(static_cast<std::uint64_t>(n) *
+                            par::reduction_depth(m));
+
+  QrResult result;
+  result.r = Matrix(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) result.r(i, j) = work(i, j);
+  }
+
+  // Accumulate the thin Q by applying the reflectors, in reverse, to the
+  // first n columns of the identity.
+  result.q = Matrix(m, n);
+  for (Index j = 0; j < n; ++j) result.q(j, j) = 1;
+  for (Index k = n - 1; k >= 0; --k) {
+    const Real beta = betas[static_cast<std::size_t>(k)];
+    if (beta == 0) continue;
+    par::parallel_for(0, n, [&](Index j) {
+      Real dot = result.q(k, j);
+      for (Index i = k + 1; i < m; ++i) dot += work(i, k) * result.q(i, j);
+      dot *= beta;
+      result.q(k, j) -= dot;
+      for (Index i = k + 1; i < m; ++i) result.q(i, j) -= dot * work(i, k);
+    }, /*grain=*/std::max<Index>(1, 2048 / (m - k + 1)));
+  }
+  return result;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b, Real tol) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  PSDP_CHECK(b.size() == m, "least_squares: dimension mismatch");
+  const QrResult f = qr(a);
+  const Real scale = frobenius_norm(a);
+  Vector qtb = matvec_transpose(f.q, b);
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = qtb[i];
+    for (Index j = i + 1; j < n; ++j) s -= f.r(i, j) * x[j];
+    PSDP_NUMERIC_CHECK(std::abs(f.r(i, i)) > tol * std::max<Real>(1, scale),
+                       "least_squares: R is numerically singular");
+    x[i] = s / f.r(i, i);
+  }
+  return x;
+}
+
+Matrix compress_factor(const Matrix& g, Real drop_tol) {
+  const Index m = g.rows();
+  const Index k = g.cols();
+  PSDP_CHECK(m >= 1 && k >= 1, "compress_factor: empty factor");
+  PSDP_CHECK(all_finite(g), "compress_factor: non-finite entries");
+  PSDP_CHECK(drop_tol >= 0, "compress_factor: drop_tol must be >= 0");
+
+  // G = L Q_orth <=> G^T = Q_orth^T L^T: QR of the k x m transpose gives
+  // G^T = Q R, so L = R^T (m x r, r = min(m, k)).
+  Matrix l;
+  if (k <= m) {
+    // QR of G^T needs rows >= cols, i.e. k >= m; in this branch use the QR
+    // of G itself: G = Q R => G G^T = Q (R R^T) Q^T; that is not of the
+    // form L L^T directly, so instead keep G (already no wider than m) and
+    // only apply the column-drop below.
+    l = g;
+  } else {
+    // k > m: QR of the k x m transpose, G^T = Q R with R m x m, so
+    // G G^T = R^T (Q^T Q) R = R^T R and L = R^T is m x m lower triangular.
+    const QrResult f = qr(g.transposed());
+    l = f.r.transposed();
+  }
+
+  // Drop negligible columns (norm below drop_tol * ||G||_F).
+  const Real scale = frobenius_norm(g);
+  const Index cols = l.cols();
+  std::vector<Index> keep;
+  keep.reserve(static_cast<std::size_t>(cols));
+  for (Index j = 0; j < cols; ++j) {
+    Real norm2 = 0;
+    for (Index i = 0; i < m; ++i) norm2 += l(i, j) * l(i, j);
+    if (std::sqrt(norm2) > drop_tol * scale) keep.push_back(j);
+  }
+  if (keep.empty()) {
+    // The zero matrix: represent with a single zero column so dim survives.
+    return Matrix(m, 1);
+  }
+  if (static_cast<Index>(keep.size()) == cols) return l;
+  Matrix out(m, static_cast<Index>(keep.size()));
+  for (Index i = 0; i < m; ++i) {
+    for (Index jj = 0; jj < out.cols(); ++jj) {
+      out(i, jj) = l(i, keep[static_cast<std::size_t>(jj)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace psdp::linalg

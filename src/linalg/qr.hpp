@@ -1,0 +1,51 @@
+// Householder QR factorization and factor compression.
+//
+// The paper's preprocessing remark (Section 1.2, "Work and Depth") assumes
+// the constraint matrices can be brought into factorized form A_i = Q_i Q_i^T
+// "using standard parallel QR factorization". Two pieces of that pipeline
+// live here:
+//
+//  * qr()               -- thin Householder QR, A (m x n, m >= n) = Q R with
+//                          Q m x n orthonormal columns and R n x n upper
+//                          triangular. Rotations are applied in parallel
+//                          across the trailing columns.
+//  * compress_factor()  -- given a (possibly rank-inflated) factor G with
+//                          A = G G^T, returns a factor L with at most
+//                          min(rows, cols) columns and L L^T = G G^T
+//                          exactly (up to roundoff): the LQ trick
+//                          G = L Q_orth, so G G^T = L L^T. This shrinks the
+//                          q of Corollary 1.2 when factors are redundant.
+//
+// Column-pivoted rank-revealing behaviour for PSD matrices is provided by
+// pivoted_cholesky.hpp, which is the cheaper tool when the matrix itself
+// (not a factor) is the input.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace psdp::linalg {
+
+/// Thin QR factorization of an m x n matrix with m >= n.
+struct QrResult {
+  Matrix q;  ///< m x n, orthonormal columns
+  Matrix r;  ///< n x n, upper triangular, non-negative diagonal
+};
+
+/// Householder QR. Requires rows >= cols and finite entries; throws
+/// InvalidArgument otherwise. Rank-deficient input is allowed (R gets zero
+/// diagonal entries; Q's corresponding columns complete an orthonormal
+/// basis).
+QrResult qr(const Matrix& a);
+
+/// Solve the least-squares problem min ||A x - b||_2 for full-column-rank A
+/// (m >= n) via QR: x = R^{-1} Q^T b. Throws NumericalError when R is
+/// numerically singular (|R_jj| <= tol * ||A||_F).
+Vector least_squares(const Matrix& a, const Vector& b, Real tol = 1e-12);
+
+/// Given G (m x k) with A = G G^T, return L (m x r), r = min(m, k), with
+/// L L^T = G G^T. When k > m this strictly shrinks the factor; when k <= m
+/// it returns a lower-trapezoidal equivalent of the same width. Columns
+/// whose norm falls below drop_tol * ||G||_F are removed.
+Matrix compress_factor(const Matrix& g, Real drop_tol = 0);
+
+}  // namespace psdp::linalg

@@ -1,0 +1,45 @@
+#include "linalg/taylor.hpp"
+
+#include <cmath>
+
+namespace psdp::linalg {
+
+Index taylor_exp_degree(Real kappa, Real eps) {
+  PSDP_CHECK(kappa >= 0, "taylor_exp_degree: kappa must be non-negative");
+  PSDP_CHECK(eps > 0 && eps < 1, "taylor_exp_degree: eps must lie in (0,1)");
+  const Real e2 = std::exp(Real{2});
+  const Real k = std::max(e2 * kappa, std::log(2 / eps));
+  return std::max<Index>(1, static_cast<Index>(std::ceil(k)));
+}
+
+void apply_exp_taylor(const SymmetricOp& op, Index degree, const Vector& x,
+                      Vector& y) {
+  PSDP_CHECK(degree >= 1, "apply_exp_taylor: degree must be >= 1");
+  const Index n = x.size();
+  // term_j = B^j x / j!, accumulated into y.
+  Vector term = x;
+  y = x;
+  Vector next(n);
+  for (Index j = 1; j < degree; ++j) {
+    op(term, next);
+    next.scale(Real{1} / static_cast<Real>(j));
+    std::swap(term, next);
+    y.add_scaled(term, 1);
+  }
+}
+
+Matrix exp_taylor_matrix(const Matrix& b, Index degree) {
+  PSDP_CHECK(b.square(), "exp_taylor_matrix: matrix must be square");
+  PSDP_CHECK(degree >= 1, "exp_taylor_matrix: degree must be >= 1");
+  const Index n = b.rows();
+  Matrix acc = Matrix::identity(n);
+  Matrix term = Matrix::identity(n);
+  for (Index j = 1; j < degree; ++j) {
+    term = gemm(term, b);
+    term.scale(Real{1} / static_cast<Real>(j));
+    acc.add_scaled(term, 1);
+  }
+  return acc;
+}
+
+}  // namespace psdp::linalg

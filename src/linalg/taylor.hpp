@@ -1,0 +1,30 @@
+// Lemma 4.2 (from [AK07], Lemma 6): for PSD B with ||B||_2 <= kappa, the
+// truncated Taylor series
+//     B_hat = sum_{0 <= j < k} B^j / j!,   k = max(e^2 kappa, ln(2/eps))
+// satisfies (1 - eps) exp(B) <= B_hat <= exp(B).
+//
+// This is the work-efficient exponential: B_hat is only ever *applied* to
+// vectors (k matvecs per application), never formed. The operator form is
+// what bigDotExp composes with the JL sketch.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/power.hpp"
+#include "linalg/vector.hpp"
+
+namespace psdp::linalg {
+
+/// The truncation degree of Lemma 4.2: k = ceil(max(e^2 kappa, ln(2/eps))).
+/// Requires kappa >= 0 (pass max(1, ||B||_2) as in Theorem 4.1) and
+/// 0 < eps < 1.
+Index taylor_exp_degree(Real kappa, Real eps);
+
+/// y = (sum_{j<k} B^j / j!) x using k-1 applications of `op` (Horner-free
+/// forward accumulation, numerically benign for PSD B).
+void apply_exp_taylor(const SymmetricOp& op, Index degree, const Vector& x,
+                      Vector& y);
+
+/// Dense form of the truncated series, for tests and small instances.
+Matrix exp_taylor_matrix(const Matrix& b, Index degree);
+
+}  // namespace psdp::linalg

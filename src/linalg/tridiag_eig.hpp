@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via Householder tridiagonalization followed
+// by the implicit-shift QL algorithm (the EISPACK tred2/tql2 pair).
+//
+// Complexity is O(m^3) like cyclic Jacobi but with ~5-10x smaller
+// constants at moderate m, which matters because the dense solver pays one
+// eigendecomposition per iteration. Jacobi (eig.hpp) remains the reference
+// implementation; sym_eig() picks between them by size, and tests
+// cross-validate the two on random matrices.
+#pragma once
+
+#include "linalg/eig.hpp"
+
+namespace psdp::linalg {
+
+/// Full symmetric eigendecomposition via tred2 + tql2. Same contract as
+/// jacobi_eig: eigenvalues sorted decreasing, eigenvectors as columns.
+EigResult tridiag_eig(const Matrix& a);
+
+/// Dimension at which sym_eig switches from Jacobi to tridiagonal QL.
+inline constexpr Index kSymEigSwitchDim = 32;
+
+/// Size-dispatched symmetric eigendecomposition: Jacobi below
+/// kSymEigSwitchDim (lower latency, reference-grade accuracy), QL above.
+EigResult sym_eig(const Matrix& a);
+
+}  // namespace psdp::linalg

@@ -1,0 +1,50 @@
+#include "mmw/mmw.hpp"
+
+#include <cmath>
+
+namespace psdp::mmw {
+
+MatrixMwu::MatrixMwu(Index m, Real eps0)
+    : m_(m), eps0_(eps0), gain_sum_(m, m) {
+  PSDP_CHECK(m >= 1, "MMW: dimension must be positive");
+  PSDP_CHECK(eps0 > 0 && eps0 <= 0.5, "MMW: eps0 must lie in (0, 1/2]");
+}
+
+const Matrix& MatrixMwu::probability() {
+  if (!probability_valid_) {
+    Matrix scaled = gain_sum_;
+    scaled.scale(eps0_);
+    probability_ = linalg::expm_eig(scaled);
+    const Real tr = linalg::trace(probability_);
+    PSDP_NUMERIC_CHECK(tr > 0 && std::isfinite(tr),
+                       "MMW: exponential trace is not positive finite");
+    probability_.scale(1 / tr);
+    probability_valid_ = true;
+  }
+  return probability_;
+}
+
+void MatrixMwu::play(const Matrix& gain) {
+  PSDP_CHECK(gain.rows() == m_ && gain.cols() == m_,
+             "MMW: gain dimension mismatch");
+  PSDP_CHECK(linalg::is_symmetric(gain, 1e-8), "MMW: gain must be symmetric");
+  cumulative_gain_ += linalg::frobenius_dot(gain, probability());
+  gain_sum_.add_scaled(gain, 1);
+  probability_valid_ = false;
+  ++rounds_;
+}
+
+Real MatrixMwu::lambda_max_cumulative() const {
+  return linalg::lambda_max_exact(gain_sum_);
+}
+
+Real MatrixMwu::regret_rhs() const {
+  return lambda_max_cumulative() -
+         std::log(static_cast<Real>(m_)) / eps0_;
+}
+
+bool MatrixMwu::regret_bound_holds(Real slack) const {
+  return regret_lhs() >= regret_rhs() - slack;
+}
+
+}  // namespace psdp::mmw

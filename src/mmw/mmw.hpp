@@ -1,0 +1,69 @@
+// The matrix multiplicative weights (MMW) framework of Arora-Kale [AK07],
+// Theorem 2.1 in the paper: for eps0 <= 1/2 and PSD gains M(t) <= I,
+//
+//   (1 + eps0) sum_t M(t) . P(t)  >=  lambda_max( sum_t M(t) ) - ln(m)/eps0
+//
+// where P(t) = W(t)/Tr[W(t)] and W(t) = exp(eps0 * sum_{t'<t} M(t')).
+//
+// Algorithm 3.1 *is* an instance of this game (its gain matrices are the
+// scaled update steps), but it maintains its own exponent; this module is
+// the framework in its own right. It backs:
+//   * the width-dependent baseline solver (core/baseline.hpp), and
+//   * property tests that verify the regret inequality on adversarial gain
+//     sequences -- the linchpin the paper's Lemma 3.2 rests on.
+#pragma once
+
+#include "linalg/expm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace psdp::mmw {
+
+using linalg::Matrix;
+
+class MatrixMwu {
+ public:
+  /// Game over m x m symmetric matrices with learning rate eps0 in (0, 1/2].
+  MatrixMwu(Index m, Real eps0);
+
+  Index dim() const { return m_; }
+  Real eps0() const { return eps0_; }
+  Index rounds() const { return rounds_; }
+
+  /// Current probability matrix P(t) = exp(eps0 G)/Tr[exp(eps0 G)] where
+  /// G is the sum of gains played so far. P(0) = I/m. Cached between gains.
+  const Matrix& probability();
+
+  /// Play one round: record the gain M(t) . P(t) against the *current*
+  /// probability matrix, then fold M into the cumulative gain.
+  /// `gain` must be symmetric; the Theorem 2.1 guarantee additionally
+  /// requires 0 <= gain <= I (asserted only in tests; the framework itself
+  /// accepts any symmetric gain, as [AK07] generalizes).
+  void play(const Matrix& gain);
+
+  /// sum_t M(t) . P(t), the algorithm's cumulative expected gain.
+  Real cumulative_gain() const { return cumulative_gain_; }
+
+  /// lambda_max of the cumulative gain matrix (the best fixed action).
+  Real lambda_max_cumulative() const;
+
+  /// Right-hand side of Theorem 2.1: lambda_max(sum M) - ln(m)/eps0.
+  Real regret_rhs() const;
+
+  /// Left-hand side of Theorem 2.1: (1 + eps0) * cumulative_gain().
+  Real regret_lhs() const { return (1 + eps0_) * cumulative_gain_; }
+
+  /// True when the Theorem 2.1 inequality holds so far (up to `slack`
+  /// absolute tolerance for roundoff).
+  bool regret_bound_holds(Real slack = 1e-9) const;
+
+ private:
+  Index m_;
+  Real eps0_;
+  Matrix gain_sum_;        ///< G = sum of gains
+  Matrix probability_;     ///< cached P for the current G
+  bool probability_valid_ = false;
+  Real cumulative_gain_ = 0;
+  Index rounds_ = 0;
+};
+
+}  // namespace psdp::mmw

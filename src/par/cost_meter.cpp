@@ -1,0 +1,31 @@
+#include "par/cost_meter.hpp"
+
+namespace psdp::par {
+
+std::atomic<std::uint64_t> CostMeter::work_{0};
+std::atomic<std::uint64_t> CostMeter::depth_{0};
+
+void CostMeter::reset() {
+  work_.store(0, std::memory_order_relaxed);
+  depth_.store(0, std::memory_order_relaxed);
+}
+
+void CostMeter::add_work(std::uint64_t w) {
+  work_.fetch_add(w, std::memory_order_relaxed);
+}
+
+void CostMeter::add_depth(std::uint64_t d) {
+  depth_.fetch_add(d, std::memory_order_relaxed);
+}
+
+CostMeter::Cost CostMeter::snapshot() {
+  return {work_.load(std::memory_order_relaxed),
+          depth_.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t reduction_depth(Index n) {
+  if (n <= 1) return 1;
+  return static_cast<std::uint64_t>(ceil_log2(n)) + 1;
+}
+
+}  // namespace psdp::par

@@ -1,0 +1,56 @@
+// Work/depth accounting in the PRAM cost model of the paper.
+//
+// The paper states costs as (work, depth) pairs; wall-clock alone cannot
+// separate "nearly-linear work" from "good constants on this machine".
+// Kernels charge their *model* cost here and benches report both.
+//
+//   par::CostMeter::reset();
+//   ... run solver ...
+//   auto cost = par::CostMeter::snapshot();   // {work, depth}
+//
+// Charging convention:
+//  * add_work(w): total scalar operations, charged from any thread
+//    (relaxed atomic; benches only read after joining).
+//  * add_depth(d): critical-path length, charged by the *driving* thread
+//    only, once per sequential step (e.g. a matvec charges depth
+//    log2(row length), a solver iteration charges the max of its kernels).
+//
+// Metering is compiled in but costs one relaxed atomic add per kernel call,
+// which is negligible next to the kernels themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace psdp::par {
+
+class CostMeter {
+ public:
+  struct Cost {
+    std::uint64_t work = 0;
+    std::uint64_t depth = 0;
+  };
+
+  /// Zero both counters.
+  static void reset();
+
+  /// Charge `w` units of work (thread-safe).
+  static void add_work(std::uint64_t w);
+
+  /// Charge `d` units of critical-path depth (call from the driving thread).
+  static void add_depth(std::uint64_t d);
+
+  /// Current counters.
+  static Cost snapshot();
+
+ private:
+  static std::atomic<std::uint64_t> work_;
+  static std::atomic<std::uint64_t> depth_;
+};
+
+/// Depth of a balanced-tree reduction over n elements (= ceil(log2 n) + 1).
+std::uint64_t reduction_depth(Index n);
+
+}  // namespace psdp::par

@@ -1,0 +1,55 @@
+#include "par/parallel.hpp"
+
+#include <memory>
+#include <thread>
+
+namespace psdp::par {
+
+namespace {
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+int g_threads = default_threads();
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int num_threads() { return g_threads; }
+
+void set_num_threads(int threads) {
+  PSDP_CHECK(threads >= 1, "thread count must be at least 1");
+  g_threads = threads;
+  g_pool.reset();  // lazily recreated with the new size
+}
+
+ThreadPool& global_pool() {
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(g_threads - 1);
+  }
+  return *g_pool;
+}
+
+void parallel_for_chunked(Index begin, Index end,
+                          const std::function<void(Index, Index)>& body,
+                          Index grain) {
+  if (end <= begin) return;
+  PSDP_CHECK(grain >= 1, "grain must be positive");
+  const Index n = end - begin;
+  const Index max_chunks = std::max<Index>(1, num_threads());
+  const Index chunks = std::clamp<Index>((n + grain - 1) / grain, 1, max_chunks);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const Index chunk_size = (n + chunks - 1) / chunks;
+  global_pool().run_batch(chunks, [&](Index c) {
+    const Index b = begin + c * chunk_size;
+    const Index e = std::min(end, b + chunk_size);
+    if (b < e) body(b, e);
+  });
+}
+
+}  // namespace psdp::par

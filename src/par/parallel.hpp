@@ -1,0 +1,104 @@
+// The parallel-loop facade used by every kernel in the library.
+//
+//   par::parallel_for(0, m, [&](Index i) { ... });          // by element
+//   par::parallel_for_chunked(0, m, [&](Index b, Index e)); // by chunk
+//   Real s = par::parallel_reduce(0, m, 0.0,
+//       [&](Index i) { return f(i); }, std::plus<>{});
+//
+// Thread count is process-global and settable at runtime (benches sweep it).
+// Setting it to 1 executes everything inline with no pool interaction, which
+// is the deterministic baseline for the scaling experiments.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "util/common.hpp"
+
+namespace psdp::par {
+
+/// Number of threads parallel loops may use (including the caller).
+int num_threads();
+
+/// Set the global thread budget; recreates the shared pool. Not safe to call
+/// concurrently with running parallel loops.
+void set_num_threads(int threads);
+
+/// The process-wide pool backing parallel loops.
+ThreadPool& global_pool();
+
+/// Minimum number of loop iterations per chunk; below this a loop runs
+/// serially. Tuned so tiny vectors do not pay fork-join overhead.
+inline constexpr Index kDefaultGrain = 1024;
+
+/// Invoke body(begin_k, end_k) over an even partition of [begin, end) into
+/// roughly `num_threads()` chunks of at least `grain` elements.
+void parallel_for_chunked(Index begin, Index end,
+                          const std::function<void(Index, Index)>& body,
+                          Index grain = kDefaultGrain);
+
+/// Element-wise parallel loop.
+template <typename Body>
+void parallel_for(Index begin, Index end, Body&& body,
+                  Index grain = kDefaultGrain) {
+  parallel_for_chunked(
+      begin, end,
+      [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) body(i);
+      },
+      grain);
+}
+
+/// Parallel map-reduce: combines body(i) over [begin, end) with `combine`,
+/// starting from `init` (which must be the identity of `combine`).
+/// Deterministic for a fixed thread count: per-chunk partials are combined
+/// in chunk order on the calling thread.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(Index begin, Index end, T init, Body&& body,
+                  Combine&& combine, Index grain = kDefaultGrain) {
+  if (end <= begin) return init;
+  const Index n = end - begin;
+  const Index max_chunks = std::max<Index>(1, num_threads());
+  const Index chunks = std::clamp<Index>((n + grain - 1) / grain, 1, max_chunks);
+  if (chunks == 1) {
+    T acc = init;
+    for (Index i = begin; i < end; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  std::vector<T> partial(static_cast<std::size_t>(chunks), init);
+  const Index chunk_size = (n + chunks - 1) / chunks;
+  global_pool().run_batch(chunks, [&](Index c) {
+    const Index b = begin + c * chunk_size;
+    const Index e = std::min(end, b + chunk_size);
+    T acc = init;
+    for (Index i = b; i < e; ++i) acc = combine(acc, body(i));
+    partial[static_cast<std::size_t>(c)] = acc;
+  });
+  T acc = init;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Common case: parallel sum of body(i).
+template <typename Body>
+Real parallel_sum(Index begin, Index end, Body&& body,
+                  Index grain = kDefaultGrain) {
+  return parallel_reduce(begin, end, Real{0},
+                         std::forward<Body>(body), std::plus<Real>{}, grain);
+}
+
+/// Parallel max of body(i) over a non-empty range.
+template <typename Body>
+Real parallel_max(Index begin, Index end, Body&& body,
+                  Index grain = kDefaultGrain) {
+  PSDP_CHECK(end > begin, "parallel_max over empty range");
+  return parallel_reduce(
+      begin, end, -std::numeric_limits<Real>::infinity(),
+      std::forward<Body>(body),
+      [](Real a, Real b) { return a > b ? a : b; }, grain);
+}
+
+}  // namespace psdp::par

@@ -1,0 +1,108 @@
+#include "par/thread_pool.hpp"
+
+namespace psdp::par {
+
+namespace {
+thread_local const ThreadPool* t_owner = nullptr;
+// True while this thread is inside run_batch (as the submitter). A nested
+// run_batch from a task body running on the submitting thread must execute
+// inline: re-submitting would self-deadlock on submit_mutex_.
+thread_local bool t_submitting = false;
+}
+
+ThreadPool::ThreadPool(int workers) {
+  PSDP_CHECK(workers >= 0, "worker count must be non-negative");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return t_owner == this; }
+
+void ThreadPool::drain(Batch& batch) {
+  while (true) {
+    const Index k = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (k >= batch.count) return;
+    try {
+      (*batch.task)(k);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    batch.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_owner = this;
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (active_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      batch = active_;  // shared ownership keeps the batch alive
+      seen_epoch = epoch_;
+    }
+    drain(*batch);
+    if (batch->done.load(std::memory_order_acquire) >= batch->count) {
+      // Lock/unlock pairs the done-store with the submitter's predicate
+      // check, preventing a lost wakeup.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(Index count, const std::function<void(Index)>& task) {
+  if (count <= 0) return;
+  // Nested region (from a worker, or from the submitting thread's own task
+  // share) or no workers: run inline.
+  if (on_worker_thread() || t_submitting || threads_.empty()) {
+    for (Index k = 0; k < count; ++k) task(k);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  t_submitting = true;
+  struct SubmitReset {
+    ~SubmitReset() { t_submitting = false; }
+  } submit_reset;
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PSDP_ASSERT(active_ == nullptr);  // one batch at a time by construction
+    active_ = batch;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain(*batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) >= batch->count;
+    });
+    active_.reset();
+  }
+  // Workers still holding the shared_ptr only see an exhausted batch: every
+  // further next.fetch_add returns >= count, so `task` (a reference into this
+  // frame) is never dereferenced after we return.
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace psdp::par

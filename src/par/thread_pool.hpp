@@ -1,0 +1,73 @@
+// A fixed-size fork-join thread pool.
+//
+// The paper's algorithm is flat data-parallel: every iteration is a batch of
+// independent matvecs and coordinate updates. A static pool with blocking
+// task submission is sufficient and keeps the work/depth structure of the
+// PRAM analysis visible (no work stealing, no oversubscription).
+//
+// Nested parallel regions execute serially on the calling worker: this keeps
+// the pool deadlock-free without a full task-graph scheduler, and matches
+// how the algorithms use parallelism (one level of parallel_for at a time).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::par {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` worker threads (>=0). With zero workers every task
+  /// runs inline on the submitting thread, which makes single-threaded
+  /// debugging deterministic.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting the submitting thread).
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `count` tasks, task(k) for k in [0, count): workers and the
+  /// calling thread cooperatively drain the batch; returns when all tasks
+  /// have finished. Exceptions thrown by tasks are captured and the first
+  /// one is rethrown on the calling thread.
+  void run_batch(Index count, const std::function<void(Index)>& task);
+
+  /// True when the current thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+ private:
+  struct Batch {
+    const std::function<void(Index)>* task = nullptr;
+    Index count = 0;
+    std::atomic<Index> next{0};  ///< next unclaimed task index
+    std::atomic<Index> done{0};  ///< completed task count
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  /// Drain tasks from `batch`; returns when no unclaimed task remains.
+  /// Safe to call on an already-exhausted batch.
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> threads_;
+  std::mutex submit_mutex_;  ///< serializes concurrent external submitters
+  std::mutex mutex_;
+  std::condition_variable wake_;        ///< workers: new batch or shutdown
+  std::condition_variable batch_done_;  ///< submitter: all tasks completed
+  std::shared_ptr<Batch> active_;
+  std::uint64_t epoch_ = 0;  ///< bumped per batch so workers join each once
+  bool stop_ = false;
+};
+
+}  // namespace psdp::par

@@ -1,0 +1,59 @@
+#include "rand/jl.hpp"
+
+#include <cmath>
+
+#include "par/cost_meter.hpp"
+#include "par/parallel.hpp"
+#include "rand/rng.hpp"
+
+namespace psdp::rand {
+
+Index jl_rows(Index m, Real eps, Real delta) {
+  PSDP_CHECK(m >= 1, "jl_rows: dimension must be positive");
+  PSDP_CHECK(eps > 0 && eps < 1, "jl_rows: eps must lie in (0,1)");
+  PSDP_CHECK(delta > 0 && delta < 1, "jl_rows: delta must lie in (0,1)");
+  const Real r = 8.0 * (std::log(static_cast<Real>(m)) + std::log(1.0 / delta)) /
+                 (eps * eps);
+  return std::max<Index>(1, static_cast<Index>(std::ceil(r)));
+}
+
+GaussianSketch::GaussianSketch(Index rows, Index cols, std::uint64_t seed)
+    : rows_(rows), cols_(cols) {
+  PSDP_CHECK(rows >= 1 && cols >= 1, "sketch dimensions must be positive");
+  data_.resize(static_cast<std::size_t>(rows * cols));
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(rows));
+  // One deterministic stream per row so generation parallelizes.
+  par::parallel_for(0, rows, [&](Index j) {
+    Rng rng(stream_seed(seed, static_cast<std::uint64_t>(j)));
+    Real* out = data_.data() + j * cols;
+    for (Index i = 0; i < cols; ++i) out[i] = scale * rng.normal();
+  }, /*grain=*/1);
+}
+
+std::span<const Real> GaussianSketch::row(Index j) const {
+  PSDP_CHECK(j >= 0 && j < rows_, "sketch row out of range");
+  return {data_.data() + j * cols_, static_cast<std::size_t>(cols_)};
+}
+
+void GaussianSketch::apply(std::span<const Real> x, std::span<Real> y) const {
+  PSDP_CHECK(static_cast<Index>(x.size()) == cols_, "apply: x has wrong length");
+  PSDP_CHECK(static_cast<Index>(y.size()) == rows_, "apply: y has wrong length");
+  par::parallel_for(0, rows_, [&](Index j) {
+    const Real* pi = data_.data() + j * cols_;
+    Real acc = 0;
+    for (Index i = 0; i < cols_; ++i) acc += pi[i] * x[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(j)] = acc;
+  }, /*grain=*/1);
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * rows_ * cols_));
+  par::CostMeter::add_depth(par::reduction_depth(cols_));
+}
+
+Real GaussianSketch::sketch_norm2(std::span<const Real> x) const {
+  std::vector<Real> y(static_cast<std::size_t>(rows_));
+  apply(x, y);
+  Real acc = 0;
+  for (Real v : y) acc += v * v;
+  return acc;
+}
+
+}  // namespace psdp::rand

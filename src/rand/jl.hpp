@@ -1,0 +1,49 @@
+// Johnson-Lindenstrauss Gaussian sketch (Theorem 4.1 uses it to reduce the
+// m-dimensional Frobenius norms ||exp(Phi/2) Q_i||_F^2 to r = O(eps^-2 log m)
+// dimensions; see [DG03, IM98]).
+//
+// The sketch matrix Pi is r x m with i.i.d. N(0, 1/r) entries, so
+// E[||Pi v||^2] = ||v||^2 and each estimate is within (1 +- eps) with
+// probability 1 - 1/poly(m) for r = c eps^-2 log m.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::rand {
+
+/// Number of sketch rows sufficient for (1 +- eps) norm preservation of
+/// poly(m) vectors with the stated failure probability delta.
+/// r = ceil(8 (ln(m) + ln(1/delta)) / eps^2), the constant from the
+/// Dasgupta-Gupta analysis.
+Index jl_rows(Index m, Real eps, Real delta = 1e-3);
+
+/// Dense Gaussian sketch. Rows are generated deterministically from the
+/// seed, so a sketch is reproducible and shareable across processes.
+class GaussianSketch {
+ public:
+  /// Builds an r x m sketch with N(0, 1/r) entries.
+  GaussianSketch(Index rows, Index cols, std::uint64_t seed);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  /// Row j as a span of length cols().
+  std::span<const Real> row(Index j) const;
+
+  /// y = Pi x  (y has length rows()). Parallel over rows.
+  void apply(std::span<const Real> x, std::span<Real> y) const;
+
+  /// ||Pi x||^2, the JL estimate of ||x||^2.
+  Real sketch_norm2(std::span<const Real> x) const;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Real> data_;  ///< row-major, rows_ x cols_
+};
+
+}  // namespace psdp::rand

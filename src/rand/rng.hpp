@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Every randomized component in the library (instance generators, the JL
+// sketch) takes an explicit 64-bit seed, so experiments are reproducible and
+// parallel streams can be split deterministically with split().
+//
+// Engine: xoshiro256** (Blackman & Vigna) seeded via SplitMix64, the
+// recommended seeding procedure. Gaussians use the Marsaglia polar method.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace psdp::rand {
+
+/// SplitMix64 step: advances the state and returns the next value. Used for
+/// seeding and for cheap stateless hashing of (seed, index) pairs.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience samplers.
+class Rng {
+ public:
+  /// Seeds the 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  Real uniform();
+
+  /// Uniform in [lo, hi).
+  Real uniform(Real lo, Real hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  Index uniform_index(Index n);
+
+  /// Standard normal via the polar method (caches the spare deviate).
+  Real normal();
+
+  /// Normal with the given mean and standard deviation.
+  Real normal(Real mean, Real stddev);
+
+  /// A statistically independent generator derived from this one; both this
+  /// generator and the child remain usable. Deterministic.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  Real spare_ = 0;
+  bool has_spare_ = false;
+};
+
+/// Deterministic per-stream seed derived from a base seed and a stream index
+/// (e.g. one stream per constraint matrix in a generator).
+std::uint64_t stream_seed(std::uint64_t base_seed, std::uint64_t stream);
+
+}  // namespace psdp::rand

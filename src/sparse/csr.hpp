@@ -1,0 +1,85 @@
+// Compressed sparse row (CSR) matrices with parallel matvec.
+//
+// The factorized input format of Theorem 4.1 stores each A_i = Q_i Q_i^T
+// with Q_i sparse; everything bigDotExp does is SpMV with Q_i, Q_i^T and
+// the (sparse) running sum Psi. Costs are charged to the CostMeter so the
+// nearly-linear-work claim (Corollary 1.2) can be measured in the model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "util/common.hpp"
+
+namespace psdp::sparse {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Triplet used by the COO builder.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  Real value = 0;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from triplets; duplicates are summed, explicit zeros dropped.
+  static Csr from_triplets(Index rows, Index cols,
+                           std::vector<Triplet> triplets);
+
+  /// Dense -> sparse conversion, dropping entries with |v| <= drop_tol.
+  static Csr from_dense(const Matrix& dense, Real drop_tol = 0);
+
+  /// n x n identity.
+  static Csr identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+
+  std::span<const Index> row_offsets() const { return offsets_; }
+  std::span<const Index> col_indices() const { return columns_; }
+  std::span<const Real> values() const { return values_; }
+
+  /// Entries of row i as (column, value) spans.
+  std::span<const Index> row_cols(Index i) const;
+  std::span<const Real> row_vals(Index i) const;
+
+  /// y = A x (parallel over rows).
+  void apply(const Vector& x, Vector& y) const;
+  Vector apply(const Vector& x) const;
+
+  /// y = A^T x (parallel over output blocks).
+  void apply_transpose(const Vector& x, Vector& y) const;
+  Vector apply_transpose(const Vector& x) const;
+
+  /// Scale all values in place.
+  Csr& scale(Real s);
+
+  /// Dense copy.
+  Matrix to_dense() const;
+
+  /// Frobenius norm squared.
+  Real frobenius_norm2() const;
+
+  /// Sum of diagonal entries (square matrices).
+  Real trace() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> offsets_;  ///< rows_+1 entries
+  std::vector<Index> columns_;
+  std::vector<Real> values_;
+};
+
+/// C = A + s * B for same-shaped CSR matrices (structural union).
+Csr add_scaled(const Csr& a, const Csr& b, Real s);
+
+}  // namespace psdp::sparse

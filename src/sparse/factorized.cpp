@@ -1,0 +1,154 @@
+#include "sparse/factorized.hpp"
+
+#include <cmath>
+
+#include "linalg/matfunc.hpp"
+#include "par/parallel.hpp"
+
+namespace psdp::sparse {
+
+FactorizedPsd::FactorizedPsd(Csr q) : q_(std::move(q)) {
+  PSDP_CHECK(q_.rows() >= 1, "factorized PSD: Q must have at least one row");
+}
+
+FactorizedPsd FactorizedPsd::rank_one(const Vector& v, Real drop_tol) {
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < v.size(); ++i) {
+    if (std::abs(v[i]) > drop_tol) triplets.push_back({i, 0, v[i]});
+  }
+  return FactorizedPsd(Csr::from_triplets(v.size(), 1, std::move(triplets)));
+}
+
+FactorizedPsd FactorizedPsd::from_dense_psd(const Matrix& a, Real tol) {
+  const linalg::EigResult eig = linalg::jacobi_eig(a);
+  const Real lmax = std::max(eig.eigenvalues[0], Real{0});
+  const Real cutoff = tol * std::max(lmax, Real{1});
+  PSDP_CHECK(eig.eigenvalues[eig.eigenvalues.size() - 1] >= -cutoff,
+             "from_dense_psd: matrix is not PSD");
+  std::vector<Triplet> triplets;
+  Index k = 0;
+  for (Index c = 0; c < eig.eigenvalues.size(); ++c) {
+    if (eig.eigenvalues[c] <= cutoff) continue;
+    const Real s = std::sqrt(eig.eigenvalues[c]);
+    for (Index r = 0; r < a.rows(); ++r) {
+      const Real v = s * eig.eigenvectors(r, c);
+      if (v != 0) triplets.push_back({r, k, v});
+    }
+    ++k;
+  }
+  if (k == 0) k = 1;  // zero matrix: keep a valid empty m x 1 factor
+  return FactorizedPsd(Csr::from_triplets(a.rows(), k, std::move(triplets)));
+}
+
+void FactorizedPsd::apply(const Vector& x, Vector& y) const {
+  Vector scratch(q_.cols());
+  q_.apply_transpose(x, scratch);
+  q_.apply(scratch, y);
+}
+
+Real FactorizedPsd::dot_dense(const Matrix& s) const {
+  PSDP_CHECK(s.rows() == dim() && s.cols() == dim(),
+             "dot_dense: dimension mismatch");
+  // (Q Q^T) . S = sum_c q_c^T S q_c over columns q_c of Q. Work it row-wise:
+  // sum_{i,j} S_ij (Q Q^T)_ij done as sum_i <row_i(Q), t_i> where
+  // t = S Q columnwise is O(m^2 k); for sparse Q iterate entries directly.
+  Real acc = 0;
+  for (Index i = 0; i < q_.rows(); ++i) {
+    const auto ci = q_.row_cols(i);
+    const auto vi = q_.row_vals(i);
+    if (ci.empty()) continue;
+    for (Index j = 0; j < q_.rows(); ++j) {
+      const auto cj = q_.row_cols(j);
+      const auto vj = q_.row_vals(j);
+      if (cj.empty()) continue;
+      // (Q Q^T)_{ij} = <row_i, row_j> via sorted-merge.
+      Real qij = 0;
+      std::size_t a = 0, b = 0;
+      while (a < ci.size() && b < cj.size()) {
+        if (ci[a] == cj[b]) {
+          qij += vi[a] * vj[b];
+          ++a;
+          ++b;
+        } else if (ci[a] < cj[b]) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+      acc += qij * s(i, j);
+    }
+  }
+  return acc;
+}
+
+Matrix FactorizedPsd::to_dense() const {
+  const Matrix qd = q_.to_dense();
+  Matrix result = linalg::gemm(qd, qd.transposed());
+  result.symmetrize();
+  return result;
+}
+
+FactorizedSet::FactorizedSet(std::vector<FactorizedPsd> items)
+    : items_(std::move(items)) {
+  PSDP_CHECK(!items_.empty(), "factorized set must be non-empty");
+  dim_ = items_[0].dim();
+  for (const auto& item : items_) {
+    PSDP_CHECK(item.dim() == dim_, "factorized set: inconsistent dimensions");
+    total_nnz_ += item.nnz();
+  }
+}
+
+const FactorizedPsd& FactorizedSet::operator[](Index i) const {
+  PSDP_CHECK(i >= 0 && i < size(), "factorized set: index out of range");
+  return items_[static_cast<std::size_t>(i)];
+}
+
+Csr FactorizedSet::weighted_sum(const Vector& x) const {
+  PSDP_CHECK(x.size() == size(), "weighted_sum: weight length mismatch");
+  std::vector<Triplet> triplets;
+  for (Index idx = 0; idx < size(); ++idx) {
+    const Real w = x[idx];
+    if (w == 0) continue;
+    const Csr& q = items_[static_cast<std::size_t>(idx)].q();
+    // Contribute w * Q Q^T entry-wise: for each pair of entries in the same
+    // factor column. To stay near-linear we expand by factor column: column c
+    // of Q contributes w * q_c q_c^T restricted to its nonzeros.
+    // Gather columns once.
+    std::vector<std::vector<std::pair<Index, Real>>> by_col(
+        static_cast<std::size_t>(q.cols()));
+    for (Index r = 0; r < q.rows(); ++r) {
+      const auto cols = q.row_cols(r);
+      const auto vals = q.row_vals(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        by_col[static_cast<std::size_t>(cols[k])].push_back({r, vals[k]});
+      }
+    }
+    for (const auto& col : by_col) {
+      for (const auto& [r1, v1] : col) {
+        for (const auto& [r2, v2] : col) {
+          triplets.push_back({r1, r2, w * v1 * v2});
+        }
+      }
+    }
+  }
+  if (triplets.empty()) {
+    return Csr::from_triplets(dim_, dim_, {});
+  }
+  return Csr::from_triplets(dim_, dim_, std::move(triplets));
+}
+
+void FactorizedSet::weighted_apply(const Vector& x, const Vector& v,
+                                   Vector& y) const {
+  PSDP_CHECK(x.size() == size(), "weighted_apply: weight length mismatch");
+  PSDP_CHECK(v.size() == dim_, "weighted_apply: vector length mismatch");
+  if (y.size() != dim_) y = Vector(dim_);
+  y.fill(0);
+  Vector contribution(dim_);
+  for (Index i = 0; i < size(); ++i) {
+    if (x[i] == 0) continue;
+    items_[static_cast<std::size_t>(i)].apply(v, contribution);
+    y.add_scaled(contribution, x[i]);
+  }
+}
+
+}  // namespace psdp::sparse

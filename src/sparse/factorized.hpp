@@ -1,0 +1,82 @@
+// Factorized PSD matrices: A = Q Q^T with Q sparse (m x k).
+//
+// This is the "prefactored" input format of Theorem 4.1 / Corollary 1.2.
+// Everything the width-independent solver needs from A_i is available
+// without ever forming the m x m product:
+//   trace(A)      = ||Q||_F^2
+//   A x           = Q (Q^T x)
+//   exp(Phi) . A  = ||exp(Phi/2) Q||_F^2    (the bigDotExp identity)
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace psdp::sparse {
+
+/// One PSD matrix in factorized form.
+class FactorizedPsd {
+ public:
+  FactorizedPsd() = default;
+
+  /// Takes Q (m x k). The represented matrix is Q Q^T, of dimension m.
+  explicit FactorizedPsd(Csr q);
+
+  /// Rank-1 special case A = v v^T (beamforming channels, graph edges).
+  static FactorizedPsd rank_one(const Vector& v, Real drop_tol = 0);
+
+  /// Factor a dense PSD matrix via its eigendecomposition:
+  /// Q = V diag(sqrt(lambda)) restricted to the numerical rank.
+  static FactorizedPsd from_dense_psd(const Matrix& a, Real tol = 1e-10);
+
+  const Csr& q() const { return q_; }
+  Index dim() const { return q_.rows(); }
+  Index factor_cols() const { return q_.cols(); }
+  Index nnz() const { return q_.nnz(); }
+
+  /// trace(Q Q^T) = ||Q||_F^2.
+  Real trace() const { return q_.frobenius_norm2(); }
+
+  /// y = (Q Q^T) x via two SpMVs. Thread-safe (no shared scratch).
+  void apply(const Vector& x, Vector& y) const;
+
+  /// (Q Q^T) . S for a dense symmetric S: sum of column quadratic forms.
+  Real dot_dense(const Matrix& s) const;
+
+  /// Dense copy Q Q^T.
+  Matrix to_dense() const;
+
+ private:
+  Csr q_;
+};
+
+/// The constraint set {A_i = Q_i Q_i^T}, plus totals used in the cost bounds
+/// (q = total nnz across factors).
+class FactorizedSet {
+ public:
+  FactorizedSet() = default;
+  explicit FactorizedSet(std::vector<FactorizedPsd> items);
+
+  Index size() const { return static_cast<Index>(items_.size()); }
+  Index dim() const { return dim_; }
+  Index total_nnz() const { return total_nnz_; }
+
+  const FactorizedPsd& operator[](Index i) const;
+
+  std::vector<FactorizedPsd>& items() { return items_; }
+  const std::vector<FactorizedPsd>& items() const { return items_; }
+
+  /// Psi = sum_i x_i A_i as a sparse CSR matrix (union of factor supports).
+  /// Entries with weight zero are skipped.
+  Csr weighted_sum(const Vector& x) const;
+
+  /// y = (sum_i x_i A_i) v without forming the sum.
+  void weighted_apply(const Vector& x, const Vector& v, Vector& y) const;
+
+ private:
+  std::vector<FactorizedPsd> items_;
+  Index dim_ = 0;
+  Index total_nnz_ = 0;
+};
+
+}  // namespace psdp::sparse

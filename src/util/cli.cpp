@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+
+namespace psdp::util {
+
+namespace detail {
+
+template <>
+Index parse_value<Index>(const std::string& text) {
+  std::size_t pos = 0;
+  const long long v = std::stoll(text, &pos);
+  PSDP_CHECK(pos == text.size(), str("trailing characters in integer '", text, "'"));
+  return static_cast<Index>(v);
+}
+
+template <>
+int parse_value<int>(const std::string& text) {
+  return static_cast<int>(parse_value<Index>(text));
+}
+
+template <>
+Real parse_value<Real>(const std::string& text) {
+  std::size_t pos = 0;
+  const double v = std::stod(text, &pos);
+  PSDP_CHECK(pos == text.size(), str("trailing characters in real '", text, "'"));
+  return v;
+}
+
+template <>
+bool parse_value<bool>(const std::string& text) {
+  if (text == "1" || text == "true" || text == "yes") return true;
+  if (text == "0" || text == "false" || text == "no") return false;
+  throw InvalidArgument(str("cannot parse boolean '", text, "'"));
+}
+
+template <>
+std::string parse_value<std::string>(const std::string& text) {
+  return text;
+}
+
+}  // namespace detail
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_erased(ErasedFlag flag) {
+  PSDP_CHECK(find(flag.name) == nullptr,
+             str("duplicate flag --", flag.name));
+  flags_.push_back(std::move(flag));
+}
+
+Cli::ErasedFlag* Cli::find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::cout << usage();
+      return;
+    }
+    PSDP_CHECK(arg.rfind("--", 0) == 0, str("unexpected argument '", arg, "'"));
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      PSDP_CHECK(i + 1 < argc, str("flag --", name, " expects a value"));
+      value = argv[++i];
+    }
+    ErasedFlag* flag = find(name);
+    PSDP_CHECK(flag != nullptr, str("unknown flag --", name));
+    flag->assign(value);
+  }
+}
+
+std::string Cli::usage() const {
+  std::ostringstream oss;
+  oss << program_ << " -- " << description_ << "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    oss << "  --" << f.name << " (default: " << f.default_repr << ")  "
+        << f.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace psdp::util

@@ -1,0 +1,92 @@
+// A small command-line flag parser for examples and bench binaries.
+//
+// Usage:
+//   psdp::util::Cli cli("bench_width", "Width-independence sweep");
+//   auto& n   = cli.flag<Index>("n", 64, "number of constraints");
+//   auto& eps = cli.flag<Real>("eps", 0.1, "accuracy parameter");
+//   cli.parse(argc, argv);            // throws InvalidArgument on bad input
+//   use(n.value, eps.value);
+//
+// Accepted syntax: --name=value, --name value, and --help.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  template <typename T>
+  struct Flag {
+    T value;
+    std::string name;
+    std::string help;
+    bool set = false;
+  };
+
+  /// Register a typed flag with a default value. The returned reference is
+  /// stable for the lifetime of the Cli object.
+  template <typename T>
+  Flag<T>& flag(const std::string& name, T default_value,
+                const std::string& help);
+
+  /// Parse argv. On --help, prints usage and sets help_requested().
+  void parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage() const;
+
+ private:
+  struct ErasedFlag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    std::function<void(const std::string&)> assign;
+  };
+
+  void add_erased(ErasedFlag flag);
+  ErasedFlag* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<ErasedFlag> flags_;
+  // Typed flag storage; deque-like stability via unique_ptr.
+  std::vector<std::shared_ptr<void>> storage_;
+  bool help_requested_ = false;
+};
+
+namespace detail {
+template <typename T>
+T parse_value(const std::string& text);
+}  // namespace detail
+
+template <typename T>
+Cli::Flag<T>& Cli::flag(const std::string& name, T default_value,
+                        const std::string& help) {
+  auto holder = std::make_shared<Flag<T>>();
+  holder->value = default_value;
+  holder->name = name;
+  holder->help = help;
+  Flag<T>* raw = holder.get();
+  storage_.push_back(holder);
+
+  ErasedFlag erased;
+  erased.name = name;
+  erased.help = help;
+  erased.default_repr = str(default_value);
+  erased.assign = [raw](const std::string& text) {
+    raw->value = detail::parse_value<T>(text);
+    raw->set = true;
+  };
+  add_erased(std::move(erased));
+  return *raw;
+}
+
+}  // namespace psdp::util

@@ -1,0 +1,31 @@
+#include "util/common.hpp"
+
+namespace psdp {
+
+namespace detail {
+
+void throw_check_failure(const char* kind, const char* cond, const char* file,
+                         int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << cond << ") at " << file << ":" << line << ": "
+      << msg;
+  const std::string what = oss.str();
+  if (std::string(kind) == "PSDP_CHECK") throw InvalidArgument(what);
+  if (std::string(kind) == "PSDP_NUMERIC_CHECK") throw NumericalError(what);
+  throw InternalError(what);
+}
+
+}  // namespace detail
+
+Index ceil_log2(Index n) {
+  PSDP_CHECK(n > 0, "ceil_log2 requires a positive argument");
+  Index bits = 0;
+  Index v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace psdp

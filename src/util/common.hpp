@@ -1,0 +1,116 @@
+// Common definitions shared by every psdp module: the scalar type, index
+// types, error handling, and a handful of small numeric helpers.
+//
+// Error-handling policy (see DESIGN.md):
+//  * PSDP_CHECK(cond, msg)      -- precondition on user-supplied data; throws
+//                                  psdp::InvalidArgument, always enabled.
+//  * PSDP_ASSERT(cond)          -- internal invariant; throws psdp::InternalError,
+//                                  compiled out in NDEBUG-free builds only if
+//                                  PSDP_DISABLE_ASSERTS is defined.
+//  * PSDP_NUMERIC_CHECK(cond)   -- numerical-sanity condition (finite values,
+//                                  convergence); throws psdp::NumericalError.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psdp {
+
+/// Scalar type used throughout the library. The algorithms in the paper are
+/// stable in double precision; float loses too much in the matrix
+/// exponential's Taylor tail for large kappa.
+using Real = double;
+
+/// Index type for matrix dimensions and counts. Signed, following the C++
+/// Core Guidelines (ES.100-107) advice for arithmetic-heavy loop code.
+using Index = std::int64_t;
+
+/// Base class for all psdp exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied input violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical process fails to meet its contract (non-finite
+/// values, iteration-limit exhaustion in an eigensolver, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* cond,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+#define PSDP_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psdp::detail::throw_check_failure("PSDP_CHECK", #cond, __FILE__,   \
+                                          __LINE__, (msg));                \
+    }                                                                      \
+  } while (0)
+
+#define PSDP_NUMERIC_CHECK(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psdp::detail::throw_check_failure("PSDP_NUMERIC_CHECK", #cond,     \
+                                          __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (0)
+
+#ifdef PSDP_DISABLE_ASSERTS
+#define PSDP_ASSERT(cond) ((void)0)
+#else
+#define PSDP_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::psdp::detail::throw_check_failure("PSDP_ASSERT", #cond, __FILE__,  \
+                                          __LINE__, "internal invariant"); \
+    }                                                                      \
+  } while (0)
+#endif
+
+/// Machine epsilon for Real.
+inline constexpr Real kEps = std::numeric_limits<Real>::epsilon();
+
+/// Relative comparison: |a-b| <= tol * max(1, |a|, |b|).
+inline bool approx_equal(Real a, Real b, Real tol) {
+  const Real scale = std::max({Real{1}, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+/// Square, because x*x with long expressions is error-prone.
+inline Real sq(Real x) { return x * x; }
+
+/// Natural-log-based ceiling of log2 for positive integers.
+Index ceil_log2(Index n);
+
+/// String formatting helper: str("x=", 3, " y=", 4.5).
+template <typename... Args>
+std::string str(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace psdp

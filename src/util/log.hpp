@@ -1,0 +1,49 @@
+// Minimal leveled logger. Not a general-purpose logging framework: just
+// enough for the solvers to report per-iteration diagnostics when asked and
+// for examples/benches to narrate what they are doing.
+//
+// Thread-safe: each log call formats into a local buffer and writes it with a
+// single mutex-protected stream insertion.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace psdp::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void write_log_line(LogLevel level, const std::string& line);
+}
+
+/// Log with streaming syntax: PSDP_LOG(kInfo) << "iter " << t;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace psdp::util
+
+#define PSDP_LOG(level)                                                   \
+  ::psdp::util::LogMessage(::psdp::util::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psdp::util {
+
+Summary summarize(std::span<const Real> xs) {
+  Summary s;
+  s.count = static_cast<Index>(xs.size());
+  if (xs.empty()) return s;
+  Real sum = 0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (Real x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<Real>(xs.size());
+  if (xs.size() > 1) {
+    Real ss = 0;
+    for (Real x : xs) ss += sq(x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<Real>(xs.size() - 1));
+  }
+  return s;
+}
+
+LinearFit fit_line(std::span<const Real> xs, std::span<const Real> ys) {
+  PSDP_CHECK(xs.size() == ys.size(), "fit_line: size mismatch");
+  PSDP_CHECK(xs.size() >= 2, "fit_line: need at least two points");
+  const Real n = static_cast<Real>(xs.size());
+  Real sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const Real det = n * sxx - sx * sx;
+  PSDP_CHECK(det > 0, "fit_line: x values are all identical");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / det;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const Real ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    Real ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ss_res += sq(ys[i] - (fit.slope * xs[i] + fit.intercept));
+    }
+    fit.r_squared = 1 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1;  // constant y fits exactly
+  }
+  return fit;
+}
+
+LinearFit fit_loglog(std::span<const Real> xs, std::span<const Real> ys) {
+  PSDP_CHECK(xs.size() == ys.size(), "fit_loglog: size mismatch");
+  std::vector<Real> lx(xs.size());
+  std::vector<Real> ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    PSDP_CHECK(xs[i] > 0 && ys[i] > 0, "fit_loglog: data must be positive");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+Real median(std::vector<Real> xs) {
+  PSDP_CHECK(!xs.empty(), "median of empty sample");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return (xs[n / 2 - 1] + xs[n / 2]) / 2;
+}
+
+}  // namespace psdp::util

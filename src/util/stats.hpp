@@ -1,0 +1,42 @@
+// Small statistics helpers used by the experiment harness: summary
+// statistics and least-squares fits. The log-log fit is how benches report
+// empirical scaling exponents ("work grows like q^1.02").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  Index count = 0;
+  Real mean = 0;
+  Real stddev = 0;  ///< sample standard deviation (n-1 denominator)
+  Real min = 0;
+  Real max = 0;
+};
+
+/// Compute summary statistics. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const Real> xs);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  Real slope = 0;
+  Real intercept = 0;
+  Real r_squared = 0;
+};
+
+/// Fit a line through (x, y) pairs; requires at least two distinct x values.
+LinearFit fit_line(std::span<const Real> xs, std::span<const Real> ys);
+
+/// Fit log(y) = slope*log(x) + c, i.e. the power-law exponent of y in x.
+/// Requires strictly positive data.
+LinearFit fit_loglog(std::span<const Real> xs, std::span<const Real> ys);
+
+/// Median of a sample (copies and sorts). Empty input throws.
+Real median(std::vector<Real> xs);
+
+}  // namespace psdp::util

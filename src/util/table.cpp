@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+
+namespace psdp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PSDP_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PSDP_CHECK(cells.size() == headers_.size(),
+             str("row has ", cells.size(), " cells, expected ", headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::cell(Real value, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string Table::cell(Index value) { return std::to_string(value); }
+
+}  // namespace psdp::util

@@ -1,0 +1,34 @@
+// Aligned-column table printer. The bench harness uses it so every
+// experiment prints rows in the same shape the paper's claims are stated in
+// ("n, iterations, bound, ratio").
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row. Cells are already-formatted strings; use cell() helpers
+  /// for numbers. Row width must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with padded columns, a header underline, and two-space gutters.
+  void print(std::ostream& out = std::cout) const;
+
+  /// Format helpers.
+  static std::string cell(Real value, int precision = 4);
+  static std::string cell(Index value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psdp::util

@@ -1,0 +1,114 @@
+// Tests for the width-dependent MMW baseline (the comparator of the
+// paper's headline width-independence claim).
+#include <gtest/gtest.h>
+
+#include "apps/generators.hpp"
+#include "core/baseline.hpp"
+#include "core/certificates.hpp"
+
+namespace psdp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+PackingInstance identity_instance(Index n, Index m, Real scale) {
+  std::vector<Matrix> constraints;
+  for (Index i = 0; i < n; ++i) {
+    Matrix a = Matrix::identity(m);
+    a.scale(scale);
+    constraints.push_back(std::move(a));
+  }
+  return PackingInstance(std::move(constraints));
+}
+
+TEST(InstanceWidth, MatchesMaxLambdaMax) {
+  std::vector<Matrix> constraints;
+  constraints.push_back(Matrix::diagonal(Vector{1, 2}));
+  constraints.push_back(Matrix::diagonal(Vector{5, 0.5}));
+  const PackingInstance inst{std::move(constraints)};
+  EXPECT_NEAR(instance_width(inst), 5.0, 1e-12);
+}
+
+TEST(WidthDependentIterations, ScalesLinearlyInWidth) {
+  const Index t1 = width_dependent_iterations(1.0, 16, 0.2);
+  const Index t8 = width_dependent_iterations(8.0, 16, 0.2);
+  EXPECT_GE(t8, 7 * t1);
+  EXPECT_LE(t8, 9 * t1);
+  EXPECT_THROW(width_dependent_iterations(0, 16, 0.2), InvalidArgument);
+  EXPECT_THROW(width_dependent_iterations(1, 16, 0.0), InvalidArgument);
+}
+
+TEST(Baseline, SmallScaleYieldsFeasibleDual) {
+  const PackingInstance inst = identity_instance(4, 3, 0.05);
+  BaselineOptions options;
+  options.eps = 0.2;
+  const BaselineResult r = decision_width_dependent(inst, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck check = check_dual(inst, r.dual_x, 1e-9);
+  EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+  EXPECT_GT(check.value, 0);
+}
+
+TEST(Baseline, LargeScaleYieldsPrimalCertificate) {
+  const PackingInstance inst = identity_instance(4, 3, 20.0);
+  BaselineOptions options;
+  options.eps = 0.2;
+  const BaselineResult r = decision_width_dependent(inst, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  // The certificate: trace-1 PSD with every dot above 1.
+  EXPECT_NEAR(linalg::trace(r.primal_y), 1.0, 1e-9);
+  for (Index i = 0; i < inst.size(); ++i) {
+    EXPECT_GE(linalg::frobenius_dot(inst[i], r.primal_y), 1.0);
+  }
+}
+
+TEST(Baseline, PlannedIterationsGrowWithNeedleWidth) {
+  apps::NeedleOptions narrow;
+  narrow.width = 2;
+  apps::NeedleOptions wide = narrow;
+  wide.width = 64;
+  BaselineOptions options;
+  options.eps = 0.3;
+  options.max_iterations_override = 5;  // only compare plans, not full runs
+  const BaselineResult r1 =
+      decision_width_dependent(apps::needle_width_family(narrow), options);
+  const BaselineResult r2 =
+      decision_width_dependent(apps::needle_width_family(wide), options);
+  EXPECT_GT(r2.planned_iterations, 10 * r1.planned_iterations);
+  EXPECT_NEAR(r2.width, 64.0, 1e-6);
+}
+
+TEST(Baseline, WidthOverrideSkipsEigComputation) {
+  const PackingInstance inst = identity_instance(3, 2, 1.0);
+  BaselineOptions options;
+  options.eps = 0.25;
+  options.width_override = 7.5;
+  options.max_iterations_override = 3;
+  const BaselineResult r = decision_width_dependent(inst, options);
+  EXPECT_EQ(r.width, 7.5);
+}
+
+TEST(Baseline, RejectsBadEps) {
+  const PackingInstance inst = identity_instance(2, 2, 1.0);
+  BaselineOptions options;
+  options.eps = 0;
+  EXPECT_THROW(decision_width_dependent(inst, options), InvalidArgument);
+}
+
+TEST(Baseline, DualValueApproachesOptimum) {
+  // OPT = 1/0.5 = 2 for A_i = 0.5 I; the baseline's scaled average should
+  // land within the eps guarantee band.
+  const PackingInstance inst = identity_instance(3, 2, 0.5);
+  BaselineOptions options;
+  options.eps = 0.2;
+  const BaselineResult r = decision_width_dependent(inst, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck check = check_dual(inst, r.dual_x, 1e-9);
+  EXPECT_TRUE(check.feasible);
+  // Decision threshold semantics: value >= 1 - O(eps).
+  EXPECT_GE(check.value, 1 - 4 * options.eps - 0.05);
+}
+
+}  // namespace
+}  // namespace psdp::core

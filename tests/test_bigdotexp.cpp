@@ -1,0 +1,183 @@
+// Tests for bigDotExp (Theorem 4.1), validated against exact dense
+// exponentials.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bigdotexp.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/taylor.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using linalg::Matrix;
+using psdp::testing::random_psd;
+using psdp::testing::random_psd_rank;
+
+/// A small factorized set plus its dense mirror, for ground truth.
+struct Fixture {
+  sparse::FactorizedSet set;
+  std::vector<Matrix> dense;
+  Matrix phi_dense;
+  sparse::Csr phi;
+
+  explicit Fixture(Index m, Index n, std::uint64_t seed)
+      : set(make_set(m, n, seed)),
+        phi_dense(make_phi(m, seed)),
+        phi(sparse::Csr::from_dense(phi_dense)) {
+    for (Index i = 0; i < set.size(); ++i) dense.push_back(set[i].to_dense());
+  }
+
+  static sparse::FactorizedSet make_set(Index m, Index n, std::uint64_t seed) {
+    std::vector<sparse::FactorizedPsd> items;
+    for (Index i = 0; i < n; ++i) {
+      items.push_back(sparse::FactorizedPsd::from_dense_psd(
+          random_psd_rank(m, 2, seed * 100 + static_cast<std::uint64_t>(i))));
+    }
+    return sparse::FactorizedSet(std::move(items));
+  }
+
+  static Matrix make_phi(Index m, std::uint64_t seed) {
+    Matrix phi = random_psd(m, seed + 7);
+    phi.scale(2.0);  // a bit of spectral mass, like a mid-run Psi
+    return phi;
+  }
+
+  linalg::Vector exact_dots() const {
+    const Matrix w = linalg::expm_eig(phi_dense);
+    linalg::Vector dots(set.size());
+    for (Index i = 0; i < set.size(); ++i) {
+      dots[i] = linalg::frobenius_dot(dense[static_cast<std::size_t>(i)], w);
+    }
+    return dots;
+  }
+
+  Real exact_trace() const { return linalg::trace(linalg::expm_eig(phi_dense)); }
+};
+
+TEST(BigDotExp, ExactSketchMatchesDenseExponential) {
+  const Fixture f(6, 5, 1);
+  BigDotExpOptions options;
+  options.eps = 0.05;
+  const Real kappa = linalg::lambda_max_exact(f.phi_dense);
+  const BigDotExpResult r = big_dot_exp(f.phi, kappa, f.set, options);
+  EXPECT_TRUE(r.exact_sketch);  // m = 6 << JL rows
+  const linalg::Vector want = f.exact_dots();
+  for (Index i = 0; i < f.set.size(); ++i) {
+    // Taylor truncation only: one-sided (underestimate), within eps.
+    EXPECT_LE(r.dots[i], want[i] * (1 + 1e-9)) << i;
+    EXPECT_GE(r.dots[i], want[i] * (1 - options.eps)) << i;
+  }
+  EXPECT_LE(r.trace_exp, f.exact_trace() * (1 + 1e-9));
+  EXPECT_GE(r.trace_exp, f.exact_trace() * (1 - options.eps));
+}
+
+TEST(BigDotExp, SketchedEstimatesWithinTolerance) {
+  const Fixture f(24, 6, 2);
+  BigDotExpOptions options;
+  options.eps = 0.3;
+  options.sketch_rows_override = 4096;  // large r => tight concentration
+  const Real kappa = linalg::lambda_max_exact(f.phi_dense);
+  const BigDotExpResult r = big_dot_exp(f.phi, kappa, f.set, options);
+  EXPECT_FALSE(r.exact_sketch);
+  const linalg::Vector want = f.exact_dots();
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_NEAR(r.dots[i] / want[i], 1.0, 0.2) << i;
+  }
+  EXPECT_NEAR(r.trace_exp / f.exact_trace(), 1.0, 0.2);
+}
+
+TEST(BigDotExp, AutoKappaEstimation) {
+  const Fixture f(8, 4, 3);
+  BigDotExpOptions options;
+  options.eps = 0.1;
+  // kappa <= 0 triggers power-iteration estimation.
+  const BigDotExpResult r = big_dot_exp(f.phi, /*kappa=*/0, f.set, options);
+  const linalg::Vector want = f.exact_dots();
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_NEAR(r.dots[i] / want[i], 1.0, options.eps * 1.5) << i;
+  }
+}
+
+TEST(BigDotExp, DegreeMatchesLemmaWithHalfKappa) {
+  const Fixture f(6, 3, 4);
+  BigDotExpOptions options;
+  options.eps = 0.2;
+  const Real kappa = 10.0;
+  const BigDotExpResult r = big_dot_exp(f.phi, kappa, f.set, options);
+  // Lemma 4.2 applied to Phi/2 with eps/4 internal budget.
+  EXPECT_EQ(r.taylor_degree,
+            linalg::taylor_exp_degree(kappa / 2, options.eps / 4));
+}
+
+TEST(BigDotExp, DegreeOverrideHonored) {
+  const Fixture f(6, 3, 5);
+  BigDotExpOptions options;
+  options.taylor_degree_override = 9;
+  const BigDotExpResult r = big_dot_exp(f.phi, 1.0, f.set, options);
+  EXPECT_EQ(r.taylor_degree, 9);
+}
+
+TEST(BigDotExp, ZeroPhiGivesTraces) {
+  // exp(0) = I, so dots = Tr[A_i] and trace_exp = m.
+  const Fixture f(7, 4, 6);
+  const sparse::Csr zero = sparse::Csr::from_triplets(7, 7, {});
+  BigDotExpOptions options;
+  options.eps = 0.05;
+  const BigDotExpResult r = big_dot_exp(zero, 1.0, f.set, options);
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_NEAR(r.dots[i], f.set[i].trace(), 1e-6 * f.set[i].trace());
+  }
+  EXPECT_NEAR(r.trace_exp, 7.0, 1e-6);
+}
+
+TEST(BigDotExp, MonotoneInPhi) {
+  // exp(2 Phi) . A >= exp(Phi) . A for PSD Phi, A (spectral monotonicity of
+  // the scalar function pushed through the trace).
+  const Fixture f(6, 4, 7);
+  BigDotExpOptions options;
+  options.eps = 0.05;
+  const Real kappa = 2 * linalg::lambda_max_exact(f.phi_dense);
+  sparse::Csr phi2 = f.phi;
+  phi2.scale(2.0);
+  const BigDotExpResult r1 = big_dot_exp(f.phi, kappa, f.set, options);
+  const BigDotExpResult r2 = big_dot_exp(phi2, kappa, f.set, options);
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_GE(r2.dots[i], r1.dots[i] * (1 - 0.1)) << i;
+  }
+}
+
+TEST(BigDotExp, ValidatesArguments) {
+  const Fixture f(4, 2, 8);
+  EXPECT_THROW(
+      big_dot_exp(sparse::Csr::from_triplets(3, 4, {}), 1.0, f.set, {}),
+      InvalidArgument);
+  BigDotExpOptions bad;
+  bad.eps = 0;
+  EXPECT_THROW(big_dot_exp(f.phi, 1.0, f.set, bad), InvalidArgument);
+  // The operator overload demands kappa >= 0 (no operator to estimate
+  // from); the CSR overload treats kappa <= 0 as "estimate it".
+  const linalg::SymmetricOp op = [&f](const linalg::Vector& x,
+                                      linalg::Vector& y) { f.phi.apply(x, y); };
+  EXPECT_THROW(big_dot_exp(op, 4, -1.0, f.set, {}), InvalidArgument);
+  EXPECT_NO_THROW(big_dot_exp(f.phi, -1.0, f.set, {}));
+}
+
+TEST(BigDotExp, OperatorAndCsrOverloadsAgree) {
+  const Fixture f(6, 3, 9);
+  const Real kappa = linalg::lambda_max_exact(f.phi_dense);
+  BigDotExpOptions options;
+  options.eps = 0.1;
+  const linalg::SymmetricOp op = [&f](const linalg::Vector& x,
+                                      linalg::Vector& y) { f.phi.apply(x, y); };
+  const BigDotExpResult r1 = big_dot_exp(op, 6, kappa, f.set, options);
+  const BigDotExpResult r2 = big_dot_exp(f.phi, kappa, f.set, options);
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_NEAR(r1.dots[i], r2.dots[i], 1e-9 * (1 + r1.dots[i]));
+  }
+}
+
+}  // namespace
+}  // namespace psdp::core

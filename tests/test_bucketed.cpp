@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/generators.hpp"
+#include "core/bucketed.hpp"
+#include "linalg/eig.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+void expect_dual_feasible(const PackingInstance& instance, const Vector& x,
+                          Real tol) {
+  Matrix psi(instance.dim(), instance.dim());
+  for (Index i = 0; i < instance.size(); ++i) {
+    psi.add_scaled(instance[i], x[i]);
+  }
+  EXPECT_LE(linalg::lambda_max_exact(psi), 1 + tol);
+}
+
+TEST(Bucketed, CapOneRecoversPlainAlgorithm) {
+  // boost_cap = 1 forces g_i = 1 everywhere: identical iterates to
+  // decision_dense (modulo the no-op safety caps).
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 14, .m = 6, .rank = 2, .seed = 3});
+  DecisionOptions plain_options;
+  plain_options.eps = 0.15;
+  plain_options.track_trajectory = true;
+  const DecisionResult plain = decision_dense(instance, plain_options);
+
+  BucketedOptions options;
+  options.eps = 0.15;
+  options.boost_cap = 1;
+  options.track_trajectory = true;
+  const BucketedResult bucketed = decision_bucketed(instance, options);
+
+  EXPECT_EQ(plain.outcome, bucketed.outcome);
+  EXPECT_EQ(plain.iterations, bucketed.iterations);
+  ASSERT_EQ(plain.trajectory.size(), bucketed.trajectory.size());
+  for (std::size_t i = 0; i < plain.trajectory.size(); ++i) {
+    EXPECT_EQ(plain.trajectory[i].updated, bucketed.trajectory[i].updated);
+    EXPECT_NEAR(plain.trajectory[i].x_norm1, bucketed.trajectory[i].x_norm1,
+                1e-9 * plain.trajectory[i].x_norm1);
+  }
+  EXPECT_NEAR(bucketed.mean_boost, 1, 0.0);
+}
+
+TEST(Bucketed, DualCertificateExactlyFeasible) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 20, .m = 8, .rank = 2, .seed = 5});
+  const PackingInstance scaled = instance.scaled(0.02);
+  BucketedOptions options;
+  options.eps = 0.1;
+  const BucketedResult r = decision_bucketed(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  expect_dual_feasible(scaled, r.dual_x, 1e-9);
+}
+
+TEST(Bucketed, PrimalCertificateSelfVerifies) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 12, .m = 6, .rank = 2, .seed = 7});
+  const PackingInstance scaled = instance.scaled(60.0);
+  BucketedOptions options;
+  options.eps = 0.1;
+  const BucketedResult r = decision_bucketed(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  EXPECT_NEAR(linalg::trace(r.primal_y), 1, 1e-9);
+  for (Index i = 0; i < scaled.size(); ++i) {
+    EXPECT_GE(linalg::frobenius_dot(scaled[i], r.primal_y), 1 - 1e-7);
+  }
+}
+
+TEST(Bucketed, AcceleratesHeterogeneousSlackInstances) {
+  // A diagonal LP-style instance where most coordinates sit far below the
+  // threshold: boosting should cut the iteration count vs plain.
+  const apps::DiagonalLpInstance lp = apps::diagonal_lp(
+      {.groups = 6, .per_group = 3, .d_min = 0.1, .d_max = 8.0, .seed = 9});
+  DecisionOptions plain_options;
+  plain_options.eps = 0.1;
+  const DecisionResult plain = decision_dense(lp.instance, plain_options);
+  BucketedOptions options;
+  options.eps = 0.1;
+  options.boost_cap = 16;
+  const BucketedResult bucketed = decision_bucketed(lp.instance, options);
+  EXPECT_EQ(plain.outcome, bucketed.outcome);
+  EXPECT_LT(bucketed.iterations, plain.iterations);
+  EXPECT_GT(bucketed.mean_boost, 1.2);
+}
+
+TEST(Bucketed, WidthCapKeepsStepWithinEps) {
+  // Track the trajectory and re-verify the invariant the cap enforces:
+  // lambda_max(Psi_t - Psi_{t-1}) <= eps at every iteration. We re-run the
+  // solver with tracking and reconstruct steps from the x snapshots is
+  // overkill; instead rely on the exit state: lambda_max(Psi_final) can
+  // exceed the Lemma 3.2 constant only if steps exceeded their budget many
+  // times. The flag must be clean.
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 16, .m = 8, .rank = 3, .seed = 11});
+  BucketedOptions options;
+  options.eps = 0.1;
+  options.boost_cap = 64;
+  const BucketedResult r = decision_bucketed(instance, options);
+  EXPECT_FALSE(r.spectrum_bound_exceeded);
+  EXPECT_LE(r.psi_lambda_max, r.constants.spectrum_bound * (1 + 1e-9));
+}
+
+TEST(Bucketed, OutcomeAgreesWithPlainAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const PackingInstance instance = apps::random_ellipses(
+        {.n = 12, .m = 6, .rank = 2, .seed = 200 + seed});
+    DecisionOptions plain_options;
+    plain_options.eps = 0.15;
+    BucketedOptions options;
+    options.eps = 0.15;
+    const DecisionResult plain = decision_dense(instance, plain_options);
+    const BucketedResult bucketed = decision_bucketed(instance, options);
+    EXPECT_EQ(plain.outcome, bucketed.outcome) << "seed " << seed;
+  }
+}
+
+TEST(Bucketed, RespectsIterationOverride) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 8, .m = 5, .rank = 2, .seed = 13});
+  BucketedOptions options;
+  options.eps = 0.1;
+  options.max_iterations_override = 4;
+  options.early_primal_exit = false;
+  const BucketedResult r = decision_bucketed(instance, options);
+  EXPECT_LE(r.iterations, 4);
+}
+
+TEST(Bucketed, RejectsBadBoostCap) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 4, .m = 4, .rank = 2, .seed = 15});
+  BucketedOptions options;
+  options.boost_cap = 0.5;
+  EXPECT_THROW(decision_bucketed(instance, options), InvalidArgument);
+}
+
+// Sweep boost caps: certificates stay sound for every cap.
+class BucketedCapSweep : public ::testing::TestWithParam<Real> {};
+
+TEST_P(BucketedCapSweep, CertificatesSoundAtEveryCap) {
+  const Real cap = GetParam();
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 14, .m = 6, .rank = 2, .seed = 17});
+  BucketedOptions options;
+  options.eps = 0.12;
+  options.boost_cap = cap;
+  const BucketedResult r = decision_bucketed(instance, options);
+  if (r.outcome == DecisionOutcome::kDual) {
+    expect_dual_feasible(instance, r.dual_x, 1e-9);
+  } else {
+    for (Index i = 0; i < instance.size(); ++i) {
+      EXPECT_GE(linalg::frobenius_dot(instance[i], r.primal_y), 1 - 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, BucketedCapSweep,
+                         ::testing::Values(1.0, 2.0, 8.0, 32.0, 128.0));
+
+}  // namespace
+}  // namespace psdp::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/certificates.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using psdp::testing::random_psd;
+
+PackingInstance diag_instance() {
+  // A_1 = diag(2, 0), A_2 = diag(0, 4): sum x_i A_i <= I iff x_1 <= 1/2 and
+  // x_2 <= 1/4, so OPT = 3/4.
+  Matrix a1(2, 2), a2(2, 2);
+  a1(0, 0) = 2;
+  a2(1, 1) = 4;
+  return PackingInstance({a1, a2});
+}
+
+TEST(CheckDual, AcceptsFeasiblePoint) {
+  const DualCheck c = check_dual(diag_instance(), Vector{0.5, 0.25});
+  EXPECT_TRUE(c.feasible);
+  EXPECT_NEAR(c.value, 0.75, 1e-14);
+  EXPECT_NEAR(c.lambda_max, 1.0, 1e-10);
+}
+
+TEST(CheckDual, RejectsInfeasiblePoint) {
+  const DualCheck c = check_dual(diag_instance(), Vector{1.0, 0.0});
+  EXPECT_FALSE(c.feasible);
+  EXPECT_NEAR(c.lambda_max, 2.0, 1e-10);
+}
+
+TEST(CheckDual, RejectsNegativeCoordinates) {
+  const DualCheck c = check_dual(diag_instance(), Vector{-0.1, 0.1});
+  EXPECT_FALSE(c.feasible);
+}
+
+TEST(CheckDual, SizeMismatchThrows) {
+  EXPECT_THROW(check_dual(diag_instance(), Vector{1.0}), InvalidArgument);
+}
+
+TEST(CheckDual, FactorizedOverloadAgreesWithDense) {
+  std::vector<sparse::FactorizedPsd> items;
+  items.push_back(sparse::FactorizedPsd::rank_one(Vector{std::sqrt(2.0), 0}));
+  items.push_back(sparse::FactorizedPsd::rank_one(Vector{0, 2.0}));
+  const FactorizedPackingInstance fact{sparse::FactorizedSet(std::move(items))};
+  const Vector x{0.5, 0.25};
+  const DualCheck cf = check_dual(fact, x);
+  const DualCheck cd = check_dual(fact.to_dense(), x);
+  EXPECT_EQ(cf.feasible, cd.feasible);
+  EXPECT_NEAR(cf.lambda_max, cd.lambda_max, 1e-10);
+}
+
+TEST(CheckPrimal, AcceptsValidCertificate) {
+  // Y = diag(1/2, 1/2): trace 1, A_1 . Y = 1, A_2 . Y = 2.
+  Matrix y(2, 2);
+  y(0, 0) = 0.5;
+  y(1, 1) = 0.5;
+  const PrimalCheck c = check_primal(diag_instance(), y);
+  EXPECT_TRUE(c.feasible);
+  EXPECT_NEAR(c.trace, 1.0, 1e-14);
+  EXPECT_NEAR(c.min_dot, 1.0, 1e-12);
+  EXPECT_EQ(c.argmin, 0);
+}
+
+TEST(CheckPrimal, RejectsWrongTrace) {
+  Matrix y = Matrix::identity(2);  // trace 2
+  EXPECT_FALSE(check_primal(diag_instance(), y).feasible);
+}
+
+TEST(CheckPrimal, RejectsLowDot) {
+  Matrix y(2, 2);
+  y(0, 0) = 1.0;  // A_2 . Y = 0
+  const PrimalCheck c = check_primal(diag_instance(), y);
+  EXPECT_FALSE(c.feasible);
+  EXPECT_EQ(c.argmin, 1);
+}
+
+TEST(CheckPrimal, RejectsIndefiniteY) {
+  Matrix y(2, 2);
+  y(0, 0) = 2.0;
+  y(1, 1) = -1.0;
+  EXPECT_FALSE(check_primal(diag_instance(), y).feasible);
+}
+
+TEST(DualityProduct, BoundedByOneForFeasiblePairs) {
+  // For feasible dual x and trace-1 PSD Y: (1^T x) min_dot <= 1.
+  const PackingInstance inst = diag_instance();
+  const Vector x{0.5, 0.25};  // feasible
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Matrix y = random_psd(2, seed);
+    y.scale(1 / linalg::trace(y));  // trace 1
+    EXPECT_LE(duality_product(inst, x, y), 1 + 1e-10) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace psdp::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::sparse {
+namespace {
+
+using psdp::testing::random_symmetric;
+
+Csr small_example() {
+  // [1 0 2]
+  // [0 0 0]
+  // [3 4 0]
+  return Csr::from_triplets(3, 3, {{0, 0, 1}, {0, 2, 2}, {2, 0, 3}, {2, 1, 4}});
+}
+
+TEST(Csr, FromTripletsBasicLayout) {
+  const Csr m = small_example();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_TRUE(m.row_cols(1).empty());
+  EXPECT_EQ(m.row_cols(2).size(), 2u);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  const Csr m = Csr::from_triplets(2, 2, {{0, 0, 1}, {0, 0, 2}, {1, 1, -1}, {1, 1, 1}});
+  EXPECT_EQ(m.nnz(), 1);  // the (1,1) entries cancel and are dropped
+  EXPECT_EQ(m.to_dense()(0, 0), 3);
+}
+
+TEST(Csr, OutOfRangeTripletThrows) {
+  EXPECT_THROW(Csr::from_triplets(2, 2, {{2, 0, 1}}), InvalidArgument);
+  EXPECT_THROW(Csr::from_triplets(2, 2, {{0, -1, 1}}), InvalidArgument);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  const linalg::Matrix dense = random_symmetric(7, 3);
+  const Csr sparse = Csr::from_dense(dense);
+  EXPECT_MATRIX_NEAR(sparse.to_dense(), dense, 0);
+}
+
+TEST(Csr, FromDenseDropsSmallEntries) {
+  linalg::Matrix dense(2, 2);
+  dense(0, 0) = 1;
+  dense(1, 1) = 1e-15;
+  EXPECT_EQ(Csr::from_dense(dense, 1e-12).nnz(), 1);
+}
+
+TEST(Csr, IdentityActsAsIdentity) {
+  const Csr eye = Csr::identity(5);
+  EXPECT_EQ(eye.nnz(), 5);
+  EXPECT_EQ(eye.trace(), 5);
+  linalg::Vector x{1, 2, 3, 4, 5};
+  const linalg::Vector y = eye.apply(x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Csr, ApplyMatchesDense) {
+  const linalg::Matrix dense = random_symmetric(9, 4);
+  const Csr sparse = Csr::from_dense(dense);
+  linalg::Vector x(9);
+  for (Index i = 0; i < 9; ++i) x[i] = static_cast<Real>(i * i % 7) - 3;
+  const linalg::Vector y1 = sparse.apply(x);
+  const linalg::Vector y2 = linalg::matvec(dense, x);
+  for (Index i = 0; i < 9; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Csr, ApplyTransposeMatchesDense) {
+  linalg::Matrix dense(3, 5);
+  dense(0, 1) = 2;
+  dense(1, 4) = -1;
+  dense(2, 0) = 3;
+  const Csr sparse = Csr::from_dense(dense);
+  linalg::Vector x{1, 2, 3};
+  const linalg::Vector y1 = sparse.apply_transpose(x);
+  const linalg::Vector y2 = linalg::matvec(dense.transposed(), x);
+  for (Index i = 0; i < 5; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Csr, ApplyDimensionMismatchThrows) {
+  const Csr m = small_example();
+  linalg::Vector wrong(2);
+  linalg::Vector y;
+  EXPECT_THROW(m.apply(wrong, y), InvalidArgument);
+  EXPECT_THROW(m.apply_transpose(wrong, y), InvalidArgument);
+}
+
+TEST(Csr, ScaleMultipliesValues) {
+  Csr m = small_example();
+  m.scale(2);
+  EXPECT_EQ(m.to_dense()(2, 1), 8);
+}
+
+TEST(Csr, TraceAndFrobenius) {
+  const Csr m = small_example();
+  EXPECT_EQ(m.trace(), 1);  // only (0,0) on the diagonal
+  EXPECT_EQ(m.frobenius_norm2(), 1 + 4 + 9 + 16);
+  EXPECT_THROW(Csr::from_triplets(2, 3, {}).trace(), InvalidArgument);
+}
+
+TEST(Csr, AddScaledUnionsSupports) {
+  const Csr a = Csr::from_triplets(2, 2, {{0, 0, 1}});
+  const Csr b = Csr::from_triplets(2, 2, {{0, 0, 2}, {1, 1, 3}});
+  const Csr c = add_scaled(a, b, 0.5);
+  EXPECT_EQ(c.to_dense()(0, 0), 2);
+  EXPECT_EQ(c.to_dense()(1, 1), 1.5);
+  EXPECT_THROW(add_scaled(a, Csr::from_triplets(3, 3, {}), 1.0),
+               InvalidArgument);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const Csr m = Csr::from_triplets(4, 4, {});
+  EXPECT_EQ(m.nnz(), 0);
+  const linalg::Vector y = m.apply(linalg::Vector(4, 1.0));
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(y[i], 0);
+}
+
+TEST(Csr, LargeParallelApplyMatchesSerial) {
+  // Exercise the parallel SpMV path with enough rows to split chunks.
+  const Index n = 4000;
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < n; ++i) {
+    triplets.push_back({i, i, 2.0});
+    if (i + 1 < n) triplets.push_back({i, i + 1, -1.0});
+    if (i > 0) triplets.push_back({i, i - 1, -1.0});
+  }
+  const Csr lap = Csr::from_triplets(n, n, std::move(triplets));
+  linalg::Vector x(n, 1.0);
+  const linalg::Vector y = lap.apply(x);
+  EXPECT_NEAR(y[0], 1.0, 1e-14);        // boundary row
+  EXPECT_NEAR(y[n / 2], 0.0, 1e-14);    // interior rows cancel
+  EXPECT_NEAR(y[n - 1], 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace psdp::sparse

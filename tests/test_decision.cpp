@@ -1,0 +1,463 @@
+// Tests for Algorithm 3.1 (decisionPSDP): both implementations, the
+// certificates they return, the Lemma 3.2 spectrum invariant, and the
+// Theorem 3.1 iteration bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/generators.hpp"
+#include "core/certificates.hpp"
+#include "core/decision.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using apps::EllipseOptions;
+using apps::random_ellipses;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(AlgorithmConstants, MatchPaperFormulas) {
+  const Index n = 100;
+  const Real eps = 0.1;
+  const AlgorithmConstants c = algorithm_constants(n, eps);
+  const Real ln_n = std::log(100.0);
+  EXPECT_NEAR(c.k_cap, (1 + ln_n) / eps, 1e-12);
+  EXPECT_NEAR(c.alpha, eps / (c.k_cap * (1 + 10 * eps)), 1e-15);
+  EXPECT_EQ(c.r_limit,
+            static_cast<Index>(std::ceil(32 * ln_n / (eps * c.alpha))));
+  EXPECT_NEAR(c.spectrum_bound, (1 + 10 * eps) * c.k_cap, 1e-12);
+}
+
+TEST(AlgorithmConstants, SingleConstraintUsesFloorOfTwo) {
+  // ln(1) = 0 would make R = 0; the implementation floors n at 2.
+  const AlgorithmConstants c = algorithm_constants(1, 0.2);
+  EXPECT_GT(c.r_limit, 0);
+  EXPECT_GT(c.k_cap, 0);
+}
+
+TEST(AlgorithmConstants, RejectsBadEps) {
+  EXPECT_THROW(algorithm_constants(10, 0.0), InvalidArgument);
+  EXPECT_THROW(algorithm_constants(10, 1.0), InvalidArgument);
+  EXPECT_THROW(algorithm_constants(0, 0.1), InvalidArgument);
+}
+
+TEST(AlgorithmConstants, IterationCountGrowsAsEpsShrinks) {
+  const Index n = 64;
+  Index prev = 0;
+  for (Real eps : {0.5, 0.25, 0.125, 0.0625}) {
+    const AlgorithmConstants c = algorithm_constants(n, eps);
+    EXPECT_GT(c.r_limit, prev);
+    prev = c.r_limit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decision outcomes on instances whose answer is known by construction.
+// ---------------------------------------------------------------------------
+
+// Identity constraints: sum x_i I <= I iff ||x||_1 <= 1, so OPT = 1.
+PackingInstance identity_instance(Index n, Index m, Real scale) {
+  std::vector<Matrix> constraints;
+  for (Index i = 0; i < n; ++i) {
+    Matrix a = Matrix::identity(m);
+    a.scale(scale);
+    constraints.push_back(std::move(a));
+  }
+  return PackingInstance(std::move(constraints));
+}
+
+TEST(DecisionDense, SmallScaleYieldsDual) {
+  // A_i = 0.1 I: OPT = 10 >> 1, so the dual side must be found.
+  const PackingInstance instance = identity_instance(4, 3, 0.1);
+  DecisionOptions options;
+  options.eps = 0.2;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck check = check_dual(instance, r.dual_x);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_GE(check.value, 1 - 10 * options.eps);
+}
+
+TEST(DecisionDense, LargeScaleYieldsPrimal) {
+  // A_i = 10 I: OPT = 0.1 << 1, so a primal certificate must come back.
+  const PackingInstance instance = identity_instance(4, 3, 10.0);
+  DecisionOptions options;
+  options.eps = 0.2;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  const PrimalCheck check = check_primal(instance, r.primal_y, 1e-6);
+  EXPECT_TRUE(check.feasible)
+      << "trace=" << check.trace << " min_dot=" << check.min_dot;
+}
+
+TEST(DecisionDense, DualCertificateIsExactlyFeasible) {
+  const PackingInstance instance = identity_instance(8, 2, 0.05);
+  DecisionOptions options;
+  options.eps = 0.3;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  // Lemma 3.2 makes x / ((1+10eps)K) feasible with NO tolerance.
+  const DualCheck check = check_dual(instance, r.dual_x, 1e-10);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_LE(check.lambda_max, 1.0 + 1e-10);
+}
+
+TEST(DecisionDense, PrimalDotsMatchPrimalY) {
+  const PackingInstance instance = identity_instance(3, 4, 5.0);
+  DecisionOptions options;
+  options.eps = 0.25;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  for (Index i = 0; i < instance.size(); ++i) {
+    EXPECT_NEAR(r.primal_dots[i],
+                linalg::frobenius_dot(instance[i], r.primal_y), 1e-8);
+  }
+  EXPECT_NEAR(r.primal_trace, linalg::trace(r.primal_y), 1e-8);
+  EXPECT_NEAR(r.primal_trace, 1.0, 1e-8);
+}
+
+TEST(DecisionDense, IterationsWithinTheoremBound) {
+  const PackingInstance instance = random_ellipses({});
+  DecisionOptions options;
+  options.eps = 0.3;
+  const DecisionResult r = decision_dense(instance, options);
+  EXPECT_LE(r.iterations, r.constants.r_limit);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(DecisionDense, Figure1Instance) {
+  const PackingInstance fig1 = apps::figure1_instance();
+  DecisionOptions options;
+  options.eps = 0.2;
+  // At scale 1 the optimum is around 2 (> 1): expect a dual.
+  const DecisionResult r = decision_dense(fig1, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  EXPECT_TRUE(check_dual(fig1, r.dual_x).feasible);
+  // At 10x the constraints, the optimum is ~0.2 (< 1): expect a primal.
+  const DecisionResult r10 = decision_dense(fig1.scaled(10), options);
+  ASSERT_EQ(r10.outcome, DecisionOutcome::kPrimal);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3.2: the spectrum bound is an invariant of the whole trajectory.
+// ---------------------------------------------------------------------------
+
+class SpectrumBoundTest : public ::testing::TestWithParam<std::tuple<Real, std::uint64_t>> {};
+
+TEST_P(SpectrumBoundTest, LambdaMaxPsiStaysBelowBound) {
+  const auto [eps, seed] = GetParam();
+  EllipseOptions gen;
+  gen.n = 24;
+  gen.m = 6;
+  gen.seed = seed;
+  const PackingInstance instance = random_ellipses(gen);
+  DecisionOptions options;
+  options.eps = eps;
+  options.track_trajectory = true;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_FALSE(r.trajectory.empty());
+  for (const IterationStat& stat : r.trajectory) {
+    EXPECT_LE(stat.lambda_max_psi, r.constants.spectrum_bound * (1 + 1e-9))
+        << "iteration " << stat.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsAndSeedSweep, SpectrumBoundTest,
+    ::testing::Combine(::testing::Values(0.1, 0.2, 0.3, 0.5),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------------
+// Parameterized outcome-correctness sweep over random instances and scales.
+// ---------------------------------------------------------------------------
+
+class OutcomeSweepTest
+    : public ::testing::TestWithParam<std::tuple<Real, std::uint64_t>> {};
+
+TEST_P(OutcomeSweepTest, ReturnedCertificateVerifies) {
+  const auto [scale, seed] = GetParam();
+  EllipseOptions gen;
+  gen.n = 16;
+  gen.m = 5;
+  gen.seed = seed;
+  const PackingInstance instance = random_ellipses(gen).scaled(scale);
+  DecisionOptions options;
+  options.eps = 0.25;
+  const DecisionResult r = decision_dense(instance, options);
+  if (r.outcome == DecisionOutcome::kDual) {
+    const DualCheck check = check_dual(instance, r.dual_x, 1e-9);
+    EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+    EXPECT_GE(check.value, 1 - 10 * options.eps - 1e-9);
+  } else {
+    // Lemma 3.6: every averaged dot is at least ~1 (up to roundoff).
+    for (Index i = 0; i < instance.size(); ++i) {
+      EXPECT_GE(r.primal_dots[i], 1 - 1e-6) << "constraint " << i;
+    }
+    EXPECT_NEAR(r.primal_trace, 1.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleAndSeedSweep, OutcomeSweepTest,
+    ::testing::Combine(::testing::Values(0.05, 0.3, 1.0, 3.0, 20.0),
+                       ::testing::Values(11u, 12u, 13u)));
+
+// ---------------------------------------------------------------------------
+// Factorized solver agrees with the dense one.
+// ---------------------------------------------------------------------------
+
+TEST(DecisionFactorized, AgreesWithDenseOnOutcome) {
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 10;
+  gen.seed = 5;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const PackingInstance dense = fact.to_dense();
+  DecisionOptions options;
+  options.eps = 0.25;
+  // Exact sketch (m small => JL rows >= m) removes all randomness.
+  for (Real scale : {0.2, 1.0, 5.0}) {
+    const DecisionResult rf =
+        decision_factorized(fact.scaled(scale), options);
+    const DecisionResult rd = decision_dense(dense.scaled(scale), options);
+    EXPECT_EQ(rf.outcome, rd.outcome) << "scale " << scale;
+    EXPECT_EQ(rf.iterations, rd.iterations) << "scale " << scale;
+  }
+}
+
+TEST(DecisionFactorized, DualCertificateVerifiesExactly) {
+  apps::FactorizedOptions gen;
+  gen.n = 10;
+  gen.m = 8;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  DecisionOptions options;
+  options.eps = 0.3;
+  const DecisionResult r = decision_factorized(fact.scaled(0.02), options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck check = check_dual(fact, r.dual_x, 1e-6);
+  EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+}
+
+TEST(DecisionFactorized, SketchedModeStillProducesValidDual) {
+  apps::FactorizedOptions gen;
+  gen.n = 16;
+  gen.m = 48;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  DecisionOptions options;
+  options.eps = 0.3;
+  options.dot_options.sketch_rows_override = 24;  // force real sketching
+  const DecisionResult r = decision_factorized(fact.scaled(0.01), options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  // The sketch perturbs the SELECTION of coordinates, never the feasibility
+  // of x_hat (Lemma 3.2 holds for whatever B the algorithm picks): the dual
+  // must still verify exactly.
+  const DualCheck check = check_dual(fact, r.dual_x, 1e-6);
+  EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+}
+
+TEST(DecisionFactorized, TrajectoryTracksL1Norm) {
+  apps::FactorizedOptions gen;
+  gen.n = 8;
+  gen.m = 6;
+  gen.nnz_per_column = 4;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  DecisionOptions options;
+  options.eps = 0.3;
+  options.track_trajectory = true;
+  const DecisionResult r = decision_factorized(fact.scaled(0.05), options);
+  ASSERT_EQ(static_cast<Index>(r.trajectory.size()), r.iterations);
+  // ||x||_1 is nondecreasing.
+  for (std::size_t k = 1; k < r.trajectory.size(); ++k) {
+    EXPECT_GE(r.trajectory[k].x_norm1, r.trajectory[k - 1].x_norm1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// solve_decision: the verbatim eps-decision contract.
+// ---------------------------------------------------------------------------
+
+TEST(SolveDecision, DualMeetsContract) {
+  const PackingInstance instance = identity_instance(4, 3, 0.1);
+  const Real eps = 0.5;
+  const DecisionResult r = solve_decision(instance, eps);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck check = check_dual(instance, r.dual_x, 1e-10);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_GE(check.value, 1 - eps);  // the full 1 - eps, not 1 - 10 eps
+}
+
+TEST(SolveDecision, RejectsBadEps) {
+  const PackingInstance instance = identity_instance(2, 2, 1.0);
+  EXPECT_THROW(solve_decision(instance, 0.0), InvalidArgument);
+  EXPECT_THROW(solve_decision(instance, 1.5), InvalidArgument);
+}
+
+// Degenerate and adversarial inputs.
+
+TEST(DecisionDense, MaxIterationOverrideIsHonored) {
+  const PackingInstance instance = identity_instance(4, 3, 1.0);
+  DecisionOptions options;
+  options.eps = 0.1;
+  options.max_iterations_override = 3;
+  const DecisionResult r = decision_dense(instance, options);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(DecisionDense, NearCriticalScaleStillCertifies) {
+  // OPT exactly 1: either certificate is acceptable, but it must verify.
+  const PackingInstance instance = identity_instance(4, 3, 1.0);
+  DecisionOptions options;
+  options.eps = 0.2;
+  const DecisionResult r = decision_dense(instance, options);
+  if (r.outcome == DecisionOutcome::kDual) {
+    EXPECT_TRUE(check_dual(instance, r.dual_x, 1e-9).feasible);
+  } else {
+    EXPECT_GE(r.primal_dots[0], 1 - 1e-6);
+  }
+}
+
+TEST(DecisionDense, RankDeficientConstraints) {
+  // Rank-one constraints on orthogonal axes: OPT = sum_i 1/d_i.
+  std::vector<Matrix> constraints;
+  for (Index i = 0; i < 3; ++i) {
+    Matrix a(3, 3);
+    a(i, i) = 0.2;  // OPT = 15 >> 1
+    constraints.push_back(std::move(a));
+  }
+  const PackingInstance instance((std::vector<Matrix>(constraints)));
+  DecisionOptions options;
+  options.eps = 0.25;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  EXPECT_TRUE(check_dual(instance, r.dual_x, 1e-9).feasible);
+}
+
+}  // namespace
+}  // namespace psdp::core
+
+namespace psdp::core {
+namespace {
+
+TEST(DecisionDense, TightDualIsExactlyFeasibleAndStronger) {
+  const PackingInstance instance = identity_instance(6, 3, 0.05);
+  DecisionOptions options;
+  options.eps = 0.25;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck paper = check_dual(instance, r.dual_x, 1e-10);
+  const DualCheck tight = check_dual(instance, r.dual_x_tight, 1e-10);
+  EXPECT_TRUE(paper.feasible);
+  EXPECT_TRUE(tight.feasible);
+  EXPECT_GE(tight.value, paper.value);
+  // For the identity instance the tight rescaling is exact: lambda_max = 1.
+  EXPECT_NEAR(tight.lambda_max, 1.0, 1e-9);
+}
+
+TEST(DecisionFactorized, TightDualFeasibleWithinInflation) {
+  apps::FactorizedOptions gen;
+  gen.n = 10;
+  gen.m = 8;
+  gen.nnz_per_column = 4;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const FactorizedPackingInstance scaled = fact.scaled(0.02);
+  DecisionOptions options;
+  options.eps = 0.3;
+  const DecisionResult r = decision_factorized(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  // Power-iteration estimate is inflated by 1%: feasibility must hold
+  // against the instance the solver actually ran on.
+  const DualCheck tight = check_dual(scaled, r.dual_x_tight, 1e-6);
+  EXPECT_TRUE(tight.feasible) << "lambda_max=" << tight.lambda_max;
+}
+
+class ExpStrideTest : public ::testing::TestWithParam<Index> {};
+
+TEST_P(ExpStrideTest, CertificatesRemainValidAtEveryStride) {
+  const Index stride = GetParam();
+  apps::EllipseOptions gen;
+  gen.n = 16;
+  gen.m = 5;
+  const PackingInstance instance = apps::random_ellipses(gen).scaled(0.1);
+  DecisionOptions options;
+  options.eps = 0.25;
+  options.exp_stride = stride;
+  const DecisionResult r = decision_dense(instance, options);
+  if (r.outcome == DecisionOutcome::kDual) {
+    EXPECT_TRUE(check_dual(instance, r.dual_x_tight, 1e-9).feasible);
+  } else {
+    EXPECT_GE(r.primal_dots[0], 0);
+    EXPECT_TRUE(check_primal(instance, r.primal_y, 1e-5).feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, ExpStrideTest,
+                         ::testing::Values(1, 2, 4, 16));
+
+TEST(DecisionDense, RejectsZeroStride) {
+  const PackingInstance instance = identity_instance(2, 2, 1.0);
+  DecisionOptions options;
+  options.exp_stride = 0;
+  EXPECT_THROW(decision_dense(instance, options), InvalidArgument);
+}
+
+TEST(DecisionDense, DiagonalLpTightDualNeverExceedsOptimum) {
+  // The positive-LP special case (axis-aligned, block-disjoint): scaling
+  // the instance by s = opt/4 puts the scaled optimum at exactly 4. A
+  // single decision call's tight dual is feasible, hence never above it.
+  const apps::DiagonalLpInstance lp = apps::diagonal_lp({});
+  const PackingInstance scaled = lp.instance.scaled(lp.opt / 4);
+  DecisionOptions options;
+  options.eps = 0.1;
+  const DecisionResult r = decision_dense(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const DualCheck tight = check_dual(scaled, r.dual_x_tight, 1e-9);
+  EXPECT_TRUE(tight.feasible);
+  EXPECT_LE(tight.value, 4.0 + 1e-9);
+  EXPECT_GE(tight.value, 1.0);  // a nontrivial fraction of the optimum
+}
+
+}  // namespace
+}  // namespace psdp::core
+
+namespace psdp::core {
+namespace {
+
+TEST(DecisionDense, RejectsZeroConstraintWithClearMessage) {
+  std::vector<Matrix> constraints;
+  constraints.push_back(Matrix::identity(2));
+  constraints.push_back(Matrix(2, 2));  // all-zero
+  const PackingInstance instance{std::move(constraints)};
+  DecisionOptions options;
+  options.eps = 0.2;
+  try {
+    decision_dense(instance, options);
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("trace"), std::string::npos);
+  }
+}
+
+TEST(DecisionDense, RejectsNonFiniteConstraint) {
+  Matrix bad = Matrix::identity(2);
+  bad(0, 0) = std::numeric_limits<Real>::quiet_NaN();
+  const PackingInstance instance{{bad}};
+  DecisionOptions options;
+  options.eps = 0.2;
+  EXPECT_THROW(decision_dense(instance, options), Error);
+}
+
+TEST(DecisionDense, SingleConstraintInstance) {
+  // n = 1 exercises the ln(max(n,2)) floor end to end.
+  const PackingInstance instance{{Matrix::identity(3).scale(0.2),
+                                  }};
+  DecisionOptions options;
+  options.eps = 0.3;
+  const DecisionResult r = decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  EXPECT_TRUE(check_dual(instance, r.dual_x_tight, 1e-9).feasible);
+}
+
+}  // namespace
+}  // namespace psdp::core

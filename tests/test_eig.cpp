@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eig.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_symmetric;
+
+TEST(JacobiEig, DiagonalMatrix) {
+  const auto eig = jacobi_eig(Matrix::diagonal(Vector{3, 1, 2}));
+  EXPECT_NEAR(eig.eigenvalues[0], 3, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[1], 2, 1e-14);
+  EXPECT_NEAR(eig.eigenvalues[2], 1, 1e-14);
+}
+
+TEST(JacobiEig, Known2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 2;
+  const auto eig = jacobi_eig(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3, 1e-13);
+  EXPECT_NEAR(eig.eigenvalues[1], 1, 1e-13);
+}
+
+TEST(JacobiEig, EigenvaluesSortedDescending) {
+  const auto eig = jacobi_eig(random_symmetric(9, 5));
+  for (Index i = 1; i < 9; ++i) {
+    EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+  }
+}
+
+TEST(JacobiEig, EigenvectorsOrthonormal) {
+  const auto eig = jacobi_eig(random_symmetric(7, 9));
+  const Matrix vtv = gemm(eig.eigenvectors.transposed(), eig.eigenvectors);
+  EXPECT_MATRIX_NEAR(vtv, Matrix::identity(7), 1e-11);
+}
+
+TEST(JacobiEig, ReconstructionProperty) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_symmetric(6, 50 + seed);
+    const auto eig = jacobi_eig(a);
+    const Matrix back = reconstruct(eig, [](Real x) { return x; });
+    EXPECT_MATRIX_NEAR(back, a, 1e-11);
+  }
+}
+
+TEST(JacobiEig, EigenvectorEquation) {
+  const Matrix a = random_symmetric(5, 13);
+  const auto eig = jacobi_eig(a);
+  for (Index c = 0; c < 5; ++c) {
+    Vector v(5);
+    for (Index r = 0; r < 5; ++r) v[r] = eig.eigenvectors(r, c);
+    const Vector av = matvec(a, v);
+    for (Index r = 0; r < 5; ++r) {
+      EXPECT_NEAR(av[r], eig.eigenvalues[c] * v[r], 1e-10);
+    }
+  }
+}
+
+TEST(JacobiEig, TraceAndDeterminantInvariants) {
+  const Matrix a = random_symmetric(6, 17);
+  const auto eig = jacobi_eig(a);
+  Real eig_sum = 0;
+  for (Index i = 0; i < 6; ++i) eig_sum += eig.eigenvalues[i];
+  EXPECT_NEAR(eig_sum, trace(a), 1e-10);
+}
+
+TEST(JacobiEig, PsdInputGivesNonnegativeEigenvalues) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto eig = jacobi_eig(random_psd(6, 70 + seed));
+    EXPECT_GE(eig.eigenvalues[5], -1e-10);
+  }
+}
+
+TEST(JacobiEig, OneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = -4.5;
+  const auto eig = jacobi_eig(a);
+  EXPECT_EQ(eig.eigenvalues[0], -4.5);
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), 1, 1e-15);
+}
+
+TEST(JacobiEig, RejectsAsymmetric) {
+  Matrix a = Matrix::identity(3);
+  a(0, 1) = 0.3;
+  EXPECT_THROW(jacobi_eig(a), InvalidArgument);
+}
+
+TEST(JacobiEig, RejectsNonFinite) {
+  Matrix a = Matrix::identity(2);
+  a(0, 0) = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_THROW(jacobi_eig(a), InvalidArgument);
+}
+
+TEST(LambdaMaxExact, MatchesKnownValues) {
+  EXPECT_NEAR(lambda_max_exact(Matrix::diagonal(Vector{1, 5, 2})), 5, 1e-13);
+}
+
+TEST(Reconstruct, AppliesFunctionToSpectrum) {
+  const Matrix a = Matrix::diagonal(Vector{4, 9});
+  const auto eig = jacobi_eig(a);
+  const Matrix sq = reconstruct(eig, [](Real x) { return std::sqrt(x); });
+  EXPECT_MATRIX_NEAR(sq, Matrix::diagonal(Vector{2, 3}), 1e-12);
+}
+
+class EigSizeSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(EigSizeSweep, ReconstructsAtEverySize) {
+  const Index m = GetParam();
+  const Matrix a = random_symmetric(m, 1000 + static_cast<std::uint64_t>(m));
+  const auto eig = jacobi_eig(a);
+  const Matrix back = reconstruct(eig, [](Real x) { return x; });
+  EXPECT_LE(max_abs_diff(back, a), 1e-10 * std::max<Real>(1, frobenius_norm(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 40, 100));
+
+}  // namespace
+}  // namespace psdp::linalg

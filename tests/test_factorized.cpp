@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "linalg/eig.hpp"
+#include "sparse/factorized.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::sparse {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using psdp::testing::random_psd;
+using psdp::testing::random_psd_rank;
+using psdp::testing::random_symmetric;
+
+TEST(FactorizedPsd, RankOneMatchesOuterProduct) {
+  const Vector v{1, -2, 0, 3};
+  const FactorizedPsd a = FactorizedPsd::rank_one(v);
+  EXPECT_EQ(a.dim(), 4);
+  EXPECT_EQ(a.factor_cols(), 1);
+  EXPECT_EQ(a.nnz(), 3);  // the zero entry is dropped
+  EXPECT_MATRIX_NEAR(a.to_dense(), Matrix::outer(v), 1e-14);
+}
+
+TEST(FactorizedPsd, TraceIsFrobeniusNormOfFactor) {
+  const Vector v{1, 2, 2};
+  const FactorizedPsd a = FactorizedPsd::rank_one(v);
+  EXPECT_NEAR(a.trace(), 9.0, 1e-14);  // ||v||^2
+  EXPECT_NEAR(a.trace(), linalg::trace(a.to_dense()), 1e-14);
+}
+
+TEST(FactorizedPsd, FromDensePsdRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Matrix dense = random_psd(6, seed);
+    const FactorizedPsd fact = FactorizedPsd::from_dense_psd(dense);
+    EXPECT_MATRIX_NEAR(fact.to_dense(), dense, 1e-8);
+  }
+}
+
+TEST(FactorizedPsd, FromDensePsdRespectsRank) {
+  const Matrix dense = random_psd_rank(8, 3, 5);
+  const FactorizedPsd fact = FactorizedPsd::from_dense_psd(dense);
+  EXPECT_EQ(fact.factor_cols(), 3);
+  EXPECT_MATRIX_NEAR(fact.to_dense(), dense, 1e-8);
+}
+
+TEST(FactorizedPsd, FromDensePsdRejectsIndefinite) {
+  Matrix bad = Matrix::identity(3);
+  bad(2, 2) = -1;
+  EXPECT_THROW(FactorizedPsd::from_dense_psd(bad), InvalidArgument);
+}
+
+TEST(FactorizedPsd, ApplyMatchesDense) {
+  const Matrix dense = random_psd(7, 20);
+  const FactorizedPsd fact = FactorizedPsd::from_dense_psd(dense);
+  Vector x(7);
+  for (Index i = 0; i < 7; ++i) x[i] = static_cast<Real>(i) - 3;
+  Vector y;
+  fact.apply(x, y);
+  const Vector want = linalg::matvec(dense, x);
+  for (Index i = 0; i < 7; ++i) EXPECT_NEAR(y[i], want[i], 1e-9);
+}
+
+TEST(FactorizedPsd, DotDenseMatchesFrobenius) {
+  const Matrix a_dense = random_psd(5, 30);
+  const FactorizedPsd a = FactorizedPsd::from_dense_psd(a_dense);
+  const Matrix s = random_psd(5, 31);
+  EXPECT_NEAR(a.dot_dense(s), linalg::frobenius_dot(a_dense, s), 1e-9);
+}
+
+TEST(FactorizedSet, ValidatesDimensions) {
+  std::vector<FactorizedPsd> items;
+  items.push_back(FactorizedPsd::rank_one(Vector{1, 2}));
+  items.push_back(FactorizedPsd::rank_one(Vector{1, 2, 3}));
+  EXPECT_THROW(FactorizedSet(std::move(items)), InvalidArgument);
+  EXPECT_THROW(FactorizedSet(std::vector<FactorizedPsd>{}), InvalidArgument);
+}
+
+TEST(FactorizedSet, TotalNnzSums) {
+  std::vector<FactorizedPsd> items;
+  items.push_back(FactorizedPsd::rank_one(Vector{1, 2, 0}));
+  items.push_back(FactorizedPsd::rank_one(Vector{0, 1, 1}));
+  const FactorizedSet set(std::move(items));
+  EXPECT_EQ(set.total_nnz(), 4);
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.dim(), 3);
+}
+
+TEST(FactorizedSet, WeightedSumMatchesDenseAccumulation) {
+  std::vector<FactorizedPsd> items;
+  std::vector<Matrix> dense;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Matrix d = random_psd_rank(5, 2, 40 + seed);
+    dense.push_back(d);
+    items.push_back(FactorizedPsd::from_dense_psd(d));
+  }
+  const FactorizedSet set(std::move(items));
+  const Vector x{0.5, 0.0, 2.0, 1.5};
+  const Csr psi = set.weighted_sum(x);
+  Matrix want(5, 5);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    want.add_scaled(dense[i], x[static_cast<Index>(i)]);
+  }
+  EXPECT_MATRIX_NEAR(psi.to_dense(), want, 1e-8);
+}
+
+TEST(FactorizedSet, WeightedApplyMatchesWeightedSum) {
+  std::vector<FactorizedPsd> items;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    items.push_back(
+        FactorizedPsd::from_dense_psd(random_psd_rank(6, 2, 60 + seed)));
+  }
+  const FactorizedSet set(std::move(items));
+  const Vector x{1.0, 0.25, 3.0};
+  Vector v(6);
+  for (Index i = 0; i < 6; ++i) v[i] = std::sin(static_cast<Real>(i));
+  Vector y;
+  set.weighted_apply(x, v, y);
+  const Vector want = set.weighted_sum(x).apply(v);
+  for (Index i = 0; i < 6; ++i) EXPECT_NEAR(y[i], want[i], 1e-9);
+}
+
+TEST(FactorizedSet, IndexOutOfRangeThrows) {
+  std::vector<FactorizedPsd> items;
+  items.push_back(FactorizedPsd::rank_one(Vector{1}));
+  const FactorizedSet set(std::move(items));
+  EXPECT_THROW(set[1], InvalidArgument);
+  EXPECT_THROW(set[-1], InvalidArgument);
+}
+
+TEST(FactorizedPsd, PsdByConstruction) {
+  // Whatever sparse Q is used, Q Q^T must be PSD.
+  const Csr q = Csr::from_triplets(4, 2, {{0, 0, 1}, {1, 0, -2}, {2, 1, 3}});
+  const FactorizedPsd a{q};
+  const auto eig = linalg::jacobi_eig(a.to_dense());
+  EXPECT_GE(eig.eigenvalues[3], -1e-12);
+}
+
+}  // namespace
+}  // namespace psdp::sparse

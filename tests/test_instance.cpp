@@ -1,0 +1,217 @@
+// Tests for problem types, the Appendix-A normalization, and the Lemma 2.2
+// trace-bounding preprocessing.
+#include <gtest/gtest.h>
+
+#include "core/instance.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eig.hpp"
+#include "linalg/matfunc.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_psd_rank;
+
+PackingInstance two_identities(Index m) {
+  return PackingInstance({Matrix::identity(m), Matrix::identity(m)});
+}
+
+TEST(PackingInstance, BasicAccessorsAndTraces) {
+  const PackingInstance inst = two_identities(3);
+  EXPECT_EQ(inst.size(), 2);
+  EXPECT_EQ(inst.dim(), 3);
+  EXPECT_EQ(inst.constraint_trace(0), 3);
+  EXPECT_THROW(inst[2], InvalidArgument);
+  EXPECT_THROW(inst.constraint_trace(-1), InvalidArgument);
+}
+
+TEST(PackingInstance, ScaledMultipliesConstraints) {
+  const PackingInstance inst = two_identities(2).scaled(2.5);
+  EXPECT_EQ(inst[0](0, 0), 2.5);
+  EXPECT_EQ(inst.constraint_trace(1), 5.0);
+  EXPECT_THROW(inst.scaled(0.0), InvalidArgument);
+}
+
+TEST(PackingInstance, ValidateRejectsBadInput) {
+  EXPECT_THROW(PackingInstance(std::vector<Matrix>{}), InvalidArgument);
+  // Inconsistent dimensions.
+  EXPECT_THROW(
+      PackingInstance({Matrix::identity(2), Matrix::identity(3)}),
+      InvalidArgument);
+  // Zero constraint.
+  {
+    const PackingInstance z({Matrix::identity(2), Matrix(2, 2)});
+    EXPECT_THROW(z.validate(false), InvalidArgument);
+  }
+  // Asymmetric constraint.
+  {
+    Matrix bad = Matrix::identity(2);
+    bad(0, 1) = 0.3;
+    const PackingInstance a({bad});
+    EXPECT_THROW(a.validate(false), InvalidArgument);
+  }
+  // Indefinite constraint caught with check_psd (trace kept positive so
+  // only the PSD check can object).
+  {
+    Matrix indef = Matrix::identity(2);
+    indef(1, 1) = -0.5;
+    const PackingInstance p({indef});
+    EXPECT_THROW(p.validate(true), InvalidArgument);
+    EXPECT_NO_THROW(p.validate(false));
+  }
+}
+
+TEST(FactorizedPackingInstance, TracesAndScaling) {
+  std::vector<sparse::FactorizedPsd> items;
+  items.push_back(sparse::FactorizedPsd::rank_one(linalg::Vector{3, 4}));
+  FactorizedPackingInstance inst{sparse::FactorizedSet(std::move(items))};
+  EXPECT_NEAR(inst.constraint_trace(0), 25.0, 1e-12);
+  const FactorizedPackingInstance scaled = inst.scaled(4.0);
+  EXPECT_NEAR(scaled.constraint_trace(0), 100.0, 1e-12);
+  // Dense conversion agrees.
+  EXPECT_MATRIX_NEAR(scaled.to_dense()[0],
+                     linalg::Matrix::outer(linalg::Vector{6, 8}), 1e-12);
+}
+
+TEST(CoveringProblem, ValidateCatchesStructuralErrors) {
+  CoveringProblem p;
+  p.objective = Matrix::identity(2);
+  p.constraints.push_back(Matrix::identity(2));
+  p.rhs = Vector{1};
+  EXPECT_NO_THROW(p.validate());
+  p.rhs = Vector{-1};
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p.rhs = Vector{1, 2};  // wrong length
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+// ------------------------------------------------------------------
+// Appendix A normalization.
+// ------------------------------------------------------------------
+
+TEST(Normalize, MatchesManualFormulaOnFullRankObjective) {
+  CoveringProblem p;
+  p.objective = random_psd(4, 8);
+  p.constraints.push_back(random_psd(4, 9));
+  p.constraints.push_back(random_psd(4, 10));
+  p.rhs = Vector{2.0, 0.5};
+  const NormalizedProblem norm = normalize(p);
+  ASSERT_EQ(norm.packing.size(), 2);
+  const Matrix c_is = linalg::inv_sqrt_psd(p.objective);
+  for (Index i = 0; i < 2; ++i) {
+    Matrix want = linalg::gemm(
+        c_is, linalg::gemm(p.constraints[static_cast<std::size_t>(i)], c_is));
+    want.symmetrize();
+    want.scale(1 / p.rhs[i]);
+    EXPECT_MATRIX_NEAR(norm.packing[i], want, 1e-8);
+  }
+}
+
+TEST(Normalize, DropsZeroRhsConstraints) {
+  CoveringProblem p;
+  p.objective = Matrix::identity(3);
+  p.constraints.push_back(Matrix::identity(3));
+  p.constraints.push_back(random_psd(3, 2));
+  p.rhs = Vector{0.0, 1.0};
+  const NormalizedProblem norm = normalize(p);
+  EXPECT_EQ(norm.packing.size(), 1);
+  EXPECT_EQ(norm.kept, std::vector<Index>{1});
+}
+
+TEST(Normalize, AllZeroRhsRejected) {
+  CoveringProblem p;
+  p.objective = Matrix::identity(2);
+  p.constraints.push_back(Matrix::identity(2));
+  p.rhs = Vector{0.0};
+  EXPECT_THROW(normalize(p), InvalidArgument);
+}
+
+TEST(Normalize, RejectsConstraintOutsideObjectiveSupport) {
+  CoveringProblem p;
+  // C supported on coordinate 0 only; A demands coordinate 1.
+  p.objective = Matrix(2, 2);
+  p.objective(0, 0) = 1;
+  Matrix a(2, 2);
+  a(1, 1) = 1;
+  p.constraints.push_back(a);
+  p.rhs = Vector{1.0};
+  EXPECT_THROW(normalize(p), InvalidArgument);
+}
+
+TEST(Normalize, DenormalizeInvertsTheTransformation) {
+  CoveringProblem p;
+  p.objective = random_psd(3, 50);
+  p.constraints.push_back(random_psd(3, 51));
+  p.rhs = Vector{1.0};
+  const NormalizedProblem norm = normalize(p);
+  const Matrix z = random_psd(3, 52);
+  const Matrix y = denormalize_primal(norm, z);
+  // C . Y = Tr[Z] and A . Y = b * (B . Z): the definitional identities.
+  EXPECT_NEAR(linalg::frobenius_dot(p.objective, y), linalg::trace(z), 1e-8);
+  EXPECT_NEAR(linalg::frobenius_dot(p.constraints[0], y),
+              p.rhs[0] * linalg::frobenius_dot(norm.packing[0], z), 1e-8);
+}
+
+TEST(Normalize, IdentityObjectiveIsPassThrough) {
+  CoveringProblem p;
+  p.objective = Matrix::identity(3);
+  p.constraints.push_back(random_psd(3, 60));
+  p.rhs = Vector{2.0};
+  const NormalizedProblem norm = normalize(p);
+  Matrix want = p.constraints[0];
+  want.scale(0.5);
+  EXPECT_MATRIX_NEAR(norm.packing[0], want, 1e-9);
+}
+
+// ------------------------------------------------------------------
+// Lemma 2.2 trace bounding.
+// ------------------------------------------------------------------
+
+TEST(BoundTraces, KeepsEverythingWhenTracesAreComparable) {
+  const PackingInstance inst = two_identities(3);
+  const TraceBoundResult r = bound_traces(inst);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.instance.size(), 2);
+}
+
+TEST(BoundTraces, DropsHugeTraceCoordinates) {
+  std::vector<Matrix> constraints;
+  constraints.push_back(Matrix::identity(2));  // trace 2
+  Matrix huge = Matrix::identity(2);
+  huge.scale(1e9);  // trace 2e9 >= n^3 * 2 = 16
+  constraints.push_back(huge);
+  const PackingInstance inst{std::move(constraints)};
+  const TraceBoundResult r = bound_traces(inst);
+  EXPECT_EQ(r.dropped, 1);
+  ASSERT_EQ(r.instance.size(), 1);
+  EXPECT_EQ(r.kept, std::vector<Index>{0});
+}
+
+TEST(BoundTraces, CustomCapFactor) {
+  std::vector<Matrix> constraints;
+  constraints.push_back(Matrix::identity(2));
+  Matrix big = Matrix::identity(2);
+  big.scale(10);
+  constraints.push_back(big);
+  const PackingInstance inst{std::move(constraints)};
+  EXPECT_EQ(bound_traces(inst, 100.0).dropped, 0);
+  EXPECT_EQ(bound_traces(inst, 5.0).dropped, 1);
+}
+
+TEST(BoundTraces, MinTraceConstraintAlwaysSurvives) {
+  std::vector<Matrix> constraints;
+  for (int i = 0; i < 4; ++i) {
+    Matrix a = Matrix::identity(2);
+    a.scale(std::pow(10.0, i * 4));
+    constraints.push_back(std::move(a));
+  }
+  const PackingInstance inst{std::move(constraints)};
+  const TraceBoundResult r = bound_traces(inst);
+  EXPECT_GE(r.instance.size(), 1);
+  EXPECT_EQ(r.kept[0], 0);
+}
+
+}  // namespace
+}  // namespace psdp::core

@@ -1,0 +1,251 @@
+// End-to-end integration tests across modules: generator -> serialization
+// -> solver -> independent certificate verification, plus cross-solver and
+// cross-thread-count consistency.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/beamforming.hpp"
+#include "apps/generators.hpp"
+#include "apps/graph.hpp"
+#include "core/baseline.hpp"
+#include "core/certificates.hpp"
+#include "core/decision.hpp"
+#include "core/factorize.hpp"
+#include "core/optimize.hpp"
+#include "core/phased.hpp"
+#include "core/poslp.hpp"
+#include "io/instance_io.hpp"
+#include "par/cost_meter.hpp"
+#include "par/parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp {
+namespace {
+
+using core::DecisionOptions;
+using core::DecisionOutcome;
+using core::DecisionResult;
+using core::PackingInstance;
+
+TEST(Integration, GenerateSerializeSolveVerify) {
+  apps::EllipseOptions gen;
+  gen.n = 12;
+  gen.m = 5;
+  gen.seed = 99;
+  const PackingInstance original = apps::random_ellipses(gen);
+
+  // Round-trip through the text format.
+  std::stringstream buffer;
+  io::write_packing(buffer, original);
+  const PackingInstance instance = io::read_packing(buffer);
+
+  // Solve the optimization problem and verify both sides independently.
+  core::OptimizeOptions options;
+  options.eps = 0.2;
+  const core::PackingOptimum r = core::approx_packing(instance, options);
+  const core::DualCheck dual = core::check_dual(instance, r.best_x, 1e-9);
+  EXPECT_TRUE(dual.feasible);
+  EXPECT_NEAR(dual.value, r.lower, 1e-9 * (1 + r.lower));
+  EXPECT_LE(r.lower, r.upper * (1 + 1e-12));
+}
+
+TEST(Integration, DenseToFactorizedPipelineEndToEnd) {
+  // The full preprocessing pipeline: dense generator -> pivoted-Cholesky
+  // factorization -> factorized serialization round trip -> phased
+  // factorized solve -> certificate verified against the ORIGINAL dense
+  // instance.
+  apps::EllipseOptions gen;
+  gen.n = 14;
+  gen.m = 10;
+  gen.rank = 2;
+  gen.seed = 123;
+  const PackingInstance dense = apps::random_ellipses(gen).scaled(0.05);
+
+  const core::FactorizedPackingInstance fact = core::factorize(dense);
+  std::stringstream buffer;
+  io::write_factorized(buffer, fact);
+  const core::FactorizedPackingInstance loaded = io::read_factorized(buffer);
+  ASSERT_EQ(loaded.total_nnz(), fact.total_nnz());
+
+  core::FactorizedPhasedOptions options;
+  options.eps = 0.15;
+  const core::PhasedResult r = core::decision_phased(loaded, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  const core::DualCheck check = core::check_dual(dense, r.dual_x, 1e-6);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_GT(check.value, 0);
+}
+
+TEST(Integration, LpPipelineDualitySandwich) {
+  // LP generator -> serialization round trip -> packing + covering solves
+  // -> strong-duality sandwich: packing OPT == covering OPT, so
+  //    packing.lower <= covering.objective and the two brackets interleave.
+  const core::PackingLp original =
+      apps::random_packing_lp({.rows = 9, .cols = 21, .seed = 77});
+  std::stringstream buffer;
+  io::write_lp(buffer, original);
+  const core::PackingLp lp = io::read_lp(buffer);
+
+  core::OptimizeOptions options;
+  options.eps = 0.12;
+  const core::LpOptimum pack = core::approx_packing_lp(lp, options);
+  const core::LpCoveringOptimum cover = core::approx_covering_lp(lp, options);
+  // pack.lower <= OPT <= cover.objective, and both brackets are (1+eps).
+  EXPECT_LE(pack.lower, cover.objective * (1 + 1e-9));
+  EXPECT_GE(cover.objective, pack.lower * (1 - 1e-9));
+  EXPECT_LE(cover.objective, pack.lower * (1 + options.eps) * (1 + options.eps)
+            + 1e-9);
+  // Cross-feasibility: the packing witness under the covering prices.
+  const linalg::Vector coverage =
+      linalg::matvec_transpose(lp.matrix(), cover.y);
+  for (Index e = 0; e < coverage.size(); ++e) EXPECT_GE(coverage[e], 1 - 1e-9);
+}
+
+TEST(Integration, WeakDualityAcrossCertificates) {
+  // Whenever the solver returns a primal certificate at some scale and a
+  // dual at another, the duality product must respect weak duality.
+  const PackingInstance fig1 = apps::figure1_instance();
+  DecisionOptions options;
+  options.eps = 0.2;
+  const DecisionResult dual_run = core::decision_dense(fig1, options);
+  const DecisionResult primal_run =
+      core::decision_dense(fig1.scaled(10.0), options);
+  if (dual_run.outcome == DecisionOutcome::kDual &&
+      primal_run.outcome == DecisionOutcome::kPrimal) {
+    // Same instance family at different scales: check each against itself.
+    EXPECT_LE(core::duality_product(fig1, dual_run.dual_x,
+                                    primal_run.primal_y),
+              10.0 * (1 + 0.2) + 1e-6);
+  }
+}
+
+TEST(Integration, DenseAndFactorizedSolversAgreeEndToEnd) {
+  const apps::Graph g = apps::cycle_graph(6);
+  const core::FactorizedPackingInstance fact =
+      apps::edge_packing_factorized(g);
+  const PackingInstance dense = fact.to_dense();
+  DecisionOptions options;
+  options.eps = 0.25;
+  for (Real scale : {0.05, 0.5, 4.0}) {
+    const DecisionResult rf =
+        core::decision_factorized(fact.scaled(scale), options);
+    const DecisionResult rd = core::decision_dense(dense.scaled(scale), options);
+    EXPECT_EQ(rf.outcome, rd.outcome) << "scale " << scale;
+    if (rf.outcome == DecisionOutcome::kDual) {
+      EXPECT_TRUE(core::check_dual(fact, rf.dual_x.span().size() == 0
+                                             ? rd.dual_x
+                                             : rf.dual_x,
+                                   1e-6)
+                      .feasible);
+    }
+  }
+}
+
+TEST(Integration, ResultsIdenticalAcrossThreadCounts) {
+  // The dense solver is deterministic; thread count must not change the
+  // outcome, iteration count, or certificate.
+  apps::EllipseOptions gen;
+  gen.n = 10;
+  gen.m = 4;
+  const PackingInstance instance = apps::random_ellipses(gen);
+  DecisionOptions options;
+  options.eps = 0.3;
+
+  const int before = par::num_threads();
+  par::set_num_threads(1);
+  const DecisionResult r1 = core::decision_dense(instance, options);
+  par::set_num_threads(8);
+  const DecisionResult r8 = core::decision_dense(instance, options);
+  par::set_num_threads(before);
+
+  EXPECT_EQ(r1.outcome, r8.outcome);
+  EXPECT_EQ(r1.iterations, r8.iterations);
+  for (Index i = 0; i < r1.dual_x.size(); ++i) {
+    EXPECT_EQ(r1.dual_x[i], r8.dual_x[i]);
+  }
+}
+
+TEST(Integration, BaselineAndPaperSolverAgreeOnDecisions) {
+  // Both algorithms answer the same decision problem; on clearly-sided
+  // instances they must agree.
+  std::vector<linalg::Matrix> small, large;
+  for (int i = 0; i < 3; ++i) {
+    linalg::Matrix a = linalg::Matrix::identity(3);
+    a.scale(0.05);
+    small.push_back(a);
+    a = linalg::Matrix::identity(3);
+    a.scale(20.0);
+    large.push_back(a);
+  }
+  DecisionOptions paper_options;
+  paper_options.eps = 0.2;
+  core::BaselineOptions baseline_options;
+  baseline_options.eps = 0.2;
+
+  const PackingInstance easy_dual{std::move(small)};
+  EXPECT_EQ(core::decision_dense(easy_dual, paper_options).outcome,
+            DecisionOutcome::kDual);
+  EXPECT_EQ(core::decision_width_dependent(easy_dual, baseline_options).outcome,
+            DecisionOutcome::kDual);
+
+  const PackingInstance easy_primal{std::move(large)};
+  EXPECT_EQ(core::decision_dense(easy_primal, paper_options).outcome,
+            DecisionOutcome::kPrimal);
+  EXPECT_EQ(
+      core::decision_width_dependent(easy_primal, baseline_options).outcome,
+      DecisionOutcome::kPrimal);
+}
+
+TEST(Integration, CoveringPipelineOnSerializedProblem) {
+  apps::BeamformingOptions gen;
+  gen.users = 5;
+  gen.antennas = 3;
+  const core::CoveringProblem original = apps::beamforming_problem(gen);
+  std::stringstream buffer;
+  io::write_covering(buffer, original);
+  const core::CoveringProblem problem = io::read_covering(buffer);
+
+  core::OptimizeOptions options;
+  options.eps = 0.25;
+  const core::CoveringOptimum r = core::approx_covering(problem, options);
+  for (Index i = 0; i < problem.size(); ++i) {
+    EXPECT_GE(linalg::frobenius_dot(
+                  problem.constraints[static_cast<std::size_t>(i)], r.y),
+              problem.rhs[i] * (1 - 1e-6));
+  }
+}
+
+TEST(Integration, PaperFaithfulModeAlsoCertifies) {
+  // With early_primal_exit disabled the algorithm runs the full Lemma 3.6
+  // schedule; on a small instance this must still produce a valid primal.
+  std::vector<linalg::Matrix> constraints;
+  for (int i = 0; i < 3; ++i) {
+    linalg::Matrix a = linalg::Matrix::identity(2);
+    a.scale(8.0);
+    constraints.push_back(a);
+  }
+  const PackingInstance instance{std::move(constraints)};
+  DecisionOptions options;
+  options.eps = 0.5;  // keep R manageable
+  options.early_primal_exit = false;
+  const DecisionResult r = core::decision_dense(instance, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  EXPECT_EQ(r.iterations, r.constants.r_limit);  // ran the whole schedule
+  const core::PrimalCheck check = core::check_primal(instance, r.primal_y, 1e-5);
+  EXPECT_TRUE(check.feasible) << "min_dot=" << check.min_dot;
+}
+
+TEST(Integration, CostMeterSeesSolverWork) {
+  par::CostMeter::reset();
+  const PackingInstance fig1 = apps::figure1_instance();
+  DecisionOptions options;
+  options.eps = 0.3;
+  (void)core::decision_dense(fig1, options);
+  const auto cost = par::CostMeter::snapshot();
+  EXPECT_GT(cost.work, 0u);
+  EXPECT_GT(cost.depth, 0u);
+}
+
+}  // namespace
+}  // namespace psdp

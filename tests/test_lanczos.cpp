@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eig.hpp"
+#include "linalg/lanczos.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_symmetric;
+
+TEST(TridiagonalEigenvalues, DiagonalCase) {
+  const Vector ev = tridiagonal_eigenvalues(Vector{3, 1, 2}, Vector{0, 0});
+  EXPECT_NEAR(ev[0], 3, 1e-10);
+  EXPECT_NEAR(ev[1], 2, 1e-10);
+  EXPECT_NEAR(ev[2], 1, 1e-10);
+}
+
+TEST(TridiagonalEigenvalues, Known2x2) {
+  // [[2, 1], [1, 2]] -> eigenvalues 3 and 1.
+  const Vector ev = tridiagonal_eigenvalues(Vector{2, 2}, Vector{1});
+  EXPECT_NEAR(ev[0], 3, 1e-10);
+  EXPECT_NEAR(ev[1], 1, 1e-10);
+}
+
+TEST(TridiagonalEigenvalues, MatchesJacobiOnRandomTridiagonal) {
+  const Index k = 12;
+  rand::Rng rng(5);
+  Vector alpha(k), beta(k - 1);
+  Matrix dense(k, k);
+  for (Index i = 0; i < k; ++i) {
+    alpha[i] = rng.normal();
+    dense(i, i) = alpha[i];
+  }
+  for (Index i = 0; i < k - 1; ++i) {
+    beta[i] = rng.normal();
+    dense(i, i + 1) = beta[i];
+    dense(i + 1, i) = beta[i];
+  }
+  const Vector got = tridiagonal_eigenvalues(alpha, beta);
+  const EigResult want = jacobi_eig(dense);
+  for (Index i = 0; i < k; ++i) {
+    EXPECT_NEAR(got[i], want.eigenvalues[i], 1e-9) << "index " << i;
+  }
+}
+
+TEST(TridiagonalEigenvalues, Validation) {
+  EXPECT_THROW(tridiagonal_eigenvalues(Vector{}, Vector{}), InvalidArgument);
+  EXPECT_THROW(tridiagonal_eigenvalues(Vector{1, 2}, Vector{1, 2}),
+               InvalidArgument);
+}
+
+TEST(Lanczos, MatchesJacobiOnRandomPsd) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_psd(20, seed);
+    const Real exact = lambda_max_exact(a);
+    const LanczosResult r = lanczos_lambda_max(a);
+    EXPECT_TRUE(r.converged) << "seed " << seed;
+    EXPECT_NEAR(r.lambda_max, exact, 1e-7 * exact) << "seed " << seed;
+  }
+}
+
+TEST(Lanczos, HandlesIndefiniteMatrices) {
+  const Matrix a = random_symmetric(15, 77);
+  const Real exact = jacobi_eig(a).eigenvalues[0];
+  const LanczosResult r = lanczos_lambda_max(a);
+  EXPECT_NEAR(r.lambda_max, exact, 1e-6 * std::max(std::abs(exact), 1.0));
+}
+
+TEST(Lanczos, FewerMatvecsThanPowerIterationOnFlatSpectrum) {
+  // Flat spectrum: lambda = 1 + i/1000 -- power iteration crawls, Lanczos
+  // should converge within a small Krylov space.
+  const Index m = 60;
+  Vector d(m);
+  for (Index i = 0; i < m; ++i) {
+    d[i] = 1 + static_cast<Real>(i) / 1000;
+  }
+  const Matrix a = Matrix::diagonal(d);
+  LanczosOptions options;
+  options.tol = 1e-8;
+  const LanczosResult lz = lanczos_lambda_max(a, options);
+  EXPECT_TRUE(lz.converged);
+  EXPECT_NEAR(lz.lambda_max, d[m - 1], 1e-6);
+
+  PowerOptions p_options;
+  p_options.tol = 1e-8;
+  p_options.max_iterations = lz.matvecs;  // same matvec budget
+  const PowerResult pw = power_iteration(a, p_options);
+  // With the same budget, power iteration is further from the answer.
+  EXPECT_LE(std::abs(lz.lambda_max - d[m - 1]),
+            std::abs(pw.lambda_max - d[m - 1]) + 1e-12);
+}
+
+TEST(Lanczos, OperatorFormMatchesMatrixForm) {
+  const Matrix a = random_psd(10, 3);
+  const SymmetricOp op = [&a](const Vector& x, Vector& y) { matvec(a, x, y); };
+  const LanczosResult r1 = lanczos_lambda_max(op, 10);
+  const LanczosResult r2 = lanczos_lambda_max(a);
+  EXPECT_NEAR(r1.lambda_max, r2.lambda_max, 1e-9);
+}
+
+TEST(Lanczos, ResidualCertifiesUpperBound) {
+  // For PSD operators, lambda_max_true <= ritz + residual.
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const Matrix a = random_psd(16, seed);
+    LanczosOptions options;
+    options.max_dim = 6;  // deliberately under-resolved
+    options.tol = 0;      // never report convergence
+    const LanczosResult r = lanczos_lambda_max(a, options);
+    const Real exact = lambda_max_exact(a);
+    EXPECT_LE(exact, r.lambda_max + r.residual + 1e-9) << "seed " << seed;
+    EXPECT_GE(exact, r.lambda_max - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Lanczos, OneDimensional) {
+  Matrix a(1, 1);
+  a(0, 0) = 4.2;
+  const LanczosResult r = lanczos_lambda_max(a);
+  EXPECT_NEAR(r.lambda_max, 4.2, 1e-12);
+}
+
+TEST(Lanczos, ZeroOperator) {
+  const Matrix a(5, 5);
+  const LanczosResult r = lanczos_lambda_max(a);
+  EXPECT_NEAR(r.lambda_max, 0.0, 1e-12);
+}
+
+TEST(Lanczos, Validation) {
+  const SymmetricOp op = [](const Vector&, Vector&) {};
+  EXPECT_THROW(lanczos_lambda_max(op, 0), InvalidArgument);
+  LanczosOptions bad;
+  bad.max_dim = 0;
+  EXPECT_THROW(lanczos_lambda_max(op, 3, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psdp::linalg

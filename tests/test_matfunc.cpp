@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matfunc.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_psd_rank;
+
+TEST(SqrtPsd, SquaresBack) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Matrix a = random_psd(6, seed);
+    const Matrix s = sqrt_psd(a);
+    EXPECT_MATRIX_NEAR(gemm(s, s), a, 1e-9);
+  }
+}
+
+TEST(SqrtPsd, DiagonalCase) {
+  const Matrix s = sqrt_psd(Matrix::diagonal(Vector{4, 9, 16}));
+  EXPECT_MATRIX_NEAR(s, Matrix::diagonal(Vector{2, 3, 4}), 1e-12);
+}
+
+TEST(SqrtPsd, RejectsIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a(1, 1) = -1;
+  EXPECT_THROW(sqrt_psd(a), InvalidArgument);
+}
+
+TEST(InvSqrtPsd, InvertsOnFullRank) {
+  const Matrix a = random_psd(5, 10);
+  const Matrix is = inv_sqrt_psd(a);
+  const Matrix should_be_identity = gemm(is, gemm(a, is));
+  EXPECT_MATRIX_NEAR(should_be_identity, Matrix::identity(5), 1e-8);
+}
+
+TEST(InvSqrtPsd, ProjectsOnRankDeficient) {
+  const Matrix a = random_psd_rank(6, 3, 4);
+  const Matrix is = inv_sqrt_psd(a);
+  // C^{-1/2} A C^{-1/2} should be the projector onto range(A).
+  const Matrix p = gemm(is, gemm(a, is));
+  // Projector: P^2 = P, trace = rank.
+  EXPECT_MATRIX_NEAR(gemm(p, p), p, 1e-8);
+  EXPECT_NEAR(trace(p), 3.0, 1e-8);
+}
+
+TEST(PinvPsd, SatisfiesPenroseOnFullRank) {
+  const Matrix a = random_psd(5, 20);
+  const Matrix pinv = pinv_psd(a);
+  EXPECT_MATRIX_NEAR(gemm(a, gemm(pinv, a)), a, 1e-8);
+  EXPECT_MATRIX_NEAR(gemm(pinv, gemm(a, pinv)), pinv, 1e-8);
+}
+
+TEST(PinvPsd, ZeroMatrixHasZeroPinv) {
+  const Matrix z(3, 3);
+  EXPECT_MATRIX_NEAR(pinv_psd(z), z, 1e-14);
+}
+
+TEST(RankPsd, DetectsNumericalRank) {
+  EXPECT_EQ(rank_psd(Matrix::identity(4)), 4);
+  EXPECT_EQ(rank_psd(Matrix(4, 4)), 0);
+  for (Index r : {1, 2, 5}) {
+    EXPECT_EQ(rank_psd(random_psd_rank(6, r, 33 + static_cast<std::uint64_t>(r))), r);
+  }
+}
+
+TEST(MatFunc, InvSqrtCommutesWithSqrt) {
+  // A^{1/2} A^{-1/2} = projector onto range(A) = I for full rank.
+  const Matrix a = random_psd(4, 55);
+  const Matrix prod = gemm(sqrt_psd(a), inv_sqrt_psd(a));
+  EXPECT_MATRIX_NEAR(prod, Matrix::identity(4), 1e-8);
+}
+
+}  // namespace
+}  // namespace psdp::linalg

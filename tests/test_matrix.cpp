@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_symmetric;
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(trace(i3), 3);
+  EXPECT_EQ(i3(0, 0), 1);
+  EXPECT_EQ(i3(0, 1), 0);
+  const Matrix d = Matrix::diagonal(Vector{1, 2, 3});
+  EXPECT_EQ(d(2, 2), 3);
+  EXPECT_EQ(d(0, 2), 0);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix a = Matrix::outer(Vector{1, 2});
+  EXPECT_EQ(a(0, 0), 1);
+  EXPECT_EQ(a(0, 1), 2);
+  EXPECT_EQ(a(1, 1), 4);
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(Matrix, Rotation2dIsOrthogonal) {
+  const Matrix r = Matrix::rotation2d(0.7);
+  const Matrix rtr = gemm(r.transposed(), r);
+  EXPECT_MATRIX_NEAR(rtr, Matrix::identity(2), 1e-14);
+}
+
+TEST(Matrix, MatvecMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector y = matvec(a, Vector{1, 1, 1});
+  EXPECT_EQ(y[0], 6);
+  EXPECT_EQ(y[1], 15);
+}
+
+TEST(Matrix, MatvecDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(matvec(a, Vector{1, 1}), InvalidArgument);
+}
+
+TEST(Matrix, MatvecTransposeMatchesExplicitTranspose) {
+  const Matrix a = random_symmetric(7, 21);
+  const Vector x{1, -2, 0.5, 3, -1, 2, 0.25};
+  const Vector y1 = matvec_transpose(a, x);
+  const Vector y2 = matvec(a.transposed(), x);
+  for (Index i = 0; i < 7; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Matrix, GemmIdentity) {
+  const Matrix a = random_symmetric(5, 1);
+  EXPECT_MATRIX_NEAR(gemm(a, Matrix::identity(5)), a, 1e-14);
+  EXPECT_MATRIX_NEAR(gemm(Matrix::identity(5), a), a, 1e-14);
+}
+
+TEST(Matrix, GemmAssociativity) {
+  const Matrix a = random_symmetric(4, 2);
+  const Matrix b = random_symmetric(4, 3);
+  const Matrix c = random_symmetric(4, 4);
+  EXPECT_MATRIX_NEAR(gemm(gemm(a, b), c), gemm(a, gemm(b, c)), 1e-10);
+}
+
+TEST(Matrix, GemmInnerDimensionMismatchThrows) {
+  EXPECT_THROW(gemm(Matrix(2, 3), Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(Matrix, GemmRectangular) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 2.0);
+  const Matrix c = gemm(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(c(1, 3), 6.0);  // 3 * 1 * 2
+}
+
+TEST(Matrix, FrobeniusDotEqualsTraceOfProduct) {
+  const Matrix a = random_psd(6, 10);
+  const Matrix b = random_psd(6, 11);
+  EXPECT_NEAR(frobenius_dot(a, b), trace(gemm(a, b)), 1e-10);
+}
+
+TEST(Matrix, FrobeniusDotOfPsdPairIsNonnegative) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_psd(5, 100 + seed);
+    const Matrix b = random_psd(5, 200 + seed);
+    EXPECT_GE(frobenius_dot(a, b), -1e-12);
+  }
+}
+
+TEST(Matrix, QuadraticForm) {
+  const Matrix a = Matrix::identity(3);
+  EXPECT_NEAR(quadratic_form(a, Vector{1, 2, 3}, Vector{1, 2, 3}), 14, 1e-14);
+}
+
+TEST(Matrix, AddSubScale) {
+  const Matrix a = random_symmetric(4, 5);
+  const Matrix b = random_symmetric(4, 6);
+  Matrix c = add(a, b);
+  c = sub(c, b);
+  EXPECT_MATRIX_NEAR(c, a, 1e-13);
+  Matrix d = a;
+  d.scale(2);
+  EXPECT_MATRIX_NEAR(d, add(a, a), 1e-14);
+}
+
+TEST(Matrix, AddScaledIdentity) {
+  Matrix a(3, 3);
+  a.add_scaled_identity(2.5);
+  EXPECT_MATRIX_NEAR(a, Matrix::diagonal(Vector{2.5, 2.5, 2.5}), 0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.add_scaled_identity(1.0), InvalidArgument);
+}
+
+TEST(Matrix, SymmetrizeFixesAsymmetry) {
+  Matrix a(2, 2);
+  a(0, 1) = 1;
+  a(1, 0) = 3;
+  a.symmetrize();
+  EXPECT_EQ(a(0, 1), 2);
+  EXPECT_EQ(a(1, 0), 2);
+  EXPECT_TRUE(is_symmetric(a));
+}
+
+TEST(Matrix, IsSymmetricDetectsAsymmetry) {
+  Matrix a = Matrix::identity(3);
+  EXPECT_TRUE(is_symmetric(a));
+  a(0, 2) = 0.1;
+  EXPECT_FALSE(is_symmetric(a));
+  EXPECT_FALSE(is_symmetric(Matrix(2, 3)));  // non-square
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2);
+  Matrix b(2, 2);
+  b(1, 0) = -0.5;
+  EXPECT_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(Matrix, AllFinite) {
+  Matrix a(2, 2);
+  EXPECT_TRUE(all_finite(a));
+  a(1, 1) = std::numeric_limits<Real>::infinity();
+  EXPECT_FALSE(all_finite(a));
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+  EXPECT_THROW(trace(Matrix(2, 3)), InvalidArgument);
+}
+
+class GemmSizeSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(GemmSizeSweep, MatchesNaiveTripleLoop) {
+  const Index n = GetParam();
+  const Matrix a = random_symmetric(n, 31 + static_cast<std::uint64_t>(n));
+  const Matrix b = random_symmetric(n, 77 + static_cast<std::uint64_t>(n));
+  const Matrix c = gemm(a, b);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      Real expect = 0;
+      for (Index k = 0; k < n; ++k) expect += a(i, k) * b(k, j);
+      ASSERT_NEAR(c(i, j), expect, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizeSweep,
+                         ::testing::Values(1, 2, 3, 8, 17, 64));
+
+}  // namespace
+}  // namespace psdp::linalg

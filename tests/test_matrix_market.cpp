@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::io {
+namespace {
+
+using linalg::Matrix;
+using psdp::testing::random_psd;
+using sparse::Csr;
+using sparse::Triplet;
+
+Csr sample_sparse() {
+  std::vector<Triplet> triplets{
+      {0, 0, 1.5}, {0, 2, -2.25}, {1, 1, 3.0}, {2, 0, 0.125}};
+  return Csr::from_triplets(3, 4, std::move(triplets));
+}
+
+TEST(MatrixMarket, SparseRoundTripGeneral) {
+  const Csr original = sample_sparse();
+  std::stringstream buffer;
+  write_matrix_market(buffer, original);
+  const Csr back = read_matrix_market_sparse(buffer);
+  ASSERT_EQ(back.rows(), original.rows());
+  ASSERT_EQ(back.cols(), original.cols());
+  EXPECT_MATRIX_NEAR(back.to_dense(), original.to_dense(), 0.0);
+}
+
+TEST(MatrixMarket, SparseRoundTripSymmetric) {
+  // Symmetric 3x3 with an off-diagonal pair and a diagonal entry.
+  std::vector<Triplet> triplets{{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0},
+                                {2, 2, 4.0}};
+  const Csr original = Csr::from_triplets(3, 3, std::move(triplets));
+  std::stringstream buffer;
+  write_matrix_market(buffer, original, /*symmetric=*/true);
+  // The body must contain only the lower triangle: 3 entries.
+  EXPECT_NE(buffer.str().find("\n3 3 3\n"), std::string::npos)
+      << "header: " << buffer.str();
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_MATRIX_NEAR(back.to_dense(), original.to_dense(), 0.0);
+}
+
+TEST(MatrixMarket, DenseRoundTripGeneral) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = -2; a(0, 2) = 3.5;
+  a(1, 0) = 0; a(1, 1) = 1e-7; a(1, 2) = 12345.678;
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const Matrix back = read_matrix_market_dense(buffer);
+  EXPECT_MATRIX_NEAR(back, a, 0.0);
+}
+
+TEST(MatrixMarket, DenseRoundTripSymmetric) {
+  const Matrix a = random_psd(6, 7);
+  std::stringstream buffer;
+  write_matrix_market(buffer, a, /*symmetric=*/true);
+  const Matrix back = read_matrix_market_dense(buffer);
+  EXPECT_MATRIX_NEAR(back, a, 1e-15);
+}
+
+TEST(MatrixMarket, ValuesRoundTripExactly) {
+  Matrix a(1, 2);
+  a(0, 0) = 1.0 / 3.0;
+  a(0, 1) = 6.02214076e23;
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const Matrix back = read_matrix_market_dense(buffer);
+  EXPECT_EQ(back(0, 0), a(0, 0));
+  EXPECT_EQ(back(0, 1), a(0, 1));
+}
+
+TEST(MatrixMarket, ReadsCoordinateAsDense) {
+  std::stringstream buffer;
+  write_matrix_market(buffer, sample_sparse());
+  const Matrix dense = read_matrix_market_dense(buffer);
+  EXPECT_MATRIX_NEAR(dense, sample_sparse().to_dense(), 0.0);
+}
+
+TEST(MatrixMarket, ReadsArrayAsSparse) {
+  const Matrix a = random_psd(4, 9);
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_MATRIX_NEAR(back.to_dense(), a, 0.0);
+}
+
+TEST(MatrixMarket, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "2 2 2\n"
+      "% another comment\n"
+      "1 1 5.0\n"
+      "2 2 -1.0\n");
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_EQ(back.nnz(), 2);
+  EXPECT_NEAR(back.to_dense()(0, 0), 5.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(1, 1), -1.0, 0.0);
+}
+
+TEST(MatrixMarket, SymmetricUpperEntryExpands) {
+  // The spec stores the lower triangle, but accept either triangle and
+  // mirror it.
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 1\n"
+      "2 1 7.0\n");
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_NEAR(back.to_dense()(0, 1), 7.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(1, 0), 7.0, 0.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not a banner\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market_sparse(buffer), InvalidArgument);
+  }
+  {
+    std::stringstream buffer(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market_sparse(buffer), InvalidArgument);
+  }
+  {
+    std::stringstream buffer(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+    EXPECT_THROW(read_matrix_market_sparse(buffer), InvalidArgument);
+  }
+  {
+    // Truncated body.
+    std::stringstream buffer(
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market_sparse(buffer), InvalidArgument);
+  }
+  {
+    // Symmetric but rectangular.
+    std::stringstream buffer(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n");
+    EXPECT_THROW(read_matrix_market_sparse(buffer), InvalidArgument);
+  }
+}
+
+TEST(MatrixMarket, RejectsAsymmetricMatrixForSymmetricWrite) {
+  std::vector<Triplet> triplets{{0, 1, 1.0}};  // no mirror
+  const Csr bad = Csr::from_triplets(2, 2, std::move(triplets));
+  std::stringstream buffer;
+  EXPECT_THROW(write_matrix_market(buffer, bad, /*symmetric=*/true),
+               InvalidArgument);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/psdp_mm_test.mtx";
+  const Matrix a = random_psd(5, 3);
+  save_matrix_market(path, a, /*symmetric=*/true);
+  const Matrix back = load_matrix_market_dense(path);
+  EXPECT_MATRIX_NEAR(back, a, 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(load_matrix_market_sparse("/nonexistent/path.mtx"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psdp::io

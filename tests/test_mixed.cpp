@@ -1,0 +1,190 @@
+// Tests for the mixed packing/covering extension (Section 5 future work).
+// The solver is heuristic (no worst-case analysis), so the tests are built
+// on planted-feasible instances and on the measured certificates the
+// result carries.
+#include <gtest/gtest.h>
+
+#include "core/certificates.hpp"
+#include "core/mixed.hpp"
+#include "linalg/eig.hpp"
+#include "rand/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// A planted-feasible instance: uniform x* = 1/n packs exactly to
+/// `pack_slack` and covers every coordinate to `cover_surplus`.
+MixedInstance planted_instance(Index n, Index m, Index l, Real pack_slack,
+                               Real cover_surplus, std::uint64_t seed) {
+  std::vector<Matrix> packing;
+  std::vector<Vector> covering;
+  rand::Rng rng(seed);
+  // Packing: random PSD matrices, then scale the whole family so
+  // lambda_max(avg) = pack_slack.
+  Matrix sum(m, m);
+  for (Index i = 0; i < n; ++i) {
+    packing.push_back(psdp::testing::random_psd(m, seed * 131 + static_cast<std::uint64_t>(i)));
+    sum.add_scaled(packing.back(), 1.0 / static_cast<Real>(n));
+  }
+  const Real lambda = linalg::lambda_max_exact(sum);
+  for (Matrix& a : packing) a.scale(pack_slack / lambda);
+  // Covering: random non-negative vectors scaled so the uniform average
+  // covers every coordinate to exactly cover_surplus.
+  Vector cov_sum(l);
+  for (Index i = 0; i < n; ++i) {
+    Vector d(l);
+    for (Index j = 0; j < l; ++j) d[j] = rng.uniform(0.1, 1.0);
+    covering.push_back(d);
+    cov_sum.add_scaled(d, 1.0 / static_cast<Real>(n));
+  }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < l; ++j) {
+      covering[static_cast<std::size_t>(i)][j] *= cover_surplus / cov_sum[j];
+    }
+  }
+  MixedInstance instance;
+  instance.packing = PackingInstance(std::move(packing));
+  instance.covering = std::move(covering);
+  return instance;
+}
+
+TEST(MixedInstance, ValidationCatchesStructuralErrors) {
+  MixedInstance instance = planted_instance(4, 3, 2, 0.5, 2.0, 1);
+  EXPECT_NO_THROW(instance.validate());
+  // Misaligned covering.
+  MixedInstance bad = instance;
+  bad.covering.pop_back();
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  // Negative covering entry.
+  bad = instance;
+  bad.covering[0][0] = -1;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  // Unreachable covering coordinate.
+  bad = instance;
+  for (auto& d : bad.covering) d[1] = 0;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  // Inconsistent lengths.
+  bad = instance;
+  bad.covering[1] = Vector(5, 1.0);
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(MixedSolve, RecoverComfortablyFeasibleInstance) {
+  // Plenty of room on both sides: pack to 1/2 while covering 4x over.
+  const MixedInstance instance = planted_instance(8, 4, 3, 0.5, 4.0, 2);
+  MixedOptions options;
+  options.eps = 0.2;
+  const MixedResult r = solve_mixed(instance, options);
+  ASSERT_EQ(r.outcome, MixedOutcome::kFeasible);
+  // Packing side: verify against the exact checker.
+  const DualCheck pack = check_dual(instance.packing, r.x, 1e-9);
+  EXPECT_TRUE(pack.feasible) << "lambda_max=" << pack.lambda_max;
+  // Covering side: recompute coverage from scratch.
+  Vector coverage(instance.covering_dim());
+  for (Index i = 0; i < instance.size(); ++i) {
+    coverage.add_scaled(instance.covering[static_cast<std::size_t>(i)], r.x[i]);
+  }
+  for (Index j = 0; j < coverage.size(); ++j) {
+    EXPECT_GE(coverage[j], 1 - 10 * options.eps) << "coordinate " << j;
+    EXPECT_NEAR(coverage[j], coverage[j], 0);  // finite
+  }
+  EXPECT_NEAR(r.min_coverage, [&] {
+    Real mc = coverage[0];
+    for (Index j = 1; j < coverage.size(); ++j) mc = std::min(mc, coverage[j]);
+    return mc;
+  }(), 1e-9);
+}
+
+class MixedPlantedSweep
+    : public ::testing::TestWithParam<std::tuple<Real, std::uint64_t>> {};
+
+TEST_P(MixedPlantedSweep, CertificatesAlwaysVerify) {
+  const auto [surplus, seed] = GetParam();
+  const MixedInstance instance = planted_instance(10, 4, 4, 0.6, surplus, seed);
+  MixedOptions options;
+  options.eps = 0.25;
+  const MixedResult r = solve_mixed(instance, options);
+  // Whatever the outcome, the packing certificate must hold exactly.
+  EXPECT_TRUE(check_dual(instance.packing, r.x, 1e-9).feasible);
+  if (surplus >= 3.0) {
+    EXPECT_EQ(r.outcome, MixedOutcome::kFeasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurplusAndSeed, MixedPlantedSweep,
+    ::testing::Combine(::testing::Values(3.0, 6.0),
+                       ::testing::Values(5u, 6u, 7u)));
+
+TEST(MixedSolve, ProvablyInfeasibleInstanceReportsExhausted) {
+  // d_ij = Tr(A_i)/(2m) makes every coverage coordinate equal to
+  // Tr(sum x_i A_i)/(2m) <= lambda_max/2, so no packing-feasible x can
+  // cover beyond 1/2: the instance is infeasible by construction.
+  const Index n = 6, m = 3, l = 2;
+  std::vector<Matrix> packing;
+  std::vector<Vector> covering;
+  for (Index i = 0; i < n; ++i) {
+    packing.push_back(
+        psdp::testing::random_psd(m, 900 + static_cast<std::uint64_t>(i)));
+    const Real d = linalg::trace(packing.back()) / (2 * static_cast<Real>(m));
+    covering.push_back(Vector(l, d));
+  }
+  MixedInstance instance;
+  instance.packing = PackingInstance(std::move(packing));
+  instance.covering = std::move(covering);
+
+  MixedOptions options;
+  options.eps = 0.2;
+  options.max_iterations_override = 2000;
+  const MixedResult r = solve_mixed(instance, options);
+  EXPECT_EQ(r.outcome, MixedOutcome::kExhausted);
+  // Even then, the packing side of the reported x is exactly feasible.
+  EXPECT_TRUE(check_dual(instance.packing, r.x, 1e-9).feasible);
+  EXPECT_LT(r.min_coverage, 1.0);
+}
+
+TEST(MixedSolve, PureCoveringCoordinateIsUsed) {
+  // One coordinate has a tiny packing footprint and dominant coverage: the
+  // solver should lean on it.
+  std::vector<Matrix> packing;
+  std::vector<Vector> covering;
+  Matrix big = Matrix::identity(2);
+  packing.push_back(big);
+  covering.push_back(Vector{0.01});
+  Matrix small = Matrix::identity(2);
+  small.scale(0.01);
+  packing.push_back(small);
+  covering.push_back(Vector{1.0});
+  MixedInstance instance;
+  instance.packing = PackingInstance(std::move(packing));
+  instance.covering = std::move(covering);
+
+  MixedOptions options;
+  options.eps = 0.2;
+  const MixedResult r = solve_mixed(instance, options);
+  ASSERT_EQ(r.outcome, MixedOutcome::kFeasible);
+  EXPECT_GT(r.x[1], r.x[0]);  // the efficient coordinate carries the mass
+}
+
+TEST(MixedSolve, RejectsBadEps) {
+  const MixedInstance instance = planted_instance(3, 2, 2, 0.5, 2.0, 11);
+  MixedOptions options;
+  options.eps = 0;
+  EXPECT_THROW(solve_mixed(instance, options), InvalidArgument);
+}
+
+TEST(MixedSolve, IterationOverrideHonored) {
+  const MixedInstance instance = planted_instance(4, 3, 2, 0.5, 2.0, 12);
+  MixedOptions options;
+  options.eps = 0.2;
+  options.max_iterations_override = 3;
+  const MixedResult r = solve_mixed(instance, options);
+  EXPECT_LE(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace psdp::core

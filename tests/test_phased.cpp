@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/generators.hpp"
+#include "core/certificates.hpp"
+#include "core/phased.hpp"
+#include "linalg/eig.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+/// sum_i x_i A_i <= (1 + tol) I, verified by exact eigensolve.
+void expect_dual_feasible(const PackingInstance& instance, const Vector& x,
+                          Real tol) {
+  Matrix psi(instance.dim(), instance.dim());
+  for (Index i = 0; i < instance.size(); ++i) {
+    psi.add_scaled(instance[i], x[i]);
+  }
+  EXPECT_LE(linalg::lambda_max_exact(psi), 1 + tol);
+}
+
+TEST(Phased, DualOutcomeOnFeasibleInstance) {
+  // Generously packable: the dual side must trigger, and the measured-tight
+  // dual must be exactly feasible.
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 20, .m = 8, .rank = 2, .seed = 3});
+  const PackingInstance scaled = instance.scaled(0.01);
+  PhasedOptions options;
+  options.eps = 0.1;
+  const PhasedResult r = decision_phased(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  expect_dual_feasible(scaled, r.dual_x, 1e-9);
+  EXPECT_GT(linalg::norm1(r.dual_x), 0);
+}
+
+TEST(Phased, PrimalOutcomeIsSelfVerifying) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 12, .m = 6, .rank = 2, .seed = 5});
+  const PackingInstance scaled = instance.scaled(50.0);
+  PhasedOptions options;
+  options.eps = 0.1;
+  const PhasedResult r = decision_phased(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  EXPECT_NEAR(linalg::trace(r.primal_y), 1, 1e-9);
+  // The reported dots must match the returned Y and certify the primal.
+  for (Index i = 0; i < scaled.size(); ++i) {
+    const Real dot = linalg::frobenius_dot(scaled[i], r.primal_y);
+    EXPECT_NEAR(dot, r.primal_dots[i], 1e-7 * std::max<Real>(1, dot));
+    EXPECT_GE(dot, 1 - 1e-7);
+  }
+}
+
+TEST(Phased, FewerExponentialsThanIterations) {
+  // The whole point of phases: #exponentials = #phases << iterations.
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 24, .m = 8, .rank = 2, .seed = 7});
+  PhasedOptions options;
+  options.eps = 0.1;
+  const PhasedResult r = decision_phased(instance, options);
+  EXPECT_EQ(r.phases, static_cast<Index>(r.phase_stats.size()));
+  EXPECT_LT(r.phases, r.iterations);
+  // Phase lengths sum to the virtual iteration count.
+  Index total = 0;
+  for (const PhaseStat& s : r.phase_stats) total += s.length;
+  EXPECT_EQ(total, r.iterations);
+}
+
+TEST(Phased, AgreesWithPhaseFreeOutcome) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const PackingInstance instance = apps::random_ellipses(
+        {.n = 16, .m = 6, .rank = 2, .seed = 100 + seed});
+    DecisionOptions plain_options;
+    plain_options.eps = 0.15;
+    const DecisionResult plain = decision_dense(instance, plain_options);
+    PhasedOptions options;
+    options.eps = 0.15;
+    const PhasedResult phased = decision_phased(instance, options);
+    EXPECT_EQ(plain.outcome, phased.outcome) << "seed " << seed;
+    if (plain.outcome == DecisionOutcome::kDual) {
+      const Real plain_value = linalg::norm1(plain.dual_x_tight);
+      const Real phased_value = linalg::norm1(phased.dual_x);
+      EXPECT_NEAR(phased_value, plain_value, 0.35 * plain_value)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Phased, SpectrumStaysNearLemmaBound) {
+  // Empirically the phase schedule does not break Lemma 3.2; the flag is
+  // reported for transparency and should not trigger on benign instances.
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 16, .m = 8, .rank = 3, .seed = 11});
+  PhasedOptions options;
+  options.eps = 0.1;
+  const PhasedResult r = decision_phased(instance, options);
+  EXPECT_FALSE(r.spectrum_bound_exceeded);
+  EXPECT_LE(r.psi_lambda_max, r.constants.spectrum_bound * (1 + 1e-9));
+}
+
+TEST(Phased, SmallerPhaseGrowthMeansMorePhases) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 16, .m = 6, .rank = 2, .seed = 13});
+  PhasedOptions coarse;
+  coarse.eps = 0.1;
+  coarse.phase_growth = 0.2;
+  PhasedOptions fine;
+  fine.eps = 0.1;
+  fine.phase_growth = 0.01;
+  const PhasedResult r_coarse = decision_phased(instance, coarse);
+  const PhasedResult r_fine = decision_phased(instance, fine);
+  EXPECT_GE(r_fine.phases, r_coarse.phases);
+}
+
+TEST(Phased, RespectsIterationOverride) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 8, .m = 5, .rank = 2, .seed = 17});
+  PhasedOptions options;
+  options.eps = 0.1;
+  options.max_iterations_override = 7;
+  options.early_primal_exit = false;
+  const PhasedResult r = decision_phased(instance, options);
+  EXPECT_LE(r.iterations, 7);
+}
+
+TEST(Phased, NeedleInstanceStillWidthIndependent) {
+  // Iteration counts must not scale with the needle width (the paper's
+  // headline property survives the phase schedule).
+  Index iters_narrow = 0;
+  Index iters_wide = 0;
+  {
+    const PackingInstance inst = apps::needle_width_family(
+        {.n = 12, .m = 6, .width = 2, .seed = 19});
+    PhasedOptions options;
+    options.eps = 0.15;
+    iters_narrow = decision_phased(inst, options).iterations;
+  }
+  {
+    const PackingInstance inst = apps::needle_width_family(
+        {.n = 12, .m = 6, .width = 2048, .seed = 19});
+    PhasedOptions options;
+    options.eps = 0.15;
+    iters_wide = decision_phased(inst, options).iterations;
+  }
+  EXPECT_LE(static_cast<Real>(iters_wide),
+            3.0 * static_cast<Real>(std::max<Index>(iters_narrow, 1)) + 64);
+}
+
+TEST(FactorizedPhased, AgreesWithDensePhasedOnDualSide) {
+  const apps::FactorizedOptions gen{.n = 14, .m = 12, .rank = 2,
+                                    .nnz_per_column = 4, .seed = 31};
+  const core::FactorizedPackingInstance fact =
+      apps::random_factorized(gen).scaled(0.05);
+  FactorizedPhasedOptions options;
+  options.eps = 0.15;
+  const PhasedResult sparse = decision_phased(fact, options);
+  PhasedOptions dense_options;
+  dense_options.eps = 0.15;
+  const PhasedResult dense = decision_phased(fact.to_dense(), dense_options);
+  EXPECT_EQ(sparse.outcome, dense.outcome);
+  if (sparse.outcome == DecisionOutcome::kDual) {
+    const Real dv = linalg::norm1(dense.dual_x);
+    EXPECT_NEAR(linalg::norm1(sparse.dual_x), dv, 0.35 * dv);
+    // Certified feasibility: lambda_max rescaling is an upper bound.
+    expect_dual_feasible(fact.to_dense(), sparse.dual_x, 1e-6);
+  }
+}
+
+TEST(FactorizedPhased, OneBatchPerPhase) {
+  const apps::FactorizedOptions gen{.n = 12, .m = 16, .rank = 2,
+                                    .nnz_per_column = 4, .seed = 37};
+  const core::FactorizedPackingInstance fact = apps::random_factorized(gen);
+  FactorizedPhasedOptions options;
+  options.eps = 0.15;
+  const PhasedResult r = decision_phased(fact, options);
+  EXPECT_EQ(r.phases, static_cast<Index>(r.phase_stats.size()));
+  EXPECT_LT(r.phases, std::max<Index>(r.iterations, 2));
+  Index total = 0;
+  for (const PhaseStat& s : r.phase_stats) total += s.length;
+  EXPECT_EQ(total, r.iterations);
+  // This path never forms a dense primal certificate.
+  EXPECT_EQ(r.primal_y.rows(), 0);
+}
+
+TEST(FactorizedPhased, PrimalSideTerminatesWithCertifiedDots) {
+  const apps::FactorizedOptions gen{.n = 10, .m = 8, .rank = 2,
+                                    .nnz_per_column = 3, .seed = 41};
+  const core::FactorizedPackingInstance fact =
+      apps::random_factorized(gen).scaled(80.0);
+  FactorizedPhasedOptions options;
+  options.eps = 0.2;
+  const PhasedResult r = decision_phased(fact, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  // Estimated certificate values are >= 1 up to the sketch tolerance.
+  for (Index i = 0; i < r.primal_dots.size(); ++i) {
+    EXPECT_GE(r.primal_dots[i], 1 - options.eps) << "constraint " << i;
+  }
+}
+
+TEST(FactorizedPhased, MatchesFactorizedPlainOutcome) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const apps::FactorizedOptions gen{.n = 10, .m = 10, .rank = 2,
+                                      .nnz_per_column = 3, .seed = 300 + seed};
+    const core::FactorizedPackingInstance fact = apps::random_factorized(gen);
+    DecisionOptions plain_options;
+    plain_options.eps = 0.2;
+    const DecisionResult plain = decision_factorized(fact, plain_options);
+    FactorizedPhasedOptions options;
+    options.eps = 0.2;
+    const PhasedResult phased = decision_phased(fact, options);
+    EXPECT_EQ(plain.outcome, phased.outcome) << "seed " << seed;
+  }
+}
+
+// Sweep: outcomes agree with the phase-free solver across eps and scales.
+class PhasedSweep : public ::testing::TestWithParam<std::tuple<Real, Real>> {};
+
+TEST_P(PhasedSweep, OutcomeMatchesPhaseFree) {
+  const auto [eps, scale] = GetParam();
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 12, .m = 6, .rank = 2, .seed = 23});
+  const PackingInstance scaled = instance.scaled(scale);
+  DecisionOptions plain_options;
+  plain_options.eps = eps;
+  PhasedOptions options;
+  options.eps = eps;
+  const DecisionResult plain = decision_dense(scaled, plain_options);
+  const PhasedResult phased = decision_phased(scaled, options);
+  EXPECT_EQ(plain.outcome, phased.outcome);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsAndScale, PhasedSweep,
+                         ::testing::Combine(::testing::Values(0.3, 0.15),
+                                            ::testing::Values(0.02, 30.0)));
+
+}  // namespace
+}  // namespace psdp::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/pivoted_cholesky.hpp"
+#include "rand/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+using psdp::testing::random_psd_rank;
+using psdp::testing::random_symmetric;
+
+TEST(PivotedCholesky, FullRankReconstruction) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_psd(10, seed);
+    const PivotedCholeskyResult f = pivoted_cholesky(a);
+    EXPECT_EQ(f.rank, 10) << "seed " << seed;
+    EXPECT_MATRIX_NEAR(gemm(f.l, f.l.transposed()), a, 1e-9);
+    EXPECT_LE(f.residual_trace, 1e-9 * trace(a));
+  }
+}
+
+TEST(PivotedCholesky, DetectsLowRank) {
+  for (Index r = 1; r <= 4; ++r) {
+    const Matrix a = random_psd_rank(12, r, 40 + static_cast<std::uint64_t>(r));
+    const PivotedCholeskyResult f = pivoted_cholesky(a);
+    EXPECT_EQ(f.rank, r) << "target rank " << r;
+    EXPECT_MATRIX_NEAR(gemm(f.l, f.l.transposed()), a, 1e-9);
+  }
+}
+
+TEST(PivotedCholesky, RankOneExactlyOneColumn) {
+  Vector v({1, -2, 3, 0.5});
+  const Matrix a = Matrix::outer(v);
+  const PivotedCholeskyResult f = pivoted_cholesky(a);
+  EXPECT_EQ(f.rank, 1);
+  EXPECT_MATRIX_NEAR(gemm(f.l, f.l.transposed()), a, 1e-12);
+  // The first pivot is the largest diagonal entry: index 2 (value 9).
+  ASSERT_EQ(f.pivots.size(), 1u);
+  EXPECT_EQ(f.pivots[0], 2);
+}
+
+TEST(PivotedCholesky, ZeroMatrix) {
+  const Matrix a(5, 5);
+  const PivotedCholeskyResult f = pivoted_cholesky(a);
+  EXPECT_EQ(f.rank, 0);
+  EXPECT_EQ(f.l.rows(), 5);
+  EXPECT_EQ(f.l.cols(), 1);  // placeholder zero column
+  EXPECT_NEAR(f.residual_trace, 0, 0.0);
+}
+
+TEST(PivotedCholesky, DiagonalMatrixPivotsInDecreasingOrder) {
+  const Matrix a = Matrix::diagonal(Vector({1, 4, 2, 8}));
+  const PivotedCholeskyResult f = pivoted_cholesky(a);
+  EXPECT_EQ(f.rank, 4);
+  ASSERT_EQ(f.pivots.size(), 4u);
+  EXPECT_EQ(f.pivots[0], 3);  // 8
+  EXPECT_EQ(f.pivots[1], 1);  // 4
+  EXPECT_EQ(f.pivots[2], 2);  // 2
+  EXPECT_EQ(f.pivots[3], 0);  // 1
+  EXPECT_MATRIX_NEAR(gemm(f.l, f.l.transposed()), a, 1e-13);
+}
+
+TEST(PivotedCholesky, MaxRankTruncationBoundsResidual) {
+  const Matrix a = random_psd(16, 77);
+  PivotedCholeskyOptions options;
+  options.max_rank = 5;
+  const PivotedCholeskyResult f = pivoted_cholesky(a, options);
+  EXPECT_EQ(f.rank, 5);
+  // Residual A - L L^T must be PSD with the reported trace.
+  Matrix residual = a;
+  residual.add_scaled(gemm(f.l, f.l.transposed()), -1);
+  EXPECT_NEAR(trace(residual), f.residual_trace, 1e-9);
+  EXPECT_TRUE(is_psd(residual, 1e-8));
+}
+
+TEST(PivotedCholesky, RelTolStopsEarlyOnDecayingSpectrum) {
+  // Diagonal with geometrically decaying entries: tolerance 1e-3 keeps only
+  // the dominant part.
+  const Index m = 20;
+  Vector diag(m);
+  for (Index i = 0; i < m; ++i) diag[i] = std::pow(0.25, static_cast<Real>(i));
+  const Matrix a = Matrix::diagonal(diag);
+  PivotedCholeskyOptions options;
+  options.rel_tol = 1e-3;
+  const PivotedCholeskyResult f = pivoted_cholesky(a, options);
+  EXPECT_LT(f.rank, 10);
+  EXPECT_GE(f.rank, 4);
+  EXPECT_LE(f.residual_trace, 1e-3 * trace(a) + 1e-15);
+}
+
+TEST(PivotedCholesky, RejectsNonSymmetric) {
+  Matrix a = Matrix::identity(3);
+  a(0, 1) = 0.5;  // asymmetric
+  EXPECT_THROW(pivoted_cholesky(a), InvalidArgument);
+}
+
+TEST(PivotedCholesky, RejectsNonFinite) {
+  Matrix a = Matrix::identity(3);
+  a(1, 1) = std::numeric_limits<Real>::infinity();
+  EXPECT_THROW(pivoted_cholesky(a), InvalidArgument);
+}
+
+TEST(PivotedCholesky, ThrowsOnIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(pivoted_cholesky(a), NumericalError);
+}
+
+TEST(PivotedCholesky, NegativeDiagonalRejected) {
+  Matrix a = Matrix::identity(3);
+  a(2, 2) = -1;
+  EXPECT_THROW(pivoted_cholesky(a), NumericalError);
+}
+
+// Property sweep: reconstruction holds across sizes and ranks.
+class PivotedCholeskySweep
+    : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(PivotedCholeskySweep, ReconstructsToToleranceAcrossSizes) {
+  const auto [m, r] = GetParam();
+  const Matrix a =
+      random_psd_rank(m, r, static_cast<std::uint64_t>(1000 + m * 31 + r));
+  const PivotedCholeskyResult f = pivoted_cholesky(a);
+  EXPECT_LE(f.rank, r);
+  EXPECT_MATRIX_NEAR(gemm(f.l, f.l.transposed()), a, 1e-8);
+  EXPECT_LE(f.residual_trace, 1e-8 * std::max<Real>(1, trace(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRanks, PivotedCholeskySweep,
+    ::testing::Combine(::testing::Values<Index>(4, 8, 16, 32),
+                       ::testing::Values<Index>(1, 2, 3)));
+
+}  // namespace
+}  // namespace psdp::linalg

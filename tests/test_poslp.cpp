@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/generators.hpp"
+#include "core/poslp.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+/// P x <= 1 + tol, elementwise.
+void expect_lp_feasible(const PackingLp& lp, const Vector& x, Real tol) {
+  const Vector px = linalg::matvec(lp.matrix(), x);
+  for (Index j = 0; j < px.size(); ++j) {
+    EXPECT_LE(px[j], 1 + tol) << "row " << j;
+  }
+}
+
+TEST(PackingLp, ValidatesInput) {
+  Matrix neg(2, 2);
+  neg(0, 0) = 1;
+  neg(1, 1) = -0.5;
+  EXPECT_THROW(PackingLp{neg}, InvalidArgument);
+
+  Matrix zero_col(2, 2);
+  zero_col(0, 0) = 1;  // column 1 all zero
+  EXPECT_THROW(PackingLp{zero_col}, InvalidArgument);
+
+  Matrix nan(1, 1);
+  nan(0, 0) = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_THROW(PackingLp{nan}, InvalidArgument);
+}
+
+TEST(PackingLp, ColumnSumsAndScaling) {
+  Matrix p(2, 2);
+  p(0, 0) = 1; p(0, 1) = 2;
+  p(1, 0) = 3; p(1, 1) = 0;
+  const PackingLp lp(p);
+  EXPECT_NEAR(lp.column_sum(0), 4, 1e-15);
+  EXPECT_NEAR(lp.column_sum(1), 2, 1e-15);
+  const PackingLp half = lp.scaled(0.5);
+  EXPECT_NEAR(half.column_sum(0), 2, 1e-15);
+}
+
+TEST(PackingLp, DiagonalSdpEmbeddingMatches) {
+  const PackingLp lp = apps::random_packing_lp({.rows = 5, .cols = 7, .seed = 3});
+  const PackingInstance sdp = lp.to_diagonal_sdp();
+  ASSERT_EQ(sdp.size(), lp.size());
+  ASSERT_EQ(sdp.dim(), lp.rows());
+  for (Index i = 0; i < sdp.size(); ++i) {
+    EXPECT_NEAR(sdp.constraint_trace(i), lp.column_sum(i), 1e-12);
+    for (Index j = 0; j < lp.rows(); ++j) {
+      EXPECT_NEAR(sdp[i](j, j), lp.matrix()(j, i), 0);
+    }
+  }
+}
+
+TEST(LpDecision, DualCertificateIsFeasible) {
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 8, .cols = 24, .seed = 11});
+  DecisionOptions options;
+  options.eps = 0.1;
+  const LpDecisionResult r = lp_decision(lp, options);
+  // Whatever the outcome, both dual scalings must be feasible.
+  expect_lp_feasible(lp, r.dual_x, 1e-9);
+  expect_lp_feasible(lp, r.dual_x_tight, 1e-9);
+  // The tight dual saturates: max_j (P x)_j = 1 exactly by construction.
+  const Vector px = linalg::matvec(lp.matrix(), r.dual_x_tight);
+  EXPECT_NEAR(linalg::max_entry(px), 1, 1e-9);
+}
+
+TEST(LpDecision, DualValueMeetsTheorem) {
+  // Scale the LP down so the optimum is large: the dual exit must trigger
+  // with ||x_hat||_1 >= 1 - 10 eps (Theorem 3.1 via (3.4)).
+  const apps::MatchingLpInstance matching = apps::complete_graph_matching_lp(8);
+  const PackingLp scaled = matching.lp.scaled(1 / (4 * matching.opt));
+  DecisionOptions options;
+  options.eps = 0.1;
+  const LpDecisionResult r = lp_decision(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  EXPECT_GE(linalg::norm1(r.dual_x), 1 - 10 * options.eps);
+}
+
+TEST(LpDecision, PrimalCertificateWhenInfeasible) {
+  // Scale up so no dual of value ~1 exists: primal outcome, with the
+  // certificate y a probability vector and every variable's penalty >= 1.
+  const apps::MatchingLpInstance matching = apps::complete_graph_matching_lp(6);
+  // Scaling P by s divides the optimum by s; s = 4 opt pushes it to 1/4.
+  const PackingLp scaled = matching.lp.scaled(4 * matching.opt);
+  DecisionOptions options;
+  options.eps = 0.1;
+  const LpDecisionResult r = lp_decision(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kPrimal);
+  EXPECT_NEAR(linalg::sum(r.primal_y), 1, 1e-9);
+  EXPECT_TRUE(linalg::is_nonnegative(r.primal_y));
+  for (Index i = 0; i < r.primal_dots.size(); ++i) {
+    EXPECT_GE(r.primal_dots[i], 1 - 1e-9) << "variable " << i;
+  }
+}
+
+TEST(LpDecision, MatchesDenseSolverOnDiagonalEmbedding) {
+  // The scalar solver IS Algorithm 3.1 on diagonal matrices: same
+  // constants, same selections, same exit -- iterate-for-iterate.
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 6, .cols = 12, .seed = 29});
+  const PackingInstance sdp = lp.to_diagonal_sdp();
+  DecisionOptions options;
+  options.eps = 0.15;
+  options.track_trajectory = true;
+  const LpDecisionResult scalar = lp_decision(lp, options);
+  const DecisionResult dense = decision_dense(sdp, options);
+
+  EXPECT_EQ(scalar.outcome, dense.outcome);
+  EXPECT_EQ(scalar.iterations, dense.iterations);
+  ASSERT_EQ(scalar.dual_x.size(), dense.dual_x.size());
+  for (Index i = 0; i < scalar.dual_x.size(); ++i) {
+    EXPECT_NEAR(scalar.dual_x[i], dense.dual_x[i],
+                1e-8 * std::max<Real>(1, std::abs(dense.dual_x[i])));
+  }
+  ASSERT_EQ(scalar.trajectory.size(), dense.trajectory.size());
+  for (std::size_t t = 0; t < scalar.trajectory.size(); ++t) {
+    EXPECT_EQ(scalar.trajectory[t].updated, dense.trajectory[t].updated)
+        << "iteration " << t;
+  }
+  // psi_max equals lambda_max of the diagonal Psi.
+  EXPECT_NEAR(scalar.psi_max, dense.psi_lambda_max,
+              1e-8 * std::max<Real>(1, dense.psi_lambda_max));
+}
+
+TEST(LpDecision, SmallEpsDoesNotOverflow) {
+  // eps = 0.02 pushes K to ~150; the shifted exponential must stay finite
+  // even though exp(K (1+10 eps)) would overflow a float and stress a
+  // double.
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 6, .cols = 10, .seed = 31});
+  DecisionOptions options;
+  options.eps = 0.02;
+  options.max_iterations_override = 2000;  // keep the test quick
+  const LpDecisionResult r = lp_decision(lp, options);
+  EXPECT_TRUE(linalg::all_finite(r.dual_x));
+  EXPECT_TRUE(linalg::all_finite(r.primal_y));
+  EXPECT_TRUE(std::isfinite(r.psi_max));
+}
+
+TEST(LpDecision, RespectsIterationOverride) {
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 4, .cols = 6, .seed = 37});
+  DecisionOptions options;
+  options.eps = 0.1;
+  options.max_iterations_override = 3;
+  options.early_primal_exit = false;
+  const LpDecisionResult r = lp_decision(lp, options);
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(ApproxPackingLp, CompleteGraphMatchingHitsAnalyticOptimum) {
+  for (Index k : {4, 6, 9}) {
+    const apps::MatchingLpInstance matching = apps::complete_graph_matching_lp(k);
+    OptimizeOptions options;
+    options.eps = 0.1;
+    const LpOptimum opt = approx_packing_lp(matching.lp, options);
+    EXPECT_LE(opt.lower, matching.opt * (1 + 1e-9)) << "k=" << k;
+    EXPECT_GE(opt.upper, matching.opt * (1 - 1e-9)) << "k=" << k;
+    EXPECT_LE(opt.upper, opt.lower * (1 + options.eps) + 1e-9) << "k=" << k;
+    expect_lp_feasible(matching.lp, opt.best_x, 1e-9);
+    EXPECT_NEAR(linalg::sum(opt.best_x), opt.lower, 1e-9);
+  }
+}
+
+TEST(ApproxPackingLp, RandomInstanceBracketAndFeasibility) {
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 10, .cols = 30, .seed = 41});
+  OptimizeOptions options;
+  options.eps = 0.15;
+  const LpOptimum opt = approx_packing_lp(lp, options);
+  EXPECT_GT(opt.lower, 0);
+  EXPECT_LE(opt.lower, opt.upper * (1 + 1e-12));
+  EXPECT_LE(opt.upper, opt.lower * (1 + options.eps) + 1e-9);
+  expect_lp_feasible(lp, opt.best_x, 1e-9);
+}
+
+TEST(ApproxCoveringLp, VertexCoverOnCompleteGraphHitsAnalyticOptimum) {
+  // min sum_v y_v s.t. y_u + y_v >= 1 per edge: the fractional vertex cover
+  // LP. On K_k the optimum is k/2 (all y_v = 1/2), equal to the fractional
+  // matching number by LP duality -- the same P matrix serves both sides.
+  for (Index k : {4, 7}) {
+    const apps::MatchingLpInstance matching =
+        apps::complete_graph_matching_lp(k);
+    OptimizeOptions options;
+    options.eps = 0.1;
+    const LpCoveringOptimum cover = approx_covering_lp(matching.lp, options);
+    // Feasible: every edge covered.
+    const Vector coverage =
+        linalg::matvec_transpose(matching.lp.matrix(), cover.y);
+    for (Index e = 0; e < coverage.size(); ++e) {
+      EXPECT_GE(coverage[e], 1 - 1e-9) << "edge " << e;
+    }
+    // Value within (1+eps) of k/2, bracketed by the dual bound.
+    EXPECT_GE(cover.objective, matching.opt * (1 - 1e-9)) << "k=" << k;
+    EXPECT_LE(cover.objective,
+              matching.opt * (1 + options.eps) + 1e-9) << "k=" << k;
+    EXPECT_LE(cover.lower_bound, cover.objective * (1 + 1e-9));
+  }
+}
+
+TEST(ApproxCoveringLp, RandomInstanceDualityGap) {
+  const PackingLp lp =
+      apps::random_packing_lp({.rows = 8, .cols = 20, .seed = 51});
+  OptimizeOptions options;
+  options.eps = 0.15;
+  const LpCoveringOptimum cover = approx_covering_lp(lp, options);
+  // Weak duality sandwich: lower_bound <= OPT <= objective.
+  EXPECT_GT(cover.lower_bound, 0);
+  EXPECT_LE(cover.lower_bound, cover.objective * (1 + 1e-9));
+  // The gap closes to (1 + eps) once the packing bracket converged.
+  EXPECT_LE(cover.objective, cover.lower_bound * (1 + options.eps) + 1e-9);
+  EXPECT_TRUE(linalg::is_nonnegative(cover.y));
+}
+
+// Sweep eps x graph size: the bracket must always contain k/2 and close to
+// within 1 + eps.
+class MatchingSweep
+    : public ::testing::TestWithParam<std::tuple<Real, Index>> {};
+
+TEST_P(MatchingSweep, BracketContainsOptimum) {
+  const auto [eps, k] = GetParam();
+  const apps::MatchingLpInstance matching = apps::complete_graph_matching_lp(k);
+  OptimizeOptions options;
+  options.eps = eps;
+  const LpOptimum opt = approx_packing_lp(matching.lp, options);
+  EXPECT_LE(opt.lower, matching.opt * (1 + 1e-9));
+  EXPECT_GE(opt.upper, matching.opt * (1 - 1e-9));
+  EXPECT_LE(opt.upper, opt.lower * (1 + eps) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsAndSize, MatchingSweep,
+                         ::testing::Combine(::testing::Values(0.3, 0.15, 0.08),
+                                            ::testing::Values<Index>(4, 7,
+                                                                     10)));
+
+// Analytic families beyond the complete graph: stars (OPT = 1 regardless
+// of size) and paths (integral bipartite polytope, OPT = floor(k/2)).
+class GraphFamilySweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(GraphFamilySweep, StarOptimumIsOne) {
+  const Index k = GetParam();
+  const apps::MatchingLpInstance star = apps::star_graph_matching_lp(k);
+  ASSERT_EQ(star.lp.size(), k);
+  OptimizeOptions options;
+  options.eps = 0.1;
+  const LpOptimum opt = approx_packing_lp(star.lp, options);
+  EXPECT_LE(opt.lower, 1 + 1e-9);
+  EXPECT_GE(opt.upper, 1 - 1e-9);
+  EXPECT_LE(opt.upper, opt.lower * 1.1 + 1e-9);
+  expect_lp_feasible(star.lp, opt.best_x, 1e-9);
+}
+
+TEST_P(GraphFamilySweep, PathOptimumIsFloorHalf) {
+  const Index k = GetParam();
+  const apps::MatchingLpInstance path = apps::path_graph_matching_lp(k);
+  ASSERT_EQ(path.lp.size(), k - 1);
+  OptimizeOptions options;
+  options.eps = 0.1;
+  const LpOptimum opt = approx_packing_lp(path.lp, options);
+  EXPECT_LE(opt.lower, path.opt * (1 + 1e-9)) << "k=" << k;
+  EXPECT_GE(opt.upper, path.opt * (1 - 1e-9)) << "k=" << k;
+  expect_lp_feasible(path.lp, opt.best_x, 1e-9);
+}
+
+TEST_P(GraphFamilySweep, CycleOptimumIsHalfK) {
+  // Odd cycles witness the LP/IP integrality gap: the fractional optimum
+  // k/2 strictly exceeds the integral matching floor(k/2).
+  const Index k = GetParam();
+  const apps::MatchingLpInstance cycle = apps::cycle_graph_matching_lp(k);
+  ASSERT_EQ(cycle.lp.size(), k);
+  OptimizeOptions options;
+  options.eps = 0.1;
+  const LpOptimum opt = approx_packing_lp(cycle.lp, options);
+  EXPECT_LE(opt.lower, cycle.opt * (1 + 1e-9)) << "k=" << k;
+  EXPECT_GE(opt.upper, cycle.opt * (1 - 1e-9)) << "k=" << k;
+  expect_lp_feasible(cycle.lp, opt.best_x, 1e-9);
+  // The solver must beat the integral optimum on small odd cycles (for
+  // large k the (1+eps) bracket slack can exceed the gap of 1/2).
+  if (k % 2 == 1 && static_cast<Real>(k / 2) <
+                        (static_cast<Real>(k) / 2) / (1 + options.eps)) {
+    EXPECT_GT(opt.lower, static_cast<Real>(k / 2) * (1 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphFamilySweep,
+                         ::testing::Values<Index>(3, 5, 8, 13));
+
+}  // namespace
+}  // namespace psdp::core

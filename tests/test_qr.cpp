@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/qr.hpp"
+#include "rand/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::linalg {
+namespace {
+
+using psdp::testing::random_psd;
+
+Matrix random_rect(Index m, Index n, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  Matrix a(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+void expect_orthonormal_columns(const Matrix& q, Real tol) {
+  const Matrix qtq = gemm(q.transposed(), q);
+  EXPECT_MATRIX_NEAR(qtq, Matrix::identity(q.cols()), tol);
+}
+
+void expect_upper_triangular(const Matrix& r, Real tol) {
+  for (Index i = 0; i < r.rows(); ++i) {
+    for (Index j = 0; j < i; ++j) {
+      EXPECT_NEAR(r(i, j), 0, tol) << "below-diagonal at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Qr, Known2x2) {
+  // A = [3 4; 4 3]: first column norm 5.
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  a(1, 0) = 4; a(1, 1) = 3;
+  const QrResult f = qr(a);
+  EXPECT_NEAR(std::abs(f.r(0, 0)), 5, 1e-12);
+  const Matrix back = gemm(f.q, f.r);
+  EXPECT_MATRIX_NEAR(back, a, 1e-12);
+  expect_orthonormal_columns(f.q, 1e-12);
+}
+
+TEST(Qr, IdentityIsFixedPoint) {
+  const Matrix eye = Matrix::identity(5);
+  const QrResult f = qr(eye);
+  EXPECT_MATRIX_NEAR(f.q, eye, 1e-14);
+  EXPECT_MATRIX_NEAR(f.r, eye, 1e-14);
+}
+
+TEST(Qr, SingleColumn) {
+  Matrix a(3, 1);
+  a(0, 0) = 2; a(1, 0) = 1; a(2, 0) = 2;  // norm 3
+  const QrResult f = qr(a);
+  EXPECT_NEAR(std::abs(f.r(0, 0)), 3, 1e-13);
+  EXPECT_MATRIX_NEAR(gemm(f.q, f.r), a, 1e-13);
+}
+
+TEST(Qr, SquareReconstruction) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_rect(9, 9, 100 + seed);
+    const QrResult f = qr(a);
+    EXPECT_MATRIX_NEAR(gemm(f.q, f.r), a, 1e-11);
+    expect_orthonormal_columns(f.q, 1e-11);
+    expect_upper_triangular(f.r, 1e-14);
+  }
+}
+
+TEST(Qr, TallReconstruction) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Matrix a = random_rect(24, 5, 200 + seed);
+    const QrResult f = qr(a);
+    ASSERT_EQ(f.q.rows(), 24);
+    ASSERT_EQ(f.q.cols(), 5);
+    ASSERT_EQ(f.r.rows(), 5);
+    EXPECT_MATRIX_NEAR(gemm(f.q, f.r), a, 1e-11);
+    expect_orthonormal_columns(f.q, 1e-11);
+  }
+}
+
+TEST(Qr, RankDeficientStillReconstructs) {
+  // Two identical columns.
+  Matrix a(6, 3);
+  rand::Rng rng(7);
+  for (Index i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = a(i, 0);
+    a(i, 2) = rng.normal();
+  }
+  const QrResult f = qr(a);
+  EXPECT_MATRIX_NEAR(gemm(f.q, f.r), a, 1e-11);
+  // R(1,1) collapses to ~0 for the dependent column.
+  EXPECT_NEAR(f.r(1, 1), 0, 1e-10);
+}
+
+TEST(Qr, RejectsWideMatrix) {
+  EXPECT_THROW(qr(random_rect(3, 5, 1)), InvalidArgument);
+}
+
+TEST(Qr, RejectsNonFinite) {
+  Matrix a = random_rect(4, 2, 3);
+  a(1, 1) = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_THROW(qr(a), InvalidArgument);
+}
+
+TEST(LeastSquares, ExactSolveOnSquareSystem) {
+  const Matrix a = random_rect(6, 6, 11);
+  Vector x_true(6);
+  for (Index i = 0; i < 6; ++i) x_true[i] = static_cast<Real>(i) - 2.5;
+  const Vector b = matvec(a, x_true);
+  const Vector x = least_squares(a, b);
+  for (Index i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedResidualIsOrthogonal) {
+  const Matrix a = random_rect(12, 4, 13);
+  rand::Rng rng(17);
+  Vector b(12);
+  for (Index i = 0; i < 12; ++i) b[i] = rng.normal();
+  const Vector x = least_squares(a, b);
+  // Normal equations: A^T (A x - b) = 0.
+  Vector res = matvec(a, x);
+  res.add_scaled(b, -1);
+  const Vector atr = matvec_transpose(a, res);
+  for (Index i = 0; i < 4; ++i) EXPECT_NEAR(atr[i], 0, 1e-9);
+}
+
+TEST(LeastSquares, ThrowsOnSingular) {
+  Matrix a(4, 2);
+  for (Index i = 0; i < 4; ++i) {
+    a(i, 0) = 1;
+    a(i, 1) = 2;  // dependent columns
+  }
+  Vector b(4, 1);
+  EXPECT_THROW(least_squares(a, b), NumericalError);
+}
+
+TEST(CompressFactor, WideFactorShrinksToDim) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Matrix g = random_rect(5, 17, 300 + seed);
+    const Matrix l = compress_factor(g);
+    EXPECT_LE(l.cols(), 5);
+    const Matrix a = gemm(g, g.transposed());
+    const Matrix b = gemm(l, l.transposed());
+    EXPECT_MATRIX_NEAR(a, b, 1e-10);
+  }
+}
+
+TEST(CompressFactor, NarrowFactorUnchangedProduct) {
+  const Matrix g = random_rect(8, 3, 5);
+  const Matrix l = compress_factor(g);
+  EXPECT_EQ(l.cols(), 3);
+  EXPECT_MATRIX_NEAR(gemm(g, g.transposed()), gemm(l, l.transposed()), 1e-12);
+}
+
+TEST(CompressFactor, DropsNullColumns) {
+  Matrix g(4, 3);
+  g(0, 0) = 1;
+  g(1, 2) = 2;  // middle column zero
+  const Matrix l = compress_factor(g, 1e-12);
+  EXPECT_EQ(l.cols(), 2);
+  EXPECT_MATRIX_NEAR(gemm(g, g.transposed()), gemm(l, l.transposed()), 1e-13);
+}
+
+TEST(CompressFactor, ZeroFactorYieldsSingleZeroColumn) {
+  const Matrix g(4, 6);
+  const Matrix l = compress_factor(g, 1e-12);
+  EXPECT_EQ(l.rows(), 4);
+  EXPECT_EQ(l.cols(), 1);
+  EXPECT_NEAR(frobenius_norm(l), 0, 0.0);
+}
+
+TEST(CompressFactor, PreservesPsdProductOnRankDeficientWide) {
+  // Rank-2 product expressed through a 20-column factor.
+  const Matrix basis = random_rect(6, 2, 21);
+  const Matrix mix = random_rect(2, 20, 22);
+  const Matrix g = gemm(basis, mix);
+  const Matrix l = compress_factor(g, 1e-10);
+  EXPECT_LE(l.cols(), 6);
+  EXPECT_MATRIX_NEAR(gemm(g, g.transposed()), gemm(l, l.transposed()), 1e-9);
+}
+
+}  // namespace
+}  // namespace psdp::linalg
