@@ -2,17 +2,34 @@
 // solver's cost model is built on: GEMM, Jacobi eigendecomposition, matrix
 // exponential, sparse matvec, JL sketching, and truncated-Taylor
 // application. These are the constants behind Corollary 1.2's asymptotics.
+//
+// Before handing control to google-benchmark, main() runs the SpMV-vs-SpMM
+// block-size sweep over b in {1, 4, 8, 16, 32} on the default exp-Taylor
+// instance (r = 64 sketch rows) and writes the measurements to
+// BENCH_kernels.json, so the perf trajectory of the blocked kernel layer is
+// machine-readable across PRs. `--sweep-only` exits after the sweep;
+// `--smoke` shrinks the instance for CI hot-path regression checks.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
 
 #include "apps/generators.hpp"
 #include "core/bigdotexp.hpp"
+#include "linalg/blockop.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/pivoted_cholesky.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/taylor.hpp"
+#include "par/parallel.hpp"
 #include "rand/jl.hpp"
 #include "rand/rng.hpp"
 #include "sparse/csr.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -110,6 +127,26 @@ void BM_JlSketchApply(benchmark::State& state) {
 }
 BENCHMARK(BM_JlSketchApply)->Arg(1 << 10)->Arg(1 << 14);
 
+void BM_SparseMatmulPanel(benchmark::State& state) {
+  const Index m = 1 << 16;
+  const Index b = state.range(0);
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 2.0});
+    if (i > 0) triplets.push_back({i, i - 1, -1.0});
+    if (i + 1 < m) triplets.push_back({i, i + 1, -1.0});
+  }
+  const sparse::Csr a = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  const linalg::Matrix x(m, b, 1.0);
+  linalg::Matrix y;
+  for (auto _ : state) {
+    a.apply_block(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * b);
+}
+BENCHMARK(BM_SparseMatmulPanel)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
 void BM_TaylorApply(benchmark::State& state) {
   const Index m = 1 << 14;
   const Index degree = state.range(0);
@@ -129,6 +166,32 @@ void BM_TaylorApply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TaylorApply)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TaylorApplyBlock(benchmark::State& state) {
+  const Index m = 1 << 14;
+  const Index b = state.range(0);
+  const Index degree = 32;
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 0.5});
+    if (i + 1 < m) triplets.push_back({i, i + 1, 0.1});
+    if (i > 0) triplets.push_back({i, i - 1, 0.1});
+  }
+  const sparse::Csr bmat = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  const linalg::BlockOp op = [&bmat](const linalg::Matrix& x,
+                                     linalg::Matrix& y) {
+    bmat.apply_block(x, y);
+  };
+  const linalg::Matrix x(m, b, 1.0);
+  linalg::Matrix y;
+  linalg::TaylorBlockWorkspace workspace;
+  for (auto _ : state) {
+    linalg::apply_exp_taylor_block(op, degree, x, y, workspace);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_TaylorApplyBlock)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_BigDotExp(benchmark::State& state) {
   const Index m = state.range(0);
@@ -222,4 +285,224 @@ void BM_CompressFactor(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressFactor)->Arg(16)->Arg(32)->Arg(64);
 
+// ------------------------------------------------------------------------
+// SpMV-vs-SpMM block-size sweep (BENCH_kernels.json)
+// ------------------------------------------------------------------------
+
+struct SweepRow {
+  std::string kernel;
+  Index block = 0;
+  double seconds = 0;
+  double speedup_vs_single = 0;
+  double max_rel_dev = 0;  ///< big_dot_exp only: deviation from block = 1
+};
+
+double time_best_of(int reps, const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    util::WallTimer timer;
+    body();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+/// The default bench instance of the acceptance bar: an m-dimensional sparse
+/// Phi pushed through the degree-k exp-Taylor recurrence against r >= 32
+/// sketch vectors, single-vector vs. panels of width b.
+std::vector<SweepRow> run_block_sweep(bool smoke) {
+  const Index m = smoke ? (1 << 10) : (1 << 14);
+  const Index r = 64;
+  const Index degree = 16;
+  const int reps = smoke ? 2 : 3;
+
+  std::vector<sparse::Triplet> triplets;
+  rand::Rng rng(123);
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 0.5});
+    if (i + 1 < m) {
+      triplets.push_back({i, i + 1, 0.1});
+      triplets.push_back({i + 1, i, 0.1});
+    }
+    // A few long-range couplings so the access pattern is not purely banded.
+    const Index j = rng.uniform_index(m);
+    if (j != i) {
+      triplets.push_back({i, j, 0.01});
+      triplets.push_back({j, i, 0.01});
+    }
+  }
+  const sparse::Csr phi = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  const linalg::SymmetricOp op = [&phi](const linalg::Vector& x,
+                                        linalg::Vector& y) { phi.apply(x, y); };
+  const linalg::BlockOp block_op = [&phi](const linalg::Matrix& x,
+                                          linalg::Matrix& y) {
+    phi.apply_block(x, y);
+  };
+  const rand::GaussianSketch sketch =
+      rand::GaussianSketch::deferred(r, m, 2024);
+
+  std::vector<SweepRow> rows;
+  const Index blocks[] = {1, 4, 8, 16, 32};
+
+  // Raw SpMM: one pass of Phi against an m x b panel vs b single SpMVs.
+  {
+    const linalg::Matrix x(m, 32, 1.0);
+    linalg::Matrix y;
+    linalg::Vector xv(m, 1.0), yv(m);
+    double single = 0;
+    for (const Index b : blocks) {
+      SweepRow row;
+      row.kernel = "spmm";
+      row.block = b;
+      if (b == 1) {
+        row.seconds = time_best_of(reps, [&] {
+          for (Index t = 0; t < 32; ++t) phi.apply(xv, yv);
+        });
+        single = row.seconds;
+      } else {
+        const linalg::Matrix panel(m, b, 1.0);
+        row.seconds = time_best_of(reps, [&] {
+          for (Index t = 0; t < 32 / b; ++t) phi.apply_block(panel, y);
+        });
+      }
+      row.speedup_vs_single = single / row.seconds;
+      rows.push_back(row);
+    }
+  }
+
+  // Blocked exp-Taylor apply: r sketch rows through the degree-k recurrence.
+  double taylor_single = 0;
+  for (const Index b : blocks) {
+    SweepRow row;
+    row.kernel = "exp_taylor";
+    row.block = b;
+    if (b == 1) {
+      row.seconds = time_best_of(reps, [&] {
+        par::parallel_for(0, r, [&](Index j) {
+          linalg::Vector x(m);
+          linalg::Matrix panel;
+          sketch.fill_block(j, 1, panel);
+          for (Index i = 0; i < m; ++i) x[i] = panel(i, 0);
+          linalg::Vector y(m);
+          linalg::apply_exp_taylor(op, degree, x, y);
+          benchmark::DoNotOptimize(y.data());
+        }, /*grain=*/1);
+      });
+      taylor_single = row.seconds;
+    } else {
+      row.seconds = time_best_of(reps, [&] {
+        linalg::Matrix x_panel, y_panel;
+        linalg::TaylorBlockWorkspace workspace;
+        for (Index j0 = 0; j0 < r; j0 += b) {
+          const Index width = std::min(b, r - j0);
+          sketch.fill_block(j0, width, x_panel);
+          linalg::apply_exp_taylor_block(block_op, degree, x_panel, y_panel,
+                                         workspace);
+          benchmark::DoNotOptimize(y_panel.data());
+        }
+      });
+    }
+    row.speedup_vs_single = taylor_single / row.seconds;
+    rows.push_back(row);
+  }
+
+  // End-to-end big_dot_exp on the factorized default instance, checking the
+  // blocked results against the block = 1 reference as it sweeps.
+  apps::FactorizedOptions gen;
+  gen.n = smoke ? 32 : 128;
+  gen.m = m;
+  gen.nnz_per_column = 8;
+  const core::FactorizedPackingInstance inst = apps::random_factorized(gen);
+  core::BigDotExpOptions options;
+  options.eps = 0.25;
+  options.sketch_rows_override = r;
+  options.taylor_degree_override = degree;
+  core::BigDotExpResult reference;
+  double bde_single = 0;
+  for (const Index b : blocks) {
+    core::BigDotExpOptions blocked = options;
+    blocked.block_size = b;
+    core::BigDotExpResult result;
+    SweepRow row;
+    row.kernel = "big_dot_exp";
+    row.block = b;
+    row.seconds = time_best_of(reps, [&] {
+      result = core::big_dot_exp(phi, 2.0, inst.set(), blocked);
+    });
+    if (b == 1) {
+      bde_single = row.seconds;
+      reference = result;
+    }
+    for (Index i = 0; i < result.dots.size(); ++i) {
+      row.max_rel_dev =
+          std::max(row.max_rel_dev, std::abs(result.dots[i] / reference.dots[i] - 1));
+    }
+    row.speedup_vs_single = bde_single / row.seconds;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void write_sweep_json(const std::vector<SweepRow>& rows, bool smoke,
+                      const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"kernels\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n  \"block_sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    out << "    {\"kernel\": \"" << row.kernel << "\", \"block\": " << row.block
+        << ", \"seconds\": " << row.seconds
+        << ", \"speedup_vs_single\": " << row.speedup_vs_single
+        << ", \"max_rel_dev\": " << row.max_rel_dev << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run_sweep(bool smoke) {
+  const std::vector<SweepRow> rows = run_block_sweep(smoke);
+  write_sweep_json(rows, smoke, "BENCH_kernels.json");
+  std::cout << "SpMV-vs-SpMM block sweep (r = 64 sketch rows):\n";
+  bool taylor_bar_met = false;
+  double worst_dev = 0;
+  for (const SweepRow& row : rows) {
+    std::cout << "  " << row.kernel << " b=" << row.block << ": "
+              << row.seconds * 1e3 << " ms, " << row.speedup_vs_single
+              << "x vs single\n";
+    if (row.kernel == "exp_taylor" && row.block >= 8 &&
+        row.speedup_vs_single >= 2.0) {
+      taylor_bar_met = true;
+    }
+    worst_dev = std::max(worst_dev, row.max_rel_dev);
+  }
+  std::cout << "[" << (taylor_bar_met ? "PERF OK" : "PERF MISS")
+            << "] blocked exp-Taylor >= 2x at some b >= 8; max big_dot_exp "
+               "deviation from reference "
+            << worst_dev << "\n";
+  std::cout << "wrote BENCH_kernels.json\n";
+  // Smoke runs (CI on tiny instances) gate on correctness only; the perf
+  // bar is enforced on the full default instance.
+  return worst_dev < 1e-8 && (smoke || taylor_bar_met) ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      sweep_only = true;
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
+    }
+  }
+  const int sweep_status = run_sweep(smoke);
+  if (sweep_only) return sweep_status;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return sweep_status;
+}

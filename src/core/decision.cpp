@@ -1,6 +1,7 @@
 #include "core/decision.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "linalg/eig.hpp"
 #include "linalg/tridiag_eig.hpp"
@@ -227,6 +228,13 @@ DecisionResult decision_factorized(const FactorizedPackingInstance& instance,
                                                     Vector& y) {
     set.weighted_apply(state.x, v, y);
   };
+  // Panel form of Psi for the blocked bigDotExp path; the workspace panels
+  // are allocated once and recycled across iterations.
+  const auto psi_ws = std::make_shared<sparse::FactorizedSet::BlockWorkspace>();
+  const linalg::BlockOp psi_block_op =
+      [&set, &state, psi_ws](const linalg::Matrix& v, linalg::Matrix& y) {
+        set.weighted_apply_block(state.x, v, y, *psi_ws);
+      };
 
   while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
          !(options.early_primal_exit && state.primal_certified())) {
@@ -243,7 +251,8 @@ DecisionResult decision_factorized(const FactorizedPackingInstance& instance,
       trace_psi += state.x[i] * instance.constraint_trace(i);
     }
     const Real kappa = std::min(c.spectrum_bound, trace_psi);
-    const BigDotExpResult dots = big_dot_exp(psi_op, m, kappa, set, iter_options);
+    const BigDotExpResult dots =
+        big_dot_exp(psi_op, psi_block_op, m, kappa, set, iter_options);
 
     const Index updated =
         apply_update(state, dots.dots, dots.trace_exp, eps, c.alpha);

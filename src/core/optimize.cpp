@@ -208,6 +208,9 @@ DecisionOptions probe_decision_options(const OptimizeOptions& options) {
   d.eps = options.decision_eps > 0
               ? options.decision_eps
               : std::clamp(options.eps / 4, 0.03, 0.25);
+  if (options.dot_block_size > 0) {
+    d.dot_options.block_size = options.dot_block_size;
+  }
   return d;
 }
 

@@ -43,6 +43,10 @@ struct OptimizeOptions {
   Index max_probes = 60;
   /// Apply the Lemma 2.2 trace-bounding preprocessing per probe.
   bool trace_bound = true;
+  /// Panel width for the factorized path's blocked bigDotExp kernels,
+  /// applied to every probe; 0 keeps `decision.dot_options.block_size`
+  /// (whose 0 means auto). See BigDotExpOptions::block_size.
+  Index dot_block_size = 0;
   /// Forwarded to every decision call (trajectory tracking, overrides...).
   DecisionOptions decision;
 };

@@ -1,6 +1,7 @@
 #include "core/phased.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "linalg/eig.hpp"
 #include "linalg/expm.hpp"
@@ -241,6 +242,13 @@ PhasedResult decision_phased(const FactorizedPackingInstance& instance,
   const linalg::SymmetricOp psi_op = [&set, &x](const Vector& v, Vector& y) {
     set.weighted_apply(x, v, y);
   };
+  // Panel form of Psi for the blocked bigDotExp path; the workspace panels
+  // are allocated once and recycled across phases.
+  const auto psi_ws = std::make_shared<sparse::FactorizedSet::BlockWorkspace>();
+  const linalg::BlockOp psi_block_op =
+      [&set, &x, psi_ws](const linalg::Matrix& v, linalg::Matrix& y) {
+        set.weighted_apply_block(x, v, y, *psi_ws);
+      };
 
   BigDotExpOptions dot_options = options.dot_options;
   dot_options.eps = dot_eps;
@@ -256,7 +264,7 @@ PhasedResult decision_phased(const FactorizedPackingInstance& instance,
         dot_options.seed, static_cast<std::uint64_t>(result.phases));
     const Real kappa = std::min(c.spectrum_bound, trace_psi);
     const BigDotExpResult batch =
-        big_dot_exp(psi_op, m, kappa, set, phase_options);
+        big_dot_exp(psi_op, psi_block_op, m, kappa, set, phase_options);
     const Real tr_w = batch.trace_exp;
     PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
                        "decision_phased: Tr[W] estimate not positive finite");

@@ -1,6 +1,9 @@
 #include "linalg/taylor.hpp"
 
 #include <cmath>
+#include <utility>
+
+#include "par/cost_meter.hpp"
 
 namespace psdp::linalg {
 
@@ -26,6 +29,42 @@ void apply_exp_taylor(const SymmetricOp& op, Index degree, const Vector& x,
     std::swap(term, next);
     y.add_scaled(term, 1);
   }
+  // Vector arithmetic of the recurrence (the op charges its own matvecs).
+  // Work only: this function runs inside worker threads on the reference
+  // sketch path, and depth is charged by the driving thread (the cost_meter
+  // convention) -- bigDotExp charges the chain's critical path once.
+  par::CostMeter::add_work(static_cast<std::uint64_t>(3 * n * (degree - 1)));
+}
+
+void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
+                            Matrix& y, TaylorBlockWorkspace& workspace) {
+  PSDP_CHECK(degree >= 1, "apply_exp_taylor_block: degree must be >= 1");
+  PSDP_CHECK(x.cols() >= 1, "apply_exp_taylor_block: panel must be non-empty");
+  const Index n = x.rows();
+  const Index b = x.cols();
+  // term_j = B^j X / j!, accumulated into Y; `workspace.term` and
+  // `workspace.next` are the only storage touched and are recycled across
+  // calls -- the loop itself allocates nothing once they have X's shape.
+  workspace.term = x;
+  y = x;
+  if (workspace.next.rows() != n || workspace.next.cols() != b) {
+    workspace.next = Matrix(n, b);
+  }
+  for (Index j = 1; j < degree; ++j) {
+    op(workspace.term, workspace.next);
+    workspace.next.scale(Real{1} / static_cast<Real>(j));
+    std::swap(workspace.term, workspace.next);
+    y.add_scaled(workspace.term, 1);
+  }
+  par::CostMeter::add_work(
+      static_cast<std::uint64_t>(3 * n * b * (degree - 1)));
+  par::CostMeter::add_depth(static_cast<std::uint64_t>(degree - 1));
+}
+
+void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
+                            Matrix& y) {
+  TaylorBlockWorkspace workspace;
+  apply_exp_taylor_block(op, degree, x, y, workspace);
 }
 
 Matrix exp_taylor_matrix(const Matrix& b, Index degree) {

@@ -8,6 +8,7 @@
 // what bigDotExp composes with the JL sketch.
 #pragma once
 
+#include "linalg/blockop.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/power.hpp"
 #include "linalg/vector.hpp"
@@ -23,6 +24,25 @@ Index taylor_exp_degree(Real kappa, Real eps);
 /// forward accumulation, numerically benign for PSD B).
 void apply_exp_taylor(const SymmetricOp& op, Index degree, const Vector& x,
                       Vector& y);
+
+/// The two scratch panels of the blocked recurrence, reusable across calls
+/// so a caller looping over panels allocates nothing inside the loop.
+struct TaylorBlockWorkspace {
+  Matrix term;  ///< term_j = B^j X / j!
+  Matrix next;  ///< target of the next block application
+};
+
+/// Panel form of apply_exp_taylor: Y = (sum_{j<k} B^j / j!) X for a
+/// row-major n x b panel X, using k-1 block applications of `op`. When the
+/// BlockOp's columns match the SymmetricOp's matvec (as Csr::apply_block
+/// does), column t of Y is bit-identical to apply_exp_taylor on column t:
+/// the recurrence performs the same scalar operations in the same order.
+void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
+                            Matrix& y, TaylorBlockWorkspace& workspace);
+
+/// Convenience overload with a private workspace.
+void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
+                            Matrix& y);
 
 /// Dense form of the truncated series, for tests and small instances.
 Matrix exp_taylor_matrix(const Matrix& b, Index degree);

@@ -1,5 +1,7 @@
 #include "par/cost_meter.hpp"
 
+#include "par/thread_pool.hpp"
+
 namespace psdp::par {
 
 std::atomic<std::uint64_t> CostMeter::work_{0};
@@ -15,6 +17,11 @@ void CostMeter::add_work(std::uint64_t w) {
 }
 
 void CostMeter::add_depth(std::uint64_t d) {
+  // Enforce the driving-thread-only convention: kernels invoked from inside
+  // a parallel region run concurrently, so their depth is not on the
+  // critical path (the driving step charges it once instead). Without this
+  // guard, r-way-parallel kernel fan-outs inflate depth r-fold.
+  if (ThreadPool::current_thread_is_worker()) return;
   depth_.fetch_add(d, std::memory_order_relaxed);
 }
 

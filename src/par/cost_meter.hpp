@@ -14,6 +14,9 @@
 //  * add_depth(d): critical-path length, charged by the *driving* thread
 //    only, once per sequential step (e.g. a matvec charges depth
 //    log2(row length), a solver iteration charges the max of its kernels).
+//    Enforced: add_depth calls made from pool worker threads are dropped,
+//    so kernels reused inside a parallel region do not multiply the
+//    critical path by the fan-out (the driving step charges it once).
 //
 // Metering is compiled in but costs one relaxed atomic add per kernel call,
 // which is negligible next to the kernels themselves.

@@ -29,6 +29,8 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const { return t_owner == this; }
 
+bool ThreadPool::current_thread_is_worker() { return t_owner != nullptr; }
+
 void ThreadPool::drain(Batch& batch) {
   while (true) {
     const Index k = batch.next.fetch_add(1, std::memory_order_relaxed);

@@ -45,6 +45,10 @@ class ThreadPool {
   /// True when the current thread is one of this pool's workers.
   bool on_worker_thread() const;
 
+  /// True when the current thread is a worker of *any* pool (the CostMeter
+  /// uses this to enforce its driving-thread-only depth convention).
+  static bool current_thread_is_worker();
+
  private:
   struct Batch {
     const std::function<void(Index)>* task = nullptr;

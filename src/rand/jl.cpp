@@ -18,7 +18,7 @@ Index jl_rows(Index m, Real eps, Real delta) {
 }
 
 GaussianSketch::GaussianSketch(Index rows, Index cols, std::uint64_t seed)
-    : rows_(rows), cols_(cols) {
+    : rows_(rows), cols_(cols), seed_(seed) {
   PSDP_CHECK(rows >= 1 && cols >= 1, "sketch dimensions must be positive");
   data_.resize(static_cast<std::size_t>(rows * cols));
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(rows));
@@ -28,16 +28,49 @@ GaussianSketch::GaussianSketch(Index rows, Index cols, std::uint64_t seed)
     Real* out = data_.data() + j * cols;
     for (Index i = 0; i < cols; ++i) out[i] = scale * rng.normal();
   }, /*grain=*/1);
+  // Same generation charge as fill_block, so the reference and blocked
+  // sketch paths report comparable model work.
+  par::CostMeter::add_work(static_cast<std::uint64_t>(rows * cols));
+}
+
+GaussianSketch GaussianSketch::deferred(Index rows, Index cols,
+                                        std::uint64_t seed) {
+  PSDP_CHECK(rows >= 1 && cols >= 1, "sketch dimensions must be positive");
+  GaussianSketch sketch;
+  sketch.rows_ = rows;
+  sketch.cols_ = cols;
+  sketch.seed_ = seed;
+  return sketch;
 }
 
 std::span<const Real> GaussianSketch::row(Index j) const {
   PSDP_CHECK(j >= 0 && j < rows_, "sketch row out of range");
+  PSDP_CHECK(!data_.empty(), "sketch row: sketch is deferred (use fill_block)");
   return {data_.data() + j * cols_, static_cast<std::size_t>(cols_)};
+}
+
+void GaussianSketch::fill_block(Index first, Index count,
+                                linalg::Matrix& panel) const {
+  PSDP_CHECK(first >= 0 && count >= 1 && first + count <= rows_,
+             "fill_block: row range out of bounds");
+  if (panel.rows() != cols_ || panel.cols() != count) {
+    panel = linalg::Matrix(cols_, count);
+  }
+  const Real scale = 1.0 / std::sqrt(static_cast<Real>(rows_));
+  // Regenerate each row from its own stream (identical values to row());
+  // the strided panel writes are cheap next to the Gaussian draws.
+  par::parallel_for(0, count, [&](Index t) {
+    Rng rng(stream_seed(seed_, static_cast<std::uint64_t>(first + t)));
+    Real* out = panel.data() + t;
+    for (Index i = 0; i < cols_; ++i) out[i * count] = scale * rng.normal();
+  }, /*grain=*/1);
+  par::CostMeter::add_work(static_cast<std::uint64_t>(count * cols_));
 }
 
 void GaussianSketch::apply(std::span<const Real> x, std::span<Real> y) const {
   PSDP_CHECK(static_cast<Index>(x.size()) == cols_, "apply: x has wrong length");
   PSDP_CHECK(static_cast<Index>(y.size()) == rows_, "apply: y has wrong length");
+  PSDP_CHECK(!data_.empty(), "apply: sketch is deferred (use fill_block)");
   par::parallel_for(0, rows_, [&](Index j) {
     const Real* pi = data_.data() + j * cols_;
     Real acc = 0;

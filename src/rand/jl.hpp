@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/matrix.hpp"
 #include "util/common.hpp"
 
 namespace psdp::rand {
@@ -25,25 +26,42 @@ Index jl_rows(Index m, Real eps, Real delta = 1e-3);
 /// seed, so a sketch is reproducible and shareable across processes.
 class GaussianSketch {
  public:
-  /// Builds an r x m sketch with N(0, 1/r) entries.
+  /// Builds an r x m sketch with N(0, 1/r) entries, materialized row-major.
   GaussianSketch(Index rows, Index cols, std::uint64_t seed);
+
+  /// A sketch whose entries are never materialized: rows are generated on
+  /// demand by fill_block() straight into caller panels. row()/apply() are
+  /// unavailable on a deferred sketch. This is the form the blocked
+  /// bigDotExp path uses -- it touches each sketch row exactly once.
+  static GaussianSketch deferred(Index rows, Index cols, std::uint64_t seed);
 
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
 
-  /// Row j as a span of length cols().
+  /// Row j as a span of length cols(). Materialized sketches only.
   std::span<const Real> row(Index j) const;
 
-  /// y = Pi x  (y has length rows()). Parallel over rows.
+  /// y = Pi x  (y has length rows()). Parallel over rows. Materialized only.
   void apply(std::span<const Real> x, std::span<Real> y) const;
 
-  /// ||Pi x||^2, the JL estimate of ||x||^2.
+  /// ||Pi x||^2, the JL estimate of ||x||^2. Materialized only.
   Real sketch_norm2(std::span<const Real> x) const;
 
+  /// Writes sketch rows [first, first + count) as the *columns* of `panel`,
+  /// a row-major cols() x count matrix: panel(i, t) = Pi(first + t, i).
+  /// This is the layout the blocked Taylor kernels consume. Entries are
+  /// generated from the per-row seed streams, so every block decomposition
+  /// (and row()) sees identical values, and a deferred sketch needs no
+  /// backing storage. Parallel over the block's rows.
+  void fill_block(Index first, Index count, linalg::Matrix& panel) const;
+
  private:
-  Index rows_;
-  Index cols_;
-  std::vector<Real> data_;  ///< row-major, rows_ x cols_
+  GaussianSketch() = default;
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<Real> data_;  ///< row-major rows_ x cols_; empty when deferred
 };
 
 }  // namespace psdp::rand

@@ -127,6 +127,77 @@ Vector Csr::apply_transpose(const Vector& x) const {
   return y;
 }
 
+void Csr::apply_block(const Matrix& x, Matrix& y) const {
+  PSDP_CHECK(x.rows() == cols_, "csr apply_block: dimension mismatch");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1, "csr apply_block: panel must have at least one column");
+  if (y.rows() != rows_ || y.cols() != b) y = Matrix(rows_, b);
+  // Row-parallel SpMM: one pass over the nonzeros serves all b columns. The
+  // grain shrinks with b so chunks stay at comparable work to apply()'s.
+  const Index grain = std::max<Index>(1, 64 / b);
+  par::parallel_for(0, rows_, [&](Index i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_vals(i);
+    Real* out = y.data() + i * b;
+    std::fill(out, out + b, Real{0});
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Real v = vals[k];
+      const Real* in = x.data() + cols[k] * b;
+      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
+    }
+  }, grain);
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(par::reduction_depth(cols_));
+}
+
+void Csr::apply_transpose_block(const Matrix& x, Matrix& y) const {
+  PSDP_CHECK(x.rows() == rows_, "csr apply_transpose_block: dimension mismatch");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1,
+             "csr apply_transpose_block: panel must have at least one column");
+  if (y.rows() != cols_ || y.cols() != b) y = Matrix(cols_, b);
+  // Parallel over *row* chunks -- the panels come from factors Q_i whose
+  // column count is often tiny, so column ownership would serialize. Each
+  // chunk scatters into its own cols_ x b accumulator; the partials are
+  // combined in chunk order on the calling thread, which keeps the result
+  // deterministic for a fixed thread count.
+  const Index grain = std::max<Index>(1, 256 / b);
+  const Index max_chunks = std::max<Index>(1, par::num_threads());
+  const Index chunks =
+      std::clamp<Index>((rows_ + grain - 1) / grain, 1, max_chunks);
+  const auto scatter_rows = [&](Index begin, Index end, Real* out) {
+    for (Index i = begin; i < end; ++i) {
+      const auto cols = row_cols(i);
+      const auto vals = row_vals(i);
+      const Real* in = x.data() + i * b;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        Real* row = out + cols[k] * b;
+        const Real v = vals[k];
+        for (Index t = 0; t < b; ++t) row[t] += v * in[t];
+      }
+    }
+  };
+  if (chunks == 1) {
+    y.fill(0);
+    scatter_rows(0, rows_, y.data());
+  } else {
+    std::vector<Real> partial(static_cast<std::size_t>(chunks * cols_ * b), 0);
+    const Index chunk_size = (rows_ + chunks - 1) / chunks;
+    par::global_pool().run_batch(chunks, [&](Index c) {
+      scatter_rows(c * chunk_size, std::min(rows_, (c + 1) * chunk_size),
+                   partial.data() + c * cols_ * b);
+    });
+    y.fill(0);
+    Real* out = y.data();
+    for (Index c = 0; c < chunks; ++c) {
+      const Real* part = partial.data() + c * cols_ * b;
+      for (Index idx = 0; idx < cols_ * b; ++idx) out[idx] += part[idx];
+    }
+  }
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(par::reduction_depth(rows_));
+}
+
 Csr& Csr::scale(Real s) {
   for (Real& v : values_) v *= s;
   return *this;

@@ -59,6 +59,18 @@ class Csr {
   void apply_transpose(const Vector& x, Vector& y) const;
   Vector apply_transpose(const Vector& x) const;
 
+  /// Y = A X for a row-major cols() x b panel X (SpMM): the matrix is
+  /// streamed once for the whole panel, parallel over row chunks, and the
+  /// inner loop is a contiguous length-b dense update. Column t of Y is
+  /// bit-identical to apply() on column t of X (same accumulation order).
+  void apply_block(const Matrix& x, Matrix& y) const;
+
+  /// Y = A^T X for a row-major rows() x b panel: parallel over row chunks
+  /// with per-chunk cols() x b accumulators combined in chunk order
+  /// (deterministic for a fixed thread count; stays parallel even for the
+  /// narrow factor panels where column ownership would serialize).
+  void apply_transpose_block(const Matrix& x, Matrix& y) const;
+
   /// Scale all values in place.
   Csr& scale(Real s);
 

@@ -46,6 +46,12 @@ void FactorizedPsd::apply(const Vector& x, Vector& y) const {
   q_.apply(scratch, y);
 }
 
+void FactorizedPsd::apply_block(const Matrix& x, Matrix& y,
+                                Matrix& scratch) const {
+  q_.apply_transpose_block(x, scratch);
+  q_.apply_block(scratch, y);
+}
+
 Real FactorizedPsd::dot_dense(const Matrix& s) const {
   PSDP_CHECK(s.rows() == dim() && s.cols() == dim(),
              "dot_dense: dimension mismatch");
@@ -135,6 +141,22 @@ Csr FactorizedSet::weighted_sum(const Vector& x) const {
     return Csr::from_triplets(dim_, dim_, {});
   }
   return Csr::from_triplets(dim_, dim_, std::move(triplets));
+}
+
+void FactorizedSet::weighted_apply_block(const Vector& x, const Matrix& v,
+                                         Matrix& y,
+                                         BlockWorkspace& workspace) const {
+  PSDP_CHECK(x.size() == size(), "weighted_apply_block: weight length mismatch");
+  PSDP_CHECK(v.rows() == dim_, "weighted_apply_block: panel dimension mismatch");
+  const Index b = v.cols();
+  if (y.rows() != dim_ || y.cols() != b) y = Matrix(dim_, b);
+  y.fill(0);
+  for (Index i = 0; i < size(); ++i) {
+    if (x[i] == 0) continue;
+    items_[static_cast<std::size_t>(i)].apply_block(v, workspace.contribution,
+                                                    workspace.scratch);
+    y.add_scaled(workspace.contribution, x[i]);
+  }
 }
 
 void FactorizedSet::weighted_apply(const Vector& x, const Vector& v,

@@ -40,6 +40,10 @@ class FactorizedPsd {
   /// y = (Q Q^T) x via two SpMVs. Thread-safe (no shared scratch).
   void apply(const Vector& x, Vector& y) const;
 
+  /// Y = (Q Q^T) X for a row-major dim() x b panel, via two SpMMs through
+  /// the caller-provided k x b scratch panel (resized as needed).
+  void apply_block(const Matrix& x, Matrix& y, Matrix& scratch) const;
+
   /// (Q Q^T) . S for a dense symmetric S: sum of column quadratic forms.
   Real dot_dense(const Matrix& s) const;
 
@@ -72,6 +76,17 @@ class FactorizedSet {
 
   /// y = (sum_i x_i A_i) v without forming the sum.
   void weighted_apply(const Vector& x, const Vector& v, Vector& y) const;
+
+  /// Y = (sum_i x_i A_i) V for a row-major dim() x b panel V, streaming
+  /// each factor once per panel (two SpMMs per constraint). Column t is
+  /// bit-identical to weighted_apply on column t. The workspace panels are
+  /// resized on first use and reusable across calls.
+  struct BlockWorkspace {
+    Matrix contribution;  ///< dim x b accumulator for one constraint
+    Matrix scratch;       ///< k_i x b intermediate Q_i^T V
+  };
+  void weighted_apply_block(const Vector& x, const Matrix& v, Matrix& y,
+                            BlockWorkspace& workspace) const;
 
  private:
   std::vector<FactorizedPsd> items_;

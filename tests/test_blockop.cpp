@@ -1,0 +1,335 @@
+// Tests for the block-operator (SpMM) kernel layer: Csr::apply_block,
+// apply_exp_taylor_block, GaussianSketch::fill_block, and the blocked
+// bigDotExp path, each validated against its single-vector reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bigdotexp.hpp"
+#include "linalg/blockop.hpp"
+#include "linalg/taylor.hpp"
+#include "rand/jl.hpp"
+#include "rand/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/factorized.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+sparse::Csr random_sparse(Index rows, Index cols, Index nnz_per_row,
+                          std::uint64_t seed) {
+  rand::Rng rng(seed);
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index e = 0; e < nnz_per_row; ++e) {
+      triplets.push_back({i, rng.uniform_index(cols), rng.normal()});
+    }
+  }
+  return sparse::Csr::from_triplets(rows, cols, std::move(triplets));
+}
+
+Matrix random_panel(Index rows, Index cols, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  Matrix panel(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index t = 0; t < cols; ++t) panel(i, t) = rng.normal();
+  }
+  return panel;
+}
+
+sparse::FactorizedSet random_set(Index m, Index n, std::uint64_t seed) {
+  std::vector<sparse::FactorizedPsd> items;
+  for (Index i = 0; i < n; ++i) {
+    items.push_back(sparse::FactorizedPsd(random_sparse(
+        m, 3, 2, seed * 1000 + static_cast<std::uint64_t>(i))));
+  }
+  return sparse::FactorizedSet(std::move(items));
+}
+
+TEST(CsrApplyBlock, MatchesStackedApplyBitwise) {
+  const sparse::Csr a = random_sparse(40, 25, 5, 1);
+  for (const Index b : {1, 3, 8}) {
+    const Matrix x = random_panel(25, b, 2);
+    Matrix y;
+    a.apply_block(x, y);
+    ASSERT_EQ(y.rows(), 40);
+    ASSERT_EQ(y.cols(), b);
+    Vector col(25), want(40);
+    for (Index t = 0; t < b; ++t) {
+      linalg::panel_column(x, t, col);
+      a.apply(col, want);
+      for (Index i = 0; i < 40; ++i) EXPECT_EQ(y(i, t), want[i]) << i << "," << t;
+    }
+  }
+}
+
+TEST(CsrApplyBlock, TransposeMatchesStackedApplyTranspose) {
+  const sparse::Csr a = random_sparse(30, 45, 4, 3);
+  for (const Index b : {1, 4, 16}) {
+    const Matrix x = random_panel(30, b, 4);
+    Matrix y;
+    a.apply_transpose_block(x, y);
+    ASSERT_EQ(y.rows(), 45);
+    ASSERT_EQ(y.cols(), b);
+    Vector col(30), want(45);
+    for (Index t = 0; t < b; ++t) {
+      linalg::panel_column(x, t, col);
+      a.apply_transpose(col, want);
+      for (Index i = 0; i < 45; ++i) {
+        EXPECT_NEAR(y(i, t), want[i], 1e-14 * (1 + std::abs(want[i])));
+      }
+    }
+  }
+}
+
+TEST(CsrApplyBlock, EmptyMatrixGivesZeroPanel) {
+  const sparse::Csr zero = sparse::Csr::from_triplets(5, 5, {});
+  const Matrix x = random_panel(5, 4, 5);
+  Matrix y;
+  zero.apply_block(x, y);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index t = 0; t < 4; ++t) EXPECT_EQ(y(i, t), 0.0);
+  }
+}
+
+TEST(CsrApplyBlock, ValidatesDimensions) {
+  const sparse::Csr a = random_sparse(6, 4, 2, 6);
+  Matrix y;
+  const Matrix bad = random_panel(5, 2, 7);
+  EXPECT_THROW(a.apply_block(bad, y), InvalidArgument);
+  EXPECT_THROW(a.apply_transpose_block(bad, y), InvalidArgument);
+}
+
+TEST(TaylorBlock, MatchesSingleVectorColumnByColumn) {
+  // Symmetric sparse operator with moderate norm, like a mid-run Phi/2.
+  const Index m = 32;
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < m; ++i) {
+    triplets.push_back({i, i, 0.5});
+    if (i + 1 < m) {
+      triplets.push_back({i, i + 1, 0.2});
+      triplets.push_back({i + 1, i, 0.2});
+    }
+  }
+  const sparse::Csr bmat = sparse::Csr::from_triplets(m, m, std::move(triplets));
+  const linalg::SymmetricOp op = [&bmat](const Vector& x, Vector& y) {
+    bmat.apply(x, y);
+  };
+  const linalg::BlockOp block_op = [&bmat](const Matrix& x, Matrix& y) {
+    bmat.apply_block(x, y);
+  };
+  for (const Index b : {1, 4, 8}) {
+    const Matrix x = random_panel(m, b, 8);
+    Matrix y;
+    linalg::TaylorBlockWorkspace workspace;
+    linalg::apply_exp_taylor_block(block_op, /*degree=*/13, x, y, workspace);
+    Vector col(m), want(m);
+    for (Index t = 0; t < b; ++t) {
+      linalg::panel_column(x, t, col);
+      linalg::apply_exp_taylor(op, 13, col, want);
+      for (Index i = 0; i < m; ++i) {
+        EXPECT_NEAR(y(i, t), want[i], 1e-12 * (1 + std::abs(want[i])))
+            << "column " << t << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(TaylorBlock, WorkspaceReuseAcrossShapes) {
+  const sparse::Csr a = random_sparse(10, 10, 3, 9);
+  const linalg::BlockOp block_op = [&a](const Matrix& x, Matrix& y) {
+    a.apply_block(x, y);
+  };
+  linalg::TaylorBlockWorkspace workspace;
+  Matrix y1, y2;
+  linalg::apply_exp_taylor_block(block_op, 6, random_panel(10, 4, 10), y1,
+                                 workspace);
+  // Second call with a different width must resize cleanly.
+  linalg::apply_exp_taylor_block(block_op, 6, random_panel(10, 7, 11), y2,
+                                 workspace);
+  EXPECT_EQ(y2.cols(), 7);
+  // Convenience overload agrees with the workspace overload.
+  Matrix y3;
+  const Matrix x = random_panel(10, 4, 10);
+  linalg::apply_exp_taylor_block(block_op, 6, x, y3);
+  Matrix y4;
+  linalg::apply_exp_taylor_block(block_op, 6, x, y4, workspace);
+  EXPECT_EQ(y3, y4);
+}
+
+TEST(TaylorBlock, DegreeOneIsIdentity) {
+  const sparse::Csr a = random_sparse(8, 8, 2, 12);
+  const linalg::BlockOp block_op = [&a](const Matrix& x, Matrix& y) {
+    a.apply_block(x, y);
+  };
+  const Matrix x = random_panel(8, 3, 13);
+  Matrix y;
+  linalg::apply_exp_taylor_block(block_op, 1, x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(BlockOpAdapter, MatchesNativeBlockKernel) {
+  const sparse::Csr a = random_sparse(12, 12, 3, 14);
+  const linalg::SymmetricOp op = [&a](const Vector& x, Vector& y) {
+    a.apply(x, y);
+  };
+  const linalg::BlockOp adapted = linalg::block_op_from_symmetric(op, 12);
+  const Matrix x = random_panel(12, 5, 15);
+  Matrix y_adapted, y_native;
+  adapted(x, y_adapted);
+  a.apply_block(x, y_native);
+  EXPECT_EQ(y_adapted, y_native);
+}
+
+TEST(SketchFillBlock, MatchesMaterializedRows) {
+  const Index r = 13;
+  const Index m = 21;
+  const rand::GaussianSketch materialized(r, m, 42);
+  const rand::GaussianSketch lazy = rand::GaussianSketch::deferred(r, m, 42);
+  for (const Index block : {1, 4, 5, 13}) {
+    for (Index first = 0; first < r; first += block) {
+      const Index count = std::min<Index>(block, r - first);
+      Matrix panel;
+      lazy.fill_block(first, count, panel);
+      ASSERT_EQ(panel.rows(), m);
+      ASSERT_EQ(panel.cols(), count);
+      for (Index t = 0; t < count; ++t) {
+        const auto row = materialized.row(first + t);
+        for (Index i = 0; i < m; ++i) {
+          EXPECT_EQ(panel(i, t), row[static_cast<std::size_t>(i)])
+              << "block " << block << " row " << first + t;
+        }
+      }
+    }
+  }
+}
+
+TEST(SketchFillBlock, DeferredRejectsMaterializedOnlyCalls) {
+  const rand::GaussianSketch lazy = rand::GaussianSketch::deferred(4, 6, 1);
+  EXPECT_THROW(lazy.row(0), InvalidArgument);
+  std::vector<Real> x(6, 1.0), y(4);
+  EXPECT_THROW(lazy.apply(x, y), InvalidArgument);
+  Matrix panel;
+  EXPECT_THROW(lazy.fill_block(2, 3, panel), InvalidArgument);  // 2+3 > 4
+}
+
+TEST(FactorizedBlock, WeightedApplyBlockMatchesColumns) {
+  const sparse::FactorizedSet set = random_set(14, 5, 20);
+  rand::Rng rng(21);
+  Vector weights(set.size());
+  for (Index i = 0; i < set.size(); ++i) weights[i] = rng.uniform();
+  weights[2] = 0;  // exercise the zero-weight skip
+  const Matrix v = random_panel(14, 6, 22);
+  Matrix y;
+  sparse::FactorizedSet::BlockWorkspace workspace;
+  set.weighted_apply_block(weights, v, y, workspace);
+  Vector col(14), want(14);
+  for (Index t = 0; t < 6; ++t) {
+    linalg::panel_column(v, t, col);
+    set.weighted_apply(weights, col, want);
+    for (Index i = 0; i < 14; ++i) {
+      EXPECT_NEAR(y(i, t), want[i], 1e-13 * (1 + std::abs(want[i])));
+    }
+  }
+}
+
+/// bigDotExp fixture: a factorized set plus a sparse Phi.
+struct BigDotFixture {
+  sparse::FactorizedSet set;
+  sparse::Csr phi;
+
+  explicit BigDotFixture(Index m, std::uint64_t seed)
+      : set(random_set(m, 6, seed)) {
+    linalg::Matrix dense = psdp::testing::random_psd(m, seed + 5);
+    dense.scale(1.5);
+    phi = sparse::Csr::from_dense(dense);
+  }
+};
+
+TEST(BigDotExpBlocked, BlockSizeOneIsBitIdenticalToReference) {
+  const BigDotFixture f(18, 30);
+  core::BigDotExpOptions options;
+  options.eps = 0.2;
+  options.sketch_rows_override = 24;
+  options.block_size = 1;
+  const core::BigDotExpResult reference =
+      core::big_dot_exp(f.phi, 2.0, f.set, options);
+  EXPECT_EQ(reference.block_size, 1);
+  // The operator overload resolves auto block size to the same reference
+  // path; with the same seed every float must match bit for bit.
+  const linalg::SymmetricOp op = [&f](const Vector& x, Vector& y) {
+    f.phi.apply(x, y);
+  };
+  core::BigDotExpOptions auto_options = options;
+  auto_options.block_size = 0;
+  const core::BigDotExpResult via_op =
+      core::big_dot_exp(op, 18, 2.0, f.set, auto_options);
+  EXPECT_EQ(via_op.block_size, 1);
+  EXPECT_EQ(reference.dots, via_op.dots);
+  EXPECT_EQ(reference.trace_exp, via_op.trace_exp);
+}
+
+TEST(BigDotExpBlocked, BlockSizesAgreeWithinTolerance) {
+  const BigDotFixture f(20, 31);
+  core::BigDotExpOptions options;
+  options.eps = 0.2;
+  options.sketch_rows_override = 32;
+  options.block_size = 1;
+  const core::BigDotExpResult reference =
+      core::big_dot_exp(f.phi, 2.0, f.set, options);
+  for (const Index b : {2, 8, 32}) {
+    core::BigDotExpOptions blocked = options;
+    blocked.block_size = b;
+    const core::BigDotExpResult r = core::big_dot_exp(f.phi, 2.0, f.set, blocked);
+    EXPECT_EQ(r.block_size, b);
+    EXPECT_EQ(r.sketch_rows, reference.sketch_rows);
+    // Same seed => same sketch; only summation order differs.
+    EXPECT_NEAR(r.trace_exp / reference.trace_exp, 1.0, 1e-10) << b;
+    for (Index i = 0; i < f.set.size(); ++i) {
+      EXPECT_NEAR(r.dots[i] / reference.dots[i], 1.0, 1e-10)
+          << "block " << b << " dot " << i;
+    }
+  }
+}
+
+TEST(BigDotExpBlocked, ExactSketchBlockedMatchesReference) {
+  const BigDotFixture f(12, 32);
+  core::BigDotExpOptions options;
+  options.eps = 0.05;  // small instance: JL formula asks for r >= m => exact
+  core::BigDotExpOptions ref_options = options;
+  ref_options.block_size = 1;
+  const core::BigDotExpResult reference =
+      core::big_dot_exp(f.phi, 1.5, f.set, ref_options);
+  ASSERT_TRUE(reference.exact_sketch);
+  const core::BigDotExpResult blocked =
+      core::big_dot_exp(f.phi, 1.5, f.set, options);
+  EXPECT_TRUE(blocked.exact_sketch);
+  EXPECT_GT(blocked.block_size, 1);
+  for (Index i = 0; i < f.set.size(); ++i) {
+    EXPECT_NEAR(blocked.dots[i] / reference.dots[i], 1.0, 1e-11) << i;
+  }
+  EXPECT_NEAR(blocked.trace_exp / reference.trace_exp, 1.0, 1e-11);
+}
+
+TEST(BigDotExpBlocked, AutoBlockCappedAtSketchRows) {
+  const BigDotFixture f(10, 33);
+  core::BigDotExpOptions options;
+  options.eps = 0.2;
+  options.sketch_rows_override = 3;  // r < kDefaultBlockSize
+  const core::BigDotExpResult r = core::big_dot_exp(f.phi, 1.0, f.set, options);
+  EXPECT_EQ(r.block_size, 3);
+}
+
+TEST(BigDotExpBlocked, RejectsNegativeBlockSize) {
+  const BigDotFixture f(8, 34);
+  core::BigDotExpOptions options;
+  options.block_size = -2;
+  EXPECT_THROW(core::big_dot_exp(f.phi, 1.0, f.set, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psdp
