@@ -407,7 +407,11 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
   }
 
   // End-to-end big_dot_exp on the factorized default instance, checking the
-  // blocked results against the block = 1 reference as it sweeps.
+  // blocked results against the block = 1 reference as it sweeps. Two
+  // blocked layouts per width: the two-pass S^T materialization
+  // ("big_dot_exp") and the fused per-panel accumulation
+  // ("big_dot_exp_fused", the default in production -- saves the m x r
+  // buffer and one full pass over S).
   apps::FactorizedOptions gen;
   gen.n = smoke ? 32 : 128;
   gen.m = m;
@@ -419,26 +423,30 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
   options.taylor_degree_override = degree;
   core::BigDotExpResult reference;
   double bde_single = 0;
-  for (const Index b : blocks) {
-    core::BigDotExpOptions blocked = options;
-    blocked.block_size = b;
-    core::BigDotExpResult result;
-    SweepRow row;
-    row.kernel = "big_dot_exp";
-    row.block = b;
-    row.seconds = time_best_of(reps, [&] {
-      result = core::big_dot_exp(phi, 2.0, inst.set(), blocked);
-    });
-    if (b == 1) {
-      bde_single = row.seconds;
-      reference = result;
+  for (const bool fuse : {false, true}) {
+    for (const Index b : blocks) {
+      if (fuse && b == 1) continue;  // block 1 is the unfused reference path
+      core::BigDotExpOptions blocked = options;
+      blocked.block_size = b;
+      blocked.fuse_dots = fuse;
+      core::BigDotExpResult result;
+      SweepRow row;
+      row.kernel = fuse ? "big_dot_exp_fused" : "big_dot_exp";
+      row.block = b;
+      row.seconds = time_best_of(reps, [&] {
+        result = core::big_dot_exp(phi, 2.0, inst.set(), blocked);
+      });
+      if (!fuse && b == 1) {
+        bde_single = row.seconds;
+        reference = result;
+      }
+      for (Index i = 0; i < result.dots.size(); ++i) {
+        row.max_rel_dev = std::max(
+            row.max_rel_dev, std::abs(result.dots[i] / reference.dots[i] - 1));
+      }
+      row.speedup_vs_single = bde_single / row.seconds;
+      rows.push_back(row);
     }
-    for (Index i = 0; i < result.dots.size(); ++i) {
-      row.max_rel_dev =
-          std::max(row.max_rel_dev, std::abs(result.dots[i] / reference.dots[i] - 1));
-    }
-    row.speedup_vs_single = bde_single / row.seconds;
-    rows.push_back(row);
   }
   return rows;
 }

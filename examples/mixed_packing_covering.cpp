@@ -8,13 +8,21 @@
 // needs total service >= 1). Find transmit powers x that serve every
 // district without exceeding the interference budget.
 //
+// With --factorized=1 the same story runs through the oracle layer's
+// sketched bigDotExp pipeline: each rank-one footprint u u^T is kept in
+// factorized form and the solver never builds an m x m matrix, which is
+// the mode that scales to large m (try --factorized=1 --m=400).
+//
 // Run:  ./mixed_packing_covering [--n=12 --m=6 --districts=4 --eps=0.2]
+//                                [--factorized=1]
+#include <cmath>
 #include <iostream>
 
 #include "core/certificates.hpp"
 #include "core/mixed.hpp"
 #include "linalg/eig.hpp"
 #include "rand/rng.hpp"
+#include "sparse/factorized.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -30,6 +38,9 @@ int main(int argc, char** argv) {
   auto& districts = cli.flag<Index>("districts", 4, "covering coordinates");
   auto& eps = cli.flag<Real>("eps", 0.2, "accuracy parameter");
   auto& seed = cli.flag<Index>("seed", 4, "instance seed");
+  auto& factorized = cli.flag<bool>(
+      "factorized", false,
+      "solve on the sketched bigDotExp oracle (never forms an m x m matrix)");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -37,8 +48,7 @@ int main(int argc, char** argv) {
   // random non-negative, normalized so a uniform allocation would cover
   // each district ~2x while packing to ~1/2 (comfortably feasible).
   rand::Rng rng(static_cast<std::uint64_t>(seed.value));
-  core::MixedInstance instance;
-  std::vector<Matrix> packing;
+  std::vector<Vector> footprints;  // the u_i of A_i = u_i u_i^T
   std::vector<Vector> covering;
   Matrix pack_sum(m.value, m.value);
   Vector cover_sum(districts.value);
@@ -47,28 +57,56 @@ int main(int argc, char** argv) {
     for (Index j = 0; j < m.value; ++j) u[j] = rng.normal();
     Matrix a = Matrix::outer(u);
     a.symmetrize();
-    packing.push_back(a);
     pack_sum.add_scaled(a, 1.0 / static_cast<Real>(n.value));
+    footprints.push_back(std::move(u));
     Vector d(districts.value);
     for (Index j = 0; j < districts.value; ++j) d[j] = rng.uniform(0.1, 1.0);
     covering.push_back(d);
     cover_sum.add_scaled(d, 1.0 / static_cast<Real>(n.value));
   }
   const Real lambda = linalg::lambda_max_exact(pack_sum);
-  for (Matrix& a : packing) a.scale(0.5 / lambda);
+  // A_i -> (0.5/lambda) A_i, i.e. u_i -> sqrt(0.5/lambda) u_i.
+  for (Vector& u : footprints) u.scale(std::sqrt(0.5 / lambda));
   for (auto& d : covering) {
     for (Index j = 0; j < districts.value; ++j) d[j] *= 2.0 / cover_sum[j];
   }
-  instance.packing = core::PackingInstance(std::move(packing));
-  instance.covering = std::move(covering);
 
   std::cout << "Mixed instance: " << n.value << " transmitters, "
             << m.value << "-dim interference, " << districts.value
-            << " districts\n";
+            << " districts" << (factorized.value ? " (factorized oracle)" : "")
+            << "\n";
 
-  core::MixedOptions options;
-  options.eps = eps.value;
-  const core::MixedResult r = core::solve_mixed(instance, options);
+  // Keep the dense instance for certificate checking (and the dense solve);
+  // the factorized one shares the same footprints without ever forming
+  // u u^T inside the solver.
+  std::vector<Matrix> packing;
+  for (const Vector& u : footprints) {
+    Matrix a = Matrix::outer(u);
+    a.symmetrize();
+    packing.push_back(std::move(a));
+  }
+  core::MixedInstance instance;
+  instance.packing = core::PackingInstance(std::move(packing));
+  instance.covering = covering;
+
+  core::MixedResult r;
+  if (factorized.value) {
+    core::MixedFactorizedInstance fact;
+    std::vector<sparse::FactorizedPsd> items;
+    for (const Vector& u : footprints) {
+      items.push_back(sparse::FactorizedPsd::rank_one(u));
+    }
+    fact.packing = core::FactorizedPackingInstance(
+        sparse::FactorizedSet(std::move(items)));
+    fact.covering = covering;
+    core::MixedFactorizedOptions options;
+    options.eps = eps.value;
+    r = core::solve_mixed(fact, options);
+  } else {
+    core::MixedOptions options;
+    options.eps = eps.value;
+    r = core::solve_mixed(instance, options);
+  }
 
   std::cout << "Outcome: "
             << (r.outcome == core::MixedOutcome::kFeasible ? "FEASIBLE"

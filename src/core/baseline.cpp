@@ -2,9 +2,9 @@
 
 #include <cmath>
 
+#include "core/penalty_oracle.hpp"
 #include "linalg/eig.hpp"
 #include "mmw/mmw.hpp"
-#include "par/parallel.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
@@ -47,10 +47,10 @@ BaselineResult decision_width_dependent(const PackingInstance& instance,
   Vector plays(n);  // how many times each constraint was played
   Vector dots(n);
   for (Index t = 0; t < t_max; ++t) {
+    // The oracle layer's shared Frobenius sweep, dotted against MMW's own
+    // probability matrix instead of exp(Psi(x)).
     const Matrix& p = game.probability();
-    par::parallel_for(0, n, [&](Index i) {
-      dots[i] = linalg::frobenius_dot(instance[i], p);
-    }, /*grain=*/1);
+    penalty_dots(instance, p, dots);
 
     Index best = 0;
     for (Index i = 1; i < n; ++i) {

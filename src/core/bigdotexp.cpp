@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "linalg/power.hpp"
 #include "linalg/taylor.hpp"
@@ -49,6 +50,36 @@ std::vector<Real> sketch_times_exp_half(const linalg::SymmetricOp& phi,
   return s;
 }
 
+/// Half-scaled panel operator: Lemma 4.2 is applied to B = Phi/2. The
+/// wrapped operator is captured by value (std::function copy) so the
+/// returned BlockOp cannot dangle on a temporary argument.
+linalg::BlockOp half_block_op(linalg::BlockOp phi_block) {
+  return [phi_block = std::move(phi_block)](const Matrix& x, Matrix& y) {
+    phi_block(x, y);
+    y.scale(0.5);
+  };
+}
+
+/// Fill x_panel with sketch rows [j0, j0 + b): identity columns when the
+/// sketch is exact (exactness implies rows == dim, so j0 + t < dim),
+/// deferred Gaussian rows otherwise. Reuses x_panel's storage when the
+/// shape already matches. Shared by the two-pass and fused blocked
+/// kernels, which must generate bit-identical panels.
+void fill_sketch_panel(const std::optional<rand::GaussianSketch>& pi,
+                       bool exact, Index dim, Index j0, Index b,
+                       Matrix& x_panel) {
+  if (exact) {
+    if (x_panel.rows() != dim || x_panel.cols() != b) {
+      x_panel = Matrix(dim, b);
+    } else {
+      x_panel.fill(0);
+    }
+    for (Index t = 0; t < b; ++t) x_panel(j0 + t, t) = 1;
+  } else {
+    pi->fill_block(j0, b, x_panel);
+  }
+}
+
 /// Blocked path: S^T = p_hat(Phi/2) Pi^T, stored row-major m x r (entry
 /// (i, j) = S_{ji}), computed one m x b panel at a time. Each panel of b
 /// sketch rows is generated straight into panel storage, pushed through the
@@ -60,10 +91,7 @@ std::vector<Real> sketch_times_exp_half_blocked(
     const linalg::BlockOp& phi_block, Index dim, Index rows, Index degree,
     std::uint64_t seed, bool exact, Index block) {
   std::vector<Real> st(static_cast<std::size_t>(dim * rows));
-  const linalg::BlockOp half = [&phi_block](const Matrix& x, Matrix& y) {
-    phi_block(x, y);
-    y.scale(0.5);
-  };
+  const linalg::BlockOp half = half_block_op(phi_block);
   std::optional<rand::GaussianSketch> pi;
   if (!exact) pi.emplace(rand::GaussianSketch::deferred(rows, dim, seed));
 
@@ -73,18 +101,7 @@ std::vector<Real> sketch_times_exp_half_blocked(
   par::global_pool();  // warm up outside the loop (lazy init)
   for (Index j0 = 0; j0 < rows; j0 += block) {
     const Index b = std::min(block, rows - j0);
-    if (exact) {
-      // Identity sketch: panel columns are unit vectors e_{j0+t} (exactness
-      // implies rows == dim, so j0 + t < dim).
-      if (x_panel.rows() != dim || x_panel.cols() != b) {
-        x_panel = Matrix(dim, b);
-      } else {
-        x_panel.fill(0);
-      }
-      for (Index t = 0; t < b; ++t) x_panel(j0 + t, t) = 1;
-    } else {
-      pi->fill_block(j0, b, x_panel);
-    }
+    fill_sketch_panel(pi, exact, dim, j0, b, x_panel);
     linalg::apply_exp_taylor_block(half, degree, x_panel, y_panel, workspace);
     par::parallel_for(0, dim, [&](Index i) {
       const Real* src = y_panel.data() + i * b;
@@ -122,6 +139,76 @@ void accumulate_dots_reference(const std::vector<Real>& s, Index dim, Index r,
     par::CostMeter::add_work(
         static_cast<std::uint64_t>(r * (2 * q.nnz() + 2 * k)));
   }, /*grain=*/1);
+}
+
+/// Fused blocked path (the ROADMAP "one pass over S" item): panels of
+/// `block` sketch rows go through the Taylor recurrence and their
+/// contribution to every dots_i and to the trace is accumulated as soon as
+/// the panel's last Taylor step finishes, while the panel is cache-hot.
+/// Per panel and constraint, entry (row, c, v) of Q_i performs a contiguous
+/// length-b AXPY from the panel row into a k x b accumulator whose squared
+/// entries are the panel's share of ||S Q_i||_F^2. Nothing m x r is ever
+/// materialized, and S is neither written back nor re-read. Returns the
+/// trace estimate ||S||_F^2; `dots` must be zero-initialized.
+Real sketch_exp_dots_fused(const linalg::BlockOp& phi_block, Index dim,
+                           Index rows, Index degree, std::uint64_t seed,
+                           bool exact, Index block,
+                           const sparse::FactorizedSet& as, Vector& dots) {
+  const linalg::BlockOp half = half_block_op(phi_block);
+  std::optional<rand::GaussianSketch> pi;
+  if (!exact) pi.emplace(rand::GaussianSketch::deferred(rows, dim, seed));
+
+  linalg::TaylorBlockWorkspace workspace;
+  Matrix x_panel;
+  Matrix y_panel;
+  // One k_i x b accumulator per constraint, allocated at the first panel
+  // of this call and recycled across its panels (assign() reuses
+  // capacity), so the hot parallel_for performs no heap traffic after the
+  // first panel. (Cross-call recycling would need a caller-owned
+  // workspace like TaylorBlockWorkspace -- a ROADMAP item; even per-call,
+  // this is strictly less allocation than the two-pass layout's m x r
+  // buffer plus per-constraint tiles.)
+  std::vector<std::vector<Real>> accumulators(
+      static_cast<std::size_t>(as.size()));
+  Real trace = 0;
+  par::global_pool();  // warm up outside the loop (lazy init)
+  for (Index j0 = 0; j0 < rows; j0 += block) {
+    const Index b = std::min(block, rows - j0);
+    fill_sketch_panel(pi, exact, dim, j0, b, x_panel);
+    linalg::apply_exp_taylor_block(half, degree, x_panel, y_panel, workspace);
+    // Tr[exp(Phi)] ~ ||S||_F^2, one panel's rows at a time.
+    trace += par::parallel_sum(0, dim * b, [&](Index k) {
+      return sq(y_panel.data()[static_cast<std::size_t>(k)]);
+    });
+    par::parallel_for(0, as.size(), [&](Index i) {
+      const sparse::Csr& q = as[i].q();
+      const Index k = q.cols();
+      std::vector<Real>& acc = accumulators[static_cast<std::size_t>(i)];
+      acc.assign(static_cast<std::size_t>(k * b), 0.0);
+      for (Index row = 0; row < q.rows(); ++row) {
+        const auto cols = q.row_cols(row);
+        const auto vals = q.row_vals(row);
+        const Real* src = y_panel.data() + row * b;
+        for (std::size_t e = 0; e < cols.size(); ++e) {
+          Real* out = acc.data() + cols[e] * b;
+          const Real v = vals[e];
+          for (Index t = 0; t < b; ++t) out[t] += v * src[t];
+        }
+      }
+      Real panel_share = 0;
+      for (const Real v : acc) panel_share += v * v;
+      dots[i] += panel_share;
+      par::CostMeter::add_work(
+          static_cast<std::uint64_t>(b * (2 * q.nnz() + 2 * k)));
+    }, /*grain=*/1);
+    // Critical path of this panel beyond the Taylor sweep (which charges
+    // its own depth): the trace reduction and the constraint sweep both
+    // finish before the next panel starts, so they stack across the
+    // ceil(r/block) sequential panels.
+    par::CostMeter::add_depth(par::reduction_depth(dim * b) +
+                              par::reduction_depth(as.size()));
+  }
+  return trace;
 }
 
 /// dots_i from the m x r transposed layout, tiled over sketch columns so
@@ -223,6 +310,13 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
     par::CostMeter::add_depth(
         static_cast<std::uint64_t>(result.taylor_degree - 1) *
         (par::reduction_depth(dim) + 1));
+  } else if (options.fuse_dots) {
+    // Fused blocked path: dots and trace accumulate per panel, right after
+    // the panel's Taylor sweep -- no m x r buffer, no second pass over S.
+    result.fused = true;
+    result.trace_exp = sketch_exp_dots_fused(
+        phi_block, dim, r, result.taylor_degree, options.seed,
+        result.exact_sketch, block, as, result.dots);
   } else {
     // Blocked path: panels of `block` sketch rows share each Phi traversal.
     const std::vector<Real> st = sketch_times_exp_half_blocked(
@@ -236,9 +330,14 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
 
   // Frobenius reduction for the trace; the Phi applications, Taylor panel
   // arithmetic, sketch generation, and dots streaming charge themselves.
+  // The fused path has already charged its per-panel reduction depth, so
+  // only the two separate final passes of the unfused layouts add depth
+  // here.
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * r * dim));
-  par::CostMeter::add_depth(par::reduction_depth(dim) +
-                            par::reduction_depth(as.size()));
+  if (!result.fused) {
+    par::CostMeter::add_depth(par::reduction_depth(dim) +
+                              par::reduction_depth(as.size()));
+  }
   return result;
 }
 

@@ -27,7 +27,12 @@
 // streams Phi once per panel and turns the inner loops into contiguous
 // length-b dense updates). BigDotExpOptions::block_size picks the width;
 // the blocked path is the default whenever a native block operator is
-// available and is ~2-4x faster at b >= 8 (see bench_kernels).
+// available and is ~2-4x faster at b >= 8 (see bench_kernels). By default
+// the blocked path also *fuses* the dots accumulation into the panel sweep
+// (BigDotExpOptions::fuse_dots): each panel's contribution to every dots_i
+// and to the trace is consumed right after the panel's last Taylor step,
+// so S^T is never materialized (saves the m x r buffer and one full pass
+// over S).
 #pragma once
 
 #include <cstdint>
@@ -67,6 +72,14 @@ struct BigDotExpOptions {
   /// the same sketch for the same seed, so results agree to rounding
   /// (~1e-12 relative) across block sizes.
   Index block_size = 0;
+  /// Blocked path only: accumulate each panel's contribution to the dots
+  /// and the trace right after that panel's last Taylor step, while the
+  /// panel is cache-hot, instead of materializing S^T (m x r) and
+  /// re-reading it per constraint afterwards. Saves one full pass over S
+  /// plus the m x r buffer; results agree with the two-pass layout to
+  /// rounding (summation order differs). false = the two-pass blocked
+  /// layout, kept for benchmarking (see bench_kernels).
+  bool fuse_dots = true;
 };
 
 struct BigDotExpResult {
@@ -76,6 +89,7 @@ struct BigDotExpResult {
   Index sketch_rows = 0;
   bool exact_sketch = false;  ///< true when r >= m made the sketch exact
   Index block_size = 0;       ///< panel width actually used (1 = reference)
+  bool fused = false;         ///< dots fused into the Taylor panel sweep
 };
 
 /// Phi as an abstract symmetric PSD operator of dimension `dim` (matvec).

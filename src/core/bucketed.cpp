@@ -2,10 +2,8 @@
 
 #include <cmath>
 
-#include "linalg/eig.hpp"
-#include "linalg/expm.hpp"
-#include "linalg/tridiag_eig.hpp"
-#include "par/parallel.hpp"
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
@@ -19,69 +17,55 @@ Real bucket_boost(Real raw, Real cap) {
   return std::exp2(std::floor(std::log2(capped)));
 }
 
-}  // namespace
-
-BucketedResult decision_bucketed(const PackingInstance& instance,
-                                 const BucketedOptions& options) {
-  const Index n = instance.size();
-  const Index m = instance.dim();
+/// The bucketed loop over any oracle. Both safety caps are *measured*
+/// through the oracle -- the width cap via oracle.lambda_max on the step's
+/// weight vector (exact for the dense oracle, a certified Lanczos upper
+/// bound for the sketched one), the overshoot cap in exact arithmetic --
+/// so the certificates stay sound on noisy penalties. Each round draws an
+/// independent sketch (like the plain loop), but the primal is still
+/// certified against the conservative (1 + noise_bound) * t: the boosted
+/// schedule has no worst-case analysis to lean on, so its early exit
+/// discounts the full per-round noise instead of relying on averaging.
+BucketedResult run_bucketed_loop(PenaltyOracle& oracle,
+                                 const BucketedOptions& options,
+                                 bool dense_primal) {
+  const Index n = oracle.size();
   const Real eps = options.eps;
-  PSDP_CHECK(options.boost_cap >= 1, "decision_bucketed: boost_cap must be >= 1");
+  PSDP_CHECK(options.boost_cap >= 1,
+             "decision_bucketed: boost_cap must be >= 1");
   const AlgorithmConstants c = algorithm_constants(n, eps);
   const Index r_limit = options.max_iterations_override > 0
                             ? options.max_iterations_override
                             : c.r_limit;
+  const Real noise = oracle.noise_bound();
 
-  Vector x(n);
-  Real x_norm1 = 0;
-  for (Index i = 0; i < n; ++i) {
-    const Real tr = instance.constraint_trace(i);
-    PSDP_CHECK(tr > 0 && std::isfinite(tr),
-               str("decision_bucketed: constraint ", i, " has bad trace ", tr));
-    x[i] = 1 / (static_cast<Real>(n) * tr);
-    x_norm1 += x[i];
-  }
-
-  Matrix psi(m, m);
-  for (Index i = 0; i < n; ++i) psi.add_scaled(instance[i], x[i]);
-
-  Matrix y_sum(m, m);
-  Vector primal_sums(n);
-  Real min_primal_sum = 0;
-  Index t = 0;
+  SolverState state = initial_state(oracle, "decision_bucketed");
 
   BucketedResult result;
   result.constants = c;
 
-  const auto primal_certified = [&]() {
-    return t > 0 && min_primal_sum >= static_cast<Real>(t);
-  };
-
-  Vector dots(n);
+  Matrix y_sum;
+  PenaltyBatch batch;
   Vector delta(n);
-  const Index dots_grain = std::max<Index>(1, 16384 / (m * m + 1));
   Real boost_sum = 0;
   Index boost_count = 0;
 
-  while (x_norm1 <= c.k_cap && t < r_limit &&
-         !(options.early_primal_exit && primal_certified())) {
-    ++t;
-    const linalg::EigResult eig = linalg::sym_eig(psi);
-    const Matrix w = linalg::expm_from_eig(eig);
-    const Real tr_w = linalg::trace(w);
+  while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
+         !(options.early_primal_exit && state.primal_certified(noise))) {
+    ++state.t;
+    oracle.compute(state.x, static_cast<std::uint64_t>(state.t), batch);
+    const Real tr_w = batch.trace;
     PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
                        "decision_bucketed: Tr[W] not positive finite");
-    par::parallel_for(0, n, [&](Index i) {
-      dots[i] = linalg::frobenius_dot(instance[i], w);
-    }, dots_grain);
 
     // Raw bucketed step.
     const Real threshold = (1 + eps) * tr_w;
     Index updated = 0;
     for (Index i = 0; i < n; ++i) {
-      if (dots[i] <= threshold) {
-        const Real g = bucket_boost(threshold / dots[i], options.boost_cap);
-        delta[i] = c.alpha * g * x[i];
+      if (batch.dots[i] <= threshold) {
+        const Real g =
+            bucket_boost(threshold / batch.dots[i], options.boost_cap);
+        delta[i] = c.alpha * g * state.x[i];
         boost_sum += g;
         ++boost_count;
         ++updated;
@@ -94,80 +78,75 @@ BucketedResult decision_bucketed(const PackingInstance& instance,
       // Safety cap 2 (cheap, do first): ||delta||_1 <= eps ||x||_1.
       Real scale = 1;
       const Real delta_norm = linalg::sum(delta);
-      if (delta_norm > eps * x_norm1) {
-        scale = eps * x_norm1 / delta_norm;
+      if (delta_norm > eps * state.x_norm1) {
+        scale = eps * state.x_norm1 / delta_norm;
         ++result.overshoot_rescales;
       }
-      // Safety cap 1: lambda_max(sum delta_i A_i) <= eps, exactly.
-      Matrix step(m, m);
-      for (Index i = 0; i < n; ++i) {
-        if (delta[i] > 0) step.add_scaled(instance[i], scale * delta[i]);
-      }
-      const Real width = linalg::lambda_max_exact(step);
+      // Safety cap 1: lambda_max(sum delta_i A_i) <= eps, measured.
+      if (scale != 1) delta.scale(scale);
+      const Real width = oracle.lambda_max(delta);
       if (width > eps) {
         const Real shrink = eps / width;
-        scale *= shrink;
-        step.scale(shrink);
+        delta.scale(shrink);
         ++result.width_rescales;
       }
       // Commit.
       Real norm_gain = 0;
       for (Index i = 0; i < n; ++i) {
         if (delta[i] > 0) {
-          const Real d = scale * delta[i];
-          x[i] += d;
-          norm_gain += d;
+          state.x[i] += delta[i];
+          norm_gain += delta[i];
         }
       }
-      psi.add_scaled(step, 1);
-      x_norm1 += norm_gain;
+      state.x_norm1 += norm_gain;
     }
 
     Real min_sum = std::numeric_limits<Real>::infinity();
     for (Index i = 0; i < n; ++i) {
-      primal_sums[i] += dots[i] / tr_w;
-      min_sum = std::min(min_sum, primal_sums[i]);
+      state.primal_dots[i] += batch.dots[i] / tr_w;
+      min_sum = std::min(min_sum, state.primal_dots[i]);
     }
-    min_primal_sum = min_sum;
-    y_sum.add_scaled(w, 1 / tr_w);
+    state.min_primal_sum = min_sum;
+    accumulate_weight(batch, 1 / tr_w, y_sum);
 
     if (options.track_trajectory) {
       IterationStat stat;
-      stat.t = t;
-      stat.x_norm1 = x_norm1;
+      stat.t = state.t;
+      stat.x_norm1 = state.x_norm1;
       stat.trace_w = tr_w;
       stat.updated = updated;
-      stat.lambda_max_psi = eig.eigenvalues[0];
+      stat.lambda_max_psi = batch.lambda_max_psi;
       result.trajectory.push_back(stat);
     }
-    PSDP_LOG(kDebug) << "bucketed iter " << t << " |x|=" << x_norm1
+    PSDP_LOG(kDebug) << "bucketed iter " << state.t << " |x|=" << state.x_norm1
                      << " |B|=" << updated;
   }
 
-  result.iterations = t;
   result.mean_boost =
       boost_count > 0 ? boost_sum / static_cast<Real>(boost_count) : 1;
-  result.psi_lambda_max = linalg::lambda_max_exact(psi);
-  result.spectrum_bound_exceeded = result.psi_lambda_max > c.spectrum_bound;
-  result.outcome = x_norm1 > c.k_cap ? DecisionOutcome::kDual
-                                     : DecisionOutcome::kPrimal;
-  result.dual_x = std::move(x);
-  if (result.psi_lambda_max > 0) {
-    result.dual_x.scale(1 / result.psi_lambda_max);
-  }
-  const Real t_count = std::max<Real>(1, static_cast<Real>(t));
-  result.primal_dots = std::move(primal_sums);
-  result.primal_dots.scale(1 / t_count);
-  result.primal_trace = t > 0 ? 1 : 0;
-  if (t > 0) {
-    result.primal_y = std::move(y_sum);
-    result.primal_y.scale(1 / static_cast<Real>(t));
-  } else {
-    result.primal_y = Matrix::identity(m);
-    result.primal_y.scale(1 / static_cast<Real>(m));
-    result.primal_trace = 1;
-  }
+  finish_schedule(result, std::move(state), c, oracle, std::move(y_sum),
+                  dense_primal);
   return result;
+}
+
+}  // namespace
+
+BucketedResult decision_bucketed(const PackingInstance& instance,
+                                 const BucketedOptions& options) {
+  DenseEigOracle oracle(instance);
+  return run_bucketed_loop(oracle, options, /*dense_primal=*/true);
+}
+
+BucketedResult decision_bucketed(const FactorizedPackingInstance& instance,
+                                 const FactorizedBucketedOptions& options) {
+  SketchedOracleOptions oracle_options;
+  oracle_options.eps = options.eps;
+  oracle_options.dot_eps = options.dot_eps;
+  oracle_options.dot_options = options.dot_options;
+  // No Lemma 3.2 invariant for the boosted schedule: rely on the
+  // always-sound runtime bound kappa = Tr[Psi] alone (kappa_cap = 0).
+  SketchedTaylorOracle oracle(instance, oracle_options);
+  return run_bucketed_loop(oracle, options, /*dense_primal=*/false);
 }
 
 }  // namespace psdp::core

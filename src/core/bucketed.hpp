@@ -43,6 +43,16 @@ struct BucketedOptions {
   bool early_primal_exit = true;
 };
 
+struct FactorizedBucketedOptions : BucketedOptions {
+  /// Accuracy of the sketched exp-dot estimates (0 = auto, eps/2). The
+  /// primal certificate is checked against 1 + dot_eps so the noise cannot
+  /// fake it.
+  Real dot_eps = 0;
+  /// Sketch/Taylor/blocking knobs forwarded to the oracle; the seed
+  /// advances per iteration so sketch noise is independent across rounds.
+  BigDotExpOptions dot_options;
+};
+
 struct BucketedResult {
   DecisionOutcome outcome = DecisionOutcome::kPrimal;
   /// Measured-tight dual: x / lambda_max(final Psi), exactly feasible.
@@ -67,5 +77,15 @@ struct BucketedResult {
 /// Solve the eps-decision problem with bucketed acceleration (dense path).
 BucketedResult decision_bucketed(const PackingInstance& instance,
                                  const BucketedOptions& options = {});
+
+/// Bucketed acceleration over prefactored input: slack buckets computed
+/// from the sketched bigDotExp penalties, with both safety rescalings
+/// *measured* on the implicit operator (width cap via a certified Lanczos
+/// upper bound on lambda_max of the step, overshoot cap in exact
+/// arithmetic) -- so the returned certificates are sound even though the
+/// penalties are noisy. Never forms an m x m matrix; primal_y stays empty
+/// with the certificate values in primal_dots.
+BucketedResult decision_bucketed(const FactorizedPackingInstance& instance,
+                                 const FactorizedBucketedOptions& options = {});
 
 }  // namespace psdp::core

@@ -1,14 +1,9 @@
 #include "core/decision.hpp"
 
 #include <cmath>
-#include <memory>
 
-#include "linalg/eig.hpp"
-#include "linalg/tridiag_eig.hpp"
-#include "linalg/expm.hpp"
-#include "linalg/lanczos.hpp"
-#include "par/parallel.hpp"
-#include "rand/rng.hpp"
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
@@ -25,270 +20,26 @@ AlgorithmConstants algorithm_constants(Index n, Real eps) {
   return c;
 }
 
-namespace {
-
-/// State shared by both implementations: the weight vector, its running
-/// l1 norm, and the primal averaging accumulators.
-struct SolverState {
-  Vector x;            ///< current weights
-  Real x_norm1 = 0;    ///< ||x||_1, maintained incrementally
-  Vector primal_dots;  ///< running sum of (W . A_i)/Tr W
-  Real primal_trace = 0;  ///< running sum of Tr[P] = 1 per iteration
-  Real min_primal_sum = 0;  ///< min_i primal_dots[i] after the last update
-  Index t = 0;
-
-  /// True once the running primal average Y(t) = avg P already satisfies
-  /// min_i A_i . Y >= 1, i.e. it is a valid primal certificate.
-  bool primal_certified() const { return t > 0 && min_primal_sum >= t; }
-};
-
-/// x_i(0) = 1/(n Tr[A_i]); also primes the accumulators.
-template <typename Inst>
-SolverState initial_state(const Inst& instance) {
-  const Index n = instance.size();
-  PSDP_CHECK(n >= 1, "decisionPSDP: instance has no constraints");
-  SolverState state;
-  state.x = Vector(n);
-  for (Index i = 0; i < n; ++i) {
-    const Real tr = instance.constraint_trace(i);
-    PSDP_CHECK(tr > 0 && std::isfinite(tr),
-               str("decisionPSDP: constraint ", i,
-                   " has non-positive or non-finite trace ", tr,
-                   "; zero constraints must be dropped by the caller"));
-    state.x[i] = 1 / (static_cast<Real>(n) * tr);
-    state.x_norm1 += state.x[i];
-  }
-  state.primal_dots = Vector(n);
-  return state;
-}
-
-/// The coordinate update shared by both paths: given this iteration's dots
-/// d_i ~ W . A_i and trace tr_w ~ Tr W, grow every coordinate in
-/// B = { i : d_i <= (1+eps) tr_w } by (1+alpha); accumulates the primal
-/// average and returns |B|.
-Index apply_update(SolverState& state, const Vector& dots, Real tr_w,
-                   Real eps, Real alpha) {
-  const Index n = state.x.size();
-  PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
-                     "decisionPSDP: Tr[W] is not positive finite");
-  const Real threshold = (1 + eps) * tr_w;
-  Index updated = 0;
-  Real norm_gain = 0;
-  Real min_sum = std::numeric_limits<Real>::infinity();
-  for (Index i = 0; i < n; ++i) {
-    state.primal_dots[i] += dots[i] / tr_w;
-    min_sum = std::min(min_sum, state.primal_dots[i]);
-    if (dots[i] <= threshold) {
-      norm_gain += alpha * state.x[i];
-      state.x[i] *= (1 + alpha);
-      ++updated;
-    }
-  }
-  state.primal_trace += 1;  // Tr[P(t)] = 1 by construction (3.3)
-  state.x_norm1 += norm_gain;
-  state.min_primal_sum = min_sum;
-  return updated;
-}
-
-/// Assemble the shared parts of a DecisionResult on exit. `psi_lambda_max`
-/// must be a valid upper bound on lambda_max of the final Psi.
-DecisionResult finish(SolverState&& state, const AlgorithmConstants& c,
-                      Real psi_lambda_max) {
-  DecisionResult result;
-  result.iterations = state.t;
-  result.constants = c;
-  const Real t_count = std::max<Real>(1, static_cast<Real>(state.t));
-  result.primal_dots = std::move(state.primal_dots);
-  result.primal_dots.scale(1 / t_count);
-  result.primal_trace = state.primal_trace / t_count;
-  result.outcome = state.x_norm1 > c.k_cap ? DecisionOutcome::kDual
-                                           : DecisionOutcome::kPrimal;
-  result.psi_lambda_max = psi_lambda_max;
-  // x_hat = x / ((1+10 eps) K); Lemma 3.2 guarantees feasibility, and on the
-  // dual exit ||x_hat||_1 >= 1 - 10 eps via (3.4). The tight variant uses
-  // the measured norm instead of the worst case.
-  result.dual_x_tight = state.x;
-  if (psi_lambda_max > 0) {
-    result.dual_x_tight.scale(1 / psi_lambda_max);
-  } else {
-    result.dual_x_tight.scale(1 / c.spectrum_bound);
-  }
-  result.dual_x = std::move(state.x);
-  result.dual_x.scale(1 / c.spectrum_bound);
-  return result;
-}
-
-}  // namespace
-
 DecisionResult decision_dense(const PackingInstance& instance,
                               const DecisionOptions& options) {
-  const Index n = instance.size();
-  const Index m = instance.dim();
-  const Real eps = options.eps;
-  const AlgorithmConstants c = algorithm_constants(n, eps);
-  const Index r_limit = options.max_iterations_override > 0
-                            ? options.max_iterations_override
-                            : c.r_limit;
-
-  SolverState state = initial_state(instance);
-
-  // Psi = sum_i x_i A_i, maintained incrementally (all updates add PSD
-  // terms, so there is no cancellation to cause drift).
-  Matrix psi(m, m);
-  for (Index i = 0; i < n; ++i) psi.add_scaled(instance[i], state.x[i]);
-
-  Matrix y_sum(m, m);  // running sum of P(t) = W/Tr W
-  Vector dots(n);
-  std::vector<IterationStat> stats_local;
-
-  // Keep small per-constraint work serial: below this grain the fork-join
-  // overhead dwarfs an m^2 dot product.
-  const Index dots_grain = std::max<Index>(1, 16384 / (m * m + 1));
-
-  PSDP_CHECK(options.exp_stride >= 1, "exp_stride must be at least 1");
-  linalg::EigResult eig;
-  Matrix w;
-  Real tr_w = 0;
-
-  while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
-         !(options.early_primal_exit && state.primal_certified())) {
-    ++state.t;
-    if ((state.t - 1) % options.exp_stride == 0) {
-      // Refresh the exponential (every iteration in paper-faithful mode).
-      eig = linalg::sym_eig(psi);
-      w = linalg::expm_from_eig(eig);
-      tr_w = linalg::trace(w);
-      par::parallel_for(0, n, [&](Index i) {
-        dots[i] = linalg::frobenius_dot(instance[i], w);
-      }, dots_grain);
-    }
-
-    const Vector x_before = state.x;
-    const Index updated = apply_update(state, dots, tr_w, eps, c.alpha);
-
-    // Fold the step into Psi: Psi += alpha * sum_{i in B} x_i_old A_i.
-    for (Index i = 0; i < n; ++i) {
-      const Real delta = state.x[i] - x_before[i];
-      if (delta != 0) psi.add_scaled(instance[i], delta);
-    }
-
-    y_sum.add_scaled(w, 1 / tr_w);
-
-    if (options.track_trajectory) {
-      IterationStat stat;
-      stat.t = state.t;
-      stat.trace_w = tr_w;
-      // lambda_max of Psi(t-1) = the exponent of this iteration's W.
-      stat.lambda_max_psi = eig.eigenvalues[0];
-      stat.x_norm1 = state.x_norm1;
-      stat.updated = updated;
-      stats_local.push_back(stat);
-    }
-
-    PSDP_LOG(kDebug) << "dense iter " << state.t << " |x|=" << state.x_norm1
-                     << " trW=" << tr_w << " |B|=" << updated;
-  }
-
-  // Exact lambda_max of the final Psi: one extra eigensolve, reused by the
-  // measured-tight dual.
-  const Real psi_lambda_max = linalg::lambda_max_exact(psi);
-  DecisionResult result = finish(std::move(state), c, psi_lambda_max);
-  result.trajectory = std::move(stats_local);
-  if (result.iterations > 0) {
-    result.primal_y = std::move(y_sum);
-    result.primal_y.scale(1 / static_cast<Real>(result.iterations));
-  } else {
-    // Zero iterations (tiny override): fall back to the uniform certificate.
-    result.primal_y = Matrix::identity(m);
-    result.primal_y.scale(1 / static_cast<Real>(m));
-    result.primal_trace = 1;
-  }
-  return result;
+  DenseEigOracle oracle(instance);
+  EngineRun run = run_decision_loop(oracle, options);
+  return finish_decision(std::move(run), oracle, /*dense_primal=*/true);
 }
 
 DecisionResult decision_factorized(const FactorizedPackingInstance& instance,
                                    const DecisionOptions& options) {
-  const Index n = instance.size();
-  const Index m = instance.dim();
-  const Real eps = options.eps;
-  const AlgorithmConstants c = algorithm_constants(n, eps);
-  const Index r_limit = options.max_iterations_override > 0
-                            ? options.max_iterations_override
-                            : c.r_limit;
-
-  SolverState state = initial_state(instance);
-  std::vector<IterationStat> stats_local;
-
-  BigDotExpOptions dot_options = options.dot_options;
-  dot_options.eps = options.dot_eps > 0 ? options.dot_eps : eps / 2;
-
-  // Psi as an implicit operator: Psi v = sum_i x_i (Q_i (Q_i^T v)).
-  const sparse::FactorizedSet& set = instance.set();
-  const linalg::SymmetricOp psi_op = [&set, &state](const Vector& v,
-                                                    Vector& y) {
-    set.weighted_apply(state.x, v, y);
-  };
-  // Panel form of Psi for the blocked bigDotExp path; the workspace panels
-  // are allocated once and recycled across iterations.
-  const auto psi_ws = std::make_shared<sparse::FactorizedSet::BlockWorkspace>();
-  const linalg::BlockOp psi_block_op =
-      [&set, &state, psi_ws](const linalg::Matrix& v, linalg::Matrix& y) {
-        set.weighted_apply_block(state.x, v, y, *psi_ws);
-      };
-
-  while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
-         !(options.early_primal_exit && state.primal_certified())) {
-    ++state.t;
-    // Fresh sketch per iteration: independent noise, per the union bound.
-    BigDotExpOptions iter_options = dot_options;
-    iter_options.seed =
-        rand::stream_seed(dot_options.seed, static_cast<std::uint64_t>(state.t));
-    // kappa: the a-priori Lemma 3.2 bound caps it (this is exactly why the
-    // iteration is width-independent); early iterations use the cheaper
-    // runtime bound lambda_max(Psi) <= Tr[Psi] = sum_i x_i Tr[A_i].
-    Real trace_psi = 0;
-    for (Index i = 0; i < n; ++i) {
-      trace_psi += state.x[i] * instance.constraint_trace(i);
-    }
-    const Real kappa = std::min(c.spectrum_bound, trace_psi);
-    const BigDotExpResult dots =
-        big_dot_exp(psi_op, psi_block_op, m, kappa, set, iter_options);
-
-    const Index updated =
-        apply_update(state, dots.dots, dots.trace_exp, eps, c.alpha);
-
-    if (options.track_trajectory) {
-      IterationStat stat;
-      stat.t = state.t;
-      stat.trace_w = dots.trace_exp;
-      stat.x_norm1 = state.x_norm1;
-      stat.updated = updated;
-      stats_local.push_back(stat);
-    }
-
-    PSDP_LOG(kDebug) << "factorized iter " << state.t
-                     << " |x|=" << state.x_norm1 << " trW~=" << dots.trace_exp
-                     << " |B|=" << updated;
-  }
-
-  // Estimate lambda_max of the final Psi for the measured-tight dual.
-  // Lanczos handles the flat spectrum Lemma 3.2 induces far better than
-  // power iteration; ritz + residual is the certified upper bound, and a
-  // further 0.1% inflation absorbs the (improbable) unlucky-start case.
-  linalg::LanczosOptions lanczos_options;
-  lanczos_options.tol = 1e-10;
-  const linalg::LanczosResult lanczos =
-      linalg::lanczos_lambda_max(psi_op, m, lanczos_options);
-  const Real psi_lambda_max =
-      lanczos.lambda_max > 0
-          ? (lanczos.lambda_max + lanczos.residual) * 1.001
-          : 0;
-  DecisionResult result = finish(std::move(state), c, psi_lambda_max);
-  result.trajectory = std::move(stats_local);
-  // primal_y stays empty: the factorized path never forms an m x m matrix.
-  // The certificate values A_i . Y are in primal_dots and Tr Y = 1.
-  if (result.iterations == 0) result.primal_trace = 1;
-  return result;
+  SketchedOracleOptions oracle_options;
+  oracle_options.eps = options.eps;
+  oracle_options.dot_eps = options.dot_eps;
+  oracle_options.dot_options = options.dot_options;
+  // kappa: the a-priori Lemma 3.2 bound caps it (this is exactly why the
+  // iteration is width-independent).
+  oracle_options.kappa_cap =
+      algorithm_constants(instance.size(), options.eps).spectrum_bound;
+  SketchedTaylorOracle oracle(instance, oracle_options);
+  EngineRun run = run_decision_loop(oracle, options);
+  return finish_decision(std::move(run), oracle, /*dense_primal=*/false);
 }
 
 DecisionResult solve_decision(const PackingInstance& instance, Real eps) {

@@ -2,22 +2,23 @@
 
 #include <cmath>
 
-#include "linalg/eig.hpp"
-#include "linalg/tridiag_eig.hpp"
-#include "linalg/expm.hpp"
-#include "par/parallel.hpp"
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
 
-void MixedInstance::validate() const {
-  PSDP_CHECK(packing.size() >= 1, "mixed: no coordinates");
-  PSDP_CHECK(static_cast<Index>(covering.size()) == packing.size(),
+namespace {
+
+/// Structural checks shared by the dense and factorized instances.
+void validate_covering(Index n, const std::vector<Vector>& covering) {
+  PSDP_CHECK(n >= 1, "mixed: no coordinates");
+  PSDP_CHECK(static_cast<Index>(covering.size()) == n,
              "mixed: covering vectors must be index-aligned with packing");
-  const Index l = covering_dim();
+  const Index l = covering.empty() ? 0 : covering.front().size();
   PSDP_CHECK(l >= 1, "mixed: covering dimension must be positive");
   Vector reach(l);
-  for (Index i = 0; i < size(); ++i) {
+  for (Index i = 0; i < n; ++i) {
     const Vector& d = covering[static_cast<std::size_t>(i)];
     PSDP_CHECK(d.size() == l, str("mixed: covering vector ", i,
                                   " has inconsistent length"));
@@ -34,14 +35,20 @@ void MixedInstance::validate() const {
   }
 }
 
-MixedResult solve_mixed(const MixedInstance& instance,
-                        const MixedOptions& options) {
-  instance.validate();
+/// The mixed packing/covering loop over any oracle: matrix MMW penalties
+/// from the oracle on the packing side, scalar soft-max benefits on the
+/// covering side, Young-style multiplicative selection in between. The
+/// final rescale divides by oracle.lambda_max (exact for the dense oracle,
+/// a certified upper bound for the sketched one), so the packing
+/// certificate is feasible by construction either way; min_coverage is
+/// always re-measured in exact arithmetic.
+MixedResult run_mixed_loop(PenaltyOracle& oracle,
+                           const std::vector<Vector>& covering,
+                           const MixedOptions& options) {
   PSDP_CHECK(options.eps > 0 && options.eps < 1,
              "mixed: eps must lie in (0,1)");
-  const Index n = instance.size();
-  const Index m = instance.packing.dim();
-  const Index l = instance.covering_dim();
+  const Index n = oracle.size();
+  const Index l = covering.front().size();
   const Real eps = options.eps;
 
   // Width-independent step (the Algorithm 3.1 constants) and the covering
@@ -55,22 +62,19 @@ MixedResult solve_mixed(const MixedInstance& instance,
           ? options.max_iterations_override
           : 4 * c.r_limit;  // covering may need more rounds than packing alone
 
-  // Start small on the packing side, exactly like Algorithm 3.1.
-  Vector x(n);
-  for (Index i = 0; i < n; ++i) {
-    x[i] = 1 / (static_cast<Real>(n) * instance.packing.constraint_trace(i));
-  }
+  // Start small on the packing side, exactly like Algorithm 3.1. Mixed
+  // maintains its own coverage accumulators, so it only needs the starting
+  // weights, not the full SolverState.
+  Vector x = initial_weights(oracle, "mixed");
 
-  Matrix psi(m, m);
-  for (Index i = 0; i < n; ++i) psi.add_scaled(instance.packing[i], x[i]);
   Vector coverage(l);
   for (Index i = 0; i < n; ++i) {
-    coverage.add_scaled(instance.covering[static_cast<std::size_t>(i)], x[i]);
+    coverage.add_scaled(covering[static_cast<std::size_t>(i)], x[i]);
   }
 
-  Vector penalty(n);
   Vector benefit(n);
   Vector q(l);
+  PenaltyBatch batch;
   MixedResult result;
 
   auto min_coverage = [&] {
@@ -82,15 +86,11 @@ MixedResult solve_mixed(const MixedInstance& instance,
   while (min_coverage() < cover_target && result.iterations < r_limit) {
     ++result.iterations;
 
-    // Packing penalties: P . A_i with P = exp(Psi)/Tr.
-    const linalg::EigResult eig = linalg::sym_eig(psi);
-    const Matrix w = linalg::expm_from_eig(eig);
-    const Real tr_w = linalg::trace(w);
-    PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
+    // Packing penalties: P . A_i with P = exp(Psi)/Tr, via the oracle.
+    oracle.compute(x, static_cast<std::uint64_t>(result.iterations),
+                   batch);
+    PSDP_NUMERIC_CHECK(batch.trace > 0 && std::isfinite(batch.trace),
                        "mixed: Tr[W] not positive finite");
-    par::parallel_for(0, n, [&](Index i) {
-      penalty[i] = linalg::frobenius_dot(instance.packing[i], w) / tr_w;
-    }, std::max<Index>(1, 16384 / (m * m + 1)));
 
     // Covering benefits: <q, d_i>/||q||_1 with q_j = exp(-(c_j - c_min));
     // saturated coordinates get exponentially small weight automatically.
@@ -102,18 +102,17 @@ MixedResult solve_mixed(const MixedInstance& instance,
       q_norm += q[j];
     }
     for (Index i = 0; i < n; ++i) {
-      benefit[i] = dot(q, instance.covering[static_cast<std::size_t>(i)]) / q_norm;
+      benefit[i] =
+          dot(q, covering[static_cast<std::size_t>(i)]) / q_norm;
     }
 
     // Young-style selection: profitable coordinates grow multiplicatively.
     Index updated = 0;
     for (Index i = 0; i < n; ++i) {
-      if (penalty[i] <= (1 + eps) * benefit[i]) {
+      if (batch.dots[i] / batch.trace <= (1 + eps) * benefit[i]) {
         const Real delta = c.alpha * x[i];
         x[i] += delta;
-        psi.add_scaled(instance.packing[i], delta);
-        coverage.add_scaled(instance.covering[static_cast<std::size_t>(i)],
-                            delta);
+        coverage.add_scaled(covering[static_cast<std::size_t>(i)], delta);
         ++updated;
       }
     }
@@ -126,23 +125,48 @@ MixedResult solve_mixed(const MixedInstance& instance,
   // Rescale so the *measured* packing norm is exactly 1, then report the
   // coverage that survives. (1 - 1e-12) guards the strict <= I check
   // against the final rounding of the division.
-  const Real lambda = linalg::lambda_max_exact(psi);
+  const Real lambda = oracle.lambda_max(x);
   PSDP_NUMERIC_CHECK(lambda > 0, "mixed: packing sum has zero norm");
-  result.x = x;
+  result.x = std::move(x);
   result.x.scale((1 - 1e-12) / lambda);
   result.packing_lambda_max = 1 - 1e-12;
   coverage.scale((1 - 1e-12) / lambda);
-  result.min_coverage = [&] {
-    Real mc = coverage[0];
-    for (Index j = 1; j < l; ++j) mc = std::min(mc, coverage[j]);
-    return mc;
-  }();
+  result.min_coverage = min_coverage();
   // The coverage is *measured*, so the acceptance threshold needs no
   // worst-case constant: within eps of full coverage counts as feasible.
   result.outcome = result.min_coverage >= 1 - eps
                        ? MixedOutcome::kFeasible
                        : MixedOutcome::kExhausted;
   return result;
+}
+
+}  // namespace
+
+void MixedInstance::validate() const {
+  validate_covering(packing.size(), covering);
+}
+
+void MixedFactorizedInstance::validate() const {
+  validate_covering(packing.size(), covering);
+}
+
+MixedResult solve_mixed(const MixedInstance& instance,
+                        const MixedOptions& options) {
+  instance.validate();
+  DenseEigOracle oracle(instance.packing);
+  return run_mixed_loop(oracle, instance.covering, options);
+}
+
+MixedResult solve_mixed(const MixedFactorizedInstance& instance,
+                        const MixedFactorizedOptions& options) {
+  instance.validate();
+  SketchedOracleOptions oracle_options;
+  oracle_options.eps = options.eps;
+  oracle_options.dot_eps = options.dot_eps;
+  oracle_options.dot_options = options.dot_options;
+  // No spectrum invariant here: the runtime bound kappa = Tr[Psi] alone.
+  SketchedTaylorOracle oracle(instance.packing, oracle_options);
+  return run_mixed_loop(oracle, instance.covering, options);
 }
 
 }  // namespace psdp::core

@@ -53,9 +53,32 @@ struct MixedInstance {
   void validate() const;
 };
 
+/// The same mixed program with the packing side prefactored
+/// (A_i = Q_i Q_i^T): the input format that lets the packing penalties run
+/// on the sketched bigDotExp oracle instead of the dense O(m^3)
+/// eigendecomposition, so mixed instances scale beyond tiny m.
+struct MixedFactorizedInstance {
+  FactorizedPackingInstance packing;  ///< the A_i, prefactored
+  std::vector<Vector> covering;       ///< the d_i, each of length l
+
+  Index size() const { return packing.size(); }
+  Index covering_dim() const {
+    return covering.empty() ? 0 : covering.front().size();
+  }
+
+  void validate() const;
+};
+
 struct MixedOptions {
   Real eps = 0.1;
   Index max_iterations_override = 0;  ///< 0 = the R-style budget
+};
+
+struct MixedFactorizedOptions : MixedOptions {
+  /// Accuracy of the sketched packing-penalty estimates (0 = auto, eps/2).
+  Real dot_eps = 0;
+  /// Sketch/Taylor/blocking knobs forwarded to the oracle.
+  BigDotExpOptions dot_options;
 };
 
 enum class MixedOutcome {
@@ -80,5 +103,13 @@ struct MixedResult {
 /// recovered reliably (see tests).
 MixedResult solve_mixed(const MixedInstance& instance,
                         const MixedOptions& options = {});
+
+/// Factorized path: packing penalties from the sketched bigDotExp oracle
+/// (nearly-linear work, never forms an m x m matrix); the final packing
+/// rescale divides by a certified Lanczos upper bound on lambda_max, so
+/// the returned x is feasible by construction and min_coverage is still
+/// measured exactly.
+MixedResult solve_mixed(const MixedFactorizedInstance& instance,
+                        const MixedFactorizedOptions& options = {});
 
 }  // namespace psdp::core

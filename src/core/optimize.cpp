@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/bucketed.hpp"
+#include "core/phased.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
@@ -74,20 +76,59 @@ Oracle make_dense_oracle(const PackingInstance& instance,
   };
 }
 
-/// Factorized-path oracle (no dense primal certificate; dots only).
+/// Copy the probe knobs every factorized schedule variant shares (the
+/// oracle config plus the loop limits) from DecisionOptions into its
+/// options struct, so a knob added to the probe config cannot silently
+/// be decision-only again.
+template <typename Options>
+Options probe_schedule_options(const DecisionOptions& decision) {
+  Options options;
+  options.eps = decision.eps;
+  options.max_iterations_override = decision.max_iterations_override;
+  options.early_primal_exit = decision.early_primal_exit;
+  options.dot_eps = decision.dot_eps;
+  options.dot_options = decision.dot_options;
+  return options;
+}
+
+/// Factorized-path oracle (no dense primal certificate; dots only). The
+/// probe solver is selectable; every choice builds its SketchedTaylorOracle
+/// from the same DecisionOptions-derived config, so dot_eps/dot_options
+/// (including the dot_block_size panel width) are honored uniformly.
 Oracle make_factorized_oracle(const FactorizedPackingInstance& instance,
+                              ProbeSolver solver,
                               DecisionOptions decision_options) {
-  return [&instance, decision_options](Real v) {
+  return [&instance, solver, decision_options](Real v) {
     const FactorizedPackingInstance scaled = instance.scaled(v);
-    const DecisionResult r = decision_factorized(scaled, decision_options);
     ProbeOutcome probe;
-    probe.outcome = r.outcome;
-    probe.iterations = r.iterations;
-    probe.dual_x = r.dual_x_tight;
+    Vector primal_dots;
+    if (solver == ProbeSolver::kPhased) {
+      PhasedResult r = decision_phased(
+          scaled,
+          probe_schedule_options<FactorizedPhasedOptions>(decision_options));
+      probe.outcome = r.outcome;
+      probe.iterations = r.iterations;
+      probe.dual_x = std::move(r.dual_x);  // already measured-tight
+      primal_dots = std::move(r.primal_dots);
+    } else if (solver == ProbeSolver::kBucketed) {
+      BucketedResult r = decision_bucketed(
+          scaled,
+          probe_schedule_options<FactorizedBucketedOptions>(decision_options));
+      probe.outcome = r.outcome;
+      probe.iterations = r.iterations;
+      probe.dual_x = std::move(r.dual_x);  // already measured-tight
+      primal_dots = std::move(r.primal_dots);
+    } else {
+      DecisionResult r = decision_factorized(scaled, decision_options);
+      probe.outcome = r.outcome;
+      probe.iterations = r.iterations;
+      probe.dual_x = std::move(r.dual_x_tight);
+      primal_dots = std::move(r.primal_dots);
+    }
     probe.dual_value = linalg::sum(probe.dual_x);
     probe.min_dot = std::numeric_limits<Real>::infinity();
-    for (Index j = 0; j < r.primal_dots.size(); ++j) {
-      probe.min_dot = std::min(probe.min_dot, r.primal_dots[j]);
+    for (Index j = 0; j < primal_dots.size(); ++j) {
+      probe.min_dot = std::min(probe.min_dot, primal_dots[j]);
     }
     return probe;
   };
@@ -229,8 +270,8 @@ PackingOptimum approx_packing(const PackingInstance& instance,
 
 PackingOptimum approx_packing(const FactorizedPackingInstance& instance,
                               const OptimizeOptions& options) {
-  const Oracle oracle =
-      make_factorized_oracle(instance, probe_decision_options(options));
+  const Oracle oracle = make_factorized_oracle(
+      instance, options.probe_solver, probe_decision_options(options));
   PackingOptimum best =
       search(oracle, min_constraint_trace(instance), instance.dim(), options);
   fill_initial_best_x(instance, best);

@@ -32,6 +32,15 @@
 
 namespace psdp::core {
 
+/// Which solver runs each probe of the factorized binary search. All three
+/// construct the same SketchedTaylorOracle from the same config, so the
+/// dot_eps / dot_options / dot_block_size knobs are honored uniformly.
+enum class ProbeSolver {
+  kDecision,  ///< plain per-iteration Algorithm 3.1 (the default)
+  kPhased,    ///< one bigDotExp batch per phase (fewer oracle calls)
+  kBucketed,  ///< slack-bucketed steps with measured safety rescalings
+};
+
 struct OptimizeOptions {
   /// Target relative accuracy of the returned bracket.
   Real eps = 0.1;
@@ -44,9 +53,14 @@ struct OptimizeOptions {
   /// Apply the Lemma 2.2 trace-bounding preprocessing per probe.
   bool trace_bound = true;
   /// Panel width for the factorized path's blocked bigDotExp kernels,
-  /// applied to every probe; 0 keeps `decision.dot_options.block_size`
-  /// (whose 0 means auto). See BigDotExpOptions::block_size.
+  /// applied to every probe regardless of `probe_solver` (the knob routes
+  /// through the shared oracle config); 0 keeps
+  /// `decision.dot_options.block_size` (whose 0 means auto). See
+  /// BigDotExpOptions::block_size.
   Index dot_block_size = 0;
+  /// Solver variant used for factorized probes (the dense path always runs
+  /// the plain decision solver).
+  ProbeSolver probe_solver = ProbeSolver::kDecision;
   /// Forwarded to every decision call (trajectory tracking, overrides...).
   DecisionOptions decision;
 };

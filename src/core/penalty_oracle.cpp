@@ -1,0 +1,230 @@
+#include "core/penalty_oracle.hpp"
+
+#include <cmath>
+
+#include "linalg/eig.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/tridiag_eig.hpp"
+#include "par/parallel.hpp"
+#include "rand/rng.hpp"
+#include "util/log.hpp"
+
+namespace psdp::core {
+
+void penalty_dots(const PackingInstance& instance, const Matrix& w,
+                  Vector& dots) {
+  const Index m = instance.dim();
+  // Keep small per-constraint work serial: below this grain the fork-join
+  // overhead dwarfs an m^2 dot product.
+  const Index grain = std::max<Index>(1, 16384 / (m * m + 1));
+  par::parallel_for(0, instance.size(), [&](Index i) {
+    dots[i] = linalg::frobenius_dot(instance[i], w);
+  }, grain);
+}
+
+// ------------------------------------------------------------------ dense --
+
+DenseEigOracle::DenseEigOracle(const PackingInstance& instance)
+    : instance_(&instance),
+      psi_(instance.dim(), instance.dim()),
+      x_cache_(instance.size()) {}
+
+void DenseEigOracle::sync(const Vector& x) {
+  PSDP_CHECK(x.size() == size(), "DenseEigOracle: weight size mismatch");
+  for (Index i = 0; i < size(); ++i) {
+    const Real delta = x[i] - x_cache_[i];
+    if (delta != 0) psi_.add_scaled((*instance_)[i], delta);
+  }
+  x_cache_ = x;
+}
+
+void DenseEigOracle::compute(const Vector& x, std::uint64_t /*round*/,
+                             PenaltyBatch& out) {
+  sync(x);
+  const linalg::EigResult eig = linalg::sym_eig(psi_);
+  w_ = linalg::expm_from_eig(eig);
+  out.trace = linalg::trace(w_);
+  out.lambda_max_psi = eig.eigenvalues[0];
+  if (out.dots.size() != size()) out.dots = Vector(size());
+  penalty_dots(*instance_, w_, out.dots);
+  out.weight = &w_;
+  out.weight_vec = nullptr;
+}
+
+Real DenseEigOracle::lambda_max(const Vector& weights) {
+  PSDP_CHECK(weights.size() == size(),
+             "DenseEigOracle: weight size mismatch");
+  // The common call is at the oracle's own (monotonically grown) weight
+  // trajectory -- the solve epilogues. There a copy of the cached Psi
+  // needs only PSD-term top-ups, far cheaper than a fresh O(n m^2)
+  // assembly. The cache itself is never repointed here (a probe vector
+  // like bucketed's width step must not rebase it -- the way back would
+  // be cancelling subtractions); any shrinking coordinate falls through
+  // to the scratch build.
+  bool forward = true;
+  for (Index i = 0; i < size(); ++i) {
+    if (weights[i] < x_cache_[i]) {
+      forward = false;
+      break;
+    }
+  }
+  if (forward) {
+    Matrix sum = psi_;
+    for (Index i = 0; i < size(); ++i) {
+      const Real delta = weights[i] - x_cache_[i];
+      if (delta != 0) sum.add_scaled((*instance_)[i], delta);
+    }
+    return linalg::lambda_max_exact(sum);
+  }
+  Matrix sum(dim(), dim());
+  for (Index i = 0; i < size(); ++i) {
+    if (weights[i] != 0) sum.add_scaled((*instance_)[i], weights[i]);
+  }
+  return linalg::lambda_max_exact(sum);
+}
+
+// --------------------------------------------------------------- sketched --
+
+SketchedTaylorOracle::SketchedTaylorOracle(
+    const FactorizedPackingInstance& instance,
+    const SketchedOracleOptions& options)
+    : instance_(&instance),
+      dot_options_(options.dot_options),
+      dot_eps_(options.dot_eps > 0 ? options.dot_eps : options.eps / 2),
+      kappa_cap_(options.kappa_cap),
+      x_work_(instance.size()) {
+  PSDP_CHECK(dot_eps_ > 0 && dot_eps_ < 1,
+             "SketchedTaylorOracle: dot_eps must lie in (0,1)");
+  dot_options_.eps = dot_eps_;
+  // Psi as an implicit operator: Psi v = sum_i x_i (Q_i (Q_i^T v)), in both
+  // matvec and panel form. The panel workspace is allocated once and
+  // recycled across rounds. Both closures read x_work_, so the oracle must
+  // stay put (non-copyable by the base class).
+  const sparse::FactorizedSet& set = instance.set();
+  psi_op_ = [&set, this](const Vector& v, Vector& y) {
+    set.weighted_apply(x_work_, v, y);
+  };
+  psi_block_op_ = [&set, this](const linalg::Matrix& v, linalg::Matrix& y) {
+    set.weighted_apply_block(x_work_, v, y, block_ws_);
+  };
+}
+
+void SketchedTaylorOracle::compute(const Vector& x, std::uint64_t round,
+                                   PenaltyBatch& out) {
+  PSDP_CHECK(x.size() == size(),
+             "SketchedTaylorOracle: weight size mismatch");
+  x_work_ = x;
+  // kappa: the caller's a-priori cap (Lemma 3.2 for the decision solvers --
+  // exactly why the iteration is width-independent) against the cheap
+  // runtime bound lambda_max(Psi) <= Tr[Psi] = sum_i x_i Tr[A_i], which is
+  // the only bound the variants without a spectrum invariant can rely on.
+  Real trace_psi = 0;
+  for (Index i = 0; i < size(); ++i) {
+    trace_psi += x[i] * instance_->constraint_trace(i);
+  }
+  const Real kappa =
+      kappa_cap_ > 0 ? std::min(kappa_cap_, trace_psi) : trace_psi;
+  // Fresh sketch per round: independent noise, per the union bound.
+  BigDotExpOptions round_options = dot_options_;
+  round_options.seed = rand::stream_seed(dot_options_.seed, round);
+  BigDotExpResult r = big_dot_exp(psi_op_, psi_block_op_, dim(), kappa,
+                                  instance_->set(), round_options);
+  out.dots = std::move(r.dots);
+  out.trace = r.trace_exp;
+  out.lambda_max_psi = 0;
+  out.weight = nullptr;
+  out.weight_vec = nullptr;
+}
+
+Real SketchedTaylorOracle::lambda_max(const Vector& weights) {
+  PSDP_CHECK(weights.size() == size(),
+             "SketchedTaylorOracle: weight size mismatch");
+  // Lanczos handles the flat spectra Lemma 3.2 induces far better than
+  // power iteration; ritz + residual is the certified upper bound, and a
+  // further 0.1% inflation absorbs the (improbable) unlucky-start case.
+  const sparse::FactorizedSet& set = instance_->set();
+  const linalg::SymmetricOp op = [&set, &weights](const Vector& v,
+                                                  Vector& y) {
+    set.weighted_apply(weights, v, y);
+  };
+  linalg::LanczosOptions options;
+  options.tol = 1e-10;
+  const linalg::LanczosResult r =
+      linalg::lanczos_lambda_max(op, dim(), options);
+  return r.lambda_max > 0 ? (r.lambda_max + r.residual) * 1.001 : 0;
+}
+
+// ----------------------------------------------------------------- scalar --
+
+ScalarSoftmaxOracle::ScalarSoftmaxOracle(const Matrix& p)
+    : p_(&p), psi_(p.rows()), x_cache_(p.cols()) {
+  PSDP_CHECK(p.rows() >= 1 && p.cols() >= 1,
+             "ScalarSoftmaxOracle: empty matrix");
+  column_sums_.assign(static_cast<std::size_t>(p.cols()), 0);
+  for (Index j = 0; j < p.rows(); ++j) {
+    for (Index i = 0; i < p.cols(); ++i) {
+      PSDP_CHECK(p(j, i) >= 0 && std::isfinite(p(j, i)),
+                 str("ScalarSoftmaxOracle: bad entry at (", j, ",", i, ")"));
+      column_sums_[static_cast<std::size_t>(i)] += p(j, i);
+    }
+  }
+}
+
+void ScalarSoftmaxOracle::sync(const Vector& x) {
+  PSDP_CHECK(x.size() == size(),
+             "ScalarSoftmaxOracle: weight size mismatch");
+  const Matrix& p = *p_;
+  for (Index i = 0; i < size(); ++i) {
+    const Real delta = x[i] - x_cache_[i];
+    if (delta == 0) continue;
+    for (Index j = 0; j < dim(); ++j) psi_[j] += delta * p(j, i);
+  }
+  x_cache_ = x;
+}
+
+void ScalarSoftmaxOracle::compute(const Vector& x, std::uint64_t /*round*/,
+                                  PenaltyBatch& out) {
+  sync(x);
+  const Matrix& p = *p_;
+  const Index l = dim();
+  const Index n = size();
+  // Scalar soft-max weights, shifted by max_j Psi_j for overflow safety
+  // (the selection rule and the primal average are scale-invariant).
+  const Real shift = linalg::max_entry(psi_);
+  if (w_.size() != l) w_ = Vector(l);
+  Real tr_w = 0;
+  for (Index j = 0; j < l; ++j) {
+    w_[j] = std::exp(psi_[j] - shift);
+    tr_w += w_[j];
+  }
+  out.trace = tr_w;
+  out.lambda_max_psi = shift;
+  // dots_i = (P^T w)_i = exp-penalty of variable i.
+  if (out.dots.size() != n) out.dots = Vector(n);
+  for (Index i = 0; i < n; ++i) out.dots[i] = 0;
+  for (Index j = 0; j < l; ++j) {
+    const Real wj = w_[j];
+    if (wj == 0) continue;
+    for (Index i = 0; i < n; ++i) out.dots[i] += wj * p(j, i);
+  }
+  out.weight = nullptr;
+  out.weight_vec = &w_;
+}
+
+Real ScalarSoftmaxOracle::lambda_max(const Vector& weights) {
+  PSDP_CHECK(weights.size() == size(),
+             "ScalarSoftmaxOracle: weight size mismatch");
+  // Top up a copy of the cached Psi = P x (O(l) per changed coordinate);
+  // the cache itself stays pinned to the last compute()'s weights.
+  const Matrix& p = *p_;
+  Vector psi = psi_;
+  for (Index i = 0; i < size(); ++i) {
+    const Real delta = weights[i] - x_cache_[i];
+    if (delta == 0) continue;
+    for (Index j = 0; j < dim(); ++j) psi[j] += delta * p(j, i);
+  }
+  return linalg::max_entry(psi);
+}
+
+}  // namespace psdp::core

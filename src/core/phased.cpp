@@ -1,43 +1,28 @@
 #include "core/phased.hpp"
 
 #include <cmath>
-#include <memory>
 
-#include "linalg/eig.hpp"
-#include "linalg/expm.hpp"
-#include "linalg/lanczos.hpp"
-#include "linalg/tridiag_eig.hpp"
-#include "rand/rng.hpp"
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
 
 namespace {
 
-constexpr Index kNoLimit = std::numeric_limits<Index>::max() / 4;
-
-/// Smallest j >= 1 with base * (1+alpha)^j > target (growth of the selected
-/// mass); kNoLimit when base is zero (nothing selected grows).
-Index steps_until_exceeds(Real base, Real alpha, Real target) {
-  if (base <= 0) return kNoLimit;
-  if (base > target) return 1;
-  // j > log(target/base) / log(1+alpha); +1 to strictly exceed.
-  const Real j = std::log(target / base) / std::log1p(alpha);
-  Index candidate = static_cast<Index>(std::floor(j)) + 1;
-  if (candidate < 1) candidate = 1;
-  // Guard against floating-point edge: ensure the candidate really crosses.
-  while (base * std::pow(1 + alpha, static_cast<Real>(candidate)) <= target) {
-    ++candidate;
-  }
-  return candidate;
-}
-
-}  // namespace
-
-PhasedResult decision_phased(const PackingInstance& instance,
-                             const PhasedOptions& options) {
-  const Index n = instance.size();
-  const Index m = instance.dim();
+/// The phase schedule over any oracle. One oracle evaluation per phase;
+/// while the penalties are held fixed the selected set B is fixed too, so j
+/// consecutive iterations multiply the selected coordinates by (1+alpha)^j
+/// in closed form. The primal is certified against (1 + noise_bound) * t:
+/// a phase replays one noisy batch j times (correlated noise), so the
+/// inflated threshold is what keeps sketch noise from faking a certificate
+/// (exact oracles report noise 0 and the threshold reduces to the paper's;
+/// see SolverState::primal_certified for the margin's noise model).
+/// `dense_primal` materializes the averaged weight matrix as primal_y.
+PhasedResult run_phased_loop(PenaltyOracle& oracle,
+                             const PhasedOptions& options,
+                             bool dense_primal) {
+  const Index n = oracle.size();
   const Real eps = options.eps;
   const AlgorithmConstants c = algorithm_constants(n, eps);
   const Real phase_growth =
@@ -46,92 +31,76 @@ PhasedResult decision_phased(const PackingInstance& instance,
   const Index r_limit = options.max_iterations_override > 0
                             ? options.max_iterations_override
                             : c.r_limit;
+  const Real noise = oracle.noise_bound();
+  // Matching SolverState::primal_certified (see there for why 1 + noise
+  // rather than the adversarial two-sided ratio bound).
+  const Real primal_threshold = 1 + noise;
 
-  // Same starting point as Algorithm 3.1.
-  Vector x(n);
-  Real x_norm1 = 0;
-  for (Index i = 0; i < n; ++i) {
-    const Real tr = instance.constraint_trace(i);
-    PSDP_CHECK(tr > 0 && std::isfinite(tr),
-               str("decision_phased: constraint ", i, " has bad trace ", tr));
-    x[i] = 1 / (static_cast<Real>(n) * tr);
-    x_norm1 += x[i];
-  }
-
-  Matrix psi(m, m);
-  for (Index i = 0; i < n; ++i) psi.add_scaled(instance[i], x[i]);
-
-  Matrix y_sum(m, m);
-  Vector primal_sums(n);
-  Real min_primal_sum = 0;
-  Index t = 0;
+  SolverState state = initial_state(oracle, "decision_phased");
 
   PhasedResult result;
   result.constants = c;
 
-  const auto primal_certified = [&]() {
-    return t > 0 && min_primal_sum >= static_cast<Real>(t);
-  };
-
-  Vector dots(n);
+  Matrix y_sum;
+  PenaltyBatch batch;
   std::vector<bool> selected(static_cast<std::size_t>(n), false);
 
-  while (x_norm1 <= c.k_cap && t < r_limit &&
-         !(options.early_primal_exit && primal_certified())) {
-    // --- Phase start: the one matrix exponential. ---
-    const linalg::EigResult eig = linalg::sym_eig(psi);
-    const Matrix w = linalg::expm_from_eig(eig);
-    const Real tr_w = linalg::trace(w);
+  while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
+         !(options.early_primal_exit && state.primal_certified(noise))) {
+    // --- Phase start: the one oracle evaluation. ---
+    ++result.phases;
+    oracle.compute(state.x, static_cast<std::uint64_t>(result.phases), batch);
+    const Real tr_w = batch.trace;
     PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
                        "decision_phased: Tr[W] not positive finite");
-    ++result.phases;
 
     const Real threshold = (1 + eps) * tr_w;
     Real selected_mass = 0;  // sum of x_i over B
     Index selected_count = 0;
-    Real min_rate = std::numeric_limits<Real>::infinity();  // min dots_i/tr_w
-    bool all_rates_cover = true;  // every dots_i/tr_w >= 1?
+    bool all_rates_cover = true;  // every dots_i/tr_w >= primal_threshold?
     for (Index i = 0; i < n; ++i) {
-      dots[i] = linalg::frobenius_dot(instance[i], w);
-      const bool in_b = dots[i] <= threshold;
+      const bool in_b = batch.dots[i] <= threshold;
       selected[static_cast<std::size_t>(i)] = in_b;
       if (in_b) {
-        selected_mass += x[i];
+        selected_mass += state.x[i];
         ++selected_count;
       }
-      const Real rate = dots[i] / tr_w;
-      min_rate = std::min(min_rate, rate);
-      if (rate < 1) all_rates_cover = false;
+      if (batch.dots[i] / tr_w < primal_threshold) all_rates_cover = false;
     }
 
     // --- Phase length: the smallest of the stopping causes. ---
-    const Real rest_mass = x_norm1 - selected_mass;
+    const Real rest_mass = state.x_norm1 - selected_mass;
 
     // (a) dual exit: rest + selected * (1+alpha)^j > K.
     const Index j_dual =
         steps_until_exceeds(selected_mass, c.alpha, c.k_cap - rest_mass);
     // (b) phase budget: ||x||_1 exceeds (1+phase_growth) * phase-start value.
     const Index j_phase = steps_until_exceeds(
-        selected_mass, c.alpha, (1 + phase_growth) * x_norm1 - rest_mass);
+        selected_mass, c.alpha,
+        (1 + phase_growth) * state.x_norm1 - rest_mass);
     // (c) global budget.
-    const Index j_r = r_limit - t;
-    // (d) primal certification: min_i (sums_i + j * rate_i) >= t + j. Each
-    //     constraint with rate_i >= 1 is satisfied after
-    //     j >= (t - sums_i)/(rate_i - 1); one with rate_i < 1 never is.
+    const Index j_r = r_limit - state.t;
+    // (d) primal certification: min_i (sums_i + j * rate_i) >=
+    //     primal_threshold * (t + j). Each constraint with rate_i >=
+    //     primal_threshold is satisfied after j >=
+    //     deficit_i/(rate_i - primal_threshold); one below the threshold
+    //     never is.
     Index j_primal = kNoLimit;
     if (options.early_primal_exit && all_rates_cover) {
       Real worst = 0;
       for (Index i = 0; i < n; ++i) {
-        const Real rate = dots[i] / tr_w;
-        const Real deficit = static_cast<Real>(t) - primal_sums[i];
+        const Real rate = batch.dots[i] / tr_w;
+        const Real deficit =
+            primal_threshold * static_cast<Real>(state.t) -
+            state.primal_dots[i];
         if (deficit <= 0) continue;
-        if (rate <= 1) {
-          // rate == 1 with a deficit: certification cannot come from this
-          // constraint within any finite j of this phase.
+        if (rate <= primal_threshold) {
+          // rate at the threshold with a deficit: certification cannot come
+          // from this constraint within any finite j of this phase.
           worst = static_cast<Real>(kNoLimit);
           break;
         }
-        worst = std::max(worst, deficit / (rate - 1));
+        worst = std::max(worst, deficit / (rate - primal_threshold));
       }
       j_primal = worst >= static_cast<Real>(kNoLimit)
                      ? kNoLimit
@@ -150,219 +119,52 @@ PhasedResult decision_phased(const PackingInstance& instance,
     const Real growth = std::pow(1 + c.alpha, static_cast<Real>(j));
     for (Index i = 0; i < n; ++i) {
       if (!selected[static_cast<std::size_t>(i)]) continue;
-      const Real before = x[i];
-      x[i] *= growth;
-      psi.add_scaled(instance[i], x[i] - before);
+      state.x[i] *= growth;
     }
-    x_norm1 = linalg::sum(x);  // exact recompute; avoids drift over phases
-    min_primal_sum = std::numeric_limits<Real>::infinity();
+    state.x_norm1 = linalg::sum(state.x);  // exact recompute; avoids drift
+    state.min_primal_sum = std::numeric_limits<Real>::infinity();
     for (Index i = 0; i < n; ++i) {
-      primal_sums[i] += static_cast<Real>(j) * dots[i] / tr_w;
-      min_primal_sum = std::min(min_primal_sum, primal_sums[i]);
+      state.primal_dots[i] += static_cast<Real>(j) * batch.dots[i] / tr_w;
+      state.min_primal_sum =
+          std::min(state.min_primal_sum, state.primal_dots[i]);
     }
-    y_sum.add_scaled(w, static_cast<Real>(j) / tr_w);
-    t += j;
+    accumulate_weight(batch, static_cast<Real>(j) / tr_w, y_sum);
+    state.t += j;
 
     PhaseStat stat;
     stat.phase = result.phases;
-    stat.start_iteration = t - j;
+    stat.start_iteration = state.t - j;
     stat.length = j;
-    stat.x_norm1 = x_norm1;
+    stat.x_norm1 = state.x_norm1;
     stat.selected = selected_count;
     result.phase_stats.push_back(stat);
     PSDP_LOG(kDebug) << "phase " << result.phases << " len=" << j
-                     << " |x|=" << x_norm1 << " |B|=" << selected_count;
+                     << " |x|=" << state.x_norm1 << " |B|=" << selected_count;
   }
 
-  result.iterations = t;
-  result.psi_lambda_max = linalg::lambda_max_exact(psi);
-  result.spectrum_bound_exceeded = result.psi_lambda_max > c.spectrum_bound;
-  result.outcome = x_norm1 > c.k_cap ? DecisionOutcome::kDual
-                                     : DecisionOutcome::kPrimal;
-  result.dual_x = std::move(x);
-  if (result.psi_lambda_max > 0) {
-    result.dual_x.scale(1 / result.psi_lambda_max);
-  }
-  const Real t_count = std::max<Real>(1, static_cast<Real>(t));
-  result.primal_dots = std::move(primal_sums);
-  result.primal_dots.scale(1 / t_count);
-  result.primal_trace = t > 0 ? 1 : 0;
-  if (t > 0) {
-    result.primal_y = std::move(y_sum);
-    result.primal_y.scale(1 / static_cast<Real>(t));
-  } else {
-    result.primal_y = Matrix::identity(m);
-    result.primal_y.scale(1 / static_cast<Real>(m));
-    result.primal_trace = 1;
-  }
+  finish_schedule(result, std::move(state), c, oracle, std::move(y_sum),
+                  dense_primal);
   return result;
+}
+
+}  // namespace
+
+PhasedResult decision_phased(const PackingInstance& instance,
+                             const PhasedOptions& options) {
+  DenseEigOracle oracle(instance);
+  return run_phased_loop(oracle, options, /*dense_primal=*/true);
 }
 
 PhasedResult decision_phased(const FactorizedPackingInstance& instance,
                              const FactorizedPhasedOptions& options) {
-  const Index n = instance.size();
-  const Index m = instance.dim();
-  const Real eps = options.eps;
-  const AlgorithmConstants c = algorithm_constants(n, eps);
-  const Real phase_growth =
-      options.phase_growth > 0 ? options.phase_growth : eps;
-  PSDP_CHECK(phase_growth > 0, "decision_phased: phase_growth must be > 0");
-  const Index r_limit = options.max_iterations_override > 0
-                            ? options.max_iterations_override
-                            : c.r_limit;
-  const Real dot_eps = options.dot_eps > 0 ? options.dot_eps : eps / 2;
-
-  Vector x(n);
-  Real x_norm1 = 0;
-  Real trace_psi = 0;
-  for (Index i = 0; i < n; ++i) {
-    const Real tr = instance.constraint_trace(i);
-    PSDP_CHECK(tr > 0 && std::isfinite(tr),
-               str("decision_phased: constraint ", i, " has bad trace ", tr));
-    x[i] = 1 / (static_cast<Real>(n) * tr);
-    x_norm1 += x[i];
-    trace_psi += x[i] * tr;
-  }
-
-  Vector primal_sums(n);
-  Real min_primal_sum = 0;
-  Index t = 0;
-
-  PhasedResult result;
-  result.constants = c;
-
-  // Sketch estimates are (1 +- dot_eps): certify the primal against the
-  // inflated threshold so the noise cannot fake a certificate.
-  const Real primal_threshold = 1 + dot_eps;
-  const auto primal_certified = [&]() {
-    return t > 0 && min_primal_sum >= primal_threshold * static_cast<Real>(t);
-  };
-
-  const sparse::FactorizedSet& set = instance.set();
-  const linalg::SymmetricOp psi_op = [&set, &x](const Vector& v, Vector& y) {
-    set.weighted_apply(x, v, y);
-  };
-  // Panel form of Psi for the blocked bigDotExp path; the workspace panels
-  // are allocated once and recycled across phases.
-  const auto psi_ws = std::make_shared<sparse::FactorizedSet::BlockWorkspace>();
-  const linalg::BlockOp psi_block_op =
-      [&set, &x, psi_ws](const linalg::Matrix& v, linalg::Matrix& y) {
-        set.weighted_apply_block(x, v, y, *psi_ws);
-      };
-
-  BigDotExpOptions dot_options = options.dot_options;
-  dot_options.eps = dot_eps;
-
-  std::vector<bool> selected(static_cast<std::size_t>(n), false);
-
-  while (x_norm1 <= c.k_cap && t < r_limit &&
-         !(options.early_primal_exit && primal_certified())) {
-    // --- Phase start: the one bigDotExp batch. ---
-    ++result.phases;
-    BigDotExpOptions phase_options = dot_options;
-    phase_options.seed = rand::stream_seed(
-        dot_options.seed, static_cast<std::uint64_t>(result.phases));
-    const Real kappa = std::min(c.spectrum_bound, trace_psi);
-    const BigDotExpResult batch =
-        big_dot_exp(psi_op, psi_block_op, m, kappa, set, phase_options);
-    const Real tr_w = batch.trace_exp;
-    PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
-                       "decision_phased: Tr[W] estimate not positive finite");
-
-    const Real threshold = (1 + eps) * tr_w;
-    Real selected_mass = 0;
-    Index selected_count = 0;
-    bool all_rates_cover = true;
-    for (Index i = 0; i < n; ++i) {
-      const bool in_b = batch.dots[i] <= threshold;
-      selected[static_cast<std::size_t>(i)] = in_b;
-      if (in_b) {
-        selected_mass += x[i];
-        ++selected_count;
-      }
-      if (batch.dots[i] / tr_w < primal_threshold) all_rates_cover = false;
-    }
-
-    const Real rest_mass = x_norm1 - selected_mass;
-    const Index j_dual =
-        steps_until_exceeds(selected_mass, c.alpha, c.k_cap - rest_mass);
-    const Index j_phase = steps_until_exceeds(
-        selected_mass, c.alpha, (1 + phase_growth) * x_norm1 - rest_mass);
-    const Index j_r = r_limit - t;
-    Index j_primal = kNoLimit;
-    if (options.early_primal_exit && all_rates_cover) {
-      Real worst = 0;
-      for (Index i = 0; i < n; ++i) {
-        const Real rate = batch.dots[i] / tr_w;
-        const Real deficit =
-            primal_threshold * static_cast<Real>(t) - primal_sums[i];
-        if (deficit <= 0) continue;
-        if (rate <= primal_threshold) {
-          worst = static_cast<Real>(kNoLimit);
-          break;
-        }
-        worst = std::max(worst, deficit / (rate - primal_threshold));
-      }
-      j_primal = worst >= static_cast<Real>(kNoLimit)
-                     ? kNoLimit
-                     : static_cast<Index>(std::ceil(worst));
-      if (j_primal < 1) j_primal = 1;
-    }
-
-    Index j = std::min(std::min(j_dual, j_phase), std::min(j_r, j_primal));
-    if (j < 1) j = 1;
-    if (selected_count == 0) j = std::min(j_r, j_primal);
-    PSDP_ASSERT(j >= 1);
-
-    const Real growth = std::pow(1 + c.alpha, static_cast<Real>(j));
-    for (Index i = 0; i < n; ++i) {
-      if (!selected[static_cast<std::size_t>(i)]) continue;
-      const Real before = x[i];
-      x[i] *= growth;
-      trace_psi += (x[i] - before) * instance.constraint_trace(i);
-    }
-    x_norm1 = linalg::sum(x);
-    min_primal_sum = std::numeric_limits<Real>::infinity();
-    for (Index i = 0; i < n; ++i) {
-      primal_sums[i] += static_cast<Real>(j) * batch.dots[i] / tr_w;
-      min_primal_sum = std::min(min_primal_sum, primal_sums[i]);
-    }
-    t += j;
-
-    PhaseStat stat;
-    stat.phase = result.phases;
-    stat.start_iteration = t - j;
-    stat.length = j;
-    stat.x_norm1 = x_norm1;
-    stat.selected = selected_count;
-    result.phase_stats.push_back(stat);
-    PSDP_LOG(kDebug) << "factorized phase " << result.phases << " len=" << j
-                     << " |x|=" << x_norm1 << " |B|=" << selected_count;
-  }
-
-  result.iterations = t;
-  // Certified upper bound on lambda_max(Psi), as in decision_factorized.
-  linalg::LanczosOptions lanczos_options;
-  lanczos_options.tol = 1e-10;
-  const linalg::LanczosResult lanczos =
-      linalg::lanczos_lambda_max(psi_op, m, lanczos_options);
-  result.psi_lambda_max =
-      lanczos.lambda_max > 0 ? (lanczos.lambda_max + lanczos.residual) * 1.001
-                             : 0;
-  result.spectrum_bound_exceeded = result.psi_lambda_max > c.spectrum_bound;
-  result.outcome = x_norm1 > c.k_cap ? DecisionOutcome::kDual
-                                     : DecisionOutcome::kPrimal;
-  result.dual_x = std::move(x);
-  if (result.psi_lambda_max > 0) {
-    result.dual_x.scale(1 / result.psi_lambda_max);
-  }
-  const Real t_count = std::max<Real>(1, static_cast<Real>(t));
-  result.primal_dots = std::move(primal_sums);
-  result.primal_dots.scale(1 / t_count);
-  result.primal_trace = t > 0 ? 1 : 0;
-  // primal_y stays empty: this path never forms an m x m matrix.
-  if (t == 0) result.primal_trace = 1;
-  return result;
+  SketchedOracleOptions oracle_options;
+  oracle_options.eps = options.eps;
+  oracle_options.dot_eps = options.dot_eps;
+  oracle_options.dot_options = options.dot_options;
+  oracle_options.kappa_cap =
+      algorithm_constants(instance.size(), options.eps).spectrum_bound;
+  SketchedTaylorOracle oracle(instance, oracle_options);
+  return run_phased_loop(oracle, options, /*dense_primal=*/false);
 }
 
 }  // namespace psdp::core

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/log.hpp"
 
 namespace psdp::core {
@@ -49,115 +51,43 @@ PackingInstance PackingLp::to_diagonal_sdp() const {
 
 LpDecisionResult lp_decision(const PackingLp& lp,
                              const DecisionOptions& options) {
-  const Index n = lp.size();
   const Index l = lp.rows();
-  const Real eps = options.eps;
-  const AlgorithmConstants c = algorithm_constants(n, eps);
-  const Index r_limit = options.max_iterations_override > 0
-                            ? options.max_iterations_override
-                            : c.r_limit;
-  const Matrix& p = lp.matrix();
+
+  // The scalar oracle (soft-max weights, incrementally maintained Psi = Px)
+  // driven by the same engine loop as the matrix solvers -- an executable
+  // statement of "the LP case IS Algorithm 3.1 on diagonal matrices".
+  ScalarSoftmaxOracle oracle(lp.matrix());
+  DecisionOptions loop_options = options;
+  // The exponential-refresh and sketch knobs do not apply: the scalar
+  // exponential is exact and cheap, so every iteration refreshes.
+  loop_options.exp_stride = 1;
+  EngineRun run = run_decision_loop(oracle, loop_options);
 
   LpDecisionResult result;
-  result.constants = c;
-
-  // x_i(0) = 1/(n Tr[A_i]) with Tr[A_i] = column sum; Psi = P x maintained
-  // incrementally (all updates add non-negative terms).
-  Vector x(n);
-  Real x_norm1 = 0;
-  Vector psi(l);
-  for (Index i = 0; i < n; ++i) {
-    x[i] = 1 / (static_cast<Real>(n) * lp.column_sum(i));
-    x_norm1 += x[i];
-    for (Index j = 0; j < l; ++j) psi[j] += x[i] * p(j, i);
-  }
-
-  Vector w(l);
-  Vector dots(n);
-  Vector y_sum(l);           // running sum of w/||w||_1
-  Vector primal_sums(n);     // running sum of dots/tr_w
-  Real min_primal_sum = 0;
-  Real primal_trace = 0;
-  Index t = 0;
-
-  const auto primal_certified = [&]() {
-    return t > 0 && min_primal_sum >= static_cast<Real>(t);
-  };
-
-  while (x_norm1 <= c.k_cap && t < r_limit &&
-         !(options.early_primal_exit && primal_certified())) {
-    ++t;
-    // Scalar soft-max weights, shifted by max_j Psi_j for overflow safety
-    // (the selection rule and the primal average are scale-invariant).
-    const Real shift = linalg::max_entry(psi);
-    Real tr_w = 0;
-    for (Index j = 0; j < l; ++j) {
-      w[j] = std::exp(psi[j] - shift);
-      tr_w += w[j];
-    }
-    PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
-                       "lp_decision: weight sum is not positive finite");
-    // dots_i = (P^T w)_i = exp-penalty of variable i.
-    for (Index i = 0; i < n; ++i) dots[i] = 0;
-    for (Index j = 0; j < l; ++j) {
-      const Real wj = w[j];
-      if (wj == 0) continue;
-      for (Index i = 0; i < n; ++i) dots[i] += wj * p(j, i);
-    }
-
-    const Real threshold = (1 + eps) * tr_w;
-    Index updated = 0;
-    Real norm_gain = 0;
-    Real min_sum = std::numeric_limits<Real>::infinity();
-    for (Index i = 0; i < n; ++i) {
-      primal_sums[i] += dots[i] / tr_w;
-      min_sum = std::min(min_sum, primal_sums[i]);
-      if (dots[i] <= threshold) {
-        const Real delta = c.alpha * x[i];
-        x[i] += delta;
-        norm_gain += delta;
-        for (Index j = 0; j < l; ++j) psi[j] += delta * p(j, i);
-        ++updated;
-      }
-    }
-    x_norm1 += norm_gain;
-    min_primal_sum = min_sum;
-    primal_trace += 1;
-    y_sum.add_scaled(w, 1 / tr_w);
-
-    if (options.track_trajectory) {
-      IterationStat stat;
-      stat.t = t;
-      stat.x_norm1 = x_norm1;
-      stat.trace_w = tr_w;  // note: shifted scale; ratios are meaningful
-      stat.updated = updated;
-      stat.lambda_max_psi = shift;
-      result.trajectory.push_back(stat);
-    }
-    PSDP_LOG(kDebug) << "lp iter " << t << " |x|=" << x_norm1
-                     << " max(Px)=" << shift << " |B|=" << updated;
-  }
-
-  result.iterations = t;
-  result.psi_max = linalg::max_entry(psi);
-  result.outcome = x_norm1 > c.k_cap ? DecisionOutcome::kDual
-                                     : DecisionOutcome::kPrimal;
-  const Real t_count = std::max<Real>(1, static_cast<Real>(t));
-  result.primal_dots = std::move(primal_sums);
+  result.constants = run.constants;
+  result.iterations = run.state.t;
+  result.psi_max = oracle.lambda_max(run.state.x);
+  result.outcome = run.state.x_norm1 > run.constants.k_cap
+                       ? DecisionOutcome::kDual
+                       : DecisionOutcome::kPrimal;
+  const Real t_count = std::max<Real>(1, static_cast<Real>(run.state.t));
+  result.primal_dots = std::move(run.state.primal_dots);
   result.primal_dots.scale(1 / t_count);
-  result.primal_trace = primal_trace / t_count;
-  if (t > 0) {
-    result.primal_y = std::move(y_sum);
-    result.primal_y.scale(1 / static_cast<Real>(t));
+  result.primal_trace = run.state.primal_trace / t_count;
+  if (run.state.t > 0) {
+    result.primal_y = std::move(run.y_sum_vec);
+    result.primal_y.scale(1 / static_cast<Real>(run.state.t));
   } else {
     result.primal_y = Vector(l, 1 / static_cast<Real>(l));
     result.primal_trace = 1;
   }
-  result.dual_x_tight = x;
-  result.dual_x_tight.scale(result.psi_max > 0 ? 1 / result.psi_max
-                                               : 1 / c.spectrum_bound);
-  result.dual_x = std::move(x);
-  result.dual_x.scale(1 / c.spectrum_bound);
+  result.dual_x_tight = run.state.x;
+  result.dual_x_tight.scale(result.psi_max > 0
+                                ? 1 / result.psi_max
+                                : 1 / run.constants.spectrum_bound);
+  result.dual_x = std::move(run.state.x);
+  result.dual_x.scale(1 / run.constants.spectrum_bound);
+  result.trajectory = std::move(run.trajectory);
   return result;
 }
 

@@ -1,0 +1,175 @@
+#include "core/solver_engine.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace psdp::core {
+
+Vector initial_weights(const PenaltyOracle& oracle, const char* who) {
+  const Index n = oracle.size();
+  PSDP_CHECK(n >= 1, str(who, ": instance has no constraints"));
+  Vector x(n);
+  for (Index i = 0; i < n; ++i) {
+    const Real tr = oracle.constraint_trace(i);
+    PSDP_CHECK(tr > 0 && std::isfinite(tr),
+               str(who, ": constraint ", i,
+                   " has non-positive or non-finite trace ", tr,
+                   "; zero constraints must be dropped by the caller"));
+    x[i] = 1 / (static_cast<Real>(n) * tr);
+  }
+  return x;
+}
+
+SolverState initial_state(const PenaltyOracle& oracle, const char* who) {
+  SolverState state;
+  state.x = initial_weights(oracle, who);
+  // Sequential accumulation, matching how the norm is maintained later.
+  for (Index i = 0; i < state.x.size(); ++i) state.x_norm1 += state.x[i];
+  state.primal_dots = Vector(oracle.size());
+  return state;
+}
+
+Index apply_update(SolverState& state, const PenaltyBatch& batch, Real eps,
+                   Real alpha) {
+  const Index n = state.x.size();
+  const Real tr_w = batch.trace;
+  PSDP_NUMERIC_CHECK(tr_w > 0 && std::isfinite(tr_w),
+                     "solver engine: Tr[W] is not positive finite");
+  const Real threshold = (1 + eps) * tr_w;
+  Index updated = 0;
+  Real norm_gain = 0;
+  Real min_sum = std::numeric_limits<Real>::infinity();
+  for (Index i = 0; i < n; ++i) {
+    state.primal_dots[i] += batch.dots[i] / tr_w;
+    min_sum = std::min(min_sum, state.primal_dots[i]);
+    if (batch.dots[i] <= threshold) {
+      norm_gain += alpha * state.x[i];
+      state.x[i] *= (1 + alpha);
+      ++updated;
+    }
+  }
+  state.primal_trace += 1;  // Tr[P(t)] = 1 by construction (3.3)
+  state.x_norm1 += norm_gain;
+  state.min_primal_sum = min_sum;
+  return updated;
+}
+
+void accumulate_weight(const PenaltyBatch& batch, Real scale, Matrix& y_sum) {
+  if (batch.weight == nullptr) return;
+  if (y_sum.rows() == 0) {
+    y_sum = Matrix(batch.weight->rows(), batch.weight->cols());
+  }
+  y_sum.add_scaled(*batch.weight, scale);
+}
+
+Index steps_until_exceeds(Real base, Real alpha, Real target) {
+  if (base <= 0) return kNoLimit;
+  if (base > target) return 1;
+  // j > log(target/base) / log(1+alpha); +1 to strictly exceed.
+  const Real j = std::log(target / base) / std::log1p(alpha);
+  Index candidate = static_cast<Index>(std::floor(j)) + 1;
+  if (candidate < 1) candidate = 1;
+  // Guard against floating-point edge: ensure the candidate really crosses.
+  while (base * std::pow(1 + alpha, static_cast<Real>(candidate)) <= target) {
+    ++candidate;
+  }
+  return candidate;
+}
+
+EngineRun run_decision_loop(PenaltyOracle& oracle,
+                            const DecisionOptions& options) {
+  const Real eps = options.eps;
+  PSDP_CHECK(options.exp_stride >= 1, "exp_stride must be at least 1");
+  EngineRun run;
+  run.constants = algorithm_constants(oracle.size(), eps);
+  const AlgorithmConstants& c = run.constants;
+  const Index r_limit = options.max_iterations_override > 0
+                            ? options.max_iterations_override
+                            : c.r_limit;
+  SolverState& state = run.state;
+  state = initial_state(oracle, "decisionPSDP");
+
+  // Lazy refresh is an exact-oracle knob (documented as dense-only): on a
+  // noisy oracle a stride would replay one correlated batch and break the
+  // certificate argument below, so noisy oracles refresh every round.
+  const Index exp_stride =
+      oracle.noise_bound() > 0 ? 1 : options.exp_stride;
+
+  PenaltyBatch batch;
+  // The plain loop certifies the primal against the paper's exact threshold
+  // min_i >= t even on a noisy oracle: each round draws an independent
+  // sketch, so the averaged certificate concentrates over t rounds. (The
+  // phased schedule replays a single noisy batch j times -- correlated
+  // noise -- which is why *it* inflates the threshold by the oracle's
+  // noise_bound instead.)
+  while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
+         !(options.early_primal_exit && state.primal_certified(0))) {
+    ++state.t;
+    if ((state.t - 1) % exp_stride == 0) {
+      // Refresh the penalties (every iteration in paper-faithful mode; the
+      // round index seeds per-round sketch noise where applicable).
+      oracle.compute(state.x, static_cast<std::uint64_t>(state.t), batch);
+    }
+    const Index updated = apply_update(state, batch, eps, c.alpha);
+
+    accumulate_weight(batch, 1 / batch.trace, run.y_sum);
+    if (batch.weight_vec != nullptr) {
+      if (run.y_sum_vec.size() == 0) {
+        run.y_sum_vec = Vector(batch.weight_vec->size());
+      }
+      run.y_sum_vec.add_scaled(*batch.weight_vec, 1 / batch.trace);
+    }
+
+    if (options.track_trajectory) {
+      IterationStat stat;
+      stat.t = state.t;
+      stat.trace_w = batch.trace;
+      // lambda_max of Psi(t-1) = the exponent of this round's W (0 where
+      // the oracle cannot observe it).
+      stat.lambda_max_psi = batch.lambda_max_psi;
+      stat.x_norm1 = state.x_norm1;
+      stat.updated = updated;
+      run.trajectory.push_back(stat);
+    }
+
+    PSDP_LOG(kDebug) << "decision iter " << state.t << " |x|=" << state.x_norm1
+                     << " trW=" << batch.trace << " |B|=" << updated;
+  }
+  return run;
+}
+
+DecisionResult finish_decision(EngineRun&& run, PenaltyOracle& oracle,
+                               bool dense_primal) {
+  SolverState& state = run.state;
+  const AlgorithmConstants& c = run.constants;
+  const Real psi_lambda_max = oracle.lambda_max(state.x);
+
+  DecisionResult result;
+  result.iterations = state.t;
+  result.constants = c;
+  const Real t_count = std::max<Real>(1, static_cast<Real>(state.t));
+  result.primal_dots = std::move(state.primal_dots);
+  result.primal_dots.scale(1 / t_count);
+  result.primal_trace = state.primal_trace / t_count;
+  result.outcome = state.x_norm1 > c.k_cap ? DecisionOutcome::kDual
+                                           : DecisionOutcome::kPrimal;
+  result.psi_lambda_max = psi_lambda_max;
+  // x_hat = x / ((1+10 eps) K); Lemma 3.2 guarantees feasibility, and on the
+  // dual exit ||x_hat||_1 >= 1 - 10 eps via (3.4). The tight variant uses
+  // the measured norm instead of the worst case.
+  result.dual_x_tight = state.x;
+  if (psi_lambda_max > 0) {
+    result.dual_x_tight.scale(1 / psi_lambda_max);
+  } else {
+    result.dual_x_tight.scale(1 / c.spectrum_bound);
+  }
+  result.dual_x = std::move(state.x);
+  result.dual_x.scale(1 / c.spectrum_bound);
+  result.trajectory = std::move(run.trajectory);
+  attach_primal_y(result, result.iterations, oracle, std::move(run.y_sum),
+                  dense_primal);
+  return result;
+}
+
+}  // namespace psdp::core

@@ -1,0 +1,173 @@
+// The shared solver chassis behind every Algorithm 3.1 variant.
+//
+// All solver variants (plain decision, phased, bucketed, the scalar LP
+// special case) drive the same three-piece machine:
+//
+//   1. state   -- the weight vector x, its running l1 norm, the iteration
+//                 counter, and the primal-average accumulators (SolverState);
+//   2. oracle  -- the per-iteration penalties dots_i ~ W . A_i and Tr W
+//                 (penalty_oracle.hpp);
+//   3. update  -- grow every coordinate in B = { i : dots_i <= (1+eps) Tr W }
+//                 by (1+alpha), accumulate the primal average, and exit on
+//                 ||x||_1 > K (dual), a self-verifying primal certificate,
+//                 or the R budget.
+//
+// This header is those pieces, extracted from the per-variant copies that
+// used to live in decision.cpp / phased.cpp / bucketed.cpp / poslp.cpp.
+// run_decision_loop() is the complete plain (per-iteration) loop; the
+// schedule variants reuse SolverState, initial_state(), apply_update() and
+// steps_until_exceeds() while keeping their own loop shapes.
+//
+// Noise-awareness: oracles report a multiplicative noise_bound() on their
+// estimates. The phased schedule replays a single noisy batch j times
+// (correlated noise) and therefore certifies the primal against
+// (1 + noise) * t (see SolverState::primal_certified for why the margin
+// is one-sided); the bucketed schedule keeps the same conservative
+// threshold because its boosted steps have no worst-case analysis to lean
+// on; the plain loop redraws independent noise each round and keeps the
+// paper's exact threshold (exact oracles report 0, collapsing all of them
+// to min_i >= t).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/penalty_oracle.hpp"
+
+namespace psdp::core {
+
+/// State shared by every variant: the weight vector, its running l1 norm,
+/// and the primal averaging accumulators.
+struct SolverState {
+  Vector x;            ///< current weights
+  Real x_norm1 = 0;    ///< ||x||_1, maintained incrementally
+  Vector primal_dots;  ///< running sum of (W . A_i)/Tr W
+  Real primal_trace = 0;  ///< running sum of Tr[P] = 1 per iteration
+  Real min_primal_sum = 0;  ///< min_i primal_dots[i] after the last update
+  Index t = 0;         ///< (virtual) iteration counter
+
+  /// True once the running primal average Y(t) = avg P already satisfies
+  /// min_i A_i . Y >= 1 + noise, i.e. it is a valid primal certificate
+  /// after discounting the oracle's estimation noise. Note on the margin:
+  /// dots and trace each carry (1 +- noise) error, so the fully
+  /// adversarial ratio bound would be (1+noise)/(1-noise); but both are
+  /// quadratic forms in the *same* sketch (positively correlated
+  /// fluctuations) and carry the same downward Taylor bias (cancelling in
+  /// the ratio), so 1 + noise is the margin used -- the adversarial bound
+  /// makes certification unreachable on near-threshold instances (~100x
+  /// iteration blowup measured) for a failure mode the correlation rules
+  /// out in practice. Deriving the exact correlated bound is a ROADMAP
+  /// open item. noise 0 reduces to the paper's min_i >= t.
+  bool primal_certified(Real noise) const {
+    return t > 0 && min_primal_sum >= (1 + noise) * static_cast<Real>(t);
+  }
+};
+
+/// Just the starting weights x_i(0) = 1/(n Tr[A_i]) (with the trace
+/// validation), for variants that maintain their own accumulators (mixed).
+/// `who` names the calling solver in diagnostics.
+Vector initial_weights(const PenaltyOracle& oracle, const char* who);
+
+/// x_i(0) = 1/(n Tr[A_i]); also primes the accumulators.
+SolverState initial_state(const PenaltyOracle& oracle, const char* who);
+
+/// The coordinate update shared by the per-iteration variants: given this
+/// round's penalties, grow every coordinate in B = { i : dots_i <=
+/// (1+eps) Tr W } by (1+alpha); accumulates the primal average and returns
+/// |B|.
+Index apply_update(SolverState& state, const PenaltyBatch& batch, Real eps,
+                   Real alpha);
+
+/// Sentinel for "this stopping cause never fires" in phase-length planning.
+inline constexpr Index kNoLimit = std::numeric_limits<Index>::max() / 4;
+
+/// Smallest j >= 1 with base * (1+alpha)^j > target (growth of a selected
+/// mass); kNoLimit when base is zero (nothing selected grows).
+Index steps_until_exceeds(Real base, Real alpha, Real target);
+
+/// Everything run_decision_loop produces; the public wrappers map it onto
+/// their result types (DecisionResult, LpDecisionResult).
+struct EngineRun {
+  SolverState state;
+  AlgorithmConstants constants;
+  /// Running sum of W/Tr W when the oracle exposes a dense weight matrix
+  /// (empty otherwise -- the sketched path never forms an m x m matrix).
+  Matrix y_sum;
+  /// Scalar analogue for the soft-max oracle.
+  Vector y_sum_vec;
+  std::vector<IterationStat> trajectory;
+};
+
+/// The plain per-iteration loop of Algorithm 3.1 over any oracle. Honors
+/// eps, max_iterations_override, early_primal_exit, exp_stride and
+/// track_trajectory from DecisionOptions (the dot_* knobs belong to the
+/// oracle's construction, not the loop).
+EngineRun run_decision_loop(PenaltyOracle& oracle,
+                            const DecisionOptions& options);
+
+/// Assemble a DecisionResult from a finished run: averaged primal
+/// accumulators, outcome, worst-case and measured-tight duals (the latter
+/// via oracle.lambda_max). With `dense_primal`, the averaged y_sum (or the
+/// uniform certificate on zero iterations) is materialized as primal_y.
+DecisionResult finish_decision(EngineRun&& run, PenaltyOracle& oracle,
+                               bool dense_primal);
+
+/// Lazily-allocated accumulation of the oracle's dense weight matrix into
+/// the primal-average sum; no-op for oracles without one (the sketched
+/// path never forms an m x m matrix).
+void accumulate_weight(const PenaltyBatch& batch, Real scale, Matrix& y_sum);
+
+/// Materialize the primal-average certificate matrix on any result type:
+/// with `dense_primal`, the averaged y_sum over t iterations (or the
+/// uniform I/m certificate when t = 0, which also pins primal_trace = 1);
+/// without it, primal_y stays empty -- the sketched path never forms an
+/// m x m matrix and reports its certificate through primal_dots alone
+/// (primal_trace is still pinned to 1 on zero iterations).
+template <typename Result>
+void attach_primal_y(Result& result, Index t, PenaltyOracle& oracle,
+                     Matrix&& y_sum, bool dense_primal) {
+  if (dense_primal) {
+    if (t > 0) {
+      result.primal_y = std::move(y_sum);
+      result.primal_y.scale(1 / static_cast<Real>(t));
+    } else {
+      result.primal_y = Matrix::identity(oracle.dim());
+      result.primal_y.scale(1 / static_cast<Real>(oracle.dim()));
+      result.primal_trace = 1;
+    }
+  } else {
+    if (t == 0) result.primal_trace = 1;
+  }
+}
+
+/// Shared result epilogue of the schedule variants (phased, bucketed),
+/// whose result structs carry the same certificate fields: measured
+/// lambda_max rescale of the dual, outcome, averaged primal accumulators,
+/// and the primal_y materialization. (The plain loop's finish_decision
+/// differs in its dual handling -- worst-case dual_x plus measured-tight
+/// dual_x_tight -- and shares attach_primal_y.)
+template <typename Result>
+void finish_schedule(Result& result, SolverState&& state,
+                     const AlgorithmConstants& c, PenaltyOracle& oracle,
+                     Matrix&& y_sum, bool dense_primal) {
+  result.iterations = state.t;
+  // Measured rescaling: exact lambda_max for the dense oracle, a certified
+  // Lanczos upper bound for the sketched one -- feasible either way.
+  result.psi_lambda_max = oracle.lambda_max(state.x);
+  result.spectrum_bound_exceeded = result.psi_lambda_max > c.spectrum_bound;
+  result.outcome = state.x_norm1 > c.k_cap ? DecisionOutcome::kDual
+                                           : DecisionOutcome::kPrimal;
+  result.dual_x = std::move(state.x);
+  if (result.psi_lambda_max > 0) {
+    result.dual_x.scale(1 / result.psi_lambda_max);
+  }
+  const Real t_count = std::max<Real>(1, static_cast<Real>(state.t));
+  result.primal_dots = std::move(state.primal_dots);
+  result.primal_dots.scale(1 / t_count);
+  result.primal_trace = state.t > 0 ? 1 : 0;
+  attach_primal_y(result, state.t, oracle, std::move(y_sum), dense_primal);
+}
+
+}  // namespace psdp::core

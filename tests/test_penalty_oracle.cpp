@@ -1,0 +1,383 @@
+// Tests for the oracle layer: the three PenaltyOracle implementations must
+// agree on dots/trace (within the sketched oracle's stated tolerance), the
+// measured lambda_max primitive must be certified, and the solver variants
+// that newly run on the sketched oracle (bucketed, mixed) must reproduce
+// their dense-oracle results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/generators.hpp"
+#include "core/bucketed.hpp"
+#include "core/certificates.hpp"
+#include "core/mixed.hpp"
+#include "core/optimize.hpp"
+#include "core/penalty_oracle.hpp"
+#include "linalg/eig.hpp"
+#include "rand/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// A deterministic positive weight vector with heterogeneous entries.
+Vector test_weights(Index n, Real scale) {
+  Vector x(n);
+  for (Index i = 0; i < n; ++i) {
+    x[i] = scale * (1 + static_cast<Real>(i % 3)) /
+           static_cast<Real>(n);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Dense vs sketched: at tight dot_eps on a small instance the sketch is the
+// exact identity, so the only error left is the Taylor truncation, which
+// Lemma 4.2 bounds by the oracle's advertised noise.
+// ---------------------------------------------------------------------------
+
+class OracleEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleEquivalence, DenseAndSketchedAgreeWithinNoiseBound) {
+  const std::uint64_t seed = GetParam();
+  apps::FactorizedOptions gen;
+  gen.n = 8;
+  gen.m = 10;
+  gen.nnz_per_column = 4;
+  gen.seed = seed;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const PackingInstance dense = fact.to_dense();
+
+  DenseEigOracle dense_oracle(dense);
+  SketchedOracleOptions sketch_options;
+  sketch_options.eps = 0.2;
+  sketch_options.dot_eps = 0.02;  // tight: noise_bound = 0.02
+  SketchedTaylorOracle sketched_oracle(fact, sketch_options);
+  EXPECT_NEAR(sketched_oracle.noise_bound(), 0.02, 1e-15);
+
+  const Vector x = test_weights(fact.size(), 0.05);
+  PenaltyBatch dense_batch;
+  PenaltyBatch sketched_batch;
+  dense_oracle.compute(x, 1, dense_batch);
+  sketched_oracle.compute(x, 1, sketched_batch);
+
+  const Real tol = sketched_oracle.noise_bound();
+  EXPECT_NEAR(sketched_batch.trace / dense_batch.trace, 1, tol);
+  ASSERT_EQ(sketched_batch.dots.size(), dense_batch.dots.size());
+  for (Index i = 0; i < dense_batch.dots.size(); ++i) {
+    EXPECT_NEAR(sketched_batch.dots[i] / dense_batch.dots[i], 1, tol)
+        << "constraint " << i;
+  }
+  // The dense oracle exposes its weight matrix; the sketched one never
+  // forms it.
+  ASSERT_NE(dense_batch.weight, nullptr);
+  EXPECT_EQ(sketched_batch.weight, nullptr);
+  EXPECT_NEAR(linalg::trace(*dense_batch.weight), dense_batch.trace, 1e-9);
+}
+
+TEST_P(OracleEquivalence, ScalarMatchesDenseOnDiagonalEmbedding) {
+  const std::uint64_t seed = GetParam();
+  const PackingLp lp = apps::random_packing_lp(
+      {.rows = 6, .cols = 10, .seed = seed});
+  const PackingInstance sdp = lp.to_diagonal_sdp();
+
+  ScalarSoftmaxOracle scalar_oracle(lp.matrix());
+  DenseEigOracle dense_oracle(sdp);
+  ASSERT_EQ(scalar_oracle.size(), dense_oracle.size());
+  for (Index i = 0; i < scalar_oracle.size(); ++i) {
+    EXPECT_NEAR(scalar_oracle.constraint_trace(i),
+                dense_oracle.constraint_trace(i), 1e-12);
+  }
+
+  const Vector x = test_weights(lp.size(), 0.4);
+  PenaltyBatch scalar_batch;
+  PenaltyBatch dense_batch;
+  scalar_oracle.compute(x, 1, scalar_batch);
+  dense_oracle.compute(x, 1, dense_batch);
+
+  // The scalar weights are shifted by max_j Psi_j, so compare the
+  // shift-invariant normalized penalties dots_i / trace.
+  for (Index i = 0; i < lp.size(); ++i) {
+    EXPECT_NEAR(scalar_batch.dots[i] / scalar_batch.trace,
+                dense_batch.dots[i] / dense_batch.trace, 1e-8)
+        << "variable " << i;
+  }
+  ASSERT_NE(scalar_batch.weight_vec, nullptr);
+  EXPECT_EQ(scalar_batch.weight, nullptr);
+
+  // The measured lambda_max primitive agrees too (exact on both sides).
+  EXPECT_NEAR(scalar_oracle.lambda_max(x), dense_oracle.lambda_max(x),
+              1e-8 * std::max<Real>(1, dense_oracle.lambda_max(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleEquivalence,
+                         ::testing::Values(3u, 17u, 29u));
+
+// ---------------------------------------------------------------------------
+// Oracle internals: incremental Psi sync and certified lambda_max.
+// ---------------------------------------------------------------------------
+
+TEST(DenseEigOracle, IncrementalSyncMatchesFreshOracle) {
+  const PackingInstance instance =
+      apps::random_ellipses({.n = 10, .m = 6, .rank = 2, .seed = 7});
+  DenseEigOracle incremental(instance);
+  PenaltyBatch batch;
+
+  // Walk the oracle through three weight vectors, mutating different
+  // coordinate subsets, then compare against a fresh oracle at the final x.
+  Vector x = test_weights(instance.size(), 0.1);
+  incremental.compute(x, 1, batch);
+  for (Index i = 0; i < x.size(); i += 2) x[i] *= 1.5;
+  incremental.compute(x, 2, batch);
+  for (Index i = 1; i < x.size(); i += 2) x[i] *= 0.25;
+  incremental.compute(x, 3, batch);
+
+  DenseEigOracle fresh(instance);
+  PenaltyBatch fresh_batch;
+  fresh.compute(x, 1, fresh_batch);
+
+  EXPECT_NEAR(batch.trace, fresh_batch.trace,
+              1e-10 * std::abs(fresh_batch.trace));
+  for (Index i = 0; i < instance.size(); ++i) {
+    EXPECT_NEAR(batch.dots[i], fresh_batch.dots[i],
+                1e-10 * std::max<Real>(1, std::abs(fresh_batch.dots[i])));
+  }
+}
+
+TEST(SketchedTaylorOracle, LambdaMaxIsACertifiedUpperBound) {
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 16;
+  gen.seed = 11;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  SketchedOracleOptions options;
+  options.eps = 0.2;
+  SketchedTaylorOracle oracle(fact, options);
+
+  const Vector x = test_weights(fact.size(), 0.3);
+  const Real bound = oracle.lambda_max(x);
+
+  const PackingInstance dense = fact.to_dense();
+  DenseEigOracle dense_oracle(dense);
+  const Real exact = dense_oracle.lambda_max(x);
+  EXPECT_GE(bound, exact * (1 - 1e-9));       // never below the truth
+  EXPECT_LE(bound, exact * 1.01 + 1e-12);     // and tight (1.1% inflation)
+}
+
+// ---------------------------------------------------------------------------
+// Bucketed and mixed on the sketched oracle: the new nearly-linear paths
+// reproduce the dense-oracle results and return measured certificates.
+// ---------------------------------------------------------------------------
+
+TEST(BucketedFactorized, AgreesWithDenseOracleOnOutcome) {
+  apps::FactorizedOptions gen;
+  gen.n = 10;
+  gen.m = 8;
+  gen.nnz_per_column = 4;
+  gen.seed = 5;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const PackingInstance dense = fact.to_dense();
+  for (Real scale : {0.02, 50.0}) {
+    FactorizedBucketedOptions fact_options;
+    fact_options.eps = 0.2;
+    const BucketedResult rf =
+        decision_bucketed(fact.scaled(scale), fact_options);
+    BucketedOptions dense_options;
+    dense_options.eps = 0.2;
+    const BucketedResult rd =
+        decision_bucketed(dense.scaled(scale), dense_options);
+    EXPECT_EQ(rf.outcome, rd.outcome) << "scale " << scale;
+  }
+}
+
+TEST(BucketedFactorized, DualCertificateVerifiesExactly) {
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 10;
+  gen.seed = 13;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const FactorizedPackingInstance scaled = fact.scaled(0.02);
+  FactorizedBucketedOptions options;
+  options.eps = 0.15;
+  const BucketedResult r = decision_bucketed(scaled, options);
+  ASSERT_EQ(r.outcome, DecisionOutcome::kDual);
+  // The dual is rescaled by the certified Lanczos upper bound: exactly
+  // feasible against the instance the solver ran on.
+  const DualCheck check = check_dual(scaled, r.dual_x, 1e-6);
+  EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+  // primal_y stays empty on the factorized path.
+  EXPECT_EQ(r.primal_y.rows(), 0);
+}
+
+TEST(BucketedFactorized, BoostsLikeTheDensePath) {
+  // Heterogeneous slack: the boosted factorized run must also beat the
+  // plain factorized run (same acceleration story as the dense variant).
+  apps::FactorizedOptions gen;
+  gen.n = 16;
+  gen.m = 12;
+  gen.seed = 19;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const FactorizedPackingInstance scaled = fact.scaled(0.01);
+  DecisionOptions plain_options;
+  plain_options.eps = 0.15;
+  const DecisionResult plain = decision_factorized(scaled, plain_options);
+  FactorizedBucketedOptions options;
+  options.eps = 0.15;
+  options.boost_cap = 16;
+  const BucketedResult boosted = decision_bucketed(scaled, options);
+  EXPECT_EQ(plain.outcome, boosted.outcome);
+  EXPECT_LE(boosted.iterations, plain.iterations);
+  EXPECT_GE(boosted.mean_boost, 1.0);
+}
+
+/// A planted-feasible factorized mixed instance: loosely packed (scale
+/// 0.05) with uniformly reachable covering coordinates.
+MixedFactorizedInstance planted_mixed_factorized(std::uint64_t seed) {
+  MixedFactorizedInstance instance;
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 10;
+  gen.nnz_per_column = 4;
+  gen.seed = seed;
+  instance.packing = apps::random_factorized(gen).scaled(0.05);
+  rand::Rng rng(seed * 7 + 1);
+  for (Index i = 0; i < instance.packing.size(); ++i) {
+    Vector d(4);
+    for (Index j = 0; j < d.size(); ++j) d[j] = rng.uniform(0.5, 1.5);
+    instance.covering.push_back(std::move(d));
+  }
+  return instance;
+}
+
+TEST(MixedFactorized, RecoversPlantedFeasibleInstance) {
+  const MixedFactorizedInstance instance = planted_mixed_factorized(2);
+  MixedFactorizedOptions options;
+  options.eps = 0.2;
+  const MixedResult r = solve_mixed(instance, options);
+  ASSERT_EQ(r.outcome, MixedOutcome::kFeasible);
+  // The loop must have reached the cover target, not exhausted its budget
+  // (the loose packing scale would rescale even a failed run into nominal
+  // feasibility, so the iteration count is the falsifiable part).
+  EXPECT_LT(r.iterations,
+            4 * algorithm_constants(instance.size(), options.eps).r_limit);
+  // Packing side: the certified-upper-bound rescale keeps x feasible.
+  const DualCheck pack = check_dual(instance.packing, r.x, 1e-6);
+  EXPECT_TRUE(pack.feasible) << "lambda_max=" << pack.lambda_max;
+  // Covering side: recompute coverage from scratch; min_coverage is the
+  // measured value the outcome was decided on.
+  Vector coverage(instance.covering_dim());
+  for (Index i = 0; i < instance.size(); ++i) {
+    coverage.add_scaled(instance.covering[static_cast<std::size_t>(i)],
+                        r.x[i]);
+  }
+  Real mc = coverage[0];
+  for (Index j = 1; j < coverage.size(); ++j) mc = std::min(mc, coverage[j]);
+  EXPECT_NEAR(r.min_coverage, mc, 1e-9);
+  EXPECT_GE(r.min_coverage, 1 - options.eps);
+}
+
+TEST(MixedFactorized, AgreesWithDenseOracleMixed) {
+  // The same instance through both oracles: the dense solve densifies the
+  // packing factors, the factorized one never forms an m x m matrix; both
+  // must reach the same (measured) conclusion.
+  const MixedFactorizedInstance instance = planted_mixed_factorized(9);
+  MixedInstance dense;
+  dense.packing = instance.packing.to_dense();
+  dense.covering = instance.covering;
+
+  MixedFactorizedOptions fact_options;
+  fact_options.eps = 0.2;
+  const MixedResult rf = solve_mixed(instance, fact_options);
+  MixedOptions dense_options;
+  dense_options.eps = 0.2;
+  const MixedResult rd = solve_mixed(dense, dense_options);
+
+  EXPECT_EQ(rf.outcome, rd.outcome);
+  // Both coverage values are measured post-rescale; the factorized rescale
+  // divides by a <= 1.1%-inflated bound, so they track closely.
+  EXPECT_NEAR(rf.min_coverage, rd.min_coverage,
+              0.05 * std::max<Real>(1, rd.min_coverage));
+}
+
+TEST(MixedFactorized, ValidatesStructure) {
+  MixedFactorizedInstance instance = planted_mixed_factorized(4);
+  EXPECT_NO_THROW(instance.validate());
+  MixedFactorizedInstance bad = instance;
+  bad.covering.pop_back();
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// The optimizer's oracle-config routing: phased/bucketed probes honor the
+// same dot_block_size / dot_options as decision probes.
+// ---------------------------------------------------------------------------
+
+class ProbeSolverSweep : public ::testing::TestWithParam<ProbeSolver> {};
+
+TEST_P(ProbeSolverSweep, FactorizedSearchBracketsWithEveryProbeSolver) {
+  apps::FactorizedOptions gen;
+  gen.n = 10;
+  gen.m = 8;
+  gen.nnz_per_column = 4;
+  gen.seed = 23;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  OptimizeOptions options;
+  options.eps = 0.2;
+  options.decision_eps = 0.15;  // keep probes cheap; bracket stays correct
+  options.probe_solver = GetParam();
+  options.dot_block_size = 4;  // routed through the shared oracle config
+  const PackingOptimum opt = approx_packing(fact, options);
+  EXPECT_GT(opt.lower, 0);
+  EXPECT_LE(opt.lower, opt.upper * (1 + 1e-12));
+  // best_x certifies `lower` and is exactly feasible.
+  const DualCheck check = check_dual(fact, opt.best_x, 1e-6);
+  EXPECT_TRUE(check.feasible) << "lambda_max=" << check.lambda_max;
+  EXPECT_NEAR(check.value, opt.lower, 1e-6 * std::max<Real>(1, opt.lower));
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, ProbeSolverSweep,
+                         ::testing::Values(ProbeSolver::kDecision,
+                                           ProbeSolver::kPhased,
+                                           ProbeSolver::kBucketed));
+
+// ---------------------------------------------------------------------------
+// Fused dots (the one-pass kernel) through the oracle: same penalties as
+// the two-pass layout, to rounding.
+// ---------------------------------------------------------------------------
+
+TEST(SketchedTaylorOracle, FusedDotsMatchTwoPassLayout) {
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 32;
+  gen.seed = 31;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  const Vector x = test_weights(fact.size(), 0.1);
+
+  SketchedOracleOptions fused_options;
+  fused_options.eps = 0.25;
+  fused_options.dot_options.block_size = 8;
+  fused_options.dot_options.fuse_dots = true;
+  SketchedTaylorOracle fused(fact, fused_options);
+
+  SketchedOracleOptions two_pass_options = fused_options;
+  two_pass_options.dot_options.fuse_dots = false;
+  SketchedTaylorOracle two_pass(fact, two_pass_options);
+
+  PenaltyBatch fused_batch;
+  PenaltyBatch two_pass_batch;
+  fused.compute(x, 5, fused_batch);
+  two_pass.compute(x, 5, two_pass_batch);
+
+  EXPECT_NEAR(fused_batch.trace, two_pass_batch.trace,
+              1e-10 * std::abs(two_pass_batch.trace));
+  for (Index i = 0; i < fact.size(); ++i) {
+    EXPECT_NEAR(fused_batch.dots[i], two_pass_batch.dots[i],
+                1e-10 * std::max<Real>(1, std::abs(two_pass_batch.dots[i])));
+  }
+}
+
+}  // namespace
+}  // namespace psdp::core
