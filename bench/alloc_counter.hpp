@@ -1,0 +1,71 @@
+// Counting global allocator for the steady-state-allocation guard.
+//
+// Replaces the global operator new/delete with malloc/free wrappers that
+// bump an atomic counter per allocation. A bench brackets a measured region
+// with psdp::bench::alloc_count() snapshots; a nonzero delta proves heap
+// traffic inside the region (from *any* thread -- pool workers included).
+//
+// Replacement allocation functions must not be inline and must appear once
+// per program ([replacement.functions]): include this header from exactly
+// one translation unit of a binary (bench_kernels.cpp and
+// bench_variants.cpp each form their own binary).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace psdp::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+/// Number of operator-new calls since process start.
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+inline void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) == 0) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace detail
+
+}  // namespace psdp::bench
+
+void* operator new(std::size_t size) {
+  return psdp::bench::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return psdp::bench::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return psdp::bench::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return psdp::bench::detail::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

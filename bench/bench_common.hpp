@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/penalty_oracle.hpp"
+#include "core/solver_engine.hpp"
 #include "util/common.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -22,6 +24,49 @@ inline void print_header(const std::string& id, const std::string& claim) {
 inline void print_verdict(bool ok, const std::string& text) {
   std::cout << "\n[" << (ok ? "SHAPE OK" : "SHAPE MISMATCH") << "] " << text
             << "\n";
+}
+
+/// Result of the steady-state-allocation guard (see run_steady_state_allocs
+/// below; the ISSUE acceptance bar is allocations == 0).
+struct SteadyStateAllocReport {
+  Index warmup_iterations = 0;
+  Index measured_iterations = 0;
+  std::uint64_t allocations = 0;
+};
+
+/// Drive the factorized plain decision loop (oracle evaluation + coordinate
+/// update, the paper's per-iteration primitive) on a shared SolverWorkspace
+/// and count heap allocations across the post-warmup iterations. `counter`
+/// reads the binary's counting allocator (bench/alloc_counter.hpp must be
+/// included by the binary's main translation unit).
+template <typename CounterFn>
+SteadyStateAllocReport run_steady_state_allocs(
+    const core::FactorizedPackingInstance& instance, Real eps, Index warmup,
+    Index measured, CounterFn&& counter) {
+  core::SketchedOracleOptions oracle_options;
+  oracle_options.eps = eps;
+  core::SolverWorkspace workspace;
+  oracle_options.workspace = &workspace;
+  core::SketchedTaylorOracle oracle(instance, oracle_options);
+  const core::AlgorithmConstants c =
+      core::algorithm_constants(oracle.size(), eps);
+  core::SolverState state = core::initial_state(oracle, "alloc-guard");
+  core::PenaltyBatch batch;
+
+  SteadyStateAllocReport report;
+  report.warmup_iterations = warmup;
+  report.measured_iterations = measured;
+  for (Index t = 1; t <= warmup; ++t) {
+    oracle.compute(state.x, static_cast<std::uint64_t>(t), batch);
+    core::apply_update(state, batch, eps, c.alpha);
+  }
+  const std::uint64_t before = counter();
+  for (Index t = warmup + 1; t <= warmup + measured; ++t) {
+    oracle.compute(state.x, static_cast<std::uint64_t>(t), batch);
+    core::apply_update(state, batch, eps, c.alpha);
+  }
+  report.allocations = counter() - before;
+  return report;
 }
 
 /// Fitted power-law exponent of ys in xs, reported with R^2.

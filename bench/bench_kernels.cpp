@@ -3,13 +3,23 @@
 // exponential, sparse matvec, JL sketching, and truncated-Taylor
 // application. These are the constants behind Corollary 1.2's asymptotics.
 //
-// Before handing control to google-benchmark, main() runs the SpMV-vs-SpMM
-// block-size sweep over b in {1, 4, 8, 16, 32} on the default exp-Taylor
-// instance (r = 64 sketch rows) and writes the measurements to
-// BENCH_kernels.json, so the perf trajectory of the blocked kernel layer is
-// machine-readable across PRs. `--sweep-only` exits after the sweep;
-// `--smoke` shrinks the instance for CI hot-path regression checks.
+// Before handing control to google-benchmark, main() runs three sweeps and
+// writes the measurements to BENCH_kernels.json, so the perf trajectory of
+// the kernel layer is machine-readable across PRs:
+//   * the SpMV-vs-SpMM block-size sweep over b in {1, 4, 8, 16, 32} on the
+//     default exp-Taylor instance (r = 64 sketch rows);
+//   * the transpose-kernel sweep -- owned-column scatter vs transpose-index
+//     gather on a tall sparse factor (rows >= 64x cols); the acceptance bar
+//     is gather >= 1.5x at some panel width;
+//   * the steady-state-allocation guard -- solver iterations on a shared
+//     SolverWorkspace must perform zero heap allocations after warmup
+//     (counted by the replaced global operator new below).
+// `--sweep-only` exits after the sweeps; `--smoke` shrinks the instances
+// for CI hot-path regression checks.
 #include <benchmark/benchmark.h>
+
+#include "alloc_counter.hpp"
+#include "bench_common.hpp"
 
 #include <cstring>
 #include <fstream>
@@ -451,25 +461,120 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
   return rows;
 }
 
-void write_sweep_json(const std::vector<SweepRow>& rows, bool smoke,
-                      const std::string& path) {
+// ------------------------------------------------------------------------
+// Transpose-kernel sweep: owned-column scatter vs transpose-index gather on
+// a tall sparse factor (the acceptance instance: rows >= 64x cols).
+// ------------------------------------------------------------------------
+
+std::vector<SweepRow> run_transpose_sweep(bool smoke) {
+  const Index rows = smoke ? (1 << 12) : (1 << 16);
+  const Index cols = smoke ? 16 : 64;  // 256x / 1024x aspect: firmly tall
+  const int reps = smoke ? 3 : 5;
+  rand::Rng rng(321);
+  std::vector<sparse::Triplet> triplets;
+  for (Index i = 0; i < rows; ++i) {
+    // ~2 entries per row at random columns: the sparse tall factor shape.
+    triplets.push_back({i, rng.uniform_index(cols), rng.normal()});
+    if (i % 2 == 0) triplets.push_back({i, rng.uniform_index(cols), rng.normal()});
+  }
+  const sparse::Csr owned =
+      sparse::Csr::from_triplets(rows, cols, std::move(triplets));
+  sparse::Csr indexed = owned;
+  indexed.build_transpose_index();
+
+  std::vector<SweepRow> out;
+  const Index blocks[] = {1, 4, 8, 32};
+  for (const Index b : blocks) {
+    linalg::Matrix x(rows, b);
+    rand::Rng fill(7);
+    for (Index i = 0; i < rows; ++i) {
+      for (Index t = 0; t < b; ++t) x(i, t) = fill.normal();
+    }
+    linalg::Matrix ys, yg;
+    std::vector<Real> partial;
+    const int inner = smoke ? 4 : 8;
+    SweepRow owned_row;
+    owned_row.kernel = "transpose_owned";
+    owned_row.block = b;
+    owned_row.seconds = time_best_of(reps, [&] {
+      for (int it = 0; it < inner; ++it) {
+        owned.apply_transpose_block_owned(x, ys, partial);
+      }
+    });
+    owned_row.speedup_vs_single = 1;
+    SweepRow gather_row;
+    gather_row.kernel = "transpose_indexed";
+    gather_row.block = b;
+    gather_row.seconds = time_best_of(reps, [&] {
+      for (int it = 0; it < inner; ++it) {
+        indexed.apply_transpose_block_indexed(x, yg);
+      }
+    });
+    // For the transpose rows, "speedup_vs_single" is the gather's speedup
+    // over the owned-column scatter at the same width.
+    gather_row.speedup_vs_single = owned_row.seconds / gather_row.seconds;
+    for (Index j = 0; j < cols; ++j) {
+      for (Index t = 0; t < b; ++t) {
+        const Real ref = ys(j, t);
+        const Real dev =
+            std::abs(ref) > 0 ? std::abs(yg(j, t) / ref - 1)
+                              : std::abs(yg(j, t));
+        gather_row.max_rel_dev = std::max(gather_row.max_rel_dev, dev);
+      }
+    }
+    out.push_back(owned_row);
+    out.push_back(gather_row);
+  }
+  return out;
+}
+
+void write_sweep_json(const std::vector<SweepRow>& rows,
+                      const std::vector<SweepRow>& transpose_rows,
+                      const bench::SteadyStateAllocReport& alloc_report,
+                      bool smoke, const std::string& path) {
+  const auto write_rows = [](std::ofstream& out,
+                             const std::vector<SweepRow>& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const SweepRow& row = list[i];
+      out << "    {\"kernel\": \"" << row.kernel
+          << "\", \"block\": " << row.block
+          << ", \"seconds\": " << row.seconds
+          << ", \"speedup_vs_single\": " << row.speedup_vs_single
+          << ", \"max_rel_dev\": " << row.max_rel_dev << "}"
+          << (i + 1 < list.size() ? "," : "") << "\n";
+    }
+  };
   std::ofstream out(path);
   out << "{\n  \"bench\": \"kernels\",\n  \"smoke\": "
       << (smoke ? "true" : "false") << ",\n  \"block_sweep\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const SweepRow& row = rows[i];
-    out << "    {\"kernel\": \"" << row.kernel << "\", \"block\": " << row.block
-        << ", \"seconds\": " << row.seconds
-        << ", \"speedup_vs_single\": " << row.speedup_vs_single
-        << ", \"max_rel_dev\": " << row.max_rel_dev << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
+  write_rows(out, rows);
+  out << "  ],\n  \"transpose_sweep\": [\n";
+  write_rows(out, transpose_rows);
+  out << "  ],\n  \"steady_state_alloc\": {\"warmup_iterations\": "
+      << alloc_report.warmup_iterations
+      << ", \"measured_iterations\": " << alloc_report.measured_iterations
+      << ", \"allocations\": " << alloc_report.allocations << "}\n}\n";
 }
 
 int run_sweep(bool smoke) {
   const std::vector<SweepRow> rows = run_block_sweep(smoke);
-  write_sweep_json(rows, smoke, "BENCH_kernels.json");
+  const std::vector<SweepRow> transpose_rows = run_transpose_sweep(smoke);
+
+  // Steady-state-allocation guard: factorized plain-loop iterations on a
+  // shared SolverWorkspace, counted by this binary's replaced operator new.
+  apps::FactorizedOptions alloc_gen;
+  alloc_gen.n = smoke ? 16 : 48;
+  alloc_gen.m = smoke ? 256 : 1024;
+  alloc_gen.nnz_per_column = 6;
+  const core::FactorizedPackingInstance alloc_inst =
+      apps::random_factorized(alloc_gen);
+  const bench::SteadyStateAllocReport alloc_report =
+      bench::run_steady_state_allocs(alloc_inst, /*eps=*/0.15, /*warmup=*/3,
+                                     /*measured=*/8,
+                                     [] { return psdp::bench::alloc_count(); });
+
+  write_sweep_json(rows, transpose_rows, alloc_report, smoke,
+                   "BENCH_kernels.json");
   std::cout << "SpMV-vs-SpMM block sweep (r = 64 sketch rows):\n";
   bool taylor_bar_met = false;
   double worst_dev = 0;
@@ -483,14 +588,42 @@ int run_sweep(bool smoke) {
     }
     worst_dev = std::max(worst_dev, row.max_rel_dev);
   }
+  std::cout << "transpose sweep (tall factor, owned-column vs "
+               "transpose-index):\n";
+  bool transpose_bar_met = false;
+  double transpose_dev = 0;
+  for (const SweepRow& row : transpose_rows) {
+    std::cout << "  " << row.kernel << " b=" << row.block << ": "
+              << row.seconds * 1e3 << " ms";
+    if (row.kernel == "transpose_indexed") {
+      std::cout << ", " << row.speedup_vs_single << "x vs owned";
+      if (row.speedup_vs_single >= 1.5) transpose_bar_met = true;
+      transpose_dev = std::max(transpose_dev, row.max_rel_dev);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "steady-state allocations after warmup: "
+            << alloc_report.allocations << " (over "
+            << alloc_report.measured_iterations << " iterations)\n";
+  const bool alloc_bar_met = alloc_report.allocations == 0;
   std::cout << "[" << (taylor_bar_met ? "PERF OK" : "PERF MISS")
             << "] blocked exp-Taylor >= 2x at some b >= 8; max big_dot_exp "
                "deviation from reference "
             << worst_dev << "\n";
+  std::cout << "[" << (transpose_bar_met ? "PERF OK" : "PERF MISS")
+            << "] transpose-index gather >= 1.5x over owned-column at some "
+               "width; max deviation "
+            << transpose_dev << "\n";
+  std::cout << "[" << (alloc_bar_met ? "ALLOC OK" : "ALLOC MISS")
+            << "] zero steady-state allocations\n";
   std::cout << "wrote BENCH_kernels.json\n";
-  // Smoke runs (CI on tiny instances) gate on correctness only; the perf
-  // bar is enforced on the full default instance.
-  return worst_dev < 1e-8 && (smoke || taylor_bar_met) ? 0 : 1;
+  // Smoke runs (CI on tiny instances) gate on correctness and the
+  // allocation bar only; the perf bars are enforced on the full default
+  // instances.
+  return worst_dev < 1e-8 && transpose_dev < 1e-8 && alloc_bar_met &&
+                 (smoke || (taylor_bar_met && transpose_bar_met))
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -21,6 +21,9 @@
 // factorized mixed packing/covering solver on a planted-feasible
 // instance, so the variant table covers the nearly-linear paths
 // end-to-end.
+#include <cstring>
+
+#include "alloc_counter.hpp"
 #include "apps/generators.hpp"
 #include "bench_common.hpp"
 #include "core/bucketed.hpp"
@@ -28,6 +31,7 @@
 #include "core/decision.hpp"
 #include "core/mixed.hpp"
 #include "core/phased.hpp"
+#include "par/parallel.hpp"
 #include "rand/rng.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -106,9 +110,44 @@ std::vector<VariantRow> run_all(const core::PackingInstance& instance,
   return rows;
 }
 
+/// The CI steady-state-allocation guard (`--alloc-guard`): iterations of
+/// the factorized plain decision loop on a shared SolverWorkspace must
+/// perform zero heap allocations after warmup. This binary's operator new
+/// is replaced by the counting allocator, so any hidden per-round heap
+/// traffic -- a workspace that stopped being recycled, a parallel loop
+/// boxing its body, a batch descriptor allocated per region -- fails the
+/// job deterministically.
+int run_alloc_guard() {
+  const core::FactorizedPackingInstance fact = apps::random_factorized(
+      {.n = 24, .m = 64, .rank = 2, .nnz_per_column = 6, .seed = 8});
+  // Both pool shapes: inline execution (1 thread) and the worker-pool path
+  // with its recycled batch descriptors and per-thread reduce scratch.
+  const int before = par::num_threads();
+  bool ok = true;
+  for (const int threads : {1, 4, before}) {
+    par::set_num_threads(threads);
+    const bench::SteadyStateAllocReport report =
+        bench::run_steady_state_allocs(
+            fact, /*eps=*/0.1, /*warmup=*/3, /*measured=*/12,
+            [] { return psdp::bench::alloc_count(); });
+    std::cout << "steady-state allocation guard (" << threads
+              << " threads): " << report.allocations << " allocations over "
+              << report.measured_iterations << " iterations after "
+              << report.warmup_iterations << " warmup iterations\n";
+    ok = ok && report.allocations == 0;
+  }
+  par::set_num_threads(before);
+  std::cout << "[" << (ok ? "ALLOC OK" : "ALLOC MISS")
+            << "] steady-state solver iterations must not touch the heap\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--alloc-guard") == 0) return run_alloc_guard();
+  }
   util::Cli cli("bench_variants", "E12: solver-variant comparison");
   auto& eps = cli.flag<Real>("eps", 0.1, "algorithm eps");
   cli.parse(argc, argv);

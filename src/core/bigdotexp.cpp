@@ -16,6 +16,13 @@ namespace {
 
 using linalg::Matrix;
 
+/// Lemma 4.2 is applied to B = Phi/2: the blocked kernels fold the 1/2 into
+/// the Taylor recurrence's per-step scale (bitwise identical -- powers of
+/// two scale exactly -- and saves the per-call wrapper closure the old
+/// half-operator needed); the single-vector reference path below keeps the
+/// explicit wrapper.
+inline constexpr Real kHalfScale = 0.5;
+
 /// Rows of S = Pi * p_hat(Phi/2), stored row-major (r x m). Row j is
 /// p_hat(Phi/2)^T pi_j = p_hat(Phi/2) pi_j (Phi symmetric), one truncated-
 /// Taylor application per row, all rows in parallel. This is the
@@ -50,30 +57,17 @@ std::vector<Real> sketch_times_exp_half(const linalg::SymmetricOp& phi,
   return s;
 }
 
-/// Half-scaled panel operator: Lemma 4.2 is applied to B = Phi/2. The
-/// wrapped operator is captured by value (std::function copy) so the
-/// returned BlockOp cannot dangle on a temporary argument.
-linalg::BlockOp half_block_op(linalg::BlockOp phi_block) {
-  return [phi_block = std::move(phi_block)](const Matrix& x, Matrix& y) {
-    phi_block(x, y);
-    y.scale(0.5);
-  };
-}
-
 /// Fill x_panel with sketch rows [j0, j0 + b): identity columns when the
 /// sketch is exact (exactness implies rows == dim, so j0 + t < dim),
-/// deferred Gaussian rows otherwise. Reuses x_panel's storage when the
-/// shape already matches. Shared by the two-pass and fused blocked
-/// kernels, which must generate bit-identical panels.
+/// deferred Gaussian rows otherwise. Reuses x_panel's storage (capacity-
+/// preserving reshape). Shared by the two-pass and fused blocked kernels,
+/// which must generate bit-identical panels.
 void fill_sketch_panel(const std::optional<rand::GaussianSketch>& pi,
                        bool exact, Index dim, Index j0, Index b,
                        Matrix& x_panel) {
   if (exact) {
-    if (x_panel.rows() != dim || x_panel.cols() != b) {
-      x_panel = Matrix(dim, b);
-    } else {
-      x_panel.fill(0);
-    }
+    x_panel.reshape(dim, b);
+    x_panel.fill(0);
     for (Index t = 0; t < b; ++t) x_panel(j0 + t, t) = 1;
   } else {
     pi->fill_block(j0, b, x_panel);
@@ -83,28 +77,25 @@ void fill_sketch_panel(const std::optional<rand::GaussianSketch>& pi,
 /// Blocked path: S^T = p_hat(Phi/2) Pi^T, stored row-major m x r (entry
 /// (i, j) = S_{ji}), computed one m x b panel at a time. Each panel of b
 /// sketch rows is generated straight into panel storage, pushed through the
-/// degree-k recurrence with two reusable workspace panels (no allocations
-/// inside the sweep after the first panel), and scattered into its columns
-/// of S^T. The m x r layout makes S[:, row] -- the access pattern of the
-/// dots accumulation -- a contiguous length-r span.
+/// degree-k recurrence with the workspace's two scratch panels, and
+/// scattered into its columns of S^T. The m x r layout makes S[:, row] --
+/// the access pattern of the dots accumulation -- a contiguous length-r
+/// span.
 std::vector<Real> sketch_times_exp_half_blocked(
     const linalg::BlockOp& phi_block, Index dim, Index rows, Index degree,
-    std::uint64_t seed, bool exact, Index block) {
+    std::uint64_t seed, bool exact, Index block, SolverWorkspace& ws) {
   std::vector<Real> st(static_cast<std::size_t>(dim * rows));
-  const linalg::BlockOp half = half_block_op(phi_block);
   std::optional<rand::GaussianSketch> pi;
   if (!exact) pi.emplace(rand::GaussianSketch::deferred(rows, dim, seed));
 
-  linalg::TaylorBlockWorkspace workspace;
-  Matrix x_panel;
-  Matrix y_panel;
   par::global_pool();  // warm up outside the loop (lazy init)
   for (Index j0 = 0; j0 < rows; j0 += block) {
     const Index b = std::min(block, rows - j0);
-    fill_sketch_panel(pi, exact, dim, j0, b, x_panel);
-    linalg::apply_exp_taylor_block(half, degree, x_panel, y_panel, workspace);
+    fill_sketch_panel(pi, exact, dim, j0, b, ws.x_panel);
+    linalg::apply_exp_taylor_block(phi_block, degree, ws.x_panel, ws.y_panel,
+                                   ws, kHalfScale);
     par::parallel_for(0, dim, [&](Index i) {
-      const Real* src = y_panel.data() + i * b;
+      const Real* src = ws.y_panel.data() + i * b;
       Real* dst = st.data() + i * rows + j0;
       for (Index t = 0; t < b; ++t) dst[t] = src[t];
     });
@@ -148,47 +139,44 @@ void accumulate_dots_reference(const std::vector<Real>& s, Index dim, Index r,
 /// Per panel and constraint, entry (row, c, v) of Q_i performs a contiguous
 /// length-b AXPY from the panel row into a k x b accumulator whose squared
 /// entries are the panel's share of ||S Q_i||_F^2. Nothing m x r is ever
-/// materialized, and S is neither written back nor re-read. Returns the
-/// trace estimate ||S||_F^2; `dots` must be zero-initialized.
+/// materialized, and S is neither written back nor re-read. All scratch --
+/// panels, Taylor recurrence, per-constraint accumulators -- lives in the
+/// caller-owned workspace, so repeated calls allocate nothing once warm.
+/// Returns the trace estimate ||S||_F^2; `dots` must be zero-initialized.
 Real sketch_exp_dots_fused(const linalg::BlockOp& phi_block, Index dim,
                            Index rows, Index degree, std::uint64_t seed,
                            bool exact, Index block,
-                           const sparse::FactorizedSet& as, Vector& dots) {
-  const linalg::BlockOp half = half_block_op(phi_block);
+                           const sparse::FactorizedSet& as,
+                           SolverWorkspace& ws, Vector& dots) {
   std::optional<rand::GaussianSketch> pi;
   if (!exact) pi.emplace(rand::GaussianSketch::deferred(rows, dim, seed));
 
-  linalg::TaylorBlockWorkspace workspace;
-  Matrix x_panel;
-  Matrix y_panel;
-  // One k_i x b accumulator per constraint, allocated at the first panel
-  // of this call and recycled across its panels (assign() reuses
-  // capacity), so the hot parallel_for performs no heap traffic after the
-  // first panel. (Cross-call recycling would need a caller-owned
-  // workspace like TaylorBlockWorkspace -- a ROADMAP item; even per-call,
-  // this is strictly less allocation than the two-pass layout's m x r
-  // buffer plus per-constraint tiles.)
-  std::vector<std::vector<Real>> accumulators(
-      static_cast<std::size_t>(as.size()));
+  // One k_i x b accumulator per constraint, recycled across panels and
+  // across calls (assign() reuses capacity), so the hot parallel_for
+  // performs no heap traffic once the workspace has seen this instance.
+  if (static_cast<Index>(ws.accumulators.size()) < as.size()) {
+    ws.accumulators.resize(static_cast<std::size_t>(as.size()));
+  }
   Real trace = 0;
   par::global_pool();  // warm up outside the loop (lazy init)
   for (Index j0 = 0; j0 < rows; j0 += block) {
     const Index b = std::min(block, rows - j0);
-    fill_sketch_panel(pi, exact, dim, j0, b, x_panel);
-    linalg::apply_exp_taylor_block(half, degree, x_panel, y_panel, workspace);
+    fill_sketch_panel(pi, exact, dim, j0, b, ws.x_panel);
+    linalg::apply_exp_taylor_block(phi_block, degree, ws.x_panel, ws.y_panel,
+                                   ws, kHalfScale);
     // Tr[exp(Phi)] ~ ||S||_F^2, one panel's rows at a time.
     trace += par::parallel_sum(0, dim * b, [&](Index k) {
-      return sq(y_panel.data()[static_cast<std::size_t>(k)]);
+      return sq(ws.y_panel.data()[static_cast<std::size_t>(k)]);
     });
     par::parallel_for(0, as.size(), [&](Index i) {
       const sparse::Csr& q = as[i].q();
       const Index k = q.cols();
-      std::vector<Real>& acc = accumulators[static_cast<std::size_t>(i)];
+      std::vector<Real>& acc = ws.accumulators[static_cast<std::size_t>(i)];
       acc.assign(static_cast<std::size_t>(k * b), 0.0);
       for (Index row = 0; row < q.rows(); ++row) {
         const auto cols = q.row_cols(row);
         const auto vals = q.row_vals(row);
-        const Real* src = y_panel.data() + row * b;
+        const Real* src = ws.y_panel.data() + row * b;
         for (std::size_t e = 0; e < cols.size(); ++e) {
           Real* out = acc.data() + cols[e] * b;
           const Real v = vals[e];
@@ -247,10 +235,11 @@ void accumulate_dots_blocked(const std::vector<Real>& st, Index r,
 
 }  // namespace
 
-BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
-                            const linalg::BlockOp& phi_block, Index dim,
-                            Real kappa, const sparse::FactorizedSet& as,
-                            const BigDotExpOptions& options) {
+void big_dot_exp(const linalg::SymmetricOp& phi,
+                 const linalg::BlockOp& phi_block, Index dim, Real kappa,
+                 const sparse::FactorizedSet& as,
+                 const BigDotExpOptions& options, SolverWorkspace& workspace,
+                 BigDotExpResult& result) {
   PSDP_CHECK(dim >= 1, "big_dot_exp: dimension must be positive");
   PSDP_CHECK(as.dim() == dim, "big_dot_exp: constraint dimension mismatch");
   PSDP_CHECK(kappa >= 0, "big_dot_exp: kappa must be non-negative");
@@ -258,8 +247,6 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
              "big_dot_exp: eps must lie in (0,1)");
   PSDP_CHECK(options.block_size >= 0,
              "big_dot_exp: block_size must be non-negative");
-
-  BigDotExpResult result;
 
   // Error budget: the Taylor truncation contributes up to 2*eps_t relative
   // error to ||p_hat Q||^2 (p_hat and exp commute, both PSD), the sketch
@@ -293,8 +280,9 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
                     : std::min<Index>(kDefaultBlockSize, r);
   block = std::min(block, r);
   result.block_size = block;
+  result.fused = false;
 
-  result.dots = Vector(as.size());
+  result.dots.resize(as.size());
   if (block == 1) {
     // Reference path: r independent Taylor matvec chains, r x m layout.
     const std::vector<Real> s = sketch_times_exp_half(
@@ -314,14 +302,15 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
     // Fused blocked path: dots and trace accumulate per panel, right after
     // the panel's Taylor sweep -- no m x r buffer, no second pass over S.
     result.fused = true;
+    result.dots.fill(0);
     result.trace_exp = sketch_exp_dots_fused(
         phi_block, dim, r, result.taylor_degree, options.seed,
-        result.exact_sketch, block, as, result.dots);
+        result.exact_sketch, block, as, workspace, result.dots);
   } else {
     // Blocked path: panels of `block` sketch rows share each Phi traversal.
     const std::vector<Real> st = sketch_times_exp_half_blocked(
         phi_block, dim, r, result.taylor_degree, options.seed,
-        result.exact_sketch, block);
+        result.exact_sketch, block, workspace);
     result.trace_exp = par::parallel_sum(
         0, r * dim,
         [&](Index k) { return sq(st[static_cast<std::size_t>(k)]); });
@@ -338,6 +327,15 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
     par::CostMeter::add_depth(par::reduction_depth(dim) +
                               par::reduction_depth(as.size()));
   }
+}
+
+BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
+                            const linalg::BlockOp& phi_block, Index dim,
+                            Real kappa, const sparse::FactorizedSet& as,
+                            const BigDotExpOptions& options) {
+  SolverWorkspace workspace;
+  BigDotExpResult result;
+  big_dot_exp(phi, phi_block, dim, kappa, as, options, workspace, result);
   return result;
 }
 
@@ -360,7 +358,8 @@ BigDotExpResult big_dot_exp(const sparse::Csr& phi, Real kappa,
   const linalg::SymmetricOp op = [&phi](const Vector& x, Vector& y) {
     phi.apply(x, y);
   };
-  const linalg::BlockOp block_op = [&phi](const Matrix& x, Matrix& y) {
+  const linalg::BlockOp block_op = [&phi](const linalg::Matrix& x,
+                                          linalg::Matrix& y) {
     phi.apply_block(x, y);
   };
   Real k = kappa;

@@ -40,6 +40,7 @@
 
 #include "linalg/blockop.hpp"
 #include "linalg/power.hpp"
+#include "linalg/taylor.hpp"
 #include "linalg/vector.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/factorized.hpp"
@@ -84,12 +85,31 @@ struct BigDotExpOptions {
 
 struct BigDotExpResult {
   Vector dots;       ///< estimates of exp(Phi) . A_i, length n
-  Real trace_exp;    ///< estimate of Tr[exp(Phi)]
+  Real trace_exp = 0;  ///< estimate of Tr[exp(Phi)]
   Index taylor_degree = 0;
   Index sketch_rows = 0;
   bool exact_sketch = false;  ///< true when r >= m made the sketch exact
   Index block_size = 0;       ///< panel width actually used (1 = reference)
   bool fused = false;         ///< dots fused into the Taylor panel sweep
+};
+
+/// Caller-owned scratch recycled across big_dot_exp calls -- and therefore
+/// across solver iterations, which is where it matters: one oracle
+/// evaluation per round reuses the Taylor panels (the TaylorBlockWorkspace
+/// base), the sketch input/output panels, the fused per-constraint dots
+/// accumulators, and the implicit-Psi panel scratch, so the steady-state
+/// iteration performs no heap allocations after warmup (enforced by
+/// bench_variants --alloc-guard). SketchedTaylorOracle holds one (or
+/// borrows the caller's via SketchedOracleOptions::workspace); sharing an
+/// instance across sequential solves is safe -- every buffer is fully
+/// overwritten per call -- and never changes results.
+struct SolverWorkspace : linalg::TaylorBlockWorkspace {
+  linalg::Matrix x_panel;  ///< sketch panel (dim x b)
+  linalg::Matrix y_panel;  ///< Taylor output panel (dim x b)
+  /// Fused path: one k_i x b dots accumulator per constraint.
+  std::vector<std::vector<Real>> accumulators;
+  /// Scratch of FactorizedSet::weighted_apply_block (the implicit Psi).
+  sparse::FactorizedSet::BlockWorkspace factor;
 };
 
 /// Phi as an abstract symmetric PSD operator of dimension `dim` (matvec).
@@ -106,6 +126,18 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
                             const linalg::BlockOp& phi_block, Index dim,
                             Real kappa, const sparse::FactorizedSet& as,
                             const BigDotExpOptions& options = {});
+
+/// Workspace form: all scratch comes from `workspace` and the estimates are
+/// written into `result` in place (result.dots is resized capacity-
+/// preserving), so repeated calls -- one per solver round -- allocate
+/// nothing once the workspace is warm. The convenience overloads delegate
+/// here with a private workspace. Results are identical to a fresh
+/// workspace: every buffer is fully overwritten per call.
+void big_dot_exp(const linalg::SymmetricOp& phi,
+                 const linalg::BlockOp& phi_block, Index dim, Real kappa,
+                 const sparse::FactorizedSet& as,
+                 const BigDotExpOptions& options, SolverWorkspace& workspace,
+                 BigDotExpResult& result);
 
 /// Convenience overload: Phi given as a sparse CSR matrix (native SpMV and
 /// SpMM kernels). If kappa <= 0 it is estimated with power iteration

@@ -143,8 +143,11 @@ BucketedResult decision_bucketed(const FactorizedPackingInstance& instance,
   oracle_options.eps = options.eps;
   oracle_options.dot_eps = options.dot_eps;
   oracle_options.dot_options = options.dot_options;
-  // No Lemma 3.2 invariant for the boosted schedule: rely on the
-  // always-sound runtime bound kappa = Tr[Psi] alone (kappa_cap = 0).
+  oracle_options.workspace = options.workspace;
+  // No Lemma 3.2 invariant for the boosted schedule: rely on the tracked
+  // runtime bound kappa = min(Tr[Psi], sum_i x_i lambda_max(A_i)) alone
+  // (kappa_cap = 0) -- the lambda side tightens the Taylor degree on
+  // spiked spectra, the Tr side clamps it from ever getting looser.
   SketchedTaylorOracle oracle(instance, oracle_options);
   return run_bucketed_loop(oracle, options, /*dense_primal=*/false);
 }

@@ -51,6 +51,9 @@ struct FactorizedBucketedOptions : BucketedOptions {
   /// Sketch/Taylor/blocking knobs forwarded to the oracle; the seed
   /// advances per iteration so sketch noise is independent across rounds.
   BigDotExpOptions dot_options;
+  /// Caller-owned scratch shared across iterations/solves (results
+  /// unaffected); nullptr = oracle-private workspace.
+  SolverWorkspace* workspace = nullptr;
 };
 
 struct BucketedResult {

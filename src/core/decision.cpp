@@ -33,6 +33,7 @@ DecisionResult decision_factorized(const FactorizedPackingInstance& instance,
   oracle_options.eps = options.eps;
   oracle_options.dot_eps = options.dot_eps;
   oracle_options.dot_options = options.dot_options;
+  oracle_options.workspace = options.workspace;
   // kappa: the a-priori Lemma 3.2 bound caps it (this is exactly why the
   // iteration is width-independent).
   oracle_options.kappa_cap =

@@ -86,6 +86,11 @@ struct DecisionOptions {
   /// Factorized path: JL/bigDotExp knobs. `seed` is advanced per iteration
   /// so sketch noise is independent across iterations.
   BigDotExpOptions dot_options;
+  /// Factorized path: caller-owned scratch shared across solver iterations
+  /// (and, if reused, across solves -- results are unaffected; see
+  /// SolverWorkspace). nullptr = the oracle owns a private workspace.
+  /// Ignored by the dense solver.
+  SolverWorkspace* workspace = nullptr;
 };
 
 /// One iteration's diagnostics (recorded when track_trajectory is set).

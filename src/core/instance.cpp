@@ -70,13 +70,12 @@ Real FactorizedPackingInstance::constraint_trace(Index i) const {
 
 FactorizedPackingInstance FactorizedPackingInstance::scaled(Real s) const {
   PSDP_CHECK(s > 0, "packing scale must be positive");
-  const Real root = std::sqrt(s);
-  std::vector<sparse::FactorizedPsd> items = set_.items();
-  for (auto& item : items) {
-    sparse::Csr q = item.q();
-    q.scale(root);
-    item = sparse::FactorizedPsd(std::move(q));
-  }
+  std::vector<sparse::FactorizedPsd> items;
+  items.reserve(set_.items().size());
+  // FactorizedPsd::scaled carries the cached transpose index and
+  // lambda_max bound along, so a binary search's per-probe rescale does
+  // not re-run the per-factor setup.
+  for (const auto& item : set_.items()) items.push_back(item.scaled(s));
   return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)));
 }
 

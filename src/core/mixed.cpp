@@ -164,7 +164,9 @@ MixedResult solve_mixed(const MixedFactorizedInstance& instance,
   oracle_options.eps = options.eps;
   oracle_options.dot_eps = options.dot_eps;
   oracle_options.dot_options = options.dot_options;
-  // No spectrum invariant here: the runtime bound kappa = Tr[Psi] alone.
+  oracle_options.workspace = options.workspace;
+  // No spectrum invariant here: the tracked runtime bound
+  // min(Tr[Psi], sum_i x_i lambda_max(A_i)) alone.
   SketchedTaylorOracle oracle(instance.packing, oracle_options);
   return run_mixed_loop(oracle, instance.covering, options);
 }

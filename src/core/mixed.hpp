@@ -79,6 +79,9 @@ struct MixedFactorizedOptions : MixedOptions {
   Real dot_eps = 0;
   /// Sketch/Taylor/blocking knobs forwarded to the oracle.
   BigDotExpOptions dot_options;
+  /// Caller-owned scratch shared across iterations/solves (results
+  /// unaffected); nullptr = oracle-private workspace.
+  SolverWorkspace* workspace = nullptr;
 };
 
 enum class MixedOutcome {

@@ -88,6 +88,7 @@ Options probe_schedule_options(const DecisionOptions& decision) {
   options.early_primal_exit = decision.early_primal_exit;
   options.dot_eps = decision.dot_eps;
   options.dot_options = decision.dot_options;
+  options.workspace = decision.workspace;
   return options;
 }
 

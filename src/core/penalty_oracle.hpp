@@ -140,16 +140,35 @@ struct SketchedOracleOptions {
   /// noise_bound().
   Real dot_eps = 0;
   /// A-priori cap on the spectral-norm bound kappa handed to bigDotExp
-  /// (Lemma 3.2's (1+10 eps)K for the decision solvers). 0 = none: the
-  /// always-sound runtime bound kappa = Tr[Psi] is used alone, which is
-  /// what the bucketed/mixed variants (no Lemma 3.2 invariant) pass.
+  /// (Lemma 3.2's (1+10 eps)K for the decision solvers). 0 = none: only the
+  /// tracked runtime bound min(Tr[Psi], sum_i x_i lambda_max(A_i)) -- which
+  /// is what the bucketed/mixed variants (no Lemma 3.2 invariant) rely on.
   Real kappa_cap = 0;
   /// Sketch/Taylor/blocking knobs, including block_size. The seed is
   /// advanced per round via stream_seed.
   BigDotExpOptions dot_options;
+  /// Caller-owned scratch shared across rounds (and, if the caller wants,
+  /// across whole solves -- results are unaffected, every buffer is fully
+  /// overwritten). nullptr = the oracle owns a private workspace.
+  SolverWorkspace* workspace = nullptr;
 };
 
 /// Nearly-linear-work oracle over prefactored constraints (Theorem 4.1).
+///
+/// Stateful across rounds: the oracle diffs each incoming x against the
+/// weights of the previous round (its x-copy doubles as the diff cache), so
+/// the runtime spectral bounds -- Tr[Psi] and the tracked
+/// sum_i x_i lambda_max(A_i) upper bound on lambda_max(Psi) -- are updated
+/// incrementally instead of recomputed from scratch, and the bound pair is
+/// periodically rebased to cancel float drift. The Taylor degree uses
+/// kappa = min(kappa_cap, Tr[Psi], tracked lambda bound): the tracked bound
+/// is clamped by Tr[Psi] so it can never be looser than the trace-only
+/// bound, and it is sound (x >= 0 and the triangle inequality give
+/// lambda_max(sum x_i A_i) <= sum x_i lambda_max(A_i)). On spiked spectra
+/// (lambda_max << Tr) this tightens bucketed_factorized's Taylor degree
+/// substantially. All sketch scratch lives in a SolverWorkspace (owned, or
+/// borrowed via SketchedOracleOptions::workspace), so steady-state rounds
+/// perform no heap allocations after warmup.
 class SketchedTaylorOracle final : public PenaltyOracle {
  public:
   SketchedTaylorOracle(const FactorizedPackingInstance& instance,
@@ -165,15 +184,42 @@ class SketchedTaylorOracle final : public PenaltyOracle {
   Real noise_bound() const override { return dot_eps_; }
   Real lambda_max(const Vector& weights) override;
 
+  /// Incrementally tracked Tr[Psi] = sum_i x_i Tr[A_i] at the last
+  /// compute()'s weights (tests compare it against a from-scratch sum).
+  Real tracked_trace() const { return trace_psi_; }
+  /// Incrementally tracked sum_i x_i lambda_max(A_i) >= lambda_max(Psi).
+  Real tracked_lambda_bound() const { return lambda_bound_; }
+  /// Per-constraint lambda_max(A_i) upper bound used by the tracked bound
+  /// (the factor's cached Gram eigenvalue, see
+  /// FactorizedPsd::lambda_max_bound).
+  Real constraint_lambda_max(Index i) const;
+  /// Taylor degree of the last compute() (diagnostics; tests assert the
+  /// spiked-spectrum tightening).
+  Index last_taylor_degree() const { return result_.taylor_degree; }
+
  private:
+  /// Fold x - x_work_ into the tracked bounds and cache x in x_work_.
+  void sync_bounds(const Vector& x);
+
   const FactorizedPackingInstance* instance_;
   BigDotExpOptions dot_options_;
   Real dot_eps_ = 0;
   Real kappa_cap_ = 0;
-  /// The weights the implicit operators read; refreshed by compute().
+  /// The weights the implicit operators read; doubles as the diff cache of
+  /// the incremental bounds (it always holds the last synced weights).
   Vector x_work_;
-  /// Panel workspace recycled across rounds (the blocked bigDotExp path).
-  sparse::FactorizedSet::BlockWorkspace block_ws_;
+  Real trace_psi_ = 0;     ///< tracked Tr[Psi]
+  Real lambda_bound_ = 0;  ///< tracked sum_i x_i lambda_max(A_i)
+  /// Absolute trace-term mass folded in since the last rebase (the
+  /// cancellation guard's measure of churn).
+  Real bound_flux_ = 0;
+  Index rounds_since_rebase_ = 0;
+  /// Sketch/Taylor scratch recycled across rounds; external when the caller
+  /// provided SketchedOracleOptions::workspace.
+  SolverWorkspace own_workspace_;
+  SolverWorkspace* workspace_ = nullptr;
+  /// Persistent result (dots storage swaps with the caller's batch).
+  BigDotExpResult result_;
   linalg::SymmetricOp psi_op_;
   linalg::BlockOp psi_block_op_;
 };

@@ -161,6 +161,7 @@ PhasedResult decision_phased(const FactorizedPackingInstance& instance,
   oracle_options.eps = options.eps;
   oracle_options.dot_eps = options.dot_eps;
   oracle_options.dot_options = options.dot_options;
+  oracle_options.workspace = options.workspace;
   oracle_options.kappa_cap =
       algorithm_constants(instance.size(), options.eps).spectrum_bound;
   SketchedTaylorOracle oracle(instance, oracle_options);

@@ -87,6 +87,9 @@ struct FactorizedPhasedOptions : PhasedOptions {
   /// Sketch/Taylor knobs forwarded to bigDotExp; the seed advances per
   /// phase so sketch noise is independent across phases.
   BigDotExpOptions dot_options;
+  /// Caller-owned scratch shared across phases/solves (results unaffected);
+  /// nullptr = oracle-private workspace.
+  SolverWorkspace* workspace = nullptr;
 };
 
 /// Phased schedule over prefactored input: one bigDotExp batch per phase

@@ -43,6 +43,14 @@ Matrix Matrix::rotation2d(Real theta) {
   return r;
 }
 
+Matrix& Matrix::reshape(Index rows, Index cols) {
+  PSDP_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  data_.resize(static_cast<std::size_t>(rows * cols));
+  rows_ = rows;
+  cols_ = cols;
+  return *this;
+}
+
 Real& Matrix::operator()(Index i, Index j) {
   PSDP_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
   return data_[static_cast<std::size_t>(i * cols_ + j)];

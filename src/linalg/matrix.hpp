@@ -43,6 +43,13 @@ class Matrix {
   std::span<Real> row(Index i);
   std::span<const Real> row(Index i) const;
 
+  /// Capacity-preserving reshape: sets the dimensions without shrinking the
+  /// backing storage, so a workspace panel cycling through shapes (e.g. the
+  /// narrower last sketch panel) allocates only when it grows past its
+  /// high-water mark. Entry values after a reshape are unspecified except
+  /// that a kept prefix survives; callers overwrite the panel anyway.
+  Matrix& reshape(Index rows, Index cols);
+
   /// In-place operations.
   Matrix& fill(Real value);
   Matrix& scale(Real s);

@@ -37,22 +37,23 @@ void apply_exp_taylor(const SymmetricOp& op, Index degree, const Vector& x,
 }
 
 void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
-                            Matrix& y, TaylorBlockWorkspace& workspace) {
+                            Matrix& y, TaylorBlockWorkspace& workspace,
+                            Real op_scale) {
   PSDP_CHECK(degree >= 1, "apply_exp_taylor_block: degree must be >= 1");
   PSDP_CHECK(x.cols() >= 1, "apply_exp_taylor_block: panel must be non-empty");
   const Index n = x.rows();
   const Index b = x.cols();
   // term_j = B^j X / j!, accumulated into Y; `workspace.term` and
   // `workspace.next` are the only storage touched and are recycled across
-  // calls -- the loop itself allocates nothing once they have X's shape.
+  // calls -- the loop itself allocates nothing once they have X's shape
+  // (capacity-preserving reshape, so a narrower last panel does not force
+  // the next call to reallocate).
   workspace.term = x;
   y = x;
-  if (workspace.next.rows() != n || workspace.next.cols() != b) {
-    workspace.next = Matrix(n, b);
-  }
+  workspace.next.reshape(n, b);
   for (Index j = 1; j < degree; ++j) {
     op(workspace.term, workspace.next);
-    workspace.next.scale(Real{1} / static_cast<Real>(j));
+    workspace.next.scale(op_scale / static_cast<Real>(j));
     std::swap(workspace.term, workspace.next);
     y.add_scaled(workspace.term, 1);
   }

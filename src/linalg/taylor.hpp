@@ -33,12 +33,18 @@ struct TaylorBlockWorkspace {
 };
 
 /// Panel form of apply_exp_taylor: Y = (sum_{j<k} B^j / j!) X for a
-/// row-major n x b panel X, using k-1 block applications of `op`. When the
-/// BlockOp's columns match the SymmetricOp's matvec (as Csr::apply_block
-/// does), column t of Y is bit-identical to apply_exp_taylor on column t:
-/// the recurrence performs the same scalar operations in the same order.
+/// row-major n x b panel X with B = op_scale * op, using k-1 block
+/// applications of `op`. The scale is folded into the per-step 1/j factor;
+/// for power-of-two scales (bigDotExp's 0.5, since Lemma 4.2 is applied to
+/// Phi/2) this is bitwise identical to scaling op's output separately, so
+/// the fold removes the per-call wrapper closure without perturbing a
+/// single bit. When the BlockOp's columns match the SymmetricOp's matvec
+/// (as Csr::apply_block does), column t of Y is bit-identical to
+/// apply_exp_taylor on column t of the scaled operator: the recurrence
+/// performs the same scalar operations in the same order.
 void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
-                            Matrix& y, TaylorBlockWorkspace& workspace);
+                            Matrix& y, TaylorBlockWorkspace& workspace,
+                            Real op_scale = 1);
 
 /// Convenience overload with a private workspace.
 void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,

@@ -26,6 +26,12 @@ Real Vector::operator[](Index i) const {
   return data_[static_cast<std::size_t>(i)];
 }
 
+Vector& Vector::resize(Index n) {
+  PSDP_CHECK(n >= 0, "vector size must be non-negative");
+  data_.resize(static_cast<std::size_t>(n));
+  return *this;
+}
+
 Vector& Vector::fill(Real value) {
   std::fill(data_.begin(), data_.end(), value);
   return *this;

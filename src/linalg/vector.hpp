@@ -29,6 +29,11 @@ class Vector {
   std::span<Real> span() { return data_; }
   std::span<const Real> span() const { return data_; }
 
+  /// Capacity-preserving resize: never shrinks the backing storage, so a
+  /// reused buffer (oracle dots, workspace copies) stops allocating once it
+  /// has seen its largest size. New entries (if any) are zero.
+  Vector& resize(Index n);
+
   /// In-place operations (return *this for chaining).
   Vector& fill(Real value);
   Vector& scale(Real s);

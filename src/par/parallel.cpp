@@ -32,24 +32,4 @@ ThreadPool& global_pool() {
   return *g_pool;
 }
 
-void parallel_for_chunked(Index begin, Index end,
-                          const std::function<void(Index, Index)>& body,
-                          Index grain) {
-  if (end <= begin) return;
-  PSDP_CHECK(grain >= 1, "grain must be positive");
-  const Index n = end - begin;
-  const Index max_chunks = std::max<Index>(1, num_threads());
-  const Index chunks = std::clamp<Index>((n + grain - 1) / grain, 1, max_chunks);
-  if (chunks == 1) {
-    body(begin, end);
-    return;
-  }
-  const Index chunk_size = (n + chunks - 1) / chunks;
-  global_pool().run_batch(chunks, [&](Index c) {
-    const Index b = begin + c * chunk_size;
-    const Index e = std::min(end, b + chunk_size);
-    if (b < e) body(b, e);
-  });
-}
-
 }  // namespace psdp::par

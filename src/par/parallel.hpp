@@ -8,6 +8,12 @@
 // Thread count is process-global and settable at runtime (benches sweep it).
 // Setting it to 1 executes everything inline with no pool interaction, which
 // is the deterministic baseline for the scaling experiments.
+//
+// The loops are allocation-free in the steady state: bodies reach the pool
+// as non-owning TaskRef (no std::function), and reductions recycle a
+// per-thread partials buffer -- a solver iteration makes thousands of these
+// calls, and the zero-allocation guarantee of the sketched hot path
+// (bench_variants --alloc-guard) rests on them staying off the heap.
 #pragma once
 
 #include <algorithm>
@@ -36,9 +42,26 @@ inline constexpr Index kDefaultGrain = 1024;
 
 /// Invoke body(begin_k, end_k) over an even partition of [begin, end) into
 /// roughly `num_threads()` chunks of at least `grain` elements.
-void parallel_for_chunked(Index begin, Index end,
-                          const std::function<void(Index, Index)>& body,
-                          Index grain = kDefaultGrain);
+template <typename Body>
+void parallel_for_chunked(Index begin, Index end, Body&& body,
+                          Index grain = kDefaultGrain) {
+  if (end <= begin) return;
+  PSDP_CHECK(grain >= 1, "grain must be positive");
+  const Index n = end - begin;
+  const Index max_chunks = std::max<Index>(1, num_threads());
+  const Index chunks = std::clamp<Index>((n + grain - 1) / grain, 1, max_chunks);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const Index chunk_size = (n + chunks - 1) / chunks;
+  const auto task = [&](Index c) {
+    const Index b = begin + c * chunk_size;
+    const Index e = std::min(end, b + chunk_size);
+    if (b < e) body(b, e);
+  };
+  global_pool().run_batch(chunks, task);
+}
 
 /// Element-wise parallel loop.
 template <typename Body>
@@ -51,6 +74,23 @@ void parallel_for(Index begin, Index end, Body&& body,
       },
       grain);
 }
+
+namespace detail {
+/// Reusable per-thread partials for parallel_reduce: nested parallel regions
+/// run inline on their worker, so at most one reduction per thread uses its
+/// scratch at a time; the busy flag falls back to a local buffer in the
+/// (unused today) re-entrant case. One buffer per value type T.
+template <typename T>
+std::vector<T>& reduce_scratch() {
+  static thread_local std::vector<T> scratch;
+  return scratch;
+}
+template <typename T>
+bool& reduce_scratch_busy() {
+  static thread_local bool busy = false;
+  return busy;
+}
+}  // namespace detail
 
 /// Parallel map-reduce: combines body(i) over [begin, end) with `combine`,
 /// starting from `init` (which must be the identity of `combine`).
@@ -68,15 +108,28 @@ T parallel_reduce(Index begin, Index end, T init, Body&& body,
     for (Index i = begin; i < end; ++i) acc = combine(acc, body(i));
     return acc;
   }
-  std::vector<T> partial(static_cast<std::size_t>(chunks), init);
+  bool& busy = detail::reduce_scratch_busy<T>();
+  std::vector<T> local;
+  const bool use_scratch = !busy;
+  std::vector<T>& partial = use_scratch ? detail::reduce_scratch<T>() : local;
+  if (use_scratch) busy = true;
+  struct BusyReset {
+    bool* flag;
+    bool owned;
+    ~BusyReset() {
+      if (owned) *flag = false;
+    }
+  } busy_reset{&busy, use_scratch};
+  partial.assign(static_cast<std::size_t>(chunks), init);
   const Index chunk_size = (n + chunks - 1) / chunks;
-  global_pool().run_batch(chunks, [&](Index c) {
+  const auto task = [&](Index c) {
     const Index b = begin + c * chunk_size;
     const Index e = std::min(end, b + chunk_size);
     T acc = init;
     for (Index i = b; i < e; ++i) acc = combine(acc, body(i));
     partial[static_cast<std::size_t>(c)] = acc;
-  });
+  };
+  global_pool().run_batch(chunks, task);
   T acc = init;
   for (const T& p : partial) acc = combine(acc, p);
   return acc;

@@ -12,6 +12,13 @@ thread_local bool t_submitting = false;
 
 ThreadPool::ThreadPool(int workers) {
   PSDP_CHECK(workers >= 0, "worker count must be non-negative");
+  // workers + 1 batch slots cover the worst case (each worker pinning one
+  // exhausted batch plus the submitter's live one); +1 more for margin.
+  // run_batch therefore provably never allocates after construction.
+  spare_.reserve(static_cast<std::size_t>(workers) + 2);
+  for (int i = 0; i < workers + 2; ++i) {
+    spare_.push_back(std::make_shared<Batch>());
+  }
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -36,7 +43,7 @@ void ThreadPool::drain(Batch& batch) {
     const Index k = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (k >= batch.count) return;
     try {
-      (*batch.task)(k);
+      batch.task(k);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch.error_mutex);
       if (!batch.error) batch.error = std::current_exception();
@@ -66,10 +73,11 @@ void ThreadPool::worker_loop() {
       { std::lock_guard<std::mutex> lock(mutex_); }
       batch_done_.notify_all();
     }
+    // batch's shared_ptr dies here, releasing the slot for reuse.
   }
 }
 
-void ThreadPool::run_batch(Index count, const std::function<void(Index)>& task) {
+void ThreadPool::run_batch(Index count, TaskRef task) {
   if (count <= 0) return;
   // Nested region (from a worker, or from the submitting thread's own task
   // share) or no workers: run inline.
@@ -83,9 +91,30 @@ void ThreadPool::run_batch(Index count, const std::function<void(Index)>& task) 
   struct SubmitReset {
     ~SubmitReset() { t_submitting = false; }
   } submit_reset;
-  auto batch = std::make_shared<Batch>();
-  batch->task = &task;
+  // Reuse a spare batch descriptor if no worker still holds it (use_count
+  // can only decrease once a batch is off active_, so the check is stable);
+  // allocate a fresh slot only while stragglers pin every spare. This keeps
+  // the steady state allocation-free.
+  std::shared_ptr<Batch> batch;
+  for (auto& slot : spare_) {
+    if (slot.use_count() == 1) {
+      // Pair with the release semantics of the last worker's refcount
+      // decrement: after this fence every write that worker made to the
+      // slot happens-before our re-initialization below.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      batch = slot;
+      break;
+    }
+  }
+  if (!batch) {
+    batch = std::make_shared<Batch>();
+    spare_.push_back(batch);
+  }
+  batch->task = task;
   batch->count = count;
+  batch->next.store(0, std::memory_order_relaxed);
+  batch->done.store(0, std::memory_order_relaxed);
+  batch->error = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     PSDP_ASSERT(active_ == nullptr);  // one batch at a time by construction
@@ -102,8 +131,9 @@ void ThreadPool::run_batch(Index count, const std::function<void(Index)>& task) 
     active_.reset();
   }
   // Workers still holding the shared_ptr only see an exhausted batch: every
-  // further next.fetch_add returns >= count, so `task` (a reference into this
-  // frame) is never dereferenced after we return.
+  // further next.fetch_add returns >= count, so the TaskRef (a reference
+  // into the caller's frame) is never invoked after we return, and the slot
+  // is not reused until those holders release it.
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

@@ -8,19 +8,50 @@
 // Nested parallel regions execute serially on the calling worker: this keeps
 // the pool deadlock-free without a full task-graph scheduler, and matches
 // how the algorithms use parallelism (one level of parallel_for at a time).
+//
+// Submission is allocation-free in the steady state: tasks are passed as
+// non-owning TaskRef (no std::function heap traffic) and batch descriptors
+// are recycled from a small slot pool once no worker holds them. This is
+// what lets a solver iteration run with zero heap allocations after warmup
+// (see bench_variants --alloc-guard).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
-#include <functional>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "util/common.hpp"
 
 namespace psdp::par {
+
+/// Non-owning reference to a callable invoked as f(Index). The referenced
+/// callable must outlive the call it is passed to -- always true for
+/// run_batch, which blocks until the batch is drained. Copying a TaskRef
+/// copies two pointers; nothing is allocated.
+class TaskRef {
+ public:
+  TaskRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TaskRef> &&
+                std::is_invocable_v<const std::decay_t<F>&, Index>>>
+  TaskRef(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(&f), invoke_([](const void* o, Index k) {
+          (*static_cast<const F*>(o))(k);
+        }) {}
+
+  void operator()(Index k) const { invoke_(obj_, k); }
+
+ private:
+  const void* obj_ = nullptr;
+  void (*invoke_)(const void*, Index) = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -39,8 +70,9 @@ class ThreadPool {
   /// Runs `count` tasks, task(k) for k in [0, count): workers and the
   /// calling thread cooperatively drain the batch; returns when all tasks
   /// have finished. Exceptions thrown by tasks are captured and the first
-  /// one is rethrown on the calling thread.
-  void run_batch(Index count, const std::function<void(Index)>& task);
+  /// one is rethrown on the calling thread. The callable behind `task` only
+  /// needs to live for the duration of this call.
+  void run_batch(Index count, TaskRef task);
 
   /// True when the current thread is one of this pool's workers.
   bool on_worker_thread() const;
@@ -51,7 +83,7 @@ class ThreadPool {
 
  private:
   struct Batch {
-    const std::function<void(Index)>* task = nullptr;
+    TaskRef task;
     Index count = 0;
     std::atomic<Index> next{0};  ///< next unclaimed task index
     std::atomic<Index> done{0};  ///< completed task count
@@ -70,6 +102,10 @@ class ThreadPool {
   std::condition_variable wake_;        ///< workers: new batch or shutdown
   std::condition_variable batch_done_;  ///< submitter: all tasks completed
   std::shared_ptr<Batch> active_;
+  /// Recycled batch descriptors (guarded by submit_mutex_). A slot is free
+  /// once its use_count drops back to 1 -- workers only acquire references
+  /// through active_, so a free slot cannot regain holders behind our back.
+  std::vector<std::shared_ptr<Batch>> spare_;
   std::uint64_t epoch_ = 0;  ///< bumped per batch so workers join each once
   bool stop_ = false;
 };

@@ -53,9 +53,7 @@ void GaussianSketch::fill_block(Index first, Index count,
                                 linalg::Matrix& panel) const {
   PSDP_CHECK(first >= 0 && count >= 1 && first + count <= rows_,
              "fill_block: row range out of bounds");
-  if (panel.rows() != cols_ || panel.cols() != count) {
-    panel = linalg::Matrix(cols_, count);
-  }
+  panel.reshape(cols_, count);  // capacity-preserving: no steady-state alloc
   const Real scale = 1.0 / std::sqrt(static_cast<Real>(rows_));
   // Regenerate each row from its own stream (identical values to row());
   // the strided panel writes are cheap next to the Gaussian draws.

@@ -99,9 +99,93 @@ Vector Csr::apply(const Vector& x) const {
   return y;
 }
 
+void Csr::build_transpose_index() {
+  if (t_built_) return;
+  t_offsets_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  t_rows_.resize(values_.size());
+  t_values_.resize(values_.size());
+  // Counting sort by column; scanning rows in order makes the rows within
+  // each column ascending, which is what pins the gather's accumulation
+  // order to the owned-column sweep's (bitwise agreement).
+  for (const Index c : columns_) ++t_offsets_[static_cast<std::size_t>(c) + 1];
+  for (Index j = 0; j < cols_; ++j) {
+    t_offsets_[static_cast<std::size_t>(j) + 1] +=
+        t_offsets_[static_cast<std::size_t>(j)];
+  }
+  std::vector<Index> cursor(t_offsets_.begin(), t_offsets_.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto slot =
+          static_cast<std::size_t>(cursor[static_cast<std::size_t>(cols[k])]++);
+      t_rows_[slot] = i;
+      t_values_[slot] = vals[k];
+    }
+  }
+  t_built_ = true;
+}
+
+namespace {
+
+/// Gather kernel for one span of output columns: output row j of Y is the
+/// serial row-order reduction of column j's entries, with the accumulator
+/// row held in registers (B known at compile time for the common widths).
+template <int B>
+void gather_columns(const std::vector<Index>& offsets,
+                    const std::vector<Index>& rows,
+                    const std::vector<Real>& values, Index jb, Index je,
+                    const Real* x, Real* y) {
+  for (Index j = jb; j < je; ++j) {
+    Real acc[B] = {};
+    const auto b0 = static_cast<std::size_t>(offsets[static_cast<std::size_t>(j)]);
+    const auto e0 =
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(j) + 1]);
+    for (std::size_t e = b0; e < e0; ++e) {
+      const Real v = values[e];
+      const Real* in = x + rows[e] * B;
+      for (int t = 0; t < B; ++t) acc[t] += v * in[t];
+    }
+    Real* out = y + j * B;
+    for (int t = 0; t < B; ++t) out[t] = acc[t];
+  }
+}
+
+/// Runtime-width fallback of the gather kernel.
+void gather_columns_any(const std::vector<Index>& offsets,
+                        const std::vector<Index>& rows,
+                        const std::vector<Real>& values, Index jb, Index je,
+                        Index b, const Real* x, Real* y) {
+  for (Index j = jb; j < je; ++j) {
+    Real* out = y + j * b;
+    std::fill(out, out + b, Real{0});
+    const auto b0 = static_cast<std::size_t>(offsets[static_cast<std::size_t>(j)]);
+    const auto e0 =
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(j) + 1]);
+    for (std::size_t e = b0; e < e0; ++e) {
+      const Real v = values[e];
+      const Real* in = x + rows[e] * b;
+      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
+    }
+  }
+}
+
+}  // namespace
+
 void Csr::apply_transpose(const Vector& x, Vector& y) const {
   PSDP_CHECK(x.size() == rows_, "csr apply_transpose: dimension mismatch");
   if (y.size() != cols_) y = Vector(cols_);
+  if (t_built_) {
+    // Transpose-index gather: one pass over the nonzeros, each output
+    // reduced serially in row order (thread-count independent).
+    par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
+      gather_columns<1>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                        y.data());
+    }, /*grain=*/64);
+    par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz()));
+    par::CostMeter::add_depth(par::reduction_depth(rows_));
+    return;
+  }
   y.fill(0);
   // Serial scatter per thread would race; with the moderate sizes used here
   // a row sweep with owned output blocks keeps determinism.
@@ -131,7 +215,7 @@ void Csr::apply_block(const Matrix& x, Matrix& y) const {
   PSDP_CHECK(x.rows() == cols_, "csr apply_block: dimension mismatch");
   const Index b = x.cols();
   PSDP_CHECK(b >= 1, "csr apply_block: panel must have at least one column");
-  if (y.rows() != rows_ || y.cols() != b) y = Matrix(rows_, b);
+  y.reshape(rows_, b);
   // Row-parallel SpMM: one pass over the nonzeros serves all b columns. The
   // grain shrinks with b so chunks stay at comparable work to apply()'s.
   const Index grain = std::max<Index>(1, 64 / b);
@@ -151,11 +235,26 @@ void Csr::apply_block(const Matrix& x, Matrix& y) const {
 }
 
 void Csr::apply_transpose_block(const Matrix& x, Matrix& y) const {
+  std::vector<Real> partial;
+  apply_transpose_block(x, y, partial);
+}
+
+void Csr::apply_transpose_block(const Matrix& x, Matrix& y,
+                                std::vector<Real>& partial) const {
+  if (t_built_ && x.cols() <= kGatherMaxWidth) {
+    apply_transpose_block_indexed(x, y);
+    return;
+  }
+  apply_transpose_block_owned(x, y, partial);
+}
+
+void Csr::apply_transpose_block_owned(const Matrix& x, Matrix& y,
+                                      std::vector<Real>& partial) const {
   PSDP_CHECK(x.rows() == rows_, "csr apply_transpose_block: dimension mismatch");
   const Index b = x.cols();
   PSDP_CHECK(b >= 1,
              "csr apply_transpose_block: panel must have at least one column");
-  if (y.rows() != cols_ || y.cols() != b) y = Matrix(cols_, b);
+  y.reshape(cols_, b);
   // Parallel over *row* chunks -- the panels come from factors Q_i whose
   // column count is often tiny, so column ownership would serialize. Each
   // chunk scatters into its own cols_ x b accumulator; the partials are
@@ -181,7 +280,7 @@ void Csr::apply_transpose_block(const Matrix& x, Matrix& y) const {
     y.fill(0);
     scatter_rows(0, rows_, y.data());
   } else {
-    std::vector<Real> partial(static_cast<std::size_t>(chunks * cols_ * b), 0);
+    partial.assign(static_cast<std::size_t>(chunks * cols_ * b), 0);
     const Index chunk_size = (rows_ + chunks - 1) / chunks;
     par::global_pool().run_batch(chunks, [&](Index c) {
       scatter_rows(c * chunk_size, std::min(rows_, (c + 1) * chunk_size),
@@ -198,8 +297,59 @@ void Csr::apply_transpose_block(const Matrix& x, Matrix& y) const {
   par::CostMeter::add_depth(par::reduction_depth(rows_));
 }
 
+void Csr::apply_transpose_block_indexed(const Matrix& x, Matrix& y) const {
+  PSDP_CHECK(t_built_,
+             "csr apply_transpose_block_indexed: call build_transpose_index()");
+  PSDP_CHECK(x.rows() == rows_, "csr apply_transpose_block: dimension mismatch");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1,
+             "csr apply_transpose_block: panel must have at least one column");
+  y.reshape(cols_, b);
+  // Chunk the columns so a chunk carries a few thousand entry updates; the
+  // per-column entry spans are contiguous in the index, so each chunk is
+  // one streaming pass.
+  const Index avg_work =
+      std::max<Index>(1, (nnz() * b) / std::max<Index>(1, cols_));
+  const Index grain = std::max<Index>(1, 4096 / avg_work);
+  par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
+    switch (b) {
+      case 1:
+        gather_columns<1>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                          y.data());
+        break;
+      case 2:
+        gather_columns<2>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                          y.data());
+        break;
+      case 4:
+        gather_columns<4>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                          y.data());
+        break;
+      case 8:
+        gather_columns<8>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                          y.data());
+        break;
+      case 16:
+        gather_columns<16>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                           y.data());
+        break;
+      case 32:
+        gather_columns<32>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
+                           y.data());
+        break;
+      default:
+        gather_columns_any(t_offsets_, t_rows_, t_values_, jb, je, b,
+                           x.data(), y.data());
+        break;
+    }
+  }, grain);
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(par::reduction_depth(rows_));
+}
+
 Csr& Csr::scale(Real s) {
   for (Real& v : values_) v *= s;
+  for (Real& v : t_values_) v *= s;  // keep the cached CSC view in sync
   return *this;
 }
 

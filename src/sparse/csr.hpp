@@ -55,7 +55,24 @@ class Csr {
   void apply(const Vector& x, Vector& y) const;
   Vector apply(const Vector& x) const;
 
-  /// y = A^T x (parallel over output blocks).
+  /// Build (idempotently) the cached transpose index: a CSC view of the
+  /// matrix (column offsets, row indices and values in column-major order,
+  /// rows ascending within each column). With the index present the
+  /// transpose kernels switch from the owned-column scatter to a per-output
+  /// -row *gather*: each output row of A^T x is one contiguous sweep over
+  /// its column's entries with the accumulator in registers -- one pass
+  /// over the nonzeros, no per-chunk partial buffers, and bitwise
+  /// deterministic across thread counts (each output is reduced serially
+  /// in row order). Costs one extra copy of the nonzeros; FactorizedPsd
+  /// builds it automatically for tall factors, where the gather wins (see
+  /// README "The kernel layer").
+  void build_transpose_index();
+  bool has_transpose_index() const { return t_built_; }
+
+  /// y = A^T x: the transpose-index gather when built (deterministic for
+  /// any thread count), the owned-column sweep otherwise (deterministic for
+  /// a fixed thread count; both accumulate per output in row order, so the
+  /// two paths agree bitwise).
   void apply_transpose(const Vector& x, Vector& y) const;
   Vector apply_transpose(const Vector& x) const;
 
@@ -65,11 +82,40 @@ class Csr {
   /// bit-identical to apply() on column t of X (same accumulation order).
   void apply_block(const Matrix& x, Matrix& y) const;
 
-  /// Y = A^T X for a row-major rows() x b panel: parallel over row chunks
-  /// with per-chunk cols() x b accumulators combined in chunk order
-  /// (deterministic for a fixed thread count; stays parallel even for the
-  /// narrow factor panels where column ownership would serialize).
+  /// Widest panel the transpose-index gather is dispatched for: at narrow
+  /// widths the gather's register-resident output row and single pass win
+  /// (4.4x at b = 1, 1.7x at b = 4 on the tall-factor bench); at wide
+  /// panels the scatter's *sequential* streaming of the rows() x b input
+  /// panel beats the gather's strided jumps through it (the gather fetches
+  /// b doubles at each of the column's scattered rows, defeating the
+  /// hardware prefetcher), so wide panels keep the owned-column sweep.
+  static constexpr Index kGatherMaxWidth = 8;
+
+  /// Y = A^T X for a row-major rows() x b panel. Dispatches to the
+  /// transpose-index gather when the index is built and b <=
+  /// kGatherMaxWidth (bitwise deterministic across thread counts), else to
+  /// the owned-column scatter (deterministic for a fixed thread count).
+  /// The overload taking `partial` recycles the scatter path's per-chunk
+  /// accumulators across calls, keeping the hot path allocation-free
+  /// either way.
   void apply_transpose_block(const Matrix& x, Matrix& y) const;
+  void apply_transpose_block(const Matrix& x, Matrix& y,
+                             std::vector<Real>& partial) const;
+
+  /// The owned-column scatter, always available: parallel over row chunks
+  /// with per-chunk cols() x b accumulators (resized into `partial`,
+  /// capacity-preserving) combined in chunk order -- deterministic for a
+  /// fixed thread count; stays parallel even for the narrow factor panels
+  /// where column ownership would serialize.
+  void apply_transpose_block_owned(const Matrix& x, Matrix& y,
+                                   std::vector<Real>& partial) const;
+
+  /// The transpose-index gather (requires build_transpose_index()): each
+  /// output row j of Y accumulates column j's entries in ascending row
+  /// order -- the same order as a single-chunk owned-column sweep, so the
+  /// two paths agree bitwise; unlike the scatter it needs no partial
+  /// buffers and its result is independent of the thread count.
+  void apply_transpose_block_indexed(const Matrix& x, Matrix& y) const;
 
   /// Scale all values in place.
   Csr& scale(Real s);
@@ -89,6 +135,12 @@ class Csr {
   std::vector<Index> offsets_;  ///< rows_+1 entries
   std::vector<Index> columns_;
   std::vector<Real> values_;
+
+  /// Cached CSC view (build_transpose_index); kept in sync by scale().
+  bool t_built_ = false;
+  std::vector<Index> t_offsets_;  ///< cols_+1 entries
+  std::vector<Index> t_rows_;     ///< row of each entry, ascending per column
+  std::vector<Real> t_values_;    ///< values in column-major order
 };
 
 /// C = A + s * B for same-shaped CSR matrices (structural union).

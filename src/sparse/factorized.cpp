@@ -2,13 +2,62 @@
 
 #include <cmath>
 
+#include "linalg/eig.hpp"
 #include "linalg/matfunc.hpp"
 #include "par/parallel.hpp"
 
 namespace psdp::sparse {
 
+namespace {
+
+/// Factor ranks above this skip the exact Gram eigenvalue and fall back to
+/// the trace bound (the k x k eigensolve would cost O(k^3) at setup).
+constexpr Index kGramEigMaxRank = 128;
+
+/// Upper bound on lambda_max(Q Q^T) = lambda_max(Q^T Q); see
+/// FactorizedPsd::lambda_max_bound.
+Real factor_lambda_max_bound(const Csr& q) {
+  const Real trace = q.frobenius_norm2();
+  const Index k = q.cols();
+  if (k > kGramEigMaxRank) return trace;
+  Matrix gram(k, k);
+  for (Index row = 0; row < q.rows(); ++row) {
+    const auto cols = q.row_cols(row);
+    const auto vals = q.row_vals(row);
+    for (std::size_t a = 0; a < cols.size(); ++a) {
+      for (std::size_t b = 0; b < cols.size(); ++b) {
+        gram(cols[a], cols[b]) += vals[a] * vals[b];
+      }
+    }
+  }
+  const Real lmax = linalg::lambda_max_exact(gram) * (1 + 1e-9);
+  return std::min(std::max<Real>(lmax, 0), trace);
+}
+
+}  // namespace
+
 FactorizedPsd::FactorizedPsd(Csr q) : q_(std::move(q)) {
   PSDP_CHECK(q_.rows() >= 1, "factorized PSD: Q must have at least one row");
+  // Tall factors get the cached CSC view: every Q^T application (two per
+  // Taylor step on the sketched hot path) then runs the gather kernel
+  // instead of the owned-column scatter.
+  if (q_.rows() >=
+      kTransposeIndexAspect * std::max<Index>(1, q_.cols())) {
+    q_.build_transpose_index();
+  }
+  lambda_bound_ = factor_lambda_max_bound(q_);
+}
+
+FactorizedPsd FactorizedPsd::scaled(Real s) const {
+  PSDP_CHECK(s >= 0 && std::isfinite(s),
+             "factorized PSD: scale must be non-negative finite");
+  FactorizedPsd out = *this;  // keeps the transpose index
+  out.q_.scale(std::sqrt(s));
+  // lambda_max(s Q Q^T) = s lambda_max(Q Q^T); the cached bound's 1e-9
+  // inflation dwarfs the sqrt's rounding, so scaling the bound (instead of
+  // re-running the Gram eigensolve per probe) stays sound.
+  out.lambda_bound_ = lambda_bound_ * s;
+  return out;
 }
 
 FactorizedPsd FactorizedPsd::rank_one(const Vector& v, Real drop_tol) {
@@ -49,6 +98,12 @@ void FactorizedPsd::apply(const Vector& x, Vector& y) const {
 void FactorizedPsd::apply_block(const Matrix& x, Matrix& y,
                                 Matrix& scratch) const {
   q_.apply_transpose_block(x, scratch);
+  q_.apply_block(scratch, y);
+}
+
+void FactorizedPsd::apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
+                                std::vector<Real>& partial) const {
+  q_.apply_transpose_block(x, scratch, partial);
   q_.apply_block(scratch, y);
 }
 
@@ -149,12 +204,13 @@ void FactorizedSet::weighted_apply_block(const Vector& x, const Matrix& v,
   PSDP_CHECK(x.size() == size(), "weighted_apply_block: weight length mismatch");
   PSDP_CHECK(v.rows() == dim_, "weighted_apply_block: panel dimension mismatch");
   const Index b = v.cols();
-  if (y.rows() != dim_ || y.cols() != b) y = Matrix(dim_, b);
+  y.reshape(dim_, b);
   y.fill(0);
   for (Index i = 0; i < size(); ++i) {
     if (x[i] == 0) continue;
-    items_[static_cast<std::size_t>(i)].apply_block(v, workspace.contribution,
-                                                    workspace.scratch);
+    items_[static_cast<std::size_t>(i)].apply_block(
+        v, workspace.contribution, workspace.scratch,
+        workspace.transpose_partial);
     y.add_scaled(workspace.contribution, x[i]);
   }
 }

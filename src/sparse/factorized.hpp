@@ -14,12 +14,21 @@
 
 namespace psdp::sparse {
 
+/// Aspect ratio rows/cols at which a factor counts as "tall" and gets the
+/// cached transpose index at construction: the per-output-row CSC gather
+/// then replaces the owned-column scatter in every Q^T application (see
+/// Csr::build_transpose_index). Below this the extra copy of the nonzeros
+/// buys little; the solvers' factors (m x k with k small) are far above it.
+inline constexpr Index kTransposeIndexAspect = 4;
+
 /// One PSD matrix in factorized form.
 class FactorizedPsd {
  public:
   FactorizedPsd() = default;
 
   /// Takes Q (m x k). The represented matrix is Q Q^T, of dimension m.
+  /// Tall factors (rows >= kTransposeIndexAspect * cols) get the cached
+  /// transpose index built here, so their Q^T kernels run the gather path.
   explicit FactorizedPsd(Csr q);
 
   /// Rank-1 special case A = v v^T (beamforming channels, graph edges).
@@ -37,12 +46,33 @@ class FactorizedPsd {
   /// trace(Q Q^T) = ||Q||_F^2.
   Real trace() const { return q_.frobenius_norm2(); }
 
+  /// Cached upper bound on lambda_max(Q Q^T), computed once at
+  /// construction: the exact top eigenvalue of the k x k Gram matrix for
+  /// small factor ranks (inflated a hair so eigensolver rounding cannot
+  /// under-report a spectral norm), the trace for large ones. Always
+  /// <= trace(), so bounds summed over a weighted set can never be looser
+  /// than the trace-only bound. scaled() rescales the cached value, so
+  /// probe searches over scaled instances pay the eigensolve only once.
+  Real lambda_max_bound() const { return lambda_bound_; }
+
+  /// Copy representing s * Q Q^T (factor scaled by sqrt(s), s >= 0),
+  /// carrying the cached transpose index and lambda_max bound along
+  /// instead of recomputing them.
+  FactorizedPsd scaled(Real s) const;
+
   /// y = (Q Q^T) x via two SpMVs. Thread-safe (no shared scratch).
   void apply(const Vector& x, Vector& y) const;
 
   /// Y = (Q Q^T) X for a row-major dim() x b panel, via two SpMMs through
   /// the caller-provided k x b scratch panel (resized as needed).
   void apply_block(const Matrix& x, Matrix& y, Matrix& scratch) const;
+
+  /// As above, recycling `partial` for the owned-column scatter when the
+  /// factor has no transpose index (no-op scratch on the gather path); with
+  /// caller-owned buffers the whole application is allocation-free once
+  /// warm.
+  void apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
+                   std::vector<Real>& partial) const;
 
   /// (Q Q^T) . S for a dense symmetric S: sum of column quadratic forms.
   Real dot_dense(const Matrix& s) const;
@@ -52,6 +82,7 @@ class FactorizedPsd {
 
  private:
   Csr q_;
+  Real lambda_bound_ = 0;  ///< cached lambda_max(Q Q^T) upper bound
 };
 
 /// The constraint set {A_i = Q_i Q_i^T}, plus totals used in the cost bounds
@@ -84,6 +115,9 @@ class FactorizedSet {
   struct BlockWorkspace {
     Matrix contribution;  ///< dim x b accumulator for one constraint
     Matrix scratch;       ///< k_i x b intermediate Q_i^T V
+    /// Per-chunk accumulators of the owned-column transpose scatter
+    /// (unused by factors with a transpose index); recycled across calls.
+    std::vector<Real> transpose_partial;
   };
   void weighted_apply_block(const Vector& x, const Matrix& v, Matrix& y,
                             BlockWorkspace& workspace) const;

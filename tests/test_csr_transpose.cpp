@@ -1,0 +1,213 @@
+// Property-style equivalence suite for the transpose kernels: the
+// transpose-index gather, the owned-column scatter, and a naive dense
+// reference must agree on randomized sparsity patterns, across thread
+// counts and panel widths. Determinism is part of the contract --
+//   * either path is bitwise reproducible at a fixed thread count,
+//   * the gather is additionally bitwise identical across thread counts
+//     (each output row is one serial row-order reduction), and
+//   * gather == scatter bitwise at one thread (same accumulation order),
+// so future kernel refactors cannot silently change a single bit of the
+// solver trajectories that sit on top of these kernels.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "par/parallel.hpp"
+#include "rand/rng.hpp"
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::sparse {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// RAII guard: restore the global thread count on scope exit.
+struct ThreadGuard {
+  int before = par::num_threads();
+  ~ThreadGuard() { par::set_num_threads(before); }
+};
+
+/// Random rows x cols pattern with ~nnz_per_row entries per row (some rows
+/// and columns may stay empty -- the kernels must handle both).
+Csr random_sparse(Index rows, Index cols, Index nnz_per_row,
+                  std::uint64_t seed) {
+  rand::Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < rows; ++i) {
+    const auto row_nnz = static_cast<Index>(rng.uniform_index(nnz_per_row + 1));
+    for (Index e = 0; e < row_nnz; ++e) {
+      triplets.push_back({i, static_cast<Index>(rng.uniform_index(cols)),
+                          rng.normal()});
+    }
+  }
+  return Csr::from_triplets(rows, cols, std::move(triplets));
+}
+
+/// Random dense panel with heterogeneous entries.
+Matrix random_panel(Index rows, Index b, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  Matrix x(rows, b);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index t = 0; t < b; ++t) x(i, t) = rng.normal();
+  }
+  return x;
+}
+
+/// Naive dense reference of Y = A^T X (independent accumulation order, so
+/// comparisons against it are tolerance-based).
+Matrix naive_transpose_block(const Csr& a, const Matrix& x) {
+  Matrix y(a.cols(), x.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      for (Index t = 0; t < x.cols(); ++t) {
+        y(cols[k], t) += vals[k] * x(i, t);
+      }
+    }
+  }
+  return y;
+}
+
+struct Shape {
+  Index rows;
+  Index cols;
+  Index nnz_per_row;
+};
+
+class CsrTransposeEquivalence
+    : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
+
+TEST_P(CsrTransposeEquivalence, GatherScatterAndNaiveAgree) {
+  const auto [b, seed] = GetParam();
+  const Shape shapes[] = {
+      {256, 4, 2},    // tall, narrow (the factor shape)
+      {128, 128, 3},  // square
+      {64, 16, 1},    // very sparse, some empty rows/cols
+      {33, 7, 5},     // odd sizes, duplicate columns within rows likely
+  };
+  for (const Shape& shape : shapes) {
+    Csr owned = random_sparse(shape.rows, shape.cols, shape.nnz_per_row, seed);
+    Csr indexed = owned;  // same matrix, index built on the copy
+    indexed.build_transpose_index();
+    ASSERT_FALSE(owned.has_transpose_index());
+    ASSERT_TRUE(indexed.has_transpose_index());
+
+    const Matrix x = random_panel(shape.rows, b, seed * 31 + 7);
+    const Matrix naive = naive_transpose_block(owned, x);
+    const Real tol = 1e-12 * static_cast<Real>(shape.nnz_per_row + 1);
+
+    ThreadGuard guard;
+    Matrix gather_one_thread;  // the cross-thread-count determinism anchor
+    for (const int threads : {1, 2, std::max(4, guard.before)}) {
+      par::set_num_threads(threads);
+
+      Matrix ys;
+      std::vector<Real> partial;
+      owned.apply_transpose_block_owned(x, ys, partial);
+      Matrix yg;
+      indexed.apply_transpose_block_indexed(x, yg);
+
+      // Both paths match the naive reference within accumulation rounding.
+      EXPECT_MATRIX_NEAR(ys, naive, tol);
+      EXPECT_MATRIX_NEAR(yg, naive, tol);
+
+      // Bitwise determinism at a fixed thread count: re-running either
+      // kernel reproduces the exact bits.
+      Matrix ys2;
+      std::vector<Real> partial2;
+      owned.apply_transpose_block_owned(x, ys2, partial2);
+      EXPECT_EQ(ys, ys2) << "scatter not deterministic at " << threads
+                         << " threads";
+      Matrix yg2;
+      indexed.apply_transpose_block_indexed(x, yg2);
+      EXPECT_EQ(yg, yg2) << "gather not deterministic at " << threads
+                         << " threads";
+
+      if (threads == 1) {
+        // One thread: the scatter accumulates each output column in row
+        // order, exactly the gather's order -- bitwise equal.
+        EXPECT_EQ(ys, yg) << "gather != scatter bitwise at one thread";
+        gather_one_thread = yg;
+      } else {
+        // The gather's result is independent of the thread count entirely.
+        EXPECT_EQ(yg, gather_one_thread)
+            << "gather result changed with thread count " << threads;
+      }
+
+      // The public entry point dispatches on the index and panel width:
+      // gather for b <= kGatherMaxWidth, owned-column scatter beyond it.
+      Matrix yd;
+      indexed.apply_transpose_block(x, yd);
+      EXPECT_EQ(yd, b <= Csr::kGatherMaxWidth ? yg : ys);
+      Matrix yd_owned;
+      owned.apply_transpose_block(x, yd_owned);
+      EXPECT_EQ(yd_owned, ys);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PanelWidthsAndSeeds, CsrTransposeEquivalence,
+    ::testing::Combine(::testing::Values<Index>(1, 4, 8, 32),
+                       ::testing::Values<std::uint64_t>(3, 71, 1234)));
+
+TEST(CsrTransposeIndex, VectorPathDispatchesAndMatches) {
+  const Csr owned = random_sparse(300, 9, 3, 99);
+  Csr indexed = owned;
+  indexed.build_transpose_index();
+  Vector x(300);
+  rand::Rng rng(5);
+  for (Index i = 0; i < x.size(); ++i) x[i] = rng.normal();
+
+  const Vector ys = owned.apply_transpose(x);
+  const Vector yg = indexed.apply_transpose(x);
+  ASSERT_EQ(ys.size(), yg.size());
+  for (Index j = 0; j < ys.size(); ++j) {
+    EXPECT_NEAR(ys[j], yg[j], 1e-12) << "column " << j;
+  }
+}
+
+TEST(CsrTransposeIndex, BuildIsIdempotentAndSurvivesScale) {
+  Csr m = random_sparse(64, 8, 2, 17);
+  m.build_transpose_index();
+  m.build_transpose_index();  // no-op
+  const Matrix x = random_panel(64, 4, 3);
+  Matrix before;
+  m.apply_transpose_block_indexed(x, before);
+  // scale() must keep the cached CSC values in sync.
+  m.scale(2.5);
+  Matrix after;
+  m.apply_transpose_block_indexed(x, after);
+  Matrix expected = before;
+  expected.scale(2.5);
+  EXPECT_MATRIX_NEAR(after, expected, 1e-12);
+}
+
+TEST(CsrTransposeIndex, IndexedRequiresBuild) {
+  const Csr m = random_sparse(16, 4, 2, 1);
+  Matrix y;
+  EXPECT_THROW(m.apply_transpose_block_indexed(random_panel(16, 2, 2), y),
+               InvalidArgument);
+}
+
+TEST(CsrTransposeIndex, EmptyColumnsProduceZeroRows) {
+  // A matrix whose columns 1 and 3 are structurally empty.
+  const Csr m = Csr::from_triplets(
+      4, 5, {{0, 0, 1.0}, {1, 2, -2.0}, {3, 4, 0.5}, {2, 0, 3.0}});
+  Csr indexed = m;
+  indexed.build_transpose_index();
+  const Matrix x = random_panel(4, 8, 11);
+  Matrix y;
+  indexed.apply_transpose_block_indexed(x, y);
+  for (Index t = 0; t < 8; ++t) {
+    EXPECT_EQ(y(1, t), 0.0);
+    EXPECT_EQ(y(3, t), 0.0);
+  }
+  EXPECT_MATRIX_NEAR(y, naive_transpose_block(m, x), 1e-14);
+}
+
+}  // namespace
+}  // namespace psdp::sparse

@@ -14,6 +14,7 @@
 #include "core/optimize.hpp"
 #include "core/penalty_oracle.hpp"
 #include "linalg/eig.hpp"
+#include "linalg/taylor.hpp"
 #include "rand/rng.hpp"
 #include "test_helpers.hpp"
 
@@ -376,6 +377,167 @@ TEST(SketchedTaylorOracle, FusedDotsMatchTwoPassLayout) {
   for (Index i = 0; i < fact.size(); ++i) {
     EXPECT_NEAR(fused_batch.dots[i], two_pass_batch.dots[i],
                 1e-10 * std::max<Real>(1, std::abs(two_pass_batch.dots[i])));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental oracle state: the diffed Tr[Psi] and the tracked lambda_max
+// bound must match from-scratch recomputation over long weight trajectories,
+// including coordinates that shrink and hit exactly zero.
+// ---------------------------------------------------------------------------
+
+TEST(SketchedTaylorOracle, IncrementalBoundsMatchFromScratchOver50Rounds) {
+  apps::FactorizedOptions gen;
+  gen.n = 14;
+  gen.m = 20;
+  gen.nnz_per_column = 4;
+  gen.seed = 37;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  SketchedOracleOptions options;
+  options.eps = 0.25;
+  SketchedTaylorOracle oracle(fact, options);
+
+  rand::Rng rng(91);
+  Vector x(fact.size(), 0.01);
+  PenaltyBatch batch;
+  for (int round = 1; round <= 60; ++round) {
+    // Mutate a changing subset: grow some coordinates, shrink others, and
+    // periodically force exact zeros (the hard case for diff updates).
+    for (Index i = 0; i < x.size(); ++i) {
+      const auto move = rng.uniform_index(4);
+      if (move == 0) x[i] *= 1.25;
+      else if (move == 1) x[i] *= 0.5;
+      else if (move == 2 && round % 7 == 0) x[i] = 0;
+      // move == 3: leave unchanged (delta == 0 path)
+    }
+    oracle.compute(x, static_cast<std::uint64_t>(round), batch);
+
+    // From-scratch recomputation of both tracked sums.
+    Real trace = 0;
+    Real lambda_bound = 0;
+    for (Index i = 0; i < fact.size(); ++i) {
+      trace += x[i] * oracle.constraint_trace(i);
+      lambda_bound += x[i] * oracle.constraint_lambda_max(i);
+    }
+    const Real trace_tol = 1e-12 * std::max<Real>(1, trace);
+    EXPECT_NEAR(oracle.tracked_trace(), trace, trace_tol)
+        << "round " << round;
+    EXPECT_NEAR(oracle.tracked_lambda_bound(), lambda_bound,
+                1e-12 * std::max<Real>(1, lambda_bound))
+        << "round " << round;
+    // The clamp pair: per-constraint lambda_max bounds never exceed the
+    // constraint traces, so the tracked bound never exceeds Tr[Psi].
+    EXPECT_LE(oracle.tracked_lambda_bound(),
+              oracle.tracked_trace() + trace_tol)
+        << "round " << round;
+  }
+}
+
+TEST(SketchedTaylorOracle, TrackedLambdaBoundIsSound) {
+  // sum_i x_i lambda_max(A_i) must upper-bound lambda_max(Psi) exactly (up
+  // to the advertised hair of eigensolver inflation).
+  apps::FactorizedOptions gen;
+  gen.n = 10;
+  gen.m = 12;
+  gen.seed = 53;
+  const FactorizedPackingInstance fact = apps::random_factorized(gen);
+  SketchedOracleOptions options;
+  options.eps = 0.2;
+  SketchedTaylorOracle oracle(fact, options);
+
+  const Vector x = test_weights(fact.size(), 0.3);
+  PenaltyBatch batch;
+  oracle.compute(x, 1, batch);
+
+  const PackingInstance dense_instance = fact.to_dense();
+  DenseEigOracle dense(dense_instance);
+  const Real exact = dense.lambda_max(x);
+  EXPECT_GE(oracle.tracked_lambda_bound(), exact * (1 - 1e-9));
+  // And each per-constraint bound is a genuine lambda_max upper bound.
+  for (Index i = 0; i < fact.size(); ++i) {
+    const Real exact_i = linalg::lambda_max_exact(fact[i].to_dense());
+    EXPECT_GE(oracle.constraint_lambda_max(i), exact_i * (1 - 1e-9))
+        << "constraint " << i;
+    EXPECT_LE(oracle.constraint_lambda_max(i),
+              oracle.constraint_trace(i) * (1 + 1e-12)) << "constraint " << i;
+  }
+}
+
+/// Adversarial spiked-spectrum factor: one huge eigenvalue next to many
+/// small ones, so Tr[A] >> lambda_max(A) and the trace-only kappa wildly
+/// overshoots the Taylor degree.
+FactorizedPackingInstance spiked_instance(Index m, Index spikes) {
+  std::vector<sparse::FactorizedPsd> items;
+  for (Index s = 0; s < spikes; ++s) {
+    std::vector<sparse::Triplet> triplets;
+    // Column 0: a spike (eigenvalue 4) on coordinate s; columns 1..m-1:
+    // unit tail entries on the remaining coordinates (eigenvalue 1 each),
+    // so Tr[A] = 4 + (m - 1) while lambda_max(A) = 4 -- the trace-only
+    // kappa overshoots the Taylor degree by ~m/4.
+    triplets.push_back({s, 0, 2.0});
+    for (Index c = 1; c < m; ++c) {
+      triplets.push_back({(s + c) % m, c, 1.0});
+    }
+    items.emplace_back(sparse::Csr::from_triplets(m, m, std::move(triplets)));
+  }
+  return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)));
+}
+
+TEST(SketchedTaylorOracle, SpikedSpectrumTightensTaylorDegreeWithClamp) {
+  const FactorizedPackingInstance fact = spiked_instance(24, 6);
+  SketchedOracleOptions options;
+  options.eps = 0.25;  // kappa_cap = 0: the bucketed/mixed configuration
+  SketchedTaylorOracle oracle(fact, options);
+
+  const Vector x(fact.size(), 0.35);
+  PenaltyBatch batch;
+  oracle.compute(x, 1, batch);
+
+  // Spiked spectrum: the tracked lambda bound is far below the trace.
+  const Real trace = oracle.tracked_trace();
+  const Real lam = oracle.tracked_lambda_bound();
+  EXPECT_LT(lam, 0.75 * trace);
+  // The degree the oracle actually used comes from the clamped
+  // kappa = min(trace, lam); replicate bigDotExp's internal split
+  // (eps_taylor = dot_eps / 4, kappa halved for B = Phi/2).
+  const Real dot_eps = options.eps / 2;
+  const Index degree_tracked = linalg::taylor_exp_degree(
+      std::max<Real>(1, std::min(trace, lam)) / 2, dot_eps / 4);
+  const Index degree_trace_only = linalg::taylor_exp_degree(
+      std::max<Real>(1, trace) / 2, dot_eps / 4);
+  EXPECT_EQ(oracle.last_taylor_degree(), degree_tracked);
+  // Tighter than the kappa = Tr[Psi]-only bound, and never looser.
+  EXPECT_LT(degree_tracked, degree_trace_only);
+  EXPECT_LE(oracle.last_taylor_degree(), degree_trace_only);
+
+  // Accuracy survives the tightening: the estimates still match the dense
+  // oracle within the advertised noise bound.
+  const PackingInstance dense_instance = fact.to_dense();
+  DenseEigOracle dense(dense_instance);
+  PenaltyBatch dense_batch;
+  dense.compute(x, 1, dense_batch);
+  EXPECT_NEAR(batch.trace / dense_batch.trace, 1, oracle.noise_bound());
+  for (Index i = 0; i < fact.size(); ++i) {
+    EXPECT_NEAR(batch.dots[i] / dense_batch.dots[i], 1, oracle.noise_bound())
+        << "constraint " << i;
+  }
+}
+
+TEST(BucketedFactorized, SpikedSpectrumRunMatchesDenseOutcome) {
+  // End-to-end: bucketed_factorized on the adversarial instance (where the
+  // tracked bound does real work) still reproduces the dense outcome.
+  const FactorizedPackingInstance fact = spiked_instance(16, 4);
+  const PackingInstance dense = fact.to_dense();
+  for (Real scale : {0.05, 20.0}) {
+    FactorizedBucketedOptions fact_options;
+    fact_options.eps = 0.2;
+    const BucketedResult rf =
+        decision_bucketed(fact.scaled(scale), fact_options);
+    BucketedOptions dense_options;
+    dense_options.eps = 0.2;
+    const BucketedResult rd =
+        decision_bucketed(dense.scaled(scale), dense_options);
+    EXPECT_EQ(rf.outcome, rd.outcome) << "scale " << scale;
   }
 }
 

@@ -1,0 +1,216 @@
+// Workspace-reuse suite: sharing one SolverWorkspace across solver runs --
+// and across *different* solver variants -- must produce iterates identical
+// to fresh-workspace runs. This is the guard against stale-buffer bugs: a
+// kernel that reads anything it did not overwrite this round (panel tails,
+// old accumulators, a previous solve's dots) shows up here as a bitwise
+// trajectory divergence.
+#include <gtest/gtest.h>
+
+#include "apps/generators.hpp"
+#include "core/bucketed.hpp"
+#include "core/decision.hpp"
+#include "core/mixed.hpp"
+#include "core/phased.hpp"
+#include "rand/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::core {
+namespace {
+
+using linalg::Vector;
+
+FactorizedPackingInstance test_instance(std::uint64_t seed) {
+  apps::FactorizedOptions gen;
+  gen.n = 12;
+  gen.m = 24;
+  gen.nnz_per_column = 4;
+  gen.seed = seed;
+  return apps::random_factorized(gen);
+}
+
+void expect_same_vector(const Vector& a, const Vector& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(a, b) << what << ": iterates differ";
+}
+
+TEST(SolverWorkspace, DecisionRunsAreIdenticalWithSharedWorkspace) {
+  const FactorizedPackingInstance instance = test_instance(7).scaled(0.05);
+  DecisionOptions fresh_options;
+  fresh_options.eps = 0.2;
+  const DecisionResult fresh1 = decision_factorized(instance, fresh_options);
+  const DecisionResult fresh2 = decision_factorized(instance, fresh_options);
+  // Determinism baseline: two fresh runs agree bitwise.
+  expect_same_vector(fresh1.dual_x, fresh2.dual_x, "fresh vs fresh dual_x");
+
+  SolverWorkspace shared;
+  DecisionOptions shared_options = fresh_options;
+  shared_options.workspace = &shared;
+  const DecisionResult reused1 = decision_factorized(instance, shared_options);
+  const DecisionResult reused2 = decision_factorized(instance, shared_options);
+
+  EXPECT_EQ(fresh1.outcome, reused1.outcome);
+  EXPECT_EQ(fresh1.iterations, reused1.iterations);
+  expect_same_vector(fresh1.dual_x, reused1.dual_x, "fresh vs shared dual_x");
+  expect_same_vector(fresh1.primal_dots, reused1.primal_dots,
+                     "fresh vs shared primal_dots");
+  // Second run on the now-dirty workspace: still identical.
+  EXPECT_EQ(fresh1.iterations, reused2.iterations);
+  expect_same_vector(fresh1.dual_x, reused2.dual_x,
+                     "fresh vs shared (2nd run) dual_x");
+}
+
+TEST(SolverWorkspace, PhasedRunsAreIdenticalWithSharedWorkspace) {
+  const FactorizedPackingInstance instance = test_instance(19).scaled(0.05);
+  FactorizedPhasedOptions fresh_options;
+  fresh_options.eps = 0.2;
+  const PhasedResult fresh = decision_phased(instance, fresh_options);
+
+  SolverWorkspace shared;
+  FactorizedPhasedOptions shared_options = fresh_options;
+  shared_options.workspace = &shared;
+  const PhasedResult reused1 = decision_phased(instance, shared_options);
+  const PhasedResult reused2 = decision_phased(instance, shared_options);
+
+  EXPECT_EQ(fresh.outcome, reused1.outcome);
+  EXPECT_EQ(fresh.iterations, reused1.iterations);
+  EXPECT_EQ(fresh.phases, reused1.phases);
+  expect_same_vector(fresh.dual_x, reused1.dual_x, "phased dual_x");
+  EXPECT_EQ(fresh.iterations, reused2.iterations);
+  expect_same_vector(fresh.dual_x, reused2.dual_x, "phased dual_x (2nd)");
+}
+
+TEST(SolverWorkspace, BucketedRunsAreIdenticalWithSharedWorkspace) {
+  const FactorizedPackingInstance instance = test_instance(43).scaled(0.02);
+  FactorizedBucketedOptions fresh_options;
+  fresh_options.eps = 0.15;
+  const BucketedResult fresh = decision_bucketed(instance, fresh_options);
+
+  SolverWorkspace shared;
+  FactorizedBucketedOptions shared_options = fresh_options;
+  shared_options.workspace = &shared;
+  const BucketedResult reused1 = decision_bucketed(instance, shared_options);
+  const BucketedResult reused2 = decision_bucketed(instance, shared_options);
+
+  EXPECT_EQ(fresh.outcome, reused1.outcome);
+  EXPECT_EQ(fresh.iterations, reused1.iterations);
+  expect_same_vector(fresh.dual_x, reused1.dual_x, "bucketed dual_x");
+  EXPECT_EQ(fresh.iterations, reused2.iterations);
+  expect_same_vector(fresh.dual_x, reused2.dual_x, "bucketed dual_x (2nd)");
+}
+
+TEST(SolverWorkspace, OneWorkspaceSharedAcrossAllVariants) {
+  // The hardest staleness stress: decision, phased and bucketed runs (with
+  // different panel shapes, constraint counts of accumulators touched, and
+  // iteration counts) all recycle ONE workspace back to back; every
+  // trajectory must match its fresh-workspace twin.
+  const FactorizedPackingInstance a = test_instance(7).scaled(0.05);
+  const FactorizedPackingInstance b = test_instance(19).scaled(0.03);
+
+  DecisionOptions d_fresh;
+  d_fresh.eps = 0.2;
+  FactorizedPhasedOptions p_fresh;
+  p_fresh.eps = 0.25;
+  FactorizedBucketedOptions k_fresh;
+  k_fresh.eps = 0.15;
+
+  const DecisionResult rd = decision_factorized(a, d_fresh);
+  const PhasedResult rp = decision_phased(b, p_fresh);
+  const BucketedResult rk = decision_bucketed(a, k_fresh);
+
+  SolverWorkspace shared;
+  DecisionOptions d_shared = d_fresh;
+  d_shared.workspace = &shared;
+  FactorizedPhasedOptions p_shared = p_fresh;
+  p_shared.workspace = &shared;
+  FactorizedBucketedOptions k_shared = k_fresh;
+  k_shared.workspace = &shared;
+
+  const DecisionResult rd2 = decision_factorized(a, d_shared);
+  const PhasedResult rp2 = decision_phased(b, p_shared);
+  const BucketedResult rk2 = decision_bucketed(a, k_shared);
+  // And once more in reverse order, workspace dirtier still.
+  const BucketedResult rk3 = decision_bucketed(a, k_shared);
+  const DecisionResult rd3 = decision_factorized(a, d_shared);
+
+  expect_same_vector(rd.dual_x, rd2.dual_x, "decision after fresh ws");
+  expect_same_vector(rp.dual_x, rp2.dual_x, "phased after decision");
+  expect_same_vector(rk.dual_x, rk2.dual_x, "bucketed after phased");
+  expect_same_vector(rk.dual_x, rk3.dual_x, "bucketed repeat");
+  expect_same_vector(rd.dual_x, rd3.dual_x, "decision after bucketed");
+  EXPECT_EQ(rd.iterations, rd3.iterations);
+}
+
+TEST(SolverWorkspace, MixedSolveAcceptsSharedWorkspace) {
+  MixedFactorizedInstance instance;
+  instance.packing = test_instance(3).scaled(0.05);
+  rand::Rng rng(23);
+  for (Index i = 0; i < instance.packing.size(); ++i) {
+    Vector d(4);
+    for (Index j = 0; j < d.size(); ++j) d[j] = rng.uniform(0.5, 1.5);
+    instance.covering.push_back(std::move(d));
+  }
+  MixedFactorizedOptions fresh_options;
+  fresh_options.eps = 0.2;
+  const MixedResult fresh = solve_mixed(instance, fresh_options);
+
+  SolverWorkspace shared;
+  MixedFactorizedOptions shared_options = fresh_options;
+  shared_options.workspace = &shared;
+  const MixedResult reused = solve_mixed(instance, shared_options);
+  EXPECT_EQ(fresh.outcome, reused.outcome);
+  EXPECT_EQ(fresh.iterations, reused.iterations);
+  expect_same_vector(fresh.x, reused.x, "mixed x");
+}
+
+TEST(SolverWorkspace, DirectBigDotExpReuseMatchesFreshWorkspace) {
+  // Kernel-level variant of the same property, across changing panel
+  // widths and changing instances on one workspace.
+  const FactorizedPackingInstance inst_a = test_instance(5);
+  const FactorizedPackingInstance inst_b = test_instance(29);
+  const Vector xa = Vector(inst_a.size(), 0.01);
+  const sparse::Csr phi_a = inst_a.set().weighted_sum(xa);
+  const sparse::Csr phi_b = inst_b.set().weighted_sum(
+      Vector(inst_b.size(), 0.02));
+
+  SolverWorkspace shared;
+  for (const Index block : {8, 4, 16, 3}) {
+    BigDotExpOptions options;
+    options.eps = 0.25;
+    options.block_size = block;
+    options.sketch_rows_override = 24;
+    options.taylor_degree_override = 9;
+
+    const linalg::SymmetricOp op_a = [&phi_a](const Vector& v, Vector& y) {
+      phi_a.apply(v, y);
+    };
+    const linalg::BlockOp bop_a = [&phi_a](const linalg::Matrix& v,
+                                           linalg::Matrix& y) {
+      phi_a.apply_block(v, y);
+    };
+    BigDotExpResult reused;
+    big_dot_exp(op_a, bop_a, inst_a.dim(), 2.0, inst_a.set(), options,
+                shared, reused);
+    const BigDotExpResult fresh = big_dot_exp(phi_a, 2.0, inst_a.set(),
+                                              options);
+    EXPECT_EQ(fresh.dots, reused.dots) << "block " << block;
+    EXPECT_EQ(fresh.trace_exp, reused.trace_exp) << "block " << block;
+
+    // Interleave the other instance so shapes keep changing.
+    const BigDotExpResult other = big_dot_exp(phi_b, 2.0, inst_b.set(),
+                                              options);
+    BigDotExpResult other_reused;
+    const linalg::SymmetricOp op_b = [&phi_b](const Vector& v, Vector& y) {
+      phi_b.apply(v, y);
+    };
+    const linalg::BlockOp bop_b = [&phi_b](const linalg::Matrix& v,
+                                           linalg::Matrix& y) {
+      phi_b.apply_block(v, y);
+    };
+    big_dot_exp(op_b, bop_b, inst_b.dim(), 2.0, inst_b.set(), options,
+                shared, other_reused);
+    EXPECT_EQ(other.dots, other_reused.dots) << "block " << block;
+  }
+}
+
+}  // namespace
+}  // namespace psdp::core
