@@ -15,7 +15,12 @@
 //     SolverWorkspace must perform zero heap allocations after warmup
 //     (counted by the replaced global operator new below).
 // `--sweep-only` exits after the sweeps; `--smoke` shrinks the instances
-// for CI hot-path regression checks.
+// for CI hot-path regression checks. `--widths=1,4,8,32` overrides the
+// transpose sweep's panel widths (so the docs' regeneration commands are
+// reproducible on machines with different cache shapes); `--plan-out=FILE`
+// writes the autotuned transpose KernelPlan as standalone JSON and
+// `--plan-in=FILE` reloads one and dispatches the sweep through it
+// (round-trip demonstrated and checked).
 #include <benchmark/benchmark.h>
 
 #include "alloc_counter.hpp"
@@ -26,6 +31,7 @@
 #include <functional>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 
 #include "apps/generators.hpp"
@@ -39,6 +45,7 @@
 #include "rand/jl.hpp"
 #include "rand/rng.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/kernel_plan.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -307,15 +314,9 @@ struct SweepRow {
   double max_rel_dev = 0;  ///< big_dot_exp only: deviation from block = 1
 };
 
-double time_best_of(int reps, const std::function<void()>& body) {
-  double best = std::numeric_limits<double>::infinity();
-  for (int rep = 0; rep < reps; ++rep) {
-    util::WallTimer timer;
-    body();
-    best = std::min(best, timer.seconds());
-  }
-  return best;
-}
+// Timing goes through linalg::time_block_kernel -- the same best-of-reps
+// primitive the KernelPlan autotuner uses, so the sweep and the tuner
+// answer "which kernel is fastest?" identically by construction.
 
 /// The default bench instance of the acceptance bar: an m-dimensional sparse
 /// Phi pushed through the degree-k exp-Taylor recurrence against r >= 32
@@ -365,13 +366,13 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
       row.kernel = "spmm";
       row.block = b;
       if (b == 1) {
-        row.seconds = time_best_of(reps, [&] {
+        row.seconds = linalg::time_block_kernel(reps, [&] {
           for (Index t = 0; t < 32; ++t) phi.apply(xv, yv);
         });
         single = row.seconds;
       } else {
         const linalg::Matrix panel(m, b, 1.0);
-        row.seconds = time_best_of(reps, [&] {
+        row.seconds = linalg::time_block_kernel(reps, [&] {
           for (Index t = 0; t < 32 / b; ++t) phi.apply_block(panel, y);
         });
       }
@@ -387,7 +388,7 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
     row.kernel = "exp_taylor";
     row.block = b;
     if (b == 1) {
-      row.seconds = time_best_of(reps, [&] {
+      row.seconds = linalg::time_block_kernel(reps, [&] {
         par::parallel_for(0, r, [&](Index j) {
           linalg::Vector x(m);
           linalg::Matrix panel;
@@ -400,7 +401,7 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
       });
       taylor_single = row.seconds;
     } else {
-      row.seconds = time_best_of(reps, [&] {
+      row.seconds = linalg::time_block_kernel(reps, [&] {
         linalg::Matrix x_panel, y_panel;
         linalg::TaylorBlockWorkspace workspace;
         for (Index j0 = 0; j0 < r; j0 += b) {
@@ -443,7 +444,7 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
       SweepRow row;
       row.kernel = fuse ? "big_dot_exp_fused" : "big_dot_exp";
       row.block = b;
-      row.seconds = time_best_of(reps, [&] {
+      row.seconds = linalg::time_block_kernel(reps, [&] {
         result = core::big_dot_exp(phi, 2.0, inst.set(), blocked);
       });
       if (!fuse && b == 1) {
@@ -462,11 +463,30 @@ std::vector<SweepRow> run_block_sweep(bool smoke) {
 }
 
 // ------------------------------------------------------------------------
-// Transpose-kernel sweep: owned-column scatter vs transpose-index gather on
-// a tall sparse factor (the acceptance instance: rows >= 64x cols).
+// Transpose-kernel sweep: owned-column scatter vs transpose-index gather vs
+// segmented-column gather on a tall sparse factor (the acceptance instance:
+// rows >= 64x cols). Also autotunes and serializes the KernelPlan (the
+// `kernel_plan` section of BENCH_kernels.json), or reloads a caller-
+// provided one (--plan-in) to prove the round trip.
 // ------------------------------------------------------------------------
 
-std::vector<SweepRow> run_transpose_sweep(bool smoke) {
+/// Widths swept by default; overridden by --widths=comma,separated,list.
+std::vector<Index> default_transpose_widths() { return {1, 4, 8, 16, 32}; }
+
+struct TransposeSweepResult {
+  std::vector<SweepRow> rows;
+  std::string plan_json;     ///< serialized plan (tuned or reloaded)
+  bool plan_reloaded = false;  ///< --plan-in round trip taken
+  /// Acceptance bars of the segmented kernel (full runs enforce them):
+  /// never >5% behind the better of gather/scatter at any width, and
+  /// strictly ahead of the scatter at every width >= 8.
+  bool segmented_within_5pct = true;
+  bool segmented_beats_scatter_wide = true;
+};
+
+TransposeSweepResult run_transpose_sweep(bool smoke,
+                                         const std::vector<Index>& widths,
+                                         const std::string& plan_in) {
   const Index rows = smoke ? (1 << 12) : (1 << 16);
   const Index cols = smoke ? 16 : 64;  // 256x / 1024x aspect: firmly tall
   const int reps = smoke ? 3 : 5;
@@ -480,56 +500,115 @@ std::vector<SweepRow> run_transpose_sweep(bool smoke) {
   const sparse::Csr owned =
       sparse::Csr::from_triplets(rows, cols, std::move(triplets));
   sparse::Csr indexed = owned;
-  indexed.build_transpose_index();
+  // The sweep times the kernels itself; build the index with a thorough
+  // autotune over the swept widths so the emitted plan reflects them --
+  // unless a reloaded plan is about to replace it anyway.
+  sparse::TransposePlanOptions build_options;
+  build_options.autotune.enable = plan_in.empty();
+  build_options.autotune.widths = widths;
+  build_options.autotune.reps = reps;
+  indexed.build_transpose_index(build_options);
 
-  std::vector<SweepRow> out;
-  const Index blocks[] = {1, 4, 8, 32};
-  for (const Index b : blocks) {
+  TransposeSweepResult result;
+  if (!plan_in.empty()) {
+    std::ifstream in(plan_in);
+    PSDP_CHECK(in.good(), str("--plan-in: cannot read ", plan_in));
+    std::ostringstream text;
+    text << in.rdbuf();
+    indexed.set_kernel_plan(sparse::KernelPlan::from_json(text.str()));
+    result.plan_reloaded = true;
+  }
+  result.plan_json = indexed.kernel_plan().to_json();
+
+  for (const Index b : widths) {
     linalg::Matrix x(rows, b);
     rand::Rng fill(7);
     for (Index i = 0; i < rows; ++i) {
       for (Index t = 0; t < b; ++t) x(i, t) = fill.normal();
     }
-    linalg::Matrix ys, yg;
+    linalg::Matrix ys, yg, yseg, yplan;
     std::vector<Real> partial;
-    const int inner = smoke ? 4 : 8;
+    // Narrow widths finish in fractions of a millisecond, where run-to-run
+    // noise on a shared machine swamps a 5% acceptance bar -- scale the
+    // inner repetitions up so every width's sample covers comparable work.
+    const Index inner_scale = std::max<Index>(1, 32 / b);
+    const int inner =
+        static_cast<int>((smoke ? 4 : 8) * inner_scale);
     SweepRow owned_row;
     owned_row.kernel = "transpose_owned";
     owned_row.block = b;
-    owned_row.seconds = time_best_of(reps, [&] {
+    owned_row.seconds = linalg::time_block_kernel(reps, [&] {
       for (int it = 0; it < inner; ++it) {
         owned.apply_transpose_block_owned(x, ys, partial);
       }
     });
     owned_row.speedup_vs_single = 1;
+    // For the transpose rows, "speedup_vs_single" is the kernel's speedup
+    // over the owned-column scatter at the same width.
     SweepRow gather_row;
     gather_row.kernel = "transpose_indexed";
     gather_row.block = b;
-    gather_row.seconds = time_best_of(reps, [&] {
+    gather_row.seconds = linalg::time_block_kernel(reps, [&] {
       for (int it = 0; it < inner; ++it) {
         indexed.apply_transpose_block_indexed(x, yg);
       }
     });
-    // For the transpose rows, "speedup_vs_single" is the gather's speedup
-    // over the owned-column scatter at the same width.
     gather_row.speedup_vs_single = owned_row.seconds / gather_row.seconds;
-    for (Index j = 0; j < cols; ++j) {
-      for (Index t = 0; t < b; ++t) {
-        const Real ref = ys(j, t);
-        const Real dev =
-            std::abs(ref) > 0 ? std::abs(yg(j, t) / ref - 1)
-                              : std::abs(yg(j, t));
-        gather_row.max_rel_dev = std::max(gather_row.max_rel_dev, dev);
+    const auto deviation = [&](const linalg::Matrix& y) {
+      Real worst = 0;
+      for (Index j = 0; j < cols; ++j) {
+        for (Index t = 0; t < b; ++t) {
+          const Real ref = ys(j, t);
+          const Real dev = std::abs(ref) > 0 ? std::abs(y(j, t) / ref - 1)
+                                             : std::abs(y(j, t));
+          worst = std::max(worst, dev);
+        }
+      }
+      return worst;
+    };
+    gather_row.max_rel_dev = deviation(yg);
+    SweepRow segmented_row;
+    segmented_row.kernel = "transpose_segmented";
+    segmented_row.block = b;
+    if (indexed.has_segment_index()) {
+      segmented_row.seconds = linalg::time_block_kernel(reps, [&] {
+        for (int it = 0; it < inner; ++it) {
+          indexed.apply_transpose_block_segmented(x, yseg);
+        }
+      });
+      segmented_row.speedup_vs_single =
+          owned_row.seconds / segmented_row.seconds;
+      segmented_row.max_rel_dev = deviation(yseg);
+      const double best_existing =
+          std::min(owned_row.seconds, gather_row.seconds);
+      if (segmented_row.seconds > 1.05 * best_existing) {
+        result.segmented_within_5pct = false;
+      }
+      if (b >= 8 && segmented_row.seconds >= owned_row.seconds) {
+        result.segmented_beats_scatter_wide = false;
       }
     }
-    out.push_back(owned_row);
-    out.push_back(gather_row);
+    // The plan-dispatched entry point, timed as the solvers see it.
+    SweepRow plan_row;
+    plan_row.kernel = "transpose_planned";
+    plan_row.block = b;
+    plan_row.seconds = linalg::time_block_kernel(reps, [&] {
+      for (int it = 0; it < inner; ++it) {
+        indexed.apply_transpose_block(x, yplan, partial);
+      }
+    });
+    plan_row.speedup_vs_single = owned_row.seconds / plan_row.seconds;
+    plan_row.max_rel_dev = deviation(yplan);
+    result.rows.push_back(owned_row);
+    result.rows.push_back(gather_row);
+    if (indexed.has_segment_index()) result.rows.push_back(segmented_row);
+    result.rows.push_back(plan_row);
   }
-  return out;
+  return result;
 }
 
 void write_sweep_json(const std::vector<SweepRow>& rows,
-                      const std::vector<SweepRow>& transpose_rows,
+                      const TransposeSweepResult& transpose,
                       const bench::SteadyStateAllocReport& alloc_report,
                       bool smoke, const std::string& path) {
   const auto write_rows = [](std::ofstream& out,
@@ -549,16 +628,35 @@ void write_sweep_json(const std::vector<SweepRow>& rows,
       << (smoke ? "true" : "false") << ",\n  \"block_sweep\": [\n";
   write_rows(out, rows);
   out << "  ],\n  \"transpose_sweep\": [\n";
-  write_rows(out, transpose_rows);
-  out << "  ],\n  \"steady_state_alloc\": {\"warmup_iterations\": "
+  write_rows(out, transpose.rows);
+  out << "  ],\n  \"kernel_plan\": " << transpose.plan_json
+      << ",\n  \"kernel_plan_reloaded\": "
+      << (transpose.plan_reloaded ? "true" : "false")
+      << ",\n  \"steady_state_alloc\": {\"warmup_iterations\": "
       << alloc_report.warmup_iterations
       << ", \"measured_iterations\": " << alloc_report.measured_iterations
       << ", \"allocations\": " << alloc_report.allocations << "}\n}\n";
 }
 
-int run_sweep(bool smoke) {
+struct SweepConfig {
+  bool smoke = false;
+  std::vector<Index> widths = default_transpose_widths();
+  std::string plan_in;   ///< reload the transpose plan from this JSON file
+  std::string plan_out;  ///< write the (tuned or reloaded) plan here
+};
+
+int run_sweep(const SweepConfig& config) {
+  const bool smoke = config.smoke;
   const std::vector<SweepRow> rows = run_block_sweep(smoke);
-  const std::vector<SweepRow> transpose_rows = run_transpose_sweep(smoke);
+  const TransposeSweepResult transpose =
+      run_transpose_sweep(smoke, config.widths, config.plan_in);
+  if (!config.plan_out.empty()) {
+    std::ofstream out(config.plan_out);
+    out << transpose.plan_json << "\n";
+    out.flush();
+    PSDP_CHECK(out.good(), str("--plan-out: cannot write ", config.plan_out));
+    std::cout << "wrote transpose kernel plan to " << config.plan_out << "\n";
+  }
 
   // Steady-state-allocation guard: factorized plain-loop iterations on a
   // shared SolverWorkspace, counted by this binary's replaced operator new.
@@ -573,7 +671,7 @@ int run_sweep(bool smoke) {
                                      /*measured=*/8,
                                      [] { return psdp::bench::alloc_count(); });
 
-  write_sweep_json(rows, transpose_rows, alloc_report, smoke,
+  write_sweep_json(rows, transpose, alloc_report, smoke,
                    "BENCH_kernels.json");
   std::cout << "SpMV-vs-SpMM block sweep (r = 64 sketch rows):\n";
   bool taylor_bar_met = false;
@@ -588,20 +686,25 @@ int run_sweep(bool smoke) {
     }
     worst_dev = std::max(worst_dev, row.max_rel_dev);
   }
-  std::cout << "transpose sweep (tall factor, owned-column vs "
-               "transpose-index):\n";
+  std::cout << "transpose sweep (tall factor: owned-column scatter vs "
+               "gather vs segmented gather vs the plan dispatch):\n";
   bool transpose_bar_met = false;
   double transpose_dev = 0;
-  for (const SweepRow& row : transpose_rows) {
+  for (const SweepRow& row : transpose.rows) {
     std::cout << "  " << row.kernel << " b=" << row.block << ": "
               << row.seconds * 1e3 << " ms";
-    if (row.kernel == "transpose_indexed") {
+    if (row.kernel != "transpose_owned") {
       std::cout << ", " << row.speedup_vs_single << "x vs owned";
-      if (row.speedup_vs_single >= 1.5) transpose_bar_met = true;
       transpose_dev = std::max(transpose_dev, row.max_rel_dev);
+    }
+    if (row.kernel == "transpose_indexed" && row.speedup_vs_single >= 1.5) {
+      transpose_bar_met = true;
     }
     std::cout << "\n";
   }
+  std::cout << "transpose kernel plan"
+            << (transpose.plan_reloaded ? " (reloaded via --plan-in)" : "")
+            << ": " << transpose.plan_json << "\n";
   std::cout << "steady-state allocations after warmup: "
             << alloc_report.allocations << " (over "
             << alloc_report.measured_iterations << " iterations)\n";
@@ -614,6 +717,14 @@ int run_sweep(bool smoke) {
             << "] transpose-index gather >= 1.5x over owned-column at some "
                "width; max deviation "
             << transpose_dev << "\n";
+  std::cout << "[" << (transpose.segmented_within_5pct ? "PERF OK" : "PERF MISS")
+            << "] segmented gather within 5% of the better existing kernel "
+               "at every width\n";
+  std::cout << "["
+            << (transpose.segmented_beats_scatter_wide ? "PERF OK"
+                                                       : "PERF MISS")
+            << "] segmented gather beats the owned-column scatter at every "
+               "width >= 8\n";
   std::cout << "[" << (alloc_bar_met ? "ALLOC OK" : "ALLOC MISS")
             << "] zero steady-state allocations\n";
   std::cout << "wrote BENCH_kernels.json\n";
@@ -621,25 +732,65 @@ int run_sweep(bool smoke) {
   // allocation bar only; the perf bars are enforced on the full default
   // instances.
   return worst_dev < 1e-8 && transpose_dev < 1e-8 && alloc_bar_met &&
-                 (smoke || (taylor_bar_met && transpose_bar_met))
+                 (smoke ||
+                  (taylor_bar_met && transpose_bar_met &&
+                   transpose.segmented_within_5pct &&
+                   transpose.segmented_beats_scatter_wide))
              ? 0
              : 1;
+}
+
+/// Parse "1,4,8,32" into widths; throws InvalidArgument on junk.
+std::vector<Index> parse_widths(const std::string& text) {
+  std::vector<Index> widths;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t used = 0;
+    long long v = 0;
+    try {
+      v = std::stoll(text.substr(at), &used);
+    } catch (const std::exception&) {
+      used = 0;  // non-numeric or out-of-range: fall through to the check
+    }
+    PSDP_CHECK(used > 0 && v >= 1, str("--widths: bad width list '", text, "'"));
+    widths.push_back(static_cast<Index>(v));
+    at += used;
+    if (at < text.size()) {
+      PSDP_CHECK(text[at] == ',', str("--widths: bad width list '", text, "'"));
+      ++at;
+    }
+  }
+  PSDP_CHECK(!widths.empty(), "--widths: empty width list");
+  return widths;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
+  SweepConfig config;
   bool sweep_only = false;
+  // Consume the sweep's own flags so google-benchmark never sees them; the
+  // rest of argv is handed to benchmark::Initialize untouched.
+  int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      config.smoke = true;
       sweep_only = true;
-    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+    } else if (arg == "--sweep-only") {
       sweep_only = true;
+    } else if (arg.rfind("--widths=", 0) == 0) {
+      config.widths = parse_widths(arg.substr(9));
+    } else if (arg.rfind("--plan-in=", 0) == 0) {
+      config.plan_in = arg.substr(10);
+    } else if (arg.rfind("--plan-out=", 0) == 0) {
+      config.plan_out = arg.substr(11);
+    } else {
+      argv[kept++] = argv[i];
     }
   }
-  const int sweep_status = run_sweep(smoke);
+  argc = kept;
+  const int sweep_status = run_sweep(config);
   if (sweep_only) return sweep_status;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

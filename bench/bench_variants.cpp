@@ -142,11 +142,65 @@ int run_alloc_guard() {
   return ok ? 0 : 1;
 }
 
+/// The measured counterfactual behind docs/noisy_oracle_margin.md
+/// (`--margin-blowup`): the factorized phased solver run twice on the same
+/// primal-side instance and sketch accuracy -- once certifying the primal
+/// against the production one-sided margin 1 + dot_eps, once against the
+/// fully adversarial two-sided ratio (1+dot_eps)/(1-dot_eps). The dots and
+/// the trace are quadratic forms in the *same* sketch, so the adversarial
+/// bound guards a failure mode the correlation rules out; what it actually
+/// buys is an iteration blowup (the two-sided margin typically exhausts
+/// the whole R budget where the one-sided run certifies early).
+int run_margin_blowup() {
+  const Real eps = 0.25;       // coarse solve: large noise, fast repro
+  const Real dot_eps = 0.45;   // margin gap: 1.45 one-sided vs 2.64 two-sided
+  // Scaled so the true penalty rates dots_i / Tr W land in ~[1.8, 4.3]:
+  // every constraint clears the one-sided margin 1.45 (instant
+  // certification) while the smallest sits below the two-sided 2.64 --
+  // the near-threshold regime where the adversarial margin can never
+  // certify and the run exhausts the whole R budget instead.
+  const core::FactorizedPackingInstance fact =
+      apps::random_factorized(
+          {.n = 16, .m = 96, .rank = 2, .nnz_per_column = 6, .seed = 5})
+          .scaled(55.0);
+  util::Table table({"margin", "outcome", "virtual iterations", "phases",
+                     "seconds"});
+  Index iters[2] = {0, 0};
+  for (const bool two_sided : {false, true}) {
+    core::FactorizedPhasedOptions options;
+    options.eps = eps;
+    options.dot_eps = dot_eps;
+    options.two_sided_margin = two_sided;
+    util::WallTimer timer;
+    const core::PhasedResult r = core::decision_phased(fact, options);
+    iters[two_sided ? 1 : 0] = r.iterations;
+    table.add_row(
+        {two_sided ? "two-sided (1+e)/(1-e)" : "one-sided 1+e",
+         r.outcome == core::DecisionOutcome::kDual ? "dual" : "primal",
+         util::Table::cell(r.iterations), util::Table::cell(r.phases),
+         util::Table::cell(timer.seconds(), 3)});
+  }
+  table.print();
+  const Real blowup = static_cast<Real>(iters[1]) /
+                      static_cast<Real>(std::max<Index>(1, iters[0]));
+  std::cout << "\ntwo-sided / one-sided iteration ratio: " << blowup << "x\n";
+  const bool ok = blowup >= 10;
+  bench::print_verdict(
+      ok,
+      "the adversarial two-sided certificate margin costs >= 10x the "
+      "iterations of the production one-sided margin on a primal-side "
+      "instance (see docs/noisy_oracle_margin.md)");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--alloc-guard") == 0) return run_alloc_guard();
+    if (std::strcmp(argv[i], "--margin-blowup") == 0) {
+      return run_margin_blowup();
+    }
   }
   util::Cli cli("bench_variants", "E12: solver-variant comparison");
   auto& eps = cli.flag<Real>("eps", 0.1, "algorithm eps");

@@ -144,8 +144,10 @@ struct SketchedOracleOptions {
   /// tracked runtime bound min(Tr[Psi], sum_i x_i lambda_max(A_i)) -- which
   /// is what the bucketed/mixed variants (no Lemma 3.2 invariant) rely on.
   Real kappa_cap = 0;
-  /// Sketch/Taylor/blocking knobs, including block_size. The seed is
-  /// advanced per round via stream_seed.
+  /// Sketch/Taylor/blocking knobs, including block_size and the transpose
+  /// kernel_plan (a caller-reloaded or forced sparse::KernelPlan applied to
+  /// every factor's Q^T panels; nullptr = each factor's own autotuned
+  /// plan). The seed is advanced per round via stream_seed.
   BigDotExpOptions dot_options;
   /// Caller-owned scratch shared across rounds (and, if the caller wants,
   /// across whole solves -- results are unaffected, every buffer is fully

@@ -31,9 +31,15 @@ PhasedResult run_phased_loop(PenaltyOracle& oracle,
   const Index r_limit = options.max_iterations_override > 0
                             ? options.max_iterations_override
                             : c.r_limit;
-  const Real noise = oracle.noise_bound();
-  // Matching SolverState::primal_certified (see there for why 1 + noise
-  // rather than the adversarial two-sided ratio bound).
+  // Matching SolverState::primal_certified (see there for why the
+  // production margin is 1 + noise rather than the adversarial two-sided
+  // ratio bound (1+noise)/(1-noise); options.two_sided_margin switches the
+  // adversarial bound back on as the measured counterfactual behind
+  // docs/noisy_oracle_margin.md).
+  const Real raw_noise = oracle.noise_bound();
+  const Real noise = options.two_sided_margin && raw_noise < 1
+                         ? (1 + raw_noise) / (1 - raw_noise) - 1
+                         : raw_noise;
   const Real primal_threshold = 1 + noise;
 
   SolverState state = initial_state(oracle, "decision_phased");

@@ -48,6 +48,17 @@ struct PhasedOptions {
   /// Exit as soon as the running primal average certifies (self-verifying;
   /// same semantics as DecisionOptions::early_primal_exit).
   bool early_primal_exit = true;
+  /// Diagnostic: certify the primal against the fully adversarial
+  /// two-sided ratio margin (1+noise)/(1-noise) instead of the production
+  /// one-sided 1+noise. The adversarial bound treats the dots and trace
+  /// errors as independent worst cases; in reality both are quadratic
+  /// forms in the *same* sketch and share the Taylor bias, which cancels
+  /// in the ratio -- the one-sided margin relies on exactly that
+  /// correlation. Flipping this switch on a near-threshold instance is
+  /// the measured ~100x iteration blowup documented in
+  /// docs/noisy_oracle_margin.md (repro: bench_variants --margin-blowup).
+  /// No effect on exact oracles (noise 0 collapses both margins).
+  bool two_sided_margin = false;
 };
 
 /// Diagnostics for one phase.

@@ -1,5 +1,7 @@
 #include "linalg/blockop.hpp"
 
+#include <chrono>
+#include <limits>
 #include <memory>
 
 namespace psdp::linalg {
@@ -28,6 +30,19 @@ void panel_column(const Matrix& panel, Index col, Vector& out) {
   const Index b = panel.cols();
   const Real* data = panel.data() + col;
   for (Index i = 0; i < panel.rows(); ++i) out[i] = data[i * b];
+}
+
+double time_block_kernel(int reps, const std::function<void()>& body) {
+  PSDP_CHECK(reps >= 1, "time_block_kernel: need at least one repetition");
+  using Clock = std::chrono::steady_clock;
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const Clock::time_point start = Clock::now();
+    body();
+    best = std::min(
+        best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
 }
 
 void set_panel_column(Matrix& panel, Index col, const Vector& in) {

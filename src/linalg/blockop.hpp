@@ -11,6 +11,12 @@
 // coordinate of all b vectors contiguously). Operators must accept any
 // panel width; callers pick the width (the block size) to trade cache
 // footprint against traversal amortization.
+//
+// This header also hosts the panel-kernel timing primitive
+// (time_block_kernel) shared by the KernelPlan autotuner
+// (sparse/kernel_plan.hpp) and the bench_kernels sweeps: both answer the
+// same question -- "which panel kernel is fastest on this data?" -- and
+// must answer it the same way.
 #pragma once
 
 #include <functional>
@@ -36,5 +42,12 @@ void panel_column(const Matrix& panel, Index col, Vector& out);
 
 /// Writes a vector into column `col` of a panel.
 void set_panel_column(Matrix& panel, Index col, const Vector& in);
+
+/// Best-of-`reps` wall-clock seconds of a panel-kernel thunk. The minimum
+/// over repetitions (not the mean) is what both the KernelPlan autotuner
+/// and the bench_kernels sweeps record: kernel selection wants the
+/// noise-free cost, and the floor of a few reps is the cheapest robust
+/// estimate of it.
+double time_block_kernel(int reps, const std::function<void()>& body);
 
 }  // namespace psdp::linalg

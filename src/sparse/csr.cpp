@@ -99,7 +99,9 @@ Vector Csr::apply(const Vector& x) const {
   return y;
 }
 
-void Csr::build_transpose_index() {
+void Csr::build_transpose_index() { build_transpose_index({}); }
+
+void Csr::build_transpose_index(const TransposePlanOptions& options) {
   if (t_built_) return;
   t_offsets_.assign(static_cast<std::size_t>(cols_) + 1, 0);
   t_rows_.resize(values_.size());
@@ -124,6 +126,43 @@ void Csr::build_transpose_index() {
     }
   }
   t_built_ = true;
+
+  // Segment grid: per-column offsets of each segment_rows-row window.
+  // Skipped when a single segment would cover the matrix (the grid would
+  // be the plain gather) or when the offset table would outweigh the data
+  // it indexes (wide matrices: many columns, few windows' worth of rows).
+  if (options.segment_rows > 0 && rows_ > options.segment_rows && cols_ > 0) {
+    const Index num_segs =
+        (rows_ + options.segment_rows - 1) / options.segment_rows;
+    const Real grid_cost = static_cast<Real>((num_segs + 1) * cols_);
+    if (grid_cost <=
+        options.max_segment_index_ratio * static_cast<Real>(nnz() + 1)) {
+      t_segment_rows_ = options.segment_rows;
+      t_window_bytes_ = std::max<Index>(1, options.window_bytes);
+      t_seg_starts_.assign(
+          static_cast<std::size_t>((num_segs + 1) * cols_), 0);
+      for (Index j = 0; j < cols_; ++j) {
+        auto e = static_cast<std::size_t>(t_offsets_[static_cast<std::size_t>(j)]);
+        const auto e_end =
+            static_cast<std::size_t>(t_offsets_[static_cast<std::size_t>(j) + 1]);
+        for (Index s = 0; s <= num_segs; ++s) {
+          const Index row_lo = s * t_segment_rows_;
+          while (e < e_end && t_rows_[e] < row_lo) ++e;
+          t_seg_starts_[static_cast<std::size_t>(s * cols_ + j)] =
+              static_cast<Index>(e);
+        }
+      }
+    }
+  }
+
+  // The kernel plan, built here (setup time) so the apply-time dispatch is
+  // one table walk: measured on this matrix via the shape-bucket memo, or
+  // the heuristic when tuning is off. Either way the plan only selects
+  // between the two bit-identical gathers, so this decision can never
+  // change results (see kernel_plan.hpp).
+  plan_ = options.autotune.enable
+              ? cached_transpose_plan(*this, options.autotune)
+              : KernelPlan::heuristic(has_segment_index());
 }
 
 namespace {
@@ -162,6 +201,84 @@ void gather_columns_any(const std::vector<Index>& offsets,
     const auto b0 = static_cast<std::size_t>(offsets[static_cast<std::size_t>(j)]);
     const auto e0 =
         static_cast<std::size_t>(offsets[static_cast<std::size_t>(j) + 1]);
+    for (std::size_t e = b0; e < e0; ++e) {
+      const Real v = values[e];
+      const Real* in = x + rows[e] * b;
+      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
+    }
+  }
+}
+
+/// One window of the segmented-column gather, for one span of output
+/// columns: every owned column folds its window-local entry span
+/// (contiguous in the CSC arrays; adjacent windows' spans concatenate)
+/// onto its accumulator row with a load-modify-store through y. Windows
+/// are swept sequentially by the caller with all threads inside the same
+/// window, so each output still reduces in ascending row order -- bitwise
+/// identical to gather_columns for any window size -- while the window's
+/// input-panel slice is shared cache-hot across every thread.
+/// Entries of software-prefetch lead inside the windowed gather's fold
+/// loop: a column's window-local rows are ascending but ~cols rows apart,
+/// which the hardware prefetcher cannot follow -- issuing the fetch of
+/// entry e + kGatherPrefetch while folding entry e hides the latency the
+/// scatter gets for free from its sequential streaming. Prefetching is
+/// invisible to the results.
+constexpr std::size_t kGatherPrefetch = 12;
+
+template <int B>
+inline void prefetch_panel_row(const Real* in) {
+#if defined(__GNUC__) || defined(__clang__)
+  // One prefetch per cache line of the b-wide panel row (64 bytes = 8
+  // Reals).
+  for (int t = 0; t < B; t += 8) __builtin_prefetch(in + t, 0, 1);
+#else
+  (void)in;
+#endif
+}
+
+template <int B>
+void gather_columns_window(const std::vector<Index>& seg_starts, Index s0,
+                           Index s1, Index cols,
+                           const std::vector<Index>& rows,
+                           const std::vector<Real>& values, Index jb,
+                           Index je, const Real* x, Real* y) {
+  for (Index j = jb; j < je; ++j) {
+    const auto b0 =
+        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s0 * cols + j)]);
+    const auto e0 =
+        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s1 * cols + j)]);
+    if (b0 == e0) continue;
+    Real acc[B];
+    Real* out = y + j * B;
+    for (int t = 0; t < B; ++t) acc[t] = out[t];
+    for (std::size_t e = b0; e < e0; ++e) {
+      // Sub-cache-line panel rows (B < 4) reuse lines across nearby rows
+      // anyway; the prefetch would be pure per-entry overhead there.
+      if constexpr (B >= 4) {
+        if (e + kGatherPrefetch < e0) {
+          prefetch_panel_row<B>(x + rows[e + kGatherPrefetch] * B);
+        }
+      }
+      const Real v = values[e];
+      const Real* in = x + rows[e] * B;
+      for (int t = 0; t < B; ++t) acc[t] += v * in[t];
+    }
+    for (int t = 0; t < B; ++t) out[t] = acc[t];
+  }
+}
+
+/// Runtime-width fallback of the windowed gather.
+void gather_columns_window_any(const std::vector<Index>& seg_starts, Index s0,
+                               Index s1, Index cols,
+                               const std::vector<Index>& rows,
+                               const std::vector<Real>& values, Index jb,
+                               Index je, Index b, const Real* x, Real* y) {
+  for (Index j = jb; j < je; ++j) {
+    const auto b0 =
+        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s0 * cols + j)]);
+    const auto e0 =
+        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s1 * cols + j)]);
+    Real* out = y + j * b;
     for (std::size_t e = b0; e < e0; ++e) {
       const Real v = values[e];
       const Real* in = x + rows[e] * b;
@@ -241,11 +358,33 @@ void Csr::apply_transpose_block(const Matrix& x, Matrix& y) const {
 
 void Csr::apply_transpose_block(const Matrix& x, Matrix& y,
                                 std::vector<Real>& partial) const {
-  if (t_built_ && x.cols() <= kGatherMaxWidth) {
-    apply_transpose_block_indexed(x, y);
+  apply_transpose_block(x, y, partial, nullptr);
+}
+
+void Csr::apply_transpose_block(const Matrix& x, Matrix& y,
+                                std::vector<Real>& partial,
+                                const KernelPlan* plan) const {
+  if (!t_built_) {
+    apply_transpose_block_owned(x, y, partial);
     return;
   }
-  apply_transpose_block_owned(x, y, partial);
+  const KernelPlan& p =
+      plan != nullptr && !plan->entries().empty() ? *plan : plan_;
+  switch (p.choose(x.cols())) {
+    case TransposeKernel::kSegmented:
+      if (has_segment_index()) {
+        apply_transpose_block_segmented(x, y);
+        return;
+      }
+      // No grid on this matrix: the plain gather is the bit-identical twin.
+      [[fallthrough]];
+    case TransposeKernel::kGather:
+      apply_transpose_block_indexed(x, y);
+      return;
+    case TransposeKernel::kScatter:
+      apply_transpose_block_owned(x, y, partial);
+      return;
+  }
 }
 
 void Csr::apply_transpose_block_owned(const Matrix& x, Matrix& y,
@@ -345,6 +484,80 @@ void Csr::apply_transpose_block_indexed(const Matrix& x, Matrix& y) const {
   }, grain);
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
   par::CostMeter::add_depth(par::reduction_depth(rows_));
+}
+
+void Csr::apply_transpose_block_segmented(const Matrix& x, Matrix& y) const {
+  PSDP_CHECK(has_segment_index(),
+             "csr apply_transpose_block_segmented: no segment grid (see "
+             "TransposePlanOptions::segment_rows)");
+  PSDP_CHECK(x.rows() == rows_, "csr apply_transpose_block: dimension mismatch");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1,
+             "csr apply_transpose_block: panel must have at least one column");
+  const Index num_segs = (rows_ + t_segment_rows_ - 1) / t_segment_rows_;
+  // Window = as many base segments as keep the x-slice near the build-time
+  // window_bytes target (all threads share a window, so it is sized for
+  // the shared cache level). Any grouping gives the same bits (ascending-
+  // row reduction per output either way), so this is a pure locality knob
+  // -- and a single window covering everything *is* the plain gather,
+  // minus this function's windowing overhead, so delegate.
+  const Index group = std::clamp<Index>(
+      t_window_bytes_ / std::max<Index>(1, t_segment_rows_ * b * 8), 1,
+      num_segs);
+  if (group >= num_segs) {
+    apply_transpose_block_indexed(x, y);
+    return;
+  }
+  y.reshape(cols_, b);
+  y.fill(0);
+  const Index windows = (num_segs + group - 1) / group;
+  // Per-window column grain: a chunk should carry a few thousand entry
+  // updates of *this window's* share of the nonzeros.
+  const Index avg_work = std::max<Index>(
+      1, (nnz() * b) / std::max<Index>(1, cols_ * windows));
+  const Index grain = std::max<Index>(1, 4096 / avg_work);
+  // Windows sweep sequentially with the column-parallel fold inside each
+  // one: every thread works the same cache-resident x-slice, and each
+  // output is still one ascending-row reduction across the windows.
+  for (Index s0 = 0; s0 < num_segs; s0 += group) {
+    const Index s1 = std::min(num_segs, s0 + group);
+    par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
+      switch (b) {
+        case 1:
+          gather_columns_window<1>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                   t_values_, jb, je, x.data(), y.data());
+          break;
+        case 2:
+          gather_columns_window<2>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                   t_values_, jb, je, x.data(), y.data());
+          break;
+        case 4:
+          gather_columns_window<4>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                   t_values_, jb, je, x.data(), y.data());
+          break;
+        case 8:
+          gather_columns_window<8>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                   t_values_, jb, je, x.data(), y.data());
+          break;
+        case 16:
+          gather_columns_window<16>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                    t_values_, jb, je, x.data(), y.data());
+          break;
+        case 32:
+          gather_columns_window<32>(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                    t_values_, jb, je, x.data(), y.data());
+          break;
+        default:
+          gather_columns_window_any(t_seg_starts_, s0, s1, cols_, t_rows_,
+                                    t_values_, jb, je, b, x.data(),
+                                    y.data());
+          break;
+      }
+    }, grain);
+  }
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(static_cast<std::uint64_t>(windows) *
+                            par::reduction_depth(cols_));
 }
 
 Csr& Csr::scale(Real s) {

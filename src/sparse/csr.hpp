@@ -4,6 +4,15 @@
 // with Q_i sparse; everything bigDotExp does is SpMV with Q_i, Q_i^T and
 // the (sparse) running sum Psi. Costs are charged to the CostMeter so the
 // nearly-linear-work claim (Corollary 1.2) can be measured in the model.
+//
+// Transpose kernels: `Q^T x` has three panel kernels -- the per-output-row
+// CSC gather, the segmented-column gather (the same reduction swept one
+// cache-sized row window at a time), and the owned-column scatter. Which
+// one runs is decided by a KernelPlan (sparse/kernel_plan.hpp), measured
+// on the actual matrix at build_transpose_index() time; the gather and the
+// segmented gather are bitwise identical to each other at every thread
+// count, so the plan's choice never changes results. See
+// docs/ARCHITECTURE.md ("The sparse layer") and docs/TUNING.md.
 #pragma once
 
 #include <span>
@@ -11,6 +20,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "sparse/kernel_plan.hpp"
 #include "util/common.hpp"
 
 namespace psdp::sparse {
@@ -20,11 +30,14 @@ using linalg::Vector;
 
 /// Triplet used by the COO builder.
 struct Triplet {
-  Index row = 0;
-  Index col = 0;
-  Real value = 0;
+  Index row = 0;    ///< row index
+  Index col = 0;    ///< column index
+  Real value = 0;   ///< entry value (duplicates are summed)
 };
 
+/// A sparse rows() x cols() matrix in CSR layout, with optional cached
+/// transpose (CSC) and segment indexes driving the plan-dispatched
+/// transpose kernels.
 class Csr {
  public:
   Csr() = default;
@@ -39,41 +52,73 @@ class Csr {
   /// n x n identity.
   static Csr identity(Index n);
 
+  /// Number of rows.
   Index rows() const { return rows_; }
+  /// Number of columns.
   Index cols() const { return cols_; }
+  /// Number of stored nonzeros.
   Index nnz() const { return static_cast<Index>(values_.size()); }
 
+  /// Row-offset array (rows()+1 entries).
   std::span<const Index> row_offsets() const { return offsets_; }
+  /// Column index of each stored entry, row-major.
   std::span<const Index> col_indices() const { return columns_; }
+  /// Value of each stored entry, row-major.
   std::span<const Real> values() const { return values_; }
 
-  /// Entries of row i as (column, value) spans.
+  /// Column indices of row i.
   std::span<const Index> row_cols(Index i) const;
+  /// Values of row i (parallel to row_cols(i)).
   std::span<const Real> row_vals(Index i) const;
 
   /// y = A x (parallel over rows).
   void apply(const Vector& x, Vector& y) const;
+  /// y = A x, allocating the result.
   Vector apply(const Vector& x) const;
 
   /// Build (idempotently) the cached transpose index: a CSC view of the
   /// matrix (column offsets, row indices and values in column-major order,
   /// rows ascending within each column). With the index present the
-  /// transpose kernels switch from the owned-column scatter to a per-output
-  /// -row *gather*: each output row of A^T x is one contiguous sweep over
+  /// transpose kernels switch from the owned-column scatter to per-output
+  /// -row *gathers*: each output row of A^T x is one contiguous sweep over
   /// its column's entries with the accumulator in registers -- one pass
   /// over the nonzeros, no per-chunk partial buffers, and bitwise
   /// deterministic across thread counts (each output is reduced serially
   /// in row order). Costs one extra copy of the nonzeros; FactorizedPsd
   /// builds it automatically for tall factors, where the gather wins (see
   /// README "The kernel layer").
+  ///
+  /// Alongside the CSC view this builds (when `options` permit) the
+  /// *segment grid* -- per-column offsets of each options.segment_rows-row
+  /// window, enabling the segmented gather -- and the KernelPlan: the
+  /// autotuner measures the kernels on this matrix (memoized per shape
+  /// bucket) or, when disabled, the measurement-free heuristic. The plan
+  /// is built here, at setup time, precisely so the steady-state solver
+  /// iterations above stay allocation-free and measurement-free.
+  void build_transpose_index(const TransposePlanOptions& options);
+  /// build_transpose_index with default TransposePlanOptions.
   void build_transpose_index();
+  /// True once build_transpose_index() has run.
   bool has_transpose_index() const { return t_built_; }
+  /// True when the segment grid (and with it the segmented gather) exists.
+  bool has_segment_index() const { return t_segment_rows_ > 0; }
+  /// Base row granularity of the segment grid (0 = no grid).
+  Index segment_rows() const { return t_segment_rows_; }
+
+  /// The transpose-kernel plan built by build_transpose_index() (empty
+  /// before that; an empty plan dispatches to the gather).
+  const KernelPlan& kernel_plan() const { return plan_; }
+  /// Replace the plan -- deserialized from a bench run, forced for an A/B
+  /// experiment, or hand-tuned. Forcing kScatter is honored but gives up
+  /// the across-thread-count bitwise guarantee (see KernelPlan).
+  void set_kernel_plan(KernelPlan plan) { plan_ = std::move(plan); }
 
   /// y = A^T x: the transpose-index gather when built (deterministic for
   /// any thread count), the owned-column sweep otherwise (deterministic for
   /// a fixed thread count; both accumulate per output in row order, so the
   /// two paths agree bitwise).
   void apply_transpose(const Vector& x, Vector& y) const;
+  /// y = A^T x, allocating the result.
   Vector apply_transpose(const Vector& x) const;
 
   /// Y = A X for a row-major cols() x b panel X (SpMM): the matrix is
@@ -82,25 +127,24 @@ class Csr {
   /// bit-identical to apply() on column t of X (same accumulation order).
   void apply_block(const Matrix& x, Matrix& y) const;
 
-  /// Widest panel the transpose-index gather is dispatched for: at narrow
-  /// widths the gather's register-resident output row and single pass win
-  /// (4.4x at b = 1, 1.7x at b = 4 on the tall-factor bench); at wide
-  /// panels the scatter's *sequential* streaming of the rows() x b input
-  /// panel beats the gather's strided jumps through it (the gather fetches
-  /// b doubles at each of the column's scattered rows, defeating the
-  /// hardware prefetcher), so wide panels keep the owned-column sweep.
-  static constexpr Index kGatherMaxWidth = 8;
-
-  /// Y = A^T X for a row-major rows() x b panel. Dispatches to the
-  /// transpose-index gather when the index is built and b <=
-  /// kGatherMaxWidth (bitwise deterministic across thread counts), else to
-  /// the owned-column scatter (deterministic for a fixed thread count).
-  /// The overload taking `partial` recycles the scatter path's per-chunk
-  /// accumulators across calls, keeping the hot path allocation-free
-  /// either way.
+  /// Y = A^T X for a row-major rows() x b panel: dispatched through the
+  /// KernelPlan (kernel_plan(), or `plan` when non-null and non-empty).
+  /// Plans built by the autotuner only select the gather or the segmented
+  /// gather, which are bitwise identical to each other at every thread
+  /// count -- so the dispatch can never change results. Without a
+  /// transpose index the owned-column scatter is the only kernel and runs
+  /// regardless of the plan. The overload taking `partial` recycles the
+  /// scatter path's per-chunk accumulators across calls, keeping the hot
+  /// path allocation-free for every kernel choice.
   void apply_transpose_block(const Matrix& x, Matrix& y) const;
+  /// apply_transpose_block recycling the scatter path's `partial` buffer.
   void apply_transpose_block(const Matrix& x, Matrix& y,
                              std::vector<Real>& partial) const;
+  /// apply_transpose_block under a caller-provided plan (nullptr or empty
+  /// = this matrix's own kernel_plan()).
+  void apply_transpose_block(const Matrix& x, Matrix& y,
+                             std::vector<Real>& partial,
+                             const KernelPlan* plan) const;
 
   /// The owned-column scatter, always available: parallel over row chunks
   /// with per-chunk cols() x b accumulators (resized into `partial`,
@@ -117,7 +161,22 @@ class Csr {
   /// buffers and its result is independent of the thread count.
   void apply_transpose_block_indexed(const Matrix& x, Matrix& y) const;
 
-  /// Scale all values in place.
+  /// The segmented-column gather (requires the segment grid): the same
+  /// per-output ascending-row reduction as apply_transpose_block_indexed,
+  /// but swept one row *window* at a time -- a whole multiple of
+  /// segment_rows() sized by TransposePlanOptions::window_bytes so the
+  /// window's slice of the input panel (window rows x b doubles) stays
+  /// cache-resident and shared across all threads, with upcoming entry
+  /// rows software-prefetched -- which is what the plain gather lacks at
+  /// wide panels (its strided fetches through the full rows() x b panel
+  /// defeat the prefetcher). Because each output is still reduced
+  /// serially in ascending row order, the result is bitwise identical to
+  /// the plain gather for every window size and thread count; when one
+  /// window covers the whole matrix this delegates to the plain gather
+  /// outright.
+  void apply_transpose_block_segmented(const Matrix& x, Matrix& y) const;
+
+  /// Scale all values in place (keeps the cached CSC values in sync).
   Csr& scale(Real s);
 
   /// Dense copy.
@@ -141,6 +200,18 @@ class Csr {
   std::vector<Index> t_offsets_;  ///< cols_+1 entries
   std::vector<Index> t_rows_;     ///< row of each entry, ascending per column
   std::vector<Real> t_values_;    ///< values in column-major order
+
+  /// Segment grid over the CSC view: t_seg_starts_[s * cols_ + j] is the
+  /// offset of column j's first entry with row >= s * t_segment_rows_
+  /// ((num_segments + 1) x cols_ entries, so consecutive grid rows bound
+  /// each column's per-window spans -- and spans of adjacent windows
+  /// concatenate, which is how one grid serves every panel width).
+  Index t_segment_rows_ = 0;  ///< 0 = no grid
+  Index t_window_bytes_ = 0;  ///< segmented-gather window target (see build)
+  std::vector<Index> t_seg_starts_;
+
+  /// Transpose-kernel decision table (see build_transpose_index).
+  KernelPlan plan_;
 };
 
 /// C = A + s * B for same-shaped CSR matrices (structural union).

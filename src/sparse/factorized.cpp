@@ -107,6 +107,13 @@ void FactorizedPsd::apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
   q_.apply_block(scratch, y);
 }
 
+void FactorizedPsd::apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
+                                std::vector<Real>& partial,
+                                const KernelPlan* plan) const {
+  q_.apply_transpose_block(x, scratch, partial, plan);
+  q_.apply_block(scratch, y);
+}
+
 Real FactorizedPsd::dot_dense(const Matrix& s) const {
   PSDP_CHECK(s.rows() == dim() && s.cols() == dim(),
              "dot_dense: dimension mismatch");
@@ -210,7 +217,7 @@ void FactorizedSet::weighted_apply_block(const Vector& x, const Matrix& v,
     if (x[i] == 0) continue;
     items_[static_cast<std::size_t>(i)].apply_block(
         v, workspace.contribution, workspace.scratch,
-        workspace.transpose_partial);
+        workspace.transpose_partial, workspace.plan);
     y.add_scaled(workspace.contribution, x[i]);
   }
 }

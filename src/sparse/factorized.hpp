@@ -74,6 +74,11 @@ class FactorizedPsd {
   void apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
                    std::vector<Real>& partial) const;
 
+  /// As above under a caller-provided transpose KernelPlan (nullptr or
+  /// empty = this factor's own plan, built with its transpose index).
+  void apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
+                   std::vector<Real>& partial, const KernelPlan* plan) const;
+
   /// (Q Q^T) . S for a dense symmetric S: sum of column quadratic forms.
   Real dot_dense(const Matrix& s) const;
 
@@ -118,6 +123,11 @@ class FactorizedSet {
     /// Per-chunk accumulators of the owned-column transpose scatter
     /// (unused by factors with a transpose index); recycled across calls.
     std::vector<Real> transpose_partial;
+    /// Caller-provided transpose KernelPlan applied to every factor's Q^T
+    /// panels (nullptr = each factor's own plan). big_dot_exp wires
+    /// BigDotExpOptions::kernel_plan through here; holding a plan is a
+    /// pointer copy, so the zero-allocation steady state is unaffected.
+    const KernelPlan* plan = nullptr;
   };
   void weighted_apply_block(const Vector& x, const Matrix& v, Matrix& y,
                             BlockWorkspace& workspace) const;

@@ -1,0 +1,352 @@
+#include "sparse/kernel_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "linalg/blockop.hpp"
+#include "linalg/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace psdp::sparse {
+
+namespace {
+
+/// Widths measured when AutotuneOptions::widths is empty: the bench sweep's
+/// grid, one plan bucket each.
+const Index kDefaultWidths[] = {1, 2, 4, 8, 16, 32};
+
+/// The heuristic gather/scatter crossover inherited from PR 3's
+/// Csr::kGatherMaxWidth -- now only a prior for unmeasured plans.
+constexpr Index kHeuristicGatherMaxWidth = 8;
+
+/// Bucket edge of the heuristic's "everything wider" entry.
+constexpr Index kWideBucket = Index{1} << 20;
+
+/// Flops one timing sample should cover: below this the sample is jitter.
+constexpr Index kTargetSampleFlops = Index{1} << 21;
+
+}  // namespace
+
+const char* kernel_name(TransposeKernel kernel) {
+  switch (kernel) {
+    case TransposeKernel::kGather:
+      return "gather";
+    case TransposeKernel::kSegmented:
+      return "segmented";
+    case TransposeKernel::kScatter:
+      return "scatter";
+  }
+  return "unknown";
+}
+
+namespace {
+
+TransposeKernel kernel_from_name(const std::string& name) {
+  if (name == "gather") return TransposeKernel::kGather;
+  if (name == "segmented") return TransposeKernel::kSegmented;
+  if (name == "scatter") return TransposeKernel::kScatter;
+  PSDP_CHECK(false, str("kernel plan: unknown kernel name '", name, "'"));
+  return TransposeKernel::kGather;  // unreachable
+}
+
+}  // namespace
+
+bool operator==(const KernelPlanEntry& a, const KernelPlanEntry& b) {
+  return a.width == b.width && a.choice == b.choice &&
+         a.gather_seconds == b.gather_seconds &&
+         a.segmented_seconds == b.segmented_seconds &&
+         a.scatter_seconds == b.scatter_seconds;
+}
+
+KernelPlan KernelPlan::heuristic(bool segmented_available) {
+  KernelPlan plan;
+  plan.set_entry({kHeuristicGatherMaxWidth, TransposeKernel::kGather, 0, 0, 0});
+  if (segmented_available) {
+    plan.set_entry({kWideBucket, TransposeKernel::kSegmented, 0, 0, 0});
+  }
+  return plan;
+}
+
+KernelPlan KernelPlan::forced(TransposeKernel kernel) {
+  KernelPlan plan;
+  plan.set_entry({1, kernel, 0, 0, 0});
+  return plan;
+}
+
+TransposeKernel KernelPlan::choose(Index width) const {
+  if (entries_.empty()) return TransposeKernel::kGather;
+  for (const KernelPlanEntry& entry : entries_) {
+    if (width <= entry.width) return entry.choice;
+  }
+  return entries_.back().choice;  // wider than every bucket: reuse the last
+}
+
+void KernelPlan::set_entry(KernelPlanEntry entry) {
+  PSDP_CHECK(entry.width >= 1, "kernel plan: bucket width must be positive");
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), entry.width,
+      [](const KernelPlanEntry& e, Index w) { return e.width < w; });
+  if (pos != entries_.end() && pos->width == entry.width) {
+    *pos = entry;
+  } else {
+    entries_.insert(pos, entry);
+  }
+}
+
+bool KernelPlan::measured() const {
+  for (const KernelPlanEntry& entry : entries_) {
+    if (entry.gather_seconds > 0 || entry.segmented_seconds > 0 ||
+        entry.scatter_seconds > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string KernelPlan::to_json() const {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const KernelPlanEntry& e = entries_[i];
+    out << (i > 0 ? ", " : "") << "{\"width\": " << e.width
+        << ", \"kernel\": \"" << kernel_name(e.choice)
+        << "\", \"gather_seconds\": " << e.gather_seconds
+        << ", \"segmented_seconds\": " << e.segmented_seconds
+        << ", \"scatter_seconds\": " << e.scatter_seconds << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+/// Position just past `key` (a quoted JSON key) and its ':' within
+/// text[from, limit); npos when absent.
+std::size_t find_key(const std::string& text, const char* key,
+                     std::size_t from, std::size_t limit) {
+  const std::string quoted = str("\"", key, "\"");
+  const std::size_t at = text.find(quoted, from);
+  if (at == std::string::npos || at >= limit) return std::string::npos;
+  const std::size_t colon = text.find(':', at + quoted.size());
+  if (colon == std::string::npos || colon >= limit) return std::string::npos;
+  return colon + 1;
+}
+
+double parse_number(const std::string& text, std::size_t at,
+                    const char* what) {
+  const char* begin = text.c_str() + at;
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  PSDP_CHECK(end != begin, str("kernel plan: malformed ", what, " value"));
+  return value;
+}
+
+std::string parse_string(const std::string& text, std::size_t at,
+                         const char* what) {
+  const std::size_t open = text.find('"', at);
+  PSDP_CHECK(open != std::string::npos,
+             str("kernel plan: malformed ", what, " value"));
+  const std::size_t close = text.find('"', open + 1);
+  PSDP_CHECK(close != std::string::npos,
+             str("kernel plan: malformed ", what, " value"));
+  return text.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+KernelPlan KernelPlan::from_json(const std::string& text) {
+  const std::size_t entries_at =
+      find_key(text, "entries", 0, std::string::npos);
+  PSDP_CHECK(entries_at != std::string::npos,
+             "kernel plan: no \"entries\" array in input");
+  const std::size_t array_open = text.find('[', entries_at);
+  PSDP_CHECK(array_open != std::string::npos,
+             "kernel plan: \"entries\" is not an array");
+  const std::size_t array_close = text.find(']', array_open);
+  PSDP_CHECK(array_close != std::string::npos,
+             "kernel plan: unterminated \"entries\" array");
+
+  KernelPlan plan;
+  std::size_t cursor = array_open + 1;
+  while (true) {
+    const std::size_t open = text.find('{', cursor);
+    if (open == std::string::npos || open > array_close) break;
+    const std::size_t close = text.find('}', open);
+    PSDP_CHECK(close != std::string::npos && close < array_close,
+               "kernel plan: unterminated entry object");
+    KernelPlanEntry entry;
+    const std::size_t width_at = find_key(text, "width", open, close);
+    PSDP_CHECK(width_at != std::string::npos,
+               "kernel plan: entry without \"width\"");
+    entry.width = static_cast<Index>(parse_number(text, width_at, "width"));
+    const std::size_t kernel_at = find_key(text, "kernel", open, close);
+    PSDP_CHECK(kernel_at != std::string::npos,
+               "kernel plan: entry without \"kernel\"");
+    entry.choice = kernel_from_name(parse_string(text, kernel_at, "kernel"));
+    const auto seconds = [&](const char* key) -> double {
+      const std::size_t at = find_key(text, key, open, close);
+      return at == std::string::npos ? 0 : parse_number(text, at, key);
+    };
+    entry.gather_seconds = seconds("gather_seconds");
+    entry.segmented_seconds = seconds("segmented_seconds");
+    entry.scatter_seconds = seconds("scatter_seconds");
+    plan.set_entry(entry);
+    cursor = close + 1;
+  }
+  PSDP_CHECK(!plan.entries().empty(), "kernel plan: empty \"entries\" array");
+  return plan;
+}
+
+// -------------------------------------------------------------- autotuner --
+
+namespace {
+
+/// Deterministic panel fill for the timing runs (values are irrelevant to
+/// timing; a fixed pattern keeps the measurement allocation-free of RNG
+/// state and reproducible).
+void fill_bench_panel(linalg::Matrix& x, Index rows, Index width) {
+  x.reshape(rows, width);
+  Real v = 0.5;
+  for (Index i = 0; i < rows * width; ++i) {
+    x.data()[i] = v;
+    v = v > 4 ? 0.25 : v * 1.0625;
+  }
+}
+
+}  // namespace
+
+KernelPlan autotune_transpose_plan(const Csr& a,
+                                   const AutotuneOptions& options) {
+  PSDP_CHECK(a.has_transpose_index(),
+             "autotune_transpose_plan: call build_transpose_index() first");
+  const bool segmented = a.has_segment_index();
+  std::vector<Index> widths(options.widths);
+  if (widths.empty()) {
+    widths.assign(std::begin(kDefaultWidths), std::end(kDefaultWidths));
+  }
+  const Index max_width = *std::max_element(widths.begin(), widths.end());
+  if (!options.enable || 2 * a.nnz() * max_width < options.min_bench_flops) {
+    return KernelPlan::heuristic(segmented);
+  }
+
+  KernelPlan plan;
+  linalg::Matrix x, y;
+  std::vector<Real> partial;
+  for (const Index width : widths) {
+    PSDP_CHECK(width >= 1, "autotune_transpose_plan: widths must be positive");
+    fill_bench_panel(x, a.rows(), width);
+    const Index flops = std::max<Index>(1, 2 * a.nnz() * width);
+    const int inner = static_cast<int>(
+        std::clamp<Index>(kTargetSampleFlops / flops, 1, 64));
+    KernelPlanEntry entry;
+    entry.width = width;
+    entry.gather_seconds =
+        linalg::time_block_kernel(options.reps, [&] {
+          for (int it = 0; it < inner; ++it) {
+            a.apply_transpose_block_indexed(x, y);
+          }
+        }) /
+        inner;
+    if (segmented) {
+      entry.segmented_seconds =
+          linalg::time_block_kernel(options.reps, [&] {
+            for (int it = 0; it < inner; ++it) {
+              a.apply_transpose_block_segmented(x, y);
+            }
+          }) /
+          inner;
+    }
+    entry.scatter_seconds =
+        linalg::time_block_kernel(options.reps, [&] {
+          for (int it = 0; it < inner; ++it) {
+            a.apply_transpose_block_owned(x, y, partial);
+          }
+        }) /
+        inner;
+    // The deterministic pair first; the scatter only on explicit opt-in
+    // (it is deterministic for a fixed thread count only, so letting the
+    // tuner pick it would let timing noise change solver bits).
+    entry.choice = TransposeKernel::kGather;
+    double best = entry.gather_seconds;
+    if (segmented && entry.segmented_seconds < best) {
+      entry.choice = TransposeKernel::kSegmented;
+      best = entry.segmented_seconds;
+    }
+    if (options.allow_scatter_choice && entry.scatter_seconds < best) {
+      entry.choice = TransposeKernel::kScatter;
+    }
+    plan.set_entry(entry);
+  }
+  return plan;
+}
+
+namespace {
+
+/// Bucket of the plan memo: matrices agreeing in ceil(log2) of nnz, rows
+/// and cols (and in segment-grid availability) share a decision -- but
+/// only for identical tuner options, which the key fingerprints: two
+/// callers differing in widths, reps, the flop gate, or the scatter
+/// opt-in must never silently share a plan (the opt-in in particular
+/// decides whether a cached plan can ever pick the thread-count-dependent
+/// scatter).
+using PlanCacheKey = std::array<std::int64_t, 5>;
+
+int log2_bucket(Index v) { return std::bit_width(static_cast<std::uint64_t>(std::max<Index>(v, 1))); }
+
+std::int64_t options_fingerprint(const AutotuneOptions& options) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the knobs
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  mix(options.enable ? 1 : 0);
+  mix(options.allow_scatter_choice ? 2 : 0);
+  mix(static_cast<std::uint64_t>(options.reps));
+  mix(static_cast<std::uint64_t>(options.min_bench_flops));
+  for (const Index w : options.widths) mix(static_cast<std::uint64_t>(w));
+  return static_cast<std::int64_t>(h);
+}
+
+std::mutex& plan_cache_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<PlanCacheKey, KernelPlan>& plan_cache() {
+  static std::map<PlanCacheKey, KernelPlan> cache;
+  return cache;
+}
+
+}  // namespace
+
+KernelPlan cached_transpose_plan(const Csr& a, const AutotuneOptions& options) {
+  const PlanCacheKey key = {log2_bucket(a.nnz()), log2_bucket(a.rows()),
+                            log2_bucket(a.cols()),
+                            a.has_segment_index() ? 1 : 0,
+                            options_fingerprint(options)};
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex());
+    const auto hit = plan_cache().find(key);
+    if (hit != plan_cache().end()) return hit->second;
+  }
+  // Measure outside the lock (the measurement runs parallel kernels); a
+  // racing duplicate measurement is harmless -- last writer wins and every
+  // candidate decision is bit-equivalent (gather vs segmented).
+  KernelPlan plan = autotune_transpose_plan(a, options);
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  plan_cache()[key] = plan;
+  return plan;
+}
+
+void clear_transpose_plan_cache() {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex());
+  plan_cache().clear();
+}
+
+}  // namespace psdp::sparse

@@ -1,0 +1,194 @@
+// Runtime kernel selection for the CSR transpose panels: the KernelPlan.
+//
+// PR 3 dispatched Csr::apply_transpose_block between the per-output-row
+// gather and the owned-column scatter at a compile-time width crossover
+// (Csr::kGatherMaxWidth = 8) tuned on one machine. This module retires that
+// constant: a KernelPlan records, per panel-width bucket, which transpose
+// kernel to run, and an autotuner measures the three kernels on the *actual
+// matrix* at build_transpose_index() time (decisions are cached per
+// (nnz, rows, cols) shape bucket so same-shaped factors tune once).
+//
+// The load-bearing invariant: the gather and the segmented gather reduce
+// every output row in ascending row order, so they are *bitwise identical*
+// to each other for any segment window and any thread count. The autotuner
+// therefore only ever chooses between those two (the scatter is timed and
+// reported but never auto-selected), which means timing noise in the plan
+// can never change a single bit of the solver trajectories above it --
+// kernel choice is a pure performance decision. A caller may still force
+// the scatter through a hand-built or deserialized plan; that choice is
+// deterministic for a fixed thread count only (per-chunk partials combined
+// in chunk order), exactly as documented on Csr::apply_transpose_block_owned.
+//
+// Plans serialize to JSON (KernelPlan::to_json / from_json) so bench_kernels
+// can emit the tuned plan into BENCH_kernels.json and reload it on a later
+// run (see docs/TUNING.md for the schema).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::sparse {
+
+class Csr;  // kernel_plan.cpp measures on a Csr; the header needs no layout
+
+/// The three transpose-panel kernels a plan can select between.
+enum class TransposeKernel {
+  /// Per-output-row CSC gather: one serial ascending-row reduction per
+  /// output, register-resident accumulator. Bitwise identical across
+  /// thread counts.
+  kGather,
+  /// Segmented-column gather: the same ascending-row reduction per output,
+  /// but swept one cache-sized row window at a time so the input panel
+  /// slice stays resident at wide widths. Bitwise identical to kGather.
+  kSegmented,
+  /// Owned-column scatter over row chunks with per-chunk partial
+  /// accumulators. Deterministic for a fixed thread count only; the only
+  /// kernel available without a transpose index.
+  kScatter,
+};
+
+/// Stable lower-case name of a kernel ("gather", "segmented", "scatter"),
+/// used by the JSON serialization and the bench tables.
+const char* kernel_name(TransposeKernel kernel);
+
+/// One width bucket of a KernelPlan: the decision for panel widths up to
+/// (and including) `width`, plus the measured per-apply seconds behind it
+/// (0 = not measured; heuristic plans carry no timings).
+struct KernelPlanEntry {
+  Index width = 0;                                    ///< bucket upper edge
+  TransposeKernel choice = TransposeKernel::kGather;  ///< kernel to run
+  double gather_seconds = 0;     ///< measured gather time (0 = unmeasured)
+  double segmented_seconds = 0;  ///< measured segmented time (0 = unmeasured
+                                 ///< or no segment grid)
+  double scatter_seconds = 0;    ///< measured scatter time (0 = unmeasured)
+};
+
+bool operator==(const KernelPlanEntry& a, const KernelPlanEntry& b);
+
+/// A per-matrix transpose-kernel decision table, bucketed by panel width.
+///
+/// choose(b) walks the entries (kept sorted by width) and returns the first
+/// bucket covering b; widths beyond the last bucket reuse the last entry,
+/// and an empty plan falls back to the gather (always deterministic, always
+/// available once the transpose index is built). Plans are value types:
+/// Csr carries one, callers may override it per application (see
+/// Csr::apply_transpose_block and BigDotExpOptions::kernel_plan).
+class KernelPlan {
+ public:
+  KernelPlan() = default;
+
+  /// The measurement-free fallback: gather up to width 8, then the
+  /// segmented gather when a segment grid exists (else still the gather --
+  /// matrices too small for a grid have cache-resident panels anyway).
+  /// The width-8 crossover is the old Csr::kGatherMaxWidth constant,
+  /// demoted from a hard dispatch to a tuning prior.
+  static KernelPlan heuristic(bool segmented_available);
+
+  /// A single-bucket plan forcing `kernel` at every width (tests, benches,
+  /// and A/B experiments).
+  static KernelPlan forced(TransposeKernel kernel);
+
+  /// The kernel to run for a width-b panel (see class comment for the
+  /// bucket walk; empty plans return kGather).
+  TransposeKernel choose(Index width) const;
+
+  /// Insert or replace the bucket with this width (entries stay sorted).
+  void set_entry(KernelPlanEntry entry);
+
+  /// True when any entry carries a nonzero measurement (i.e. the plan came
+  /// from the autotuner or a serialized autotuner run, not the heuristic).
+  bool measured() const;
+
+  /// The decision table, sorted by bucket width.
+  const std::vector<KernelPlanEntry>& entries() const { return entries_; }
+
+  /// Serialize to a JSON object: {"entries": [{"width": .., "kernel":
+  /// "gather", "gather_seconds": .., "segmented_seconds": ..,
+  /// "scatter_seconds": ..}, ..]}. Timings round-trip exactly (printed with
+  /// max_digits10 precision).
+  std::string to_json() const;
+
+  /// Parse a plan serialized by to_json(); throws InvalidArgument on
+  /// malformed input or unknown kernel names. Tolerant of surrounding JSON
+  /// (scans for the "entries" array), so it accepts both a standalone plan
+  /// file and the "kernel_plan" section of BENCH_kernels.json.
+  static KernelPlan from_json(const std::string& text);
+
+  friend bool operator==(const KernelPlan& a, const KernelPlan& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<KernelPlanEntry> entries_;  ///< sorted by width
+};
+
+/// Knobs of the transpose-kernel autotuner.
+struct AutotuneOptions {
+  /// Measure at all; false = heuristic plans only (tests that want fixed
+  /// decisions, or hot construction paths that cannot afford timing).
+  bool enable = true;
+  /// Panel widths to measure, one plan bucket each. Empty = {1, 2, 4, 8,
+  /// 16, 32}.
+  std::vector<Index> widths;
+  /// Timing repetitions per kernel; the best rep is kept.
+  int reps = 2;
+  /// Matrices whose largest measured apply is below this many flops skip
+  /// measurement entirely and take the heuristic plan: tiny factors are
+  /// cache-resident whichever kernel runs, and solvers construct thousands
+  /// of them.
+  Index min_bench_flops = 1 << 16;
+  /// Let the autotuner select the scatter when it wins a bucket. Off by
+  /// default: the scatter is deterministic only for a fixed thread count,
+  /// so auto-selecting it would let timing noise perturb solver
+  /// trajectories (see the header comment). Timings are recorded either
+  /// way.
+  bool allow_scatter_choice = false;
+};
+
+/// Options of Csr::build_transpose_index(): the segment grid plus the
+/// autotuner configuration.
+struct TransposePlanOptions {
+  /// Base row granularity of the segment grid; the apply-time window is a
+  /// whole multiple of this. 0 disables the grid (and with it the
+  /// segmented kernel). Matrices with rows <= segment_rows skip the grid:
+  /// a single segment is exactly the plain gather.
+  Index segment_rows = 1024;
+  /// Skip the grid when its offset table would exceed this multiple of the
+  /// nonzero count -- wide matrices (many columns, few segments' worth of
+  /// rows each) would pay more index than data. Tall factors sail under
+  /// the default; tests raise it to force grids on tiny shapes.
+  Real max_segment_index_ratio = 1.0;
+  /// Bytes of input panel one segmented-gather window targets at apply
+  /// time (window rows ~ window_bytes / (8 b), rounded to whole segments).
+  /// A pure locality knob -- every window size produces identical bits --
+  /// sized by default for the shared cache level, since all threads sweep
+  /// the same window. When a single window covers the whole matrix the
+  /// segmented kernel delegates to the plain gather (same bits, none of
+  /// the windowing overhead); tests shrink this to force multi-window
+  /// sweeps on tiny matrices.
+  Index window_bytes = Index{1} << 20;
+  /// Autotuner knobs; autotune.enable = false leaves the heuristic plan.
+  AutotuneOptions autotune;
+};
+
+/// Measure the transpose kernels on `a` (which must have its transpose
+/// index built) and return the resulting plan. Deterministic synthetic
+/// panels; each bucket's choice is the fastest *deterministic* kernel
+/// unless options.allow_scatter_choice is set. Matrices under
+/// options.min_bench_flops return the heuristic plan unmeasured.
+KernelPlan autotune_transpose_plan(const Csr& a,
+                                   const AutotuneOptions& options = {});
+
+/// autotune_transpose_plan with a process-wide memo keyed by the matrix's
+/// (log2 nnz, log2 rows, log2 cols, has-segment-grid) shape bucket:
+/// same-shaped factors -- a FactorizedSet holds hundreds -- measure once
+/// and share the decision. Thread-safe.
+KernelPlan cached_transpose_plan(const Csr& a,
+                                 const AutotuneOptions& options = {});
+
+/// Drop all memoized plan decisions (tests; benches that re-tune).
+void clear_transpose_plan_cache();
+
+}  // namespace psdp::sparse

@@ -1,13 +1,19 @@
 // Property-style equivalence suite for the transpose kernels: the
-// transpose-index gather, the owned-column scatter, and a naive dense
-// reference must agree on randomized sparsity patterns, across thread
-// counts and panel widths. Determinism is part of the contract --
-//   * either path is bitwise reproducible at a fixed thread count,
-//   * the gather is additionally bitwise identical across thread counts
-//     (each output row is one serial row-order reduction), and
+// transpose-index gather, the segmented-column gather, the owned-column
+// scatter, and a naive dense reference must agree on randomized sparsity
+// patterns, across thread counts and panel widths. Determinism is part of
+// the contract --
+//   * every path is bitwise reproducible at a fixed thread count,
+//   * the gather and the segmented gather are additionally bitwise
+//     identical across thread counts AND to each other, for any segment
+//     window (each output row is one serial ascending-row reduction in all
+//     of them), and
 //   * gather == scatter bitwise at one thread (same accumulation order),
 // so future kernel refactors cannot silently change a single bit of the
-// solver trajectories that sit on top of these kernels.
+// solver trajectories that sit on top of these kernels. The KernelPlan
+// dispatch inherits the same guarantee: autotuned plans only choose
+// between the two bit-identical gathers, so whatever the plan decides,
+// apply_transpose_block matches the gather bitwise.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -15,6 +21,7 @@
 #include "par/parallel.hpp"
 #include "rand/rng.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/kernel_plan.hpp"
 #include "test_helpers.hpp"
 
 namespace psdp::sparse {
@@ -71,6 +78,18 @@ Matrix naive_transpose_block(const Csr& a, const Matrix& x) {
   return y;
 }
 
+/// Build options forcing a segment grid on the tiny test shapes (small base
+/// granularity, tiny windows so the multi-window sweep actually runs, no
+/// index-overhead gate, no timing runs).
+TransposePlanOptions forced_grid_options(Index segment_rows) {
+  TransposePlanOptions options;
+  options.segment_rows = segment_rows;
+  options.window_bytes = 64;  // ~1 segment per window at every test width
+  options.max_segment_index_ratio = 1e9;
+  options.autotune.enable = false;
+  return options;
+}
+
 struct Shape {
   Index rows;
   Index cols;
@@ -80,7 +99,7 @@ struct Shape {
 class CsrTransposeEquivalence
     : public ::testing::TestWithParam<std::tuple<Index, std::uint64_t>> {};
 
-TEST_P(CsrTransposeEquivalence, GatherScatterAndNaiveAgree) {
+TEST_P(CsrTransposeEquivalence, GatherSegmentedScatterAndNaiveAgree) {
   const auto [b, seed] = GetParam();
   const Shape shapes[] = {
       {256, 4, 2},    // tall, narrow (the factor shape)
@@ -92,8 +111,16 @@ TEST_P(CsrTransposeEquivalence, GatherScatterAndNaiveAgree) {
     Csr owned = random_sparse(shape.rows, shape.cols, shape.nnz_per_row, seed);
     Csr indexed = owned;  // same matrix, index built on the copy
     indexed.build_transpose_index();
+    Csr segmented = owned;  // same matrix, with a forced segment grid
+    segmented.build_transpose_index(forced_grid_options(16));
+    // A second grid granularity: the window size is a pure locality knob,
+    // so it must not change a single bit.
+    Csr segmented_coarse = owned;
+    segmented_coarse.build_transpose_index(forced_grid_options(8));
     ASSERT_FALSE(owned.has_transpose_index());
     ASSERT_TRUE(indexed.has_transpose_index());
+    ASSERT_TRUE(segmented.has_segment_index());
+    ASSERT_TRUE(segmented_coarse.has_segment_index());
 
     const Matrix x = random_panel(shape.rows, b, seed * 31 + 7);
     const Matrix naive = naive_transpose_block(owned, x);
@@ -109,13 +136,26 @@ TEST_P(CsrTransposeEquivalence, GatherScatterAndNaiveAgree) {
       owned.apply_transpose_block_owned(x, ys, partial);
       Matrix yg;
       indexed.apply_transpose_block_indexed(x, yg);
+      Matrix yseg;
+      segmented.apply_transpose_block_segmented(x, yseg);
 
-      // Both paths match the naive reference within accumulation rounding.
+      // All paths match the naive reference within accumulation rounding.
       EXPECT_MATRIX_NEAR(ys, naive, tol);
       EXPECT_MATRIX_NEAR(yg, naive, tol);
+      EXPECT_MATRIX_NEAR(yseg, naive, tol);
 
-      // Bitwise determinism at a fixed thread count: re-running either
-      // kernel reproduces the exact bits.
+      // The segmented gather folds each output in the same ascending-row
+      // order as the plain gather: bitwise identical, at every thread
+      // count and for every grid granularity.
+      EXPECT_EQ(yseg, yg) << "segmented != gather bitwise at " << threads
+                          << " threads";
+      Matrix yseg_coarse;
+      segmented_coarse.apply_transpose_block_segmented(x, yseg_coarse);
+      EXPECT_EQ(yseg_coarse, yg)
+          << "segmented gather bits depend on the grid granularity";
+
+      // Bitwise determinism at a fixed thread count: re-running any kernel
+      // reproduces the exact bits.
       Matrix ys2;
       std::vector<Real> partial2;
       owned.apply_transpose_block_owned(x, ys2, partial2);
@@ -137,14 +177,38 @@ TEST_P(CsrTransposeEquivalence, GatherScatterAndNaiveAgree) {
             << "gather result changed with thread count " << threads;
       }
 
-      // The public entry point dispatches on the index and panel width:
-      // gather for b <= kGatherMaxWidth, owned-column scatter beyond it.
+      // The public entry point dispatches through the KernelPlan. Plans
+      // built here only ever choose the gather or the segmented gather --
+      // bit-identical twins -- so whatever the plan decided, the dispatch
+      // must equal the gather bitwise.
       Matrix yd;
       indexed.apply_transpose_block(x, yd);
-      EXPECT_EQ(yd, b <= Csr::kGatherMaxWidth ? yg : ys);
+      EXPECT_EQ(yd, yg);
+      Matrix yd_seg;
+      segmented.apply_transpose_block(x, yd_seg);
+      EXPECT_EQ(yd_seg, yg);
       Matrix yd_owned;
       owned.apply_transpose_block(x, yd_owned);
-      EXPECT_EQ(yd_owned, ys);
+      EXPECT_EQ(yd_owned, ys);  // no index: the scatter is the only kernel
+
+      // Forcing each kernel through a caller-provided plan reproduces the
+      // raw kernel's bits exactly (scatter: at this fixed thread count).
+      const KernelPlan force_gather = KernelPlan::forced(TransposeKernel::kGather);
+      const KernelPlan force_segmented =
+          KernelPlan::forced(TransposeKernel::kSegmented);
+      const KernelPlan force_scatter =
+          KernelPlan::forced(TransposeKernel::kScatter);
+      Matrix yf;
+      segmented.apply_transpose_block(x, yf, partial, &force_gather);
+      EXPECT_EQ(yf, yg);
+      segmented.apply_transpose_block(x, yf, partial, &force_segmented);
+      EXPECT_EQ(yf, yseg);
+      segmented.apply_transpose_block(x, yf, partial, &force_scatter);
+      EXPECT_EQ(yf, ys);
+      // Forcing the segmented gather on a matrix without a grid falls back
+      // to its bit-identical twin instead of failing.
+      indexed.apply_transpose_block(x, yf, partial, &force_segmented);
+      EXPECT_EQ(yf, yg);
     }
   }
 }
@@ -172,18 +236,23 @@ TEST(CsrTransposeIndex, VectorPathDispatchesAndMatches) {
 
 TEST(CsrTransposeIndex, BuildIsIdempotentAndSurvivesScale) {
   Csr m = random_sparse(64, 8, 2, 17);
-  m.build_transpose_index();
-  m.build_transpose_index();  // no-op
+  m.build_transpose_index(forced_grid_options(16));
+  m.build_transpose_index();  // no-op (options of the first build stick)
+  ASSERT_TRUE(m.has_segment_index());
   const Matrix x = random_panel(64, 4, 3);
-  Matrix before;
+  Matrix before, before_seg;
   m.apply_transpose_block_indexed(x, before);
-  // scale() must keep the cached CSC values in sync.
+  m.apply_transpose_block_segmented(x, before_seg);
+  // scale() must keep the cached CSC values (both kernels read them) in
+  // sync.
   m.scale(2.5);
-  Matrix after;
+  Matrix after, after_seg;
   m.apply_transpose_block_indexed(x, after);
+  m.apply_transpose_block_segmented(x, after_seg);
   Matrix expected = before;
   expected.scale(2.5);
   EXPECT_MATRIX_NEAR(after, expected, 1e-12);
+  EXPECT_MATRIX_NEAR(after_seg, expected, 1e-12);
 }
 
 TEST(CsrTransposeIndex, IndexedRequiresBuild) {
@@ -191,6 +260,28 @@ TEST(CsrTransposeIndex, IndexedRequiresBuild) {
   Matrix y;
   EXPECT_THROW(m.apply_transpose_block_indexed(random_panel(16, 2, 2), y),
                InvalidArgument);
+}
+
+TEST(CsrTransposeIndex, SegmentedRequiresGrid) {
+  Csr m = random_sparse(64, 8, 2, 1);
+  m.build_transpose_index();  // default granularity 1024 > rows: no grid
+  ASSERT_TRUE(m.has_transpose_index());
+  ASSERT_FALSE(m.has_segment_index());
+  Matrix y;
+  EXPECT_THROW(m.apply_transpose_block_segmented(random_panel(64, 2, 2), y),
+               InvalidArgument);
+}
+
+TEST(CsrTransposeIndex, GridSkippedWhenOffsetTableOutweighsData) {
+  // Wide and sparse: the (num_segments+1) x cols offset table would dwarf
+  // the nonzeros, so the default overhead gate skips the grid.
+  Csr wide = random_sparse(128, 400, 1, 21);
+  TransposePlanOptions options;
+  options.segment_rows = 4;  // 33 grid rows x 400 cols >> nnz
+  options.autotune.enable = false;
+  wide.build_transpose_index(options);
+  EXPECT_TRUE(wide.has_transpose_index());
+  EXPECT_FALSE(wide.has_segment_index());
 }
 
 TEST(CsrTransposeIndex, EmptyColumnsProduceZeroRows) {

@@ -1,0 +1,223 @@
+// The KernelPlan layer: serialization round trips, the bucket walk of
+// choose(), the autotuner's determinism contract (it may only pick between
+// the two bit-identical gathers unless scatter choice is explicitly
+// allowed), the shape-bucket memo, and -- the acceptance property of the
+// PR -- that the plan threaded through BigDotExpOptions / SolverWorkspace
+// into the sketched oracle cannot change a single bit of the penalties,
+// whatever kernel it forces among the deterministic pair and whatever the
+// thread count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/generators.hpp"
+#include "core/penalty_oracle.hpp"
+#include "par/parallel.hpp"
+#include "rand/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/kernel_plan.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::sparse {
+namespace {
+
+using linalg::Vector;
+
+/// RAII guard: restore the global thread count on scope exit.
+struct ThreadGuard {
+  int before = par::num_threads();
+  ~ThreadGuard() { par::set_num_threads(before); }
+};
+
+Csr tall_random(Index rows, Index cols, std::uint64_t seed) {
+  rand::Rng rng(seed);
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < rows; ++i) {
+    triplets.push_back({i, static_cast<Index>(rng.uniform_index(cols)),
+                        rng.normal()});
+    if (i % 2 == 0) {
+      triplets.push_back({i, static_cast<Index>(rng.uniform_index(cols)),
+                          rng.normal()});
+    }
+  }
+  return Csr::from_triplets(rows, cols, std::move(triplets));
+}
+
+TEST(KernelPlan, ChooseWalksBucketsAndFallsBack) {
+  KernelPlan plan;
+  EXPECT_EQ(plan.choose(1), TransposeKernel::kGather);  // empty plan
+  plan.set_entry({4, TransposeKernel::kGather, 0, 0, 0});
+  plan.set_entry({16, TransposeKernel::kSegmented, 0, 0, 0});
+  EXPECT_EQ(plan.choose(1), TransposeKernel::kGather);
+  EXPECT_EQ(plan.choose(4), TransposeKernel::kGather);
+  EXPECT_EQ(plan.choose(5), TransposeKernel::kSegmented);
+  EXPECT_EQ(plan.choose(16), TransposeKernel::kSegmented);
+  // Wider than every bucket: the last entry covers the tail.
+  EXPECT_EQ(plan.choose(512), TransposeKernel::kSegmented);
+  // Replacing a bucket keeps the table sorted and deduplicated.
+  plan.set_entry({4, TransposeKernel::kScatter, 0, 0, 0});
+  EXPECT_EQ(plan.entries().size(), 2u);
+  EXPECT_EQ(plan.choose(3), TransposeKernel::kScatter);
+}
+
+TEST(KernelPlan, HeuristicMatchesRetiredCrossover) {
+  const KernelPlan with_grid = KernelPlan::heuristic(true);
+  EXPECT_EQ(with_grid.choose(1), TransposeKernel::kGather);
+  EXPECT_EQ(with_grid.choose(8), TransposeKernel::kGather);
+  EXPECT_EQ(with_grid.choose(9), TransposeKernel::kSegmented);
+  EXPECT_EQ(with_grid.choose(32), TransposeKernel::kSegmented);
+  EXPECT_FALSE(with_grid.measured());
+  const KernelPlan no_grid = KernelPlan::heuristic(false);
+  EXPECT_EQ(no_grid.choose(32), TransposeKernel::kGather);
+}
+
+TEST(KernelPlan, JsonRoundTripIsExact) {
+  KernelPlan plan;
+  plan.set_entry({1, TransposeKernel::kGather, 1.25e-6, 0, 3.5e-6});
+  plan.set_entry(
+      {8, TransposeKernel::kSegmented, 2.0e-6, 1.0000000000000002e-6, 0});
+  plan.set_entry({32, TransposeKernel::kScatter, 0.125, 0.25, 0.0625});
+  const KernelPlan reloaded = KernelPlan::from_json(plan.to_json());
+  EXPECT_EQ(reloaded, plan);  // widths, choices and timings, bit for bit
+}
+
+TEST(KernelPlan, FromJsonToleratesEmbeddingAndRejectsJunk) {
+  KernelPlan plan = KernelPlan::heuristic(true);
+  // The plan as bench_kernels embeds it inside BENCH_kernels.json.
+  const std::string wrapped =
+      str("{\"bench\": \"kernels\", \"smoke\": false, \"kernel_plan\": ",
+          plan.to_json(), ", \"other\": 1}");
+  EXPECT_EQ(KernelPlan::from_json(wrapped), plan);
+  EXPECT_THROW(KernelPlan::from_json("{}"), InvalidArgument);
+  EXPECT_THROW(KernelPlan::from_json("{\"entries\": []}"), InvalidArgument);
+  EXPECT_THROW(
+      KernelPlan::from_json(
+          "{\"entries\": [{\"width\": 4, \"kernel\": \"warp\"}]}"),
+      InvalidArgument);
+}
+
+TEST(KernelPlan, AutotunePicksOnlyDeterministicKernels) {
+  Csr tall = tall_random(1 << 14, 16, 77);
+  TransposePlanOptions build;
+  build.autotune.enable = false;  // tune explicitly below
+  tall.build_transpose_index(build);
+  ASSERT_TRUE(tall.has_segment_index());
+
+  AutotuneOptions tune;
+  tune.widths = {1, 8, 32};
+  tune.reps = 1;
+  const KernelPlan plan = autotune_transpose_plan(tall, tune);
+  EXPECT_TRUE(plan.measured());
+  ASSERT_EQ(plan.entries().size(), 3u);
+  for (const KernelPlanEntry& entry : plan.entries()) {
+    EXPECT_GT(entry.gather_seconds, 0.0);
+    EXPECT_GT(entry.segmented_seconds, 0.0);
+    EXPECT_GT(entry.scatter_seconds, 0.0);
+    // Without allow_scatter_choice the tuner must stay inside the
+    // bit-identical pair, however the timings came out.
+    EXPECT_NE(entry.choice, TransposeKernel::kScatter);
+  }
+}
+
+TEST(KernelPlan, TinyMatricesSkipMeasurement) {
+  Csr small = tall_random(64, 4, 5);
+  small.build_transpose_index();  // default: autotune on, under the flop gate
+  EXPECT_FALSE(small.kernel_plan().measured());
+  EXPECT_EQ(small.kernel_plan().choose(4), TransposeKernel::kGather);
+}
+
+TEST(KernelPlan, CachedPlansAgreeAcrossCalls) {
+  clear_transpose_plan_cache();
+  Csr tall = tall_random(1 << 13, 16, 11);
+  TransposePlanOptions build;
+  build.autotune.enable = false;
+  tall.build_transpose_index(build);
+  AutotuneOptions tune;
+  tune.widths = {1, 16};
+  tune.reps = 1;
+  const KernelPlan first = cached_transpose_plan(tall, tune);
+  // The second call must hit the (log2 nnz, log2 rows, log2 cols, grid)
+  // bucket and return the identical decision -- no re-measurement jitter.
+  const KernelPlan second = cached_transpose_plan(tall, tune);
+  EXPECT_EQ(first, second);
+  clear_transpose_plan_cache();
+}
+
+// ---------------------------------------------------------------------------
+// Plan threading through the sketched oracle: forcing either deterministic
+// kernel, at any thread count, through either injection point
+// (BigDotExpOptions::kernel_plan or a workspace-pinned plan) must reproduce
+// the default run bit for bit -- the acceptance property that lets the
+// autotuner replace the old compile-time dispatch without any numerical
+// risk.
+// ---------------------------------------------------------------------------
+
+TEST(KernelPlanThreading, OraclePenaltiesInvariantToKernelChoice) {
+  // Tall factors (2048 x 2) get the transpose index, a default segment
+  // grid (2 segments of 1024 rows) and a heuristic plan at construction.
+  const core::FactorizedPackingInstance inst = apps::random_factorized(
+      {.n = 6, .m = 2048, .rank = 2, .nnz_per_column = 8, .seed = 3});
+  for (Index i = 0; i < inst.size(); ++i) {
+    ASSERT_TRUE(inst[i].q().has_transpose_index());
+    ASSERT_TRUE(inst[i].q().has_segment_index());
+  }
+  const Vector x0(inst.size(), 0.5 / static_cast<Real>(inst.size()));
+
+  core::SketchedOracleOptions base;
+  base.eps = 0.3;
+  base.dot_options.sketch_rows_override = 8;
+  base.dot_options.taylor_degree_override = 4;
+  base.dot_options.block_size = 4;
+
+  const auto penalties = [&](const core::SketchedOracleOptions& options) {
+    core::SketchedTaylorOracle oracle(inst, options);
+    core::PenaltyBatch batch;
+    oracle.compute(x0, /*round=*/1, batch);
+    return std::make_pair(batch.dots, batch.trace);
+  };
+
+  ThreadGuard guard;
+  par::set_num_threads(1);
+  const auto [ref_dots, ref_trace_unused] = penalties(base);
+  (void)ref_trace_unused;
+
+  const KernelPlan force_gather = KernelPlan::forced(TransposeKernel::kGather);
+  const KernelPlan force_segmented =
+      KernelPlan::forced(TransposeKernel::kSegmented);
+  for (const int threads : {1, 4}) {
+    par::set_num_threads(threads);
+    // The trace goes through parallel_sum, whose chunk-order combine is
+    // deterministic per thread count (not across counts) -- so the trace
+    // reference is re-taken per count, while the dots (serial per-
+    // constraint folds over the bit-identical gathers) anchor to the
+    // one-thread run globally.
+    const auto [count_dots, count_trace] = penalties(base);
+    EXPECT_EQ(count_dots, ref_dots)
+        << "default-plan penalties changed with thread count " << threads;
+    for (const KernelPlan* plan : {&force_gather, &force_segmented}) {
+      core::SketchedOracleOptions options = base;
+      options.dot_options.kernel_plan = plan;
+      const auto [dots, trace] = penalties(options);
+      EXPECT_EQ(dots, ref_dots)
+          << "penalties changed under forced "
+          << kernel_name(plan->choose(4)) << " at " << threads << " threads";
+      EXPECT_EQ(trace, count_trace);
+    }
+    // A workspace-pinned plan takes the same bits too -- and a per-call
+    // options override must not stick to the shared workspace afterwards
+    // (big_dot_exp restores the pinned pointer on exit).
+    core::SolverWorkspace workspace;
+    workspace.factor.plan = &force_segmented;
+    core::SketchedOracleOptions pinned = base;
+    pinned.workspace = &workspace;
+    pinned.dot_options.kernel_plan = &force_gather;  // per-call override
+    const auto [pinned_dots, pinned_trace] = penalties(pinned);
+    EXPECT_EQ(pinned_dots, ref_dots);
+    EXPECT_EQ(pinned_trace, count_trace);
+    EXPECT_EQ(workspace.factor.plan, &force_segmented)
+        << "per-call kernel_plan override leaked into the shared workspace";
+  }
+}
+
+}  // namespace
+}  // namespace psdp::sparse
