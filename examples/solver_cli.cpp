@@ -6,9 +6,16 @@
 //   ./solver_cli --input=problem.psdp --kind=covering
 //   ./solver_cli --input=problem.psdp --kind=packing-lp
 //
+// Batch mode runs a whole job manifest (serve/manifest.hpp format: one
+// "<kind> <path> [eps=.. probe=.. ...]" line per job) through the batch
+// scheduler, sharing prepared artifacts between jobs on the same instance:
+//
+//   ./solver_cli --batch=jobs.txt [--lanes=4] [--threads=8]
+//
 // With --write-example=PATH it instead writes a sample instance of the
 // requested kind to PATH, so the round trip can be exercised without any
 // other tooling.
+#include <iomanip>
 #include <iostream>
 
 #include "apps/beamforming.hpp"
@@ -17,6 +24,9 @@
 #include "core/optimize.hpp"
 #include "core/poslp.hpp"
 #include "io/instance_io.hpp"
+#include "par/parallel.hpp"
+#include "serve/manifest.hpp"
+#include "serve/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -91,6 +101,63 @@ int solve_packing_lp(const std::string& path,
   return feasible ? 0 : 1;
 }
 
+/// One line per finished job, streamed as the scheduler completes them.
+void print_job_line(const serve::JobResult& r) {
+  std::ostringstream line;
+  line << "[" << (r.ok ? "ok" : "FAILED") << "] " << r.label << " ("
+       << serve::job_kind_name(r.kind) << ", "
+       << (r.lane >= 0 ? "lane " + std::to_string(r.lane) : std::string("wide"))
+       << (r.cache_hit ? ", cached" : "") << ") "
+       << std::setprecision(4) << r.seconds << " s";
+  if (r.ok) {
+    switch (r.kind) {
+      case serve::JobKind::kPackingDense:
+      case serve::JobKind::kPackingFactorized:
+        line << "  OPT in [" << r.packing.lower << ", " << r.packing.upper
+             << "]";
+        break;
+      case serve::JobKind::kCovering:
+        line << "  C.Y = " << r.covering.objective
+             << " (OPT >= " << r.covering.lower_bound << ")";
+        break;
+      case serve::JobKind::kPackingLp:
+        line << "  OPT in [" << r.lp.lower << ", " << r.lp.upper << "]";
+        break;
+    }
+  } else {
+    line << "  " << r.error;
+  }
+  line << "\n";
+  // One insertion, newline included: job lines may arrive from
+  // concurrent lanes and must not interleave.
+  std::cout << line.str();
+}
+
+int run_batch(const std::string& manifest, int lanes) {
+  serve::SolveBatch batch = serve::load_manifest(manifest);
+  serve::SchedulerOptions options;
+  options.lanes = lanes;
+  for (auto& job : batch.jobs()) job.on_complete = print_job_line;
+  serve::BatchScheduler scheduler(options);
+
+  std::cout << "Running " << batch.size() << " jobs over "
+            << par::num_threads() << " threads...\n";
+  util::WallTimer timer;
+  const std::vector<serve::JobResult> results = scheduler.run(batch);
+  const double seconds = timer.seconds();
+
+  std::size_t failed = 0;
+  for (const serve::JobResult& r : results) failed += r.ok ? 0 : 1;
+  const serve::ArtifactCache::Stats stats = scheduler.cache().stats();
+  std::cout << "Batch done: " << results.size() - failed << "/"
+            << results.size() << " jobs in " << std::setprecision(4) << seconds
+            << " s (" << static_cast<double>(results.size()) / seconds
+            << " jobs/s); cache " << stats.hits << " hits / " << stats.misses
+            << " misses / " << stats.evictions << " evictions, "
+            << stats.workspace_reuses << " workspace reuses\n";
+  return failed == 0 ? 0 : 1;
+}
+
 void write_example(const std::string& path, const std::string& kind) {
   if (kind == "packing-dense") {
     apps::EllipseOptions gen;
@@ -127,15 +194,26 @@ int main(int argc, char** argv) {
   auto& eps = cli.flag<Real>("eps", 0.1, "target relative accuracy");
   auto& example = cli.flag<std::string>(
       "write-example", "", "write a sample instance here and exit");
+  auto& batch = cli.flag<std::string>(
+      "batch", "", "job manifest to run through the batch scheduler");
+  auto& lanes = cli.flag<int>(
+      "lanes", 0, "batch mode: concurrent job lanes (0 = auto)");
+  auto& threads = cli.flag<int>(
+      "threads", 0, "thread-pool width (0 = hardware default)");
   cli.parse(argc, argv);
   if (cli.help_requested()) return 0;
 
   try {
+    if (threads.value > 0) par::set_num_threads(threads.value);
     if (!example.value.empty()) {
       write_example(example.value, kind.value);
       return 0;
     }
-    PSDP_CHECK(!input.value.empty(), "--input is required (or --write-example)");
+    if (!batch.value.empty()) {
+      return run_batch(batch.value, lanes.value);
+    }
+    PSDP_CHECK(!input.value.empty(),
+               "--input is required (or --write-example / --batch)");
     core::OptimizeOptions options;
     options.eps = eps.value;
     if (kind.value == "packing-dense") {

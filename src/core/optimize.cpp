@@ -149,7 +149,12 @@ PackingOptimum search(const Oracle& oracle, Real min_trace, Index m,
   Index stalls = 0;
   while (best.upper > best.lower * (1 + options.eps) &&
          best.decision_calls < options.max_probes && stalls < 3) {
-    const Real v = std::sqrt(best.lower * best.upper);
+    // sqrt(lower) * sqrt(upper), not sqrt(lower * upper): the bracket
+    // endpoints are 1/min_trace-scaled, so instances with extreme traces
+    // (min Tr A_i ~ 1e-300 puts lower ~ 1e300) overflow the product to inf
+    // (or underflow it to 0) even though the midpoint itself is
+    // representable.
+    const Real v = std::sqrt(best.lower) * std::sqrt(best.upper);
     const ProbeOutcome probe = oracle(v);
     ++best.decision_calls;
     best.total_iterations += probe.iterations;
@@ -281,7 +286,11 @@ PackingOptimum approx_packing(const FactorizedPackingInstance& instance,
 
 CoveringOptimum approx_covering(const CoveringProblem& problem,
                                 const OptimizeOptions& options) {
-  const NormalizedProblem normalized = normalize(problem);
+  return approx_covering(normalize(problem), options);
+}
+
+CoveringOptimum approx_covering(const NormalizedProblem& normalized,
+                                const OptimizeOptions& options) {
   const Oracle oracle = make_dense_oracle(normalized.packing, options,
                                           probe_decision_options(options));
   PackingOptimum packing = search(

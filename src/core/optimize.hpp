@@ -100,4 +100,13 @@ struct CoveringOptimum {
 CoveringOptimum approx_covering(const CoveringProblem& problem,
                                 const OptimizeOptions& options = {});
 
+/// As above, over a pre-normalized problem: the Appendix-A normalization
+/// costs an O(m^3) eigensolve of C, so callers solving the same covering
+/// problem repeatedly -- the serve layer's ArtifactCache in particular --
+/// normalize once and reuse it across every (eps, probe) configuration.
+/// approx_covering(problem, options) is exactly
+/// approx_covering(normalize(problem), options).
+CoveringOptimum approx_covering(const NormalizedProblem& normalized,
+                                const OptimizeOptions& options = {});
+
 }  // namespace psdp::core

@@ -123,7 +123,10 @@ LpOptimum approx_packing_lp(const PackingLp& lp,
   Index stalls = 0;
   while (best.upper > best.lower * (1 + options.eps) &&
          best.decision_calls < options.max_probes && stalls < 3) {
-    const Real v = std::sqrt(best.lower * best.upper);
+    // sqrt(lower) * sqrt(upper): the product form overflows/underflows when
+    // the column sums put the bracket near the edge of double range (see the
+    // matching fix in optimize.cpp's search()).
+    const Real v = std::sqrt(best.lower) * std::sqrt(best.upper);
     const LpDecisionResult probe = lp_decision(lp.scaled(v), decision);
     ++best.decision_calls;
     best.total_iterations += probe.iterations;

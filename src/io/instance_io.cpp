@@ -136,7 +136,8 @@ void write_factorized(std::ostream& out,
   }
 }
 
-FactorizedPackingInstance read_factorized(std::istream& in) {
+FactorizedPackingInstance read_factorized(
+    std::istream& in, const sparse::TransposePlanOptions& plan_options) {
   expect_header(in, "packing-factorized");
   const auto [n, m] = read_size(in);
   std::vector<sparse::FactorizedPsd> items;
@@ -160,7 +161,8 @@ FactorizedPackingInstance read_factorized(std::istream& in) {
                  "malformed factor entry");
       triplets.push_back({r, c, v});
     }
-    items.emplace_back(sparse::Csr::from_triplets(m, cols, std::move(triplets)));
+    items.emplace_back(sparse::Csr::from_triplets(m, cols, std::move(triplets)),
+                       plan_options);
   }
   return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)));
 }
@@ -296,8 +298,11 @@ void save_factorized(const std::string& path,
        });
 }
 
-FactorizedPackingInstance load_factorized(const std::string& path) {
-  return load(path, [](std::istream& i) { return read_factorized(i); });
+FactorizedPackingInstance load_factorized(
+    const std::string& path, const sparse::TransposePlanOptions& plan_options) {
+  return load(path, [&plan_options](std::istream& i) {
+    return read_factorized(i, plan_options);
+  });
 }
 
 void save_lp(const std::string& path, const core::PackingLp& lp) {

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "util/common.hpp"
 
@@ -103,6 +104,14 @@ ParsedSparse read_coordinate_body(std::istream& in, const MmHeader& header) {
     PSDP_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
                str("matrix market: index (", r, ",", c, ") out of range"));
     PSDP_CHECK(std::isfinite(v), "matrix market: non-finite value");
+    // Symmetric entries are canonicalized to the lower triangle before
+    // the duplicates-sum merge: (r,c) and (c,r) name the *same* logical
+    // entry, so a file listing both sums them like any other duplicate
+    // -- one mirror per merged entry, never a mirror per listing (the
+    // old reader mirrored each listing independently, which silently
+    // doubled redundant pairs). Upper-triangle-only files (a common
+    // deviation from the spec) keep loading exactly as before.
+    if (header.symmetric && c > r) std::swap(r, c);
     parsed.triplets.push_back({r - 1, c - 1, v});
     if (header.symmetric && r != c) {
       parsed.triplets.push_back({c - 1, r - 1, v});
@@ -233,7 +242,8 @@ linalg::Matrix read_matrix_market_dense(std::istream& in) {
   ParsedSparse parsed = read_coordinate_body(in, header);
   linalg::Matrix result(parsed.rows, parsed.cols);
   for (const sparse::Triplet& t : parsed.triplets) {
-    result(t.row, t.col) += t.value;  // duplicates accumulate, like CSR
+    result(t.row, t.col) += t.value;  // duplicates sum (the documented
+                                      // policy, matching Csr::from_triplets)
   }
   return result;
 }

@@ -13,6 +13,18 @@
 // rejected with a clear error; integer data can be read as real by most
 // producers' own tooling.
 //
+// Duplicate-entry policy (coordinate format): repeated listings of the same
+// (row, col) position SUM, the conventional MM semantics (what scipy's
+// mmread does) -- this holds for both the sparse and the dense reader.
+// In symmetric files, (r,c) and (c,r) name the same logical entry: entries
+// are canonicalized to the lower triangle before the merge, so either
+// triangle (or a redundant mix) is accepted, duplicates of an unordered
+// pair sum, and each merged entry is mirrored exactly once. (The NIST spec
+// says lower-triangle-only; canonicalization keeps the common
+// upper-triangle deviation loading while removing the old reader's
+// mirror-per-listing behavior, which was what made redundant pairs
+// surprising.)
+//
 // Conventions follow the NIST specification: 1-based indices, '%' comment
 // lines, a blank-line-free body. Values round-trip at 17 significant
 // digits.
@@ -36,13 +48,16 @@ void write_matrix_market(std::ostream& out, const sparse::Csr& matrix,
 void write_matrix_market(std::ostream& out, const linalg::Matrix& matrix,
                          bool symmetric = false);
 
-/// Read a coordinate-format MatrixMarket stream into CSR. Symmetric files
-/// are expanded to full storage. Throws InvalidArgument on malformed input
-/// or an unsupported field/format combination.
+/// Read a coordinate-format MatrixMarket stream into CSR. Duplicate entries
+/// sum; symmetric storage (either triangle, canonicalized -- see the header
+/// comment for the policy) is expanded to full storage. Throws
+/// InvalidArgument on malformed input or an unsupported field/format
+/// combination.
 sparse::Csr read_matrix_market_sparse(std::istream& in);
 
 /// Read an array-format (dense) MatrixMarket stream. Coordinate files are
-/// also accepted and densified.
+/// also accepted and densified, under the same duplicates-sum policy as the
+/// sparse reader.
 linalg::Matrix read_matrix_market_dense(std::istream& in);
 
 /// File convenience wrappers.

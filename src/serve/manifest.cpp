@@ -1,0 +1,120 @@
+#include "serve/manifest.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "io/instance_io.hpp"
+#include "util/cli.hpp"
+
+namespace psdp::serve {
+
+namespace {
+
+core::ProbeSolver probe_from_name(const std::string& name) {
+  if (name == "decision") return core::ProbeSolver::kDecision;
+  if (name == "phased") return core::ProbeSolver::kPhased;
+  if (name == "bucketed") return core::ProbeSolver::kBucketed;
+  PSDP_CHECK(false, str("unknown probe solver '", name,
+                        "' (decision | phased | bucketed)"));
+  return core::ProbeSolver::kDecision;  // unreachable
+}
+
+/// Builder loading `path` at resolve time, routed through the cache's plan
+/// options so loaded factors tune into the owned plan memo.
+ArtifactCache::Builder path_builder(JobKind kind, const std::string& path) {
+  return [kind, path](const sparse::TransposePlanOptions& plan_options) {
+    switch (kind) {
+      case JobKind::kPackingDense:
+        return prepare_packing(io::load_packing(path));
+      case JobKind::kPackingFactorized:
+        return prepare_factorized(io::load_factorized(path, plan_options));
+      case JobKind::kCovering:
+        return prepare_covering(io::load_covering(path));
+      case JobKind::kPackingLp:
+        return prepare_lp(io::load_lp(path));
+    }
+    PSDP_CHECK(false, "serve: unreachable job kind");
+    return PreparedInstance{};
+  };
+}
+
+}  // namespace
+
+SolveBatch read_manifest(std::istream& in, const std::string& source) {
+  SolveBatch batch;
+  std::string line;
+  Index line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind_name;
+    if (!(fields >> kind_name)) continue;  // blank
+
+    const auto fail = [&](const std::string& what) {
+      throw InvalidArgument(
+          str(source, ":", line_number, ": ", what, " in '", line, "'"));
+    };
+
+    JobSpec job;
+    try {
+      job.kind = job_kind_from_name(kind_name);
+    } catch (const InvalidArgument& e) {
+      fail(e.what());
+    }
+    std::string path;
+    if (!(fields >> path)) fail("missing instance path");
+    job.builder = path_builder(job.kind, path);
+    job.instance = str(kind_name, ":", path);
+    job.label = str(path, ":", line_number);
+
+    std::string option;
+    while (fields >> option) {
+      const std::size_t eq = option.find('=');
+      if (eq == std::string::npos) {
+        fail(str("expected key=value, got '", option, "'"));
+      }
+      const std::string key = option.substr(0, eq);
+      const std::string value = option.substr(eq + 1);
+      try {
+        // util::detail::parse_value supplies the typed InvalidArgument
+        // errors ("cannot parse real 'bogus'"); fail() adds the location.
+        if (key == "eps") {
+          job.options.eps = util::detail::parse_value<Real>(value);
+        } else if (key == "decision-eps") {
+          job.options.decision_eps = util::detail::parse_value<Real>(value);
+        } else if (key == "probe") {
+          job.options.probe_solver = probe_from_name(value);
+        } else if (key == "label") {
+          job.label = value;
+        } else if (key == "id") {
+          PSDP_CHECK(!value.empty(), "id must be non-empty");
+          job.instance = value;
+        } else if (key == "wide") {
+          job.work = util::detail::parse_value<bool>(value)
+                         ? std::numeric_limits<Index>::max() / 2
+                         : 0;
+        } else {
+          PSDP_CHECK(false, str("unknown manifest key '", key, "'"));
+        }
+      } catch (const InvalidArgument& e) {
+        fail(e.what());
+      }
+    }
+    batch.add(std::move(job));
+  }
+  PSDP_CHECK(!batch.empty(),
+             str(source, ": no jobs (every line blank or a comment)"));
+  return batch;
+}
+
+SolveBatch load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  PSDP_CHECK(in.is_open(), str("serve: cannot open manifest '", path, "'"));
+  return read_manifest(in, path);
+}
+
+}  // namespace psdp::serve

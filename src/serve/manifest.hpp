@@ -1,0 +1,52 @@
+// The job-manifest format of solver_cli's batch mode.
+//
+// A manifest is line-oriented, one job per line, '#' starting a comment:
+//
+//   <kind> <path> [key=value ...]
+//
+// with <kind> one of packing-dense | packing-factorized | covering |
+// packing-lp (solver_cli's --kind vocabulary), <path> an instance file in
+// the io/instance_io.hpp format, and the optional keys:
+//
+//   eps=0.1          target relative accuracy (OptimizeOptions::eps)
+//   decision-eps=0   per-probe decision eps (0 = auto)
+//   probe=decision   factorized probe solver: decision | phased | bucketed
+//   label=NAME       display label (default: "<path>:<line>")
+//   id=KEY           artifact-cache key (default: "<kind>:<path>"), so jobs
+//                    naming the same file share its prepared artifacts
+//   wide=0|1         force the job to run at full pool width (wide=1) or
+//                    inside a lane (wide=0); default: narrow
+//
+// Example -- nine jobs over three instances, sharing artifacts per file:
+//
+//   packing-factorized big.psdp eps=0.2 probe=decision
+//   packing-factorized big.psdp eps=0.2 probe=phased
+//   packing-factorized big.psdp eps=0.1
+//   covering beams.psdp eps=0.2
+//   covering beams.psdp eps=0.1
+//   packing-lp matching.psdp eps=0.05
+//   packing-lp matching.psdp eps=0.02
+//   packing-dense ellipses.psdp eps=0.15
+//   packing-dense ellipses.psdp eps=0.1 label=tight
+//
+// Malformed lines raise InvalidArgument naming the line number, the token,
+// and the offending text (the same error discipline as util::Cli).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/scheduler.hpp"
+
+namespace psdp::serve {
+
+/// Parse a manifest into a batch. Paths are taken as written (resolve them
+/// relative to the caller's working directory); instance files are loaded
+/// lazily by the jobs' builders, so a missing file fails that job -- not
+/// the parse. `source` names the manifest in error messages.
+SolveBatch read_manifest(std::istream& in, const std::string& source = "manifest");
+
+/// read_manifest over a file.
+SolveBatch load_manifest(const std::string& path);
+
+}  // namespace psdp::serve

@@ -1,0 +1,241 @@
+#include "serve/scheduler.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "par/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace psdp::serve {
+
+namespace {
+
+/// Builder for a preloaded shared instance: a cache miss wraps the pointer
+/// (and, for covering, performs the one-time normalization).
+template <typename Wrap>
+ArtifactCache::Builder wrap_builder(Wrap&& wrap) {
+  return [wrap = std::forward<Wrap>(wrap)](
+             const sparse::TransposePlanOptions&) { return wrap(); };
+}
+
+}  // namespace
+
+std::size_t SolveBatch::add(JobSpec job) {
+  PSDP_CHECK(!job.instance.empty(), "serve: job needs an instance key");
+  PSDP_CHECK(job.builder != nullptr, "serve: job needs an instance builder");
+  if (job.label.empty()) {
+    job.label = str(job.instance, "#", jobs_.size());
+  }
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::size_t SolveBatch::add_packing(
+    std::string key, std::shared_ptr<const core::PackingInstance> instance,
+    core::OptimizeOptions options, std::string label) {
+  PSDP_CHECK(instance != nullptr, "serve: null instance");
+  JobSpec job;
+  job.instance = std::move(key);
+  job.label = std::move(label);
+  job.kind = JobKind::kPackingDense;
+  job.options = std::move(options);
+  job.builder = wrap_builder([instance] {
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kPackingDense;
+    prepared.packing = instance;
+    return prepared;
+  });
+  PreparedInstance probe;
+  probe.kind = job.kind;
+  probe.packing = instance;
+  job.work = probe.estimated_work();
+  return add(std::move(job));
+}
+
+std::size_t SolveBatch::add_factorized(
+    std::string key,
+    std::shared_ptr<const core::FactorizedPackingInstance> instance,
+    core::OptimizeOptions options, std::string label) {
+  PSDP_CHECK(instance != nullptr, "serve: null instance");
+  JobSpec job;
+  job.instance = std::move(key);
+  job.label = std::move(label);
+  job.kind = JobKind::kPackingFactorized;
+  job.options = std::move(options);
+  job.builder = wrap_builder([instance] {
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kPackingFactorized;
+    prepared.factorized = instance;
+    return prepared;
+  });
+  PreparedInstance probe;
+  probe.kind = job.kind;
+  probe.factorized = instance;
+  job.work = probe.estimated_work();
+  return add(std::move(job));
+}
+
+std::size_t SolveBatch::add_covering(
+    std::string key, std::shared_ptr<const core::CoveringProblem> problem,
+    core::OptimizeOptions options, std::string label) {
+  PSDP_CHECK(problem != nullptr, "serve: null instance");
+  JobSpec job;
+  job.instance = std::move(key);
+  job.label = std::move(label);
+  job.kind = JobKind::kCovering;
+  job.options = std::move(options);
+  job.builder = wrap_builder([problem] {
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kCovering;
+    prepared.covering = problem;
+    prepared.normalized = std::make_shared<const core::NormalizedProblem>(
+        core::normalize(*problem));
+    return prepared;
+  });
+  PreparedInstance probe;
+  probe.kind = job.kind;
+  probe.covering = problem;
+  job.work = probe.estimated_work();
+  return add(std::move(job));
+}
+
+std::size_t SolveBatch::add_lp(std::string key,
+                               std::shared_ptr<const core::PackingLp> lp,
+                               core::OptimizeOptions options,
+                               std::string label) {
+  PSDP_CHECK(lp != nullptr, "serve: null instance");
+  JobSpec job;
+  job.instance = std::move(key);
+  job.label = std::move(label);
+  job.kind = JobKind::kPackingLp;
+  job.options = std::move(options);
+  job.builder = wrap_builder([lp] {
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kPackingLp;
+    prepared.lp = lp;
+    return prepared;
+  });
+  PreparedInstance probe;
+  probe.kind = job.kind;
+  probe.lp = lp;
+  job.work = probe.estimated_work();
+  return add(std::move(job));
+}
+
+BatchScheduler::BatchScheduler(SchedulerOptions options)
+    : options_(std::move(options)), cache_(options_.cache) {}
+
+void BatchScheduler::run_job(const JobSpec& spec, JobResult& result,
+                             int lane) {
+  result.instance = spec.instance;
+  result.label = spec.label;
+  result.kind = spec.kind;
+  result.lane = lane;
+  util::WallTimer timer;
+  try {
+    const ArtifactCache::Resolved resolved =
+        cache_.get(spec.instance, spec.builder);
+    result.cache_hit = resolved.hit;
+    const PreparedInstance& prepared = resolved.entry->instance();
+    PSDP_CHECK(prepared.kind == spec.kind,
+               str("serve: job '", spec.label, "' expects ",
+                   job_kind_name(spec.kind), " but instance '", spec.instance,
+                   "' is prepared as ", job_kind_name(prepared.kind)));
+    switch (spec.kind) {
+      case JobKind::kPackingDense:
+        result.packing = core::approx_packing(*prepared.packing, spec.options);
+        break;
+      case JobKind::kPackingFactorized: {
+        // The pooled workspace: recycled scratch keeps the steady state
+        // allocation-free without sharing buffers between concurrent jobs.
+        WorkspaceLease lease(resolved.entry);
+        core::OptimizeOptions options = spec.options;
+        options.decision.workspace = lease.get();
+        result.packing = core::approx_packing(*prepared.factorized, options);
+        break;
+      }
+      case JobKind::kCovering:
+        // The cached normalization: the per-instance O(m^3) eigensolve was
+        // paid once at prepare time.
+        result.covering =
+            core::approx_covering(*prepared.normalized, spec.options);
+        break;
+      case JobKind::kPackingLp:
+        result.lp = core::approx_packing_lp(*prepared.lp, spec.options);
+        break;
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  } catch (...) {
+    // Builders and callbacks are arbitrary user callables; even a
+    // non-std exception must not escape into the lane batch (it would
+    // fail every other job instead of this one).
+    result.ok = false;
+    result.error = "non-standard exception";
+  }
+  result.seconds = timer.seconds();
+  if (spec.on_complete) {
+    try {
+      spec.on_complete(result);
+    } catch (...) {
+      // A throwing callback must not poison the lane batch (the result
+      // it was handed is already recorded); swallowed by contract.
+    }
+  }
+}
+
+std::vector<JobResult> BatchScheduler::run(const SolveBatch& batch) {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const std::vector<JobSpec>& jobs = batch.jobs();
+  std::vector<JobResult> results(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) results[i].index = i;
+
+  // Shard: narrow jobs pack onto lanes, wide jobs keep the full pool.
+  std::vector<std::size_t> narrow;
+  std::vector<std::size_t> wide;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    (jobs[i].work >= options_.wide_work ? wide : narrow).push_back(i);
+  }
+
+  if (!narrow.empty()) {
+    const int lanes =
+        options_.lanes > 0
+            ? options_.lanes
+            : static_cast<int>(std::min<std::size_t>(
+                  narrow.size(),
+                  static_cast<std::size_t>(par::num_threads())));
+    // One pool batch of `lanes` tasks; each drains the shared queue. Jobs
+    // inside a lane run their parallel regions inline (nested-region
+    // rule), so each lane is one thread of job throughput. run_job never
+    // throws (failures land in the result), so no lane can poison the
+    // batch.
+    std::atomic<std::size_t> next{0};
+    const auto lane_body = [&](Index lane) {
+      while (true) {
+        const std::size_t at = next.fetch_add(1, std::memory_order_relaxed);
+        if (at >= narrow.size()) return;
+        const std::size_t job = narrow[at];
+        run_job(jobs[job], results[job], static_cast<int>(lane));
+      }
+    };
+    par::global_pool().run_batch(static_cast<Index>(lanes), lane_body);
+  }
+
+  // Wide jobs: one at a time, full pool width -- exactly a solo call.
+  for (const std::size_t job : wide) {
+    run_job(jobs[job], results[job], /*lane=*/-1);
+  }
+  return results;
+}
+
+std::future<std::vector<JobResult>> BatchScheduler::run_async(
+    SolveBatch batch) {
+  // A dedicated driver thread (not a pool worker): the driver submits lane
+  // batches to the shared pool just as a synchronous caller would.
+  return std::async(std::launch::async,
+                    [this, batch = std::move(batch)] { return run(batch); });
+}
+
+}  // namespace psdp::serve

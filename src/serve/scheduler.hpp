@@ -1,0 +1,171 @@
+// The batch solve service: many instances (or many configurations of one
+// instance), scheduled concurrently over the existing par thread pool.
+//
+// The repo's entry points solve exactly one instance per call; a serving
+// deployment answers streams of heterogeneous jobs. SolveBatch collects
+// jobs (instance + OptimizeOptions + optional completion callback);
+// BatchScheduler runs them with cooperative work-sharding over
+// par::global_pool():
+//
+//   * SMALL solves pack together: jobs below SchedulerOptions::wide_work
+//     are drained by `lanes` concurrent lanes (one pool batch whose tasks
+//     pull jobs from a shared atomic queue). A job inside a lane runs its
+//     nested parallel regions inline (the pool's nested-region rule), so a
+//     lane occupies exactly one thread however many regions the solver
+//     opens -- small solves stop wasting the pool on loops that are under
+//     the parallel grain anyway, and the pool's width turns into job
+//     throughput.
+//   * LARGE solves keep wide parallelism: jobs at or above wide_work run
+//     one at a time on the driving thread with the whole pool, exactly as
+//     a solo call would.
+//
+// Determinism: a lane executes a job's parallel loops inline, but the
+// loops' *partitioning* (and parallel_reduce's chunk-order combine) depends
+// only on the global par::num_threads() -- not on which thread executes --
+// so a job's results are bitwise identical to a solo run at the same pool
+// width, whichever lane ran it (verified by bench_serve and
+// tests/test_serve.cpp).
+//
+// Artifacts are shared through the ArtifactCache (artifact_cache.hpp): jobs
+// with the same `instance` key resolve one prepared instance (transpose
+// indexes, segment grids, KernelPlans, covering normalizations) and lease
+// pooled SolverWorkspaces, so after the first job per key the batch
+// performs zero index rebuilds and zero plan re-measurements.
+//
+// Failure isolation: a job that throws reports through JobResult::error;
+// the batch always runs to completion (the robustness counterpart of the
+// CLI's per-flag error naming).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimize.hpp"
+#include "core/poslp.hpp"
+#include "serve/artifact_cache.hpp"
+
+namespace psdp::serve {
+
+struct JobResult;  // declared below JobSpec, which carries its callback
+
+/// One solve request: which prepared instance (by cache key + builder),
+/// which solver configuration, and how to report back.
+struct JobSpec {
+  /// ArtifactCache key -- jobs sharing it share every prepared artifact.
+  std::string instance;
+  /// Display label; defaults to "<instance>#<index>" when empty.
+  std::string label;
+  JobKind kind = JobKind::kPackingFactorized;
+  /// Builds the instance when `instance` misses the cache. Required.
+  ArtifactCache::Builder builder;
+  /// Solver configuration (eps, probe_solver, decision knobs...). The
+  /// factorized path's workspace pointer is overwritten with the job's
+  /// pooled lease.
+  core::OptimizeOptions options;
+  /// Estimated per-iteration work; >= SchedulerOptions::wide_work runs the
+  /// job at full pool width instead of inside a lane. 0 = narrow. The
+  /// add_* helpers fill this from PreparedInstance::estimated_work().
+  Index work = 0;
+  /// Invoked right after the job finishes, on whichever thread ran it
+  /// (lane workers included) -- keep it cheap and thread-safe. A
+  /// throwing callback cannot fail the batch: its exception is swallowed
+  /// (the job's result is already recorded by then).
+  std::function<void(const JobResult&)> on_complete;
+};
+
+/// Everything one job produced. Exactly one of the payload fields matching
+/// `kind` is meaningful when ok.
+struct JobResult {
+  std::size_t index = 0;  ///< position in the batch
+  std::string instance;
+  std::string label;
+  JobKind kind = JobKind::kPackingFactorized;
+  bool ok = false;
+  std::string error;      ///< what() of the failure when !ok
+  double seconds = 0;     ///< wall time of this job (artifact resolve + solve)
+  bool cache_hit = false; ///< artifacts served without running the builder
+  int lane = -1;          ///< lane that ran it; -1 = full-width (wide) job
+  core::PackingOptimum packing;    ///< kPackingDense / kPackingFactorized
+  core::CoveringOptimum covering;  ///< kCovering
+  core::LpOptimum lp;              ///< kPackingLp
+};
+
+/// An ordered collection of jobs submitted as one unit.
+class SolveBatch {
+ public:
+  /// Append a fully-specified job; returns its index (== result index).
+  std::size_t add(JobSpec job);
+
+  /// Convenience adders for preloaded shared instances: the builder wraps
+  /// the pointer (so a cache miss costs nothing but bookkeeping), `work`
+  /// is derived from the instance, and `kind` is set for you.
+  std::size_t add_packing(std::string key,
+                          std::shared_ptr<const core::PackingInstance> instance,
+                          core::OptimizeOptions options = {},
+                          std::string label = "");
+  std::size_t add_factorized(
+      std::string key,
+      std::shared_ptr<const core::FactorizedPackingInstance> instance,
+      core::OptimizeOptions options = {}, std::string label = "");
+  std::size_t add_covering(std::string key,
+                           std::shared_ptr<const core::CoveringProblem> problem,
+                           core::OptimizeOptions options = {},
+                           std::string label = "");
+  std::size_t add_lp(std::string key,
+                     std::shared_ptr<const core::PackingLp> lp,
+                     core::OptimizeOptions options = {},
+                     std::string label = "");
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const std::vector<JobSpec>& jobs() const { return jobs_; }
+  std::vector<JobSpec>& jobs() { return jobs_; }
+
+ private:
+  std::vector<JobSpec> jobs_;
+};
+
+struct SchedulerOptions {
+  /// Concurrent lanes draining the narrow-job queue. 0 = auto:
+  /// min(#narrow jobs, par::num_threads()).
+  int lanes = 0;
+  /// JobSpec::work at or above this runs at full pool width, alone.
+  Index wide_work = Index{1} << 26;
+  /// Artifact-cache sizing and transpose-plan build options.
+  ArtifactCache::Options cache;
+};
+
+/// The batch executor. One scheduler owns one ArtifactCache, so artifacts
+/// persist across run() calls: a warm scheduler serves repeat batches with
+/// zero instance preparation.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(SchedulerOptions options = {});
+
+  /// Run every job; returns results indexed like the batch. Blocks until
+  /// the batch is drained. Call from a non-worker thread (the driving
+  /// thread of the process, or the run_async driver). Job failures land in
+  /// JobResult::error; infrastructure failures (a builder throwing) fail
+  /// the affected jobs, never the batch.
+  std::vector<JobResult> run(const SolveBatch& batch);
+
+  /// run() on a detached driver thread; the future carries the results.
+  /// The batch is moved into the driver. Per-job on_complete callbacks
+  /// remain the streaming interface; the future is the terminal barrier.
+  std::future<std::vector<JobResult>> run_async(SolveBatch batch);
+
+  ArtifactCache& cache() { return cache_; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  void run_job(const JobSpec& spec, JobResult& result, int lane);
+
+  SchedulerOptions options_;
+  ArtifactCache cache_;
+  std::mutex run_mutex_;  ///< one batch at a time over the shared pool
+};
+
+}  // namespace psdp::serve

@@ -1,7 +1,9 @@
 #include "sparse/csr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 
 #include "par/cost_meter.hpp"
 #include "par/parallel.hpp"
@@ -99,10 +101,21 @@ Vector Csr::apply(const Vector& x) const {
   return y;
 }
 
+namespace {
+/// Process-wide count of actual (non-idempotent) transpose-index builds;
+/// the serve layer's cache-reuse assertions read it (see csr.hpp).
+std::atomic<std::uint64_t> g_transpose_index_builds{0};
+}  // namespace
+
+std::uint64_t transpose_index_build_count() {
+  return g_transpose_index_builds.load(std::memory_order_relaxed);
+}
+
 void Csr::build_transpose_index() { build_transpose_index({}); }
 
 void Csr::build_transpose_index(const TransposePlanOptions& options) {
   if (t_built_) return;
+  g_transpose_index_builds.fetch_add(1, std::memory_order_relaxed);
   t_offsets_.assign(static_cast<std::size_t>(cols_) + 1, 0);
   t_rows_.resize(values_.size());
   t_values_.resize(values_.size());

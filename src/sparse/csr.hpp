@@ -217,4 +217,10 @@ class Csr {
 /// C = A + s * B for same-shaped CSR matrices (structural union).
 Csr add_scaled(const Csr& a, const Csr& b, Real s);
 
+/// Process-wide count of transpose-index builds actually performed
+/// (idempotent re-calls do not count). The serve layer's cache-reuse
+/// assertions -- "zero index rebuilds after warmup" -- difference this
+/// counter around a warm batch (bench_serve, tests/test_serve.cpp).
+std::uint64_t transpose_index_build_count();
+
 }  // namespace psdp::sparse

@@ -36,14 +36,18 @@ Real factor_lambda_max_bound(const Csr& q) {
 
 }  // namespace
 
-FactorizedPsd::FactorizedPsd(Csr q) : q_(std::move(q)) {
+FactorizedPsd::FactorizedPsd(Csr q)
+    : FactorizedPsd(std::move(q), TransposePlanOptions{}) {}
+
+FactorizedPsd::FactorizedPsd(Csr q, const TransposePlanOptions& plan_options)
+    : q_(std::move(q)) {
   PSDP_CHECK(q_.rows() >= 1, "factorized PSD: Q must have at least one row");
   // Tall factors get the cached CSC view: every Q^T application (two per
   // Taylor step on the sketched hot path) then runs the gather kernel
   // instead of the owned-column scatter.
   if (q_.rows() >=
       kTransposeIndexAspect * std::max<Index>(1, q_.cols())) {
-    q_.build_transpose_index();
+    q_.build_transpose_index(plan_options);
   }
   lambda_bound_ = factor_lambda_max_bound(q_);
 }

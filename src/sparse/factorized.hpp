@@ -31,6 +31,13 @@ class FactorizedPsd {
   /// transpose index built here, so their Q^T kernels run the gather path.
   explicit FactorizedPsd(Csr q);
 
+  /// As above, but the transpose index (and with it the segment grid and
+  /// the KernelPlan) is built under the caller's options -- in particular
+  /// TransposePlanOptions::autotune.plan_cache, which is how the serve
+  /// layer's ArtifactCache routes plan memoization of the instances it
+  /// prepares into its own owned cache instead of the process-wide one.
+  FactorizedPsd(Csr q, const TransposePlanOptions& plan_options);
+
   /// Rank-1 special case A = v v^T (beamforming channels, graph edges).
   static FactorizedPsd rank_one(const Vector& v, Real drop_tol = 0);
 

@@ -5,7 +5,6 @@
 #include <bit>
 #include <cstdlib>
 #include <limits>
-#include <map>
 #include <mutex>
 #include <sstream>
 
@@ -295,7 +294,8 @@ namespace {
 /// callers differing in widths, reps, the flop gate, or the scatter
 /// opt-in must never silently share a plan (the opt-in in particular
 /// decides whether a cached plan can ever pick the thread-count-dependent
-/// scatter).
+/// scatter). The plan_cache pointer is deliberately excluded: it names
+/// *which* memo to consult, not what to memoize.
 using PlanCacheKey = std::array<std::int64_t, 5>;
 
 int log2_bucket(Index v) { return std::bit_width(static_cast<std::uint64_t>(std::max<Index>(v, 1))); }
@@ -313,40 +313,85 @@ std::int64_t options_fingerprint(const AutotuneOptions& options) {
   return static_cast<std::int64_t>(h);
 }
 
-std::mutex& plan_cache_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
-
-std::map<PlanCacheKey, KernelPlan>& plan_cache() {
-  static std::map<PlanCacheKey, KernelPlan> cache;
-  return cache;
+PlanCacheKey plan_cache_key(const Csr& a, const AutotuneOptions& options) {
+  return {log2_bucket(a.nnz()), log2_bucket(a.rows()), log2_bucket(a.cols()),
+          a.has_segment_index() ? 1 : 0, options_fingerprint(options)};
 }
 
 }  // namespace
 
-KernelPlan cached_transpose_plan(const Csr& a, const AutotuneOptions& options) {
-  const PlanCacheKey key = {log2_bucket(a.nnz()), log2_bucket(a.rows()),
-                            log2_bucket(a.cols()),
-                            a.has_segment_index() ? 1 : 0,
-                            options_fingerprint(options)};
+TransposePlanCache::TransposePlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  slots_.reserve(capacity_);
+}
+
+KernelPlan TransposePlanCache::get(const Csr& a,
+                                   const AutotuneOptions& options) {
+  const PlanCacheKey key = plan_cache_key(a, options);
   {
-    std::lock_guard<std::mutex> lock(plan_cache_mutex());
-    const auto hit = plan_cache().find(key);
-    if (hit != plan_cache().end()) return hit->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Slot& slot : slots_) {
+      if (slot.key == key) {
+        ++stats_.hits;
+        slot.last_used = ++tick_;
+        return slot.plan;
+      }
+    }
+    ++stats_.misses;
   }
   // Measure outside the lock (the measurement runs parallel kernels); a
   // racing duplicate measurement is harmless -- last writer wins and every
   // candidate decision is bit-equivalent (gather vs segmented).
   KernelPlan plan = autotune_transpose_plan(a, options);
-  std::lock_guard<std::mutex> lock(plan_cache_mutex());
-  plan_cache()[key] = plan;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Slot& slot : slots_) {
+    if (slot.key == key) {  // a racing thread inserted first: adopt ours
+      slot.plan = plan;
+      slot.last_used = ++tick_;
+      return plan;
+    }
+  }
+  if (slots_.size() >= capacity_) {
+    // Evict the least-recently-used slot (capacity is small; a scan is
+    // cheaper than maintaining an intrusive list).
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].last_used < slots_[victim].last_used) victim = i;
+    }
+    slots_[victim] = Slot{key, plan, ++tick_};
+    ++stats_.evictions;
+  } else {
+    slots_.push_back(Slot{key, plan, ++tick_});
+  }
   return plan;
 }
 
-void clear_transpose_plan_cache() {
-  std::lock_guard<std::mutex> lock(plan_cache_mutex());
-  plan_cache().clear();
+void TransposePlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
 }
+
+std::size_t TransposePlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+TransposePlanCache::Stats TransposePlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TransposePlanCache& global_transpose_plan_cache() {
+  static TransposePlanCache cache;
+  return cache;
+}
+
+KernelPlan cached_transpose_plan(const Csr& a, const AutotuneOptions& options) {
+  TransposePlanCache& cache =
+      options.plan_cache ? *options.plan_cache : global_transpose_plan_cache();
+  return cache.get(a, options);
+}
+
+void clear_transpose_plan_cache() { global_transpose_plan_cache().clear(); }
 
 }  // namespace psdp::sparse

@@ -24,6 +24,9 @@
 // run (see docs/TUNING.md for the schema).
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +35,7 @@
 namespace psdp::sparse {
 
 class Csr;  // kernel_plan.cpp measures on a Csr; the header needs no layout
+class TransposePlanCache;  // defined below AutotuneOptions
 
 /// The three transpose-panel kernels a plan can select between.
 enum class TransposeKernel {
@@ -145,7 +149,77 @@ struct AutotuneOptions {
   /// trajectories (see the header comment). Timings are recorded either
   /// way.
   bool allow_scatter_choice = false;
+  /// The plan memo cached_transpose_plan() consults: nullptr = the
+  /// process-wide cache (global_transpose_plan_cache()). The serve layer's
+  /// ArtifactCache owns its own TransposePlanCache and threads it through
+  /// here, so batch workloads keep their plan decisions in an owned,
+  /// independently capped cache instead of the process-wide one. Not part
+  /// of the memo key (it *is* the memo).
+  TransposePlanCache* plan_cache = nullptr;
 };
+
+/// A capped, evictable, thread-safe memo of autotuned transpose plans,
+/// keyed by the matrix's (log2 nnz, log2 rows, log2 cols, has-segment-grid)
+/// shape bucket plus a fingerprint of the tuner options: same-shaped
+/// factors -- a FactorizedSet holds hundreds -- measure once and share the
+/// decision.
+///
+/// This class replaces the process-wide unbounded `static std::map` memo of
+/// PR 4 with a value an owner can hold, size, inspect, and clear: the
+/// process-wide default lives behind global_transpose_plan_cache() (now
+/// capped), and the serve layer's ArtifactCache owns a private instance
+/// (AutotuneOptions::plan_cache). Eviction is least-recently-used; hit,
+/// miss, and eviction counts are exposed for the cache-reuse assertions of
+/// bench_serve and the tests.
+class TransposePlanCache {
+ public:
+  /// Entry cap of the process-wide cache. Generous: one entry per distinct
+  /// (shape bucket, tuner-option) pair, and solvers funnel through a
+  /// handful of option sets.
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< lookups that ran the autotuner
+    std::uint64_t evictions = 0;   ///< entries displaced by the cap
+  };
+
+  explicit TransposePlanCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The memoized autotune_transpose_plan: returns the cached plan for the
+  /// matrix's shape bucket, measuring (outside the lock) on a miss. A
+  /// racing duplicate measurement is harmless -- last writer wins and every
+  /// candidate decision is bit-equivalent (gather vs segmented). Ignores
+  /// options.plan_cache (this cache is already the memo).
+  KernelPlan get(const Csr& a, const AutotuneOptions& options);
+
+  /// Drop every memoized decision (counts as neither hit nor eviction).
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  /// Shape bucket + options fingerprint (see kernel_plan.cpp).
+  using Key = std::array<std::int64_t, 5>;
+
+  struct Slot {
+    Key key;
+    KernelPlan plan;
+    std::uint64_t last_used = 0;  ///< LRU tick
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::vector<Slot> slots_;  ///< unordered; capacity is small, scans are fine
+  Stats stats_;
+};
+
+/// The process-wide plan memo consulted when AutotuneOptions::plan_cache is
+/// null -- the PR 4 global memo, now capped and evictable.
+TransposePlanCache& global_transpose_plan_cache();
 
 /// Options of Csr::build_transpose_index(): the segment grid plus the
 /// autotuner configuration.
@@ -181,14 +255,15 @@ struct TransposePlanOptions {
 KernelPlan autotune_transpose_plan(const Csr& a,
                                    const AutotuneOptions& options = {});
 
-/// autotune_transpose_plan with a process-wide memo keyed by the matrix's
-/// (log2 nnz, log2 rows, log2 cols, has-segment-grid) shape bucket:
-/// same-shaped factors -- a FactorizedSet holds hundreds -- measure once
+/// autotune_transpose_plan through a plan memo: options.plan_cache when
+/// set, the process-wide global_transpose_plan_cache() otherwise.
+/// Same-shaped factors -- a FactorizedSet holds hundreds -- measure once
 /// and share the decision. Thread-safe.
 KernelPlan cached_transpose_plan(const Csr& a,
                                  const AutotuneOptions& options = {});
 
-/// Drop all memoized plan decisions (tests; benches that re-tune).
+/// Drop all decisions memoized in the *process-wide* cache (tests; benches
+/// that re-tune). Owned TransposePlanCache instances clear themselves.
 void clear_transpose_plan_cache();
 
 }  // namespace psdp::sparse

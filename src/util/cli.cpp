@@ -8,8 +8,18 @@ namespace detail {
 
 template <>
 Index parse_value<Index>(const std::string& text) {
+  // std::stoll throws raw std::invalid_argument / std::out_of_range, which
+  // would bypass the library's InvalidArgument path and surface an opaque
+  // what() to the user; translate both into the documented error type.
   std::size_t pos = 0;
-  const long long v = std::stoll(text, &pos);
+  long long v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument(str("cannot parse integer '", text, "'"));
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument(str("integer '", text, "' is out of range"));
+  }
   PSDP_CHECK(pos == text.size(), str("trailing characters in integer '", text, "'"));
   return static_cast<Index>(v);
 }
@@ -22,7 +32,14 @@ int parse_value<int>(const std::string& text) {
 template <>
 Real parse_value<Real>(const std::string& text) {
   std::size_t pos = 0;
-  const double v = std::stod(text, &pos);
+  double v = 0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::invalid_argument&) {
+    throw InvalidArgument(str("cannot parse real '", text, "'"));
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument(str("real '", text, "' is out of range"));
+  }
   PSDP_CHECK(pos == text.size(), str("trailing characters in real '", text, "'"));
   return v;
 }
@@ -80,7 +97,13 @@ void Cli::parse(int argc, char** argv) {
     }
     ErasedFlag* flag = find(name);
     PSDP_CHECK(flag != nullptr, str("unknown flag --", name));
-    flag->assign(value);
+    try {
+      flag->assign(value);
+    } catch (const InvalidArgument& e) {
+      // Name the flag: "cannot parse real 'bogus'" alone does not tell the
+      // user which of a dozen flags was mistyped.
+      throw InvalidArgument(str("flag --", name, ": ", e.what()));
+    }
   }
 }
 

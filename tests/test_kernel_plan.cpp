@@ -8,6 +8,8 @@
 // thread count.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "apps/generators.hpp"
@@ -124,6 +126,124 @@ TEST(KernelPlan, TinyMatricesSkipMeasurement) {
   small.build_transpose_index();  // default: autotune on, under the flop gate
   EXPECT_FALSE(small.kernel_plan().measured());
   EXPECT_EQ(small.kernel_plan().choose(4), TransposeKernel::kGather);
+}
+
+TEST(TransposePlanCache, CapsEntriesAndEvictsLru) {
+  // Three distinct shape buckets through a two-slot cache: the LRU entry
+  // is displaced, a later lookup for it re-measures (a miss), and the
+  // counters record every step.
+  TransposePlanCache cache(2);
+  AutotuneOptions tune;
+  tune.widths = {1};
+  tune.reps = 1;
+  tune.min_bench_flops = 1;  // force measurement on tiny matrices
+  Csr a = tall_random(1 << 8, 4, 1);
+  Csr b = tall_random(1 << 10, 8, 2);
+  Csr c = tall_random(1 << 12, 16, 3);
+  TransposePlanOptions build;
+  build.autotune.enable = false;
+  a.build_transpose_index(build);
+  b.build_transpose_index(build);
+  c.build_transpose_index(build);
+
+  const KernelPlan plan_a = cache.get(a, tune);
+  cache.get(b, tune);
+  EXPECT_EQ(cache.get(a, tune), plan_a);  // hit, and refreshes a's recency
+  cache.get(c, tune);                     // evicts b (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  TransposePlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  cache.get(b, tune);  // b was evicted: measured again
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TransposePlanCache, ConcurrentBuildersShareOneDecision) {
+  // The scheduler's lanes build transpose indexes (and through them the
+  // plan memo) from multiple threads at once: same-shaped matrices must
+  // land on one shared decision, with every lookup accounted as a hit or
+  // a miss and no torn state. Eight OS threads (not pool workers -- the
+  // pool serializes external submitters itself) each build their own
+  // same-shaped matrix against one owned cache.
+  TransposePlanCache cache(8);
+  TransposePlanOptions build;
+  build.autotune.widths = {1, 8};
+  build.autotune.reps = 1;
+  build.autotune.min_bench_flops = 1;  // force real measurement
+  build.autotune.plan_cache = &cache;
+
+  constexpr int kThreads = 8;
+  std::vector<Csr> matrices;
+  matrices.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // Same (nnz, rows, cols) shape bucket, different values.
+    matrices.push_back(tall_random(1 << 12, 16, 100 + t));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&matrices, &build, t] {
+      matrices[static_cast<std::size_t>(t)].build_transpose_index(build);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every matrix carries a measured plan, and all plans agree: any one
+  // measurement (racing duplicates are allowed) decided for the bucket,
+  // and only deterministic kernels may be chosen.
+  const KernelPlan& reference = matrices[0].kernel_plan();
+  EXPECT_TRUE(reference.measured());
+  for (const Csr& m : matrices) {
+    for (const KernelPlanEntry& entry : m.kernel_plan().entries()) {
+      EXPECT_NE(entry.choice, TransposeKernel::kScatter);
+    }
+  }
+  const TransposePlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_EQ(cache.size(), 1u) << "one shape bucket, one slot";
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // A later same-shaped build is a pure hit with the identical decision.
+  Csr again = tall_random(1 << 12, 16, 999);
+  again.build_transpose_index(build);
+  EXPECT_EQ(again.kernel_plan(), cache.get(again, build.autotune));
+  EXPECT_GT(cache.stats().hits, stats.hits);
+}
+
+TEST(TransposePlanCache, OwnedCacheIsIndependentOfGlobal) {
+  clear_transpose_plan_cache();
+  TransposePlanCache owned(4);
+  Csr tall = tall_random(1 << 12, 16, 55);
+  TransposePlanOptions build;
+  build.autotune.enable = false;
+  tall.build_transpose_index(build);
+
+  AutotuneOptions tune;
+  tune.widths = {1};
+  tune.reps = 1;
+  tune.min_bench_flops = 1;
+  tune.plan_cache = &owned;
+  const std::uint64_t global_misses_before =
+      global_transpose_plan_cache().stats().misses;
+  cached_transpose_plan(tall, tune);  // routed into `owned`
+  EXPECT_EQ(owned.size(), 1u);
+  EXPECT_EQ(global_transpose_plan_cache().stats().misses,
+            global_misses_before)
+      << "an owned cache must not spill into the process-wide one";
+
+  tune.plan_cache = nullptr;
+  cached_transpose_plan(tall, tune);  // the default: the global cache
+  EXPECT_EQ(global_transpose_plan_cache().stats().misses,
+            global_misses_before + 1);
+  EXPECT_EQ(owned.stats().misses, 1u);
+  clear_transpose_plan_cache();
 }
 
 TEST(KernelPlan, CachedPlansAgreeAcrossCalls) {

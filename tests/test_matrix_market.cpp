@@ -103,16 +103,76 @@ TEST(MatrixMarket, SkipsCommentsAndBlankLines) {
   EXPECT_NEAR(back.to_dense()(1, 1), -1.0, 0.0);
 }
 
-TEST(MatrixMarket, SymmetricUpperEntryExpands) {
-  // The spec stores the lower triangle, but accept either triangle and
-  // mirror it.
+TEST(MatrixMarket, SymmetricEitherTriangleMirrorsOnce) {
+  // Each stored off-diagonal entry is mirrored exactly once, whichever
+  // triangle the file used (entries are canonicalized to the lower one).
+  for (const char* entry_line : {"2 1 7.0\n", "1 2 7.0\n"}) {
+    std::stringstream buffer(
+        str("%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 1\n",
+            entry_line));
+    const Csr back = read_matrix_market_sparse(buffer);
+    EXPECT_NEAR(back.to_dense()(0, 1), 7.0, 0.0) << entry_line;
+    EXPECT_NEAR(back.to_dense()(1, 0), 7.0, 0.0) << entry_line;
+  }
+}
+
+TEST(MatrixMarket, SymmetricRedundantPairSumsAsOneDuplicate) {
+  // (2,1) and (1,2) name the same logical entry of a symmetric matrix:
+  // canonicalization makes them duplicates, so they sum (the documented
+  // policy) and the merged value is mirrored once -- the old reader
+  // instead mirrored each listing independently, making the doubling an
+  // accident of storage rather than a defined rule.
   std::stringstream buffer(
       "%%MatrixMarket matrix coordinate real symmetric\n"
-      "2 2 1\n"
-      "2 1 7.0\n");
+      "2 2 2\n"
+      "2 1 7.0\n"
+      "1 2 -3.0\n");
   const Csr back = read_matrix_market_sparse(buffer);
-  EXPECT_NEAR(back.to_dense()(0, 1), 7.0, 0.0);
-  EXPECT_NEAR(back.to_dense()(1, 0), 7.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(1, 0), 4.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(0, 1), 4.0, 0.0);
+}
+
+TEST(MatrixMarket, DuplicateEntriesSumInSparseReader) {
+  // Conventional MM duplicate semantics: repeated (r,c) listings sum. One
+  // diagonal and one off-diagonal duplicate, general format.
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 4\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"
+      "2 1 -1.0\n"
+      "2 1 3.0\n");
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_EQ(back.nnz(), 2);
+  EXPECT_NEAR(back.to_dense()(0, 0), 4.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(1, 0), 2.0, 0.0);
+}
+
+TEST(MatrixMarket, DuplicateEntriesSumInDenseReader) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 2 0.25\n"
+      "1 2 0.75\n"
+      "2 2 2.0\n");
+  const linalg::Matrix back = read_matrix_market_dense(buffer);
+  EXPECT_NEAR(back(0, 1), 1.0, 0.0);
+  EXPECT_NEAR(back(1, 1), 2.0, 0.0);
+  EXPECT_NEAR(back(0, 0), 0.0, 0.0);
+}
+
+TEST(MatrixMarket, SymmetricDuplicatesSumAndMirrorOnce) {
+  // Duplicate *lower-triangle* listings of the same unordered pair sum,
+  // and the summed value is mirrored symmetrically.
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "2 1 1.0\n"
+      "2 1 2.0\n");
+  const Csr back = read_matrix_market_sparse(buffer);
+  EXPECT_NEAR(back.to_dense()(1, 0), 3.0, 0.0);
+  EXPECT_NEAR(back.to_dense()(0, 1), 3.0, 0.0);
 }
 
 TEST(MatrixMarket, RejectsMalformedInput) {

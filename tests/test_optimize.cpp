@@ -41,6 +41,41 @@ TEST(ApproxPacking, BracketsKnownOptimumOnAxesInstance) {
   EXPECT_LE(r.upper / r.lower, 1 + options.eps + 0.01);
 }
 
+TEST(ApproxPacking, ExtremeTraceInstanceKeepsBracketFinite) {
+  // Regression for the bracket-search midpoint: with min_i Tr A_i ~ 1e-300
+  // the initial bracket endpoints sit near 1e300, so the old
+  // sqrt(lower * upper) midpoint overflowed the product to inf (and the
+  // mirrored-magnitude instance underflowed it to 0) even though the
+  // midpoint itself -- and every probe instance scaled by it -- is
+  // perfectly representable. sqrt(lower) * sqrt(upper) is overflow-free.
+  const std::vector<Real> d = {2.0, 4.0, 0.5};
+  const Real base_opt = 1 / 2.0 + 1 / 4.0 + 1 / 0.5;  // 2.75
+  OptimizeOptions options;
+  options.eps = 0.15;
+  {
+    // Traces ~1e-300: bracket endpoints ~1e300, product overflows.
+    const PackingInstance tiny = axes_instance(d).scaled(1e-300);
+    const Real opt = base_opt * 1e300;  // OPT(s A) = OPT(A) / s
+    const PackingOptimum r = approx_packing(tiny, options);
+    ASSERT_TRUE(std::isfinite(r.lower));
+    ASSERT_TRUE(std::isfinite(r.upper));
+    EXPECT_LE(r.lower, opt * (1 + 1e-9));
+    EXPECT_GE(r.upper, opt * (1 - 1e-9));
+    EXPECT_LE(r.upper / r.lower, 1 + options.eps + 0.01);
+  }
+  {
+    // Traces ~1e300: bracket endpoints ~1e-300, product underflows to 0.
+    const PackingInstance huge = axes_instance(d).scaled(1e300);
+    const Real opt = base_opt * 1e-300;
+    const PackingOptimum r = approx_packing(huge, options);
+    ASSERT_GT(r.lower, 0);
+    ASSERT_TRUE(std::isfinite(r.upper));
+    EXPECT_LE(r.lower, opt * (1 + 1e-9));
+    EXPECT_GE(r.upper, opt * (1 - 1e-9));
+    EXPECT_LE(r.upper / r.lower, 1 + options.eps + 0.01);
+  }
+}
+
 TEST(ApproxPacking, BestXIsExactlyFeasible) {
   const PackingInstance inst = axes_instance({1.0, 3.0});
   OptimizeOptions options;

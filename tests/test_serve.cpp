@@ -1,0 +1,511 @@
+// The serve layer: ArtifactCache hit/miss/evict accounting and workspace
+// pooling, the BatchScheduler's lanes-vs-solo bitwise determinism contract,
+// per-job failure isolation, concurrent artifact preparation from scheduler
+// lanes, and the job-manifest reader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "apps/generators.hpp"
+#include "io/instance_io.hpp"
+#include "par/parallel.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/manifest.hpp"
+#include "serve/scheduler.hpp"
+#include "sparse/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace psdp::serve {
+namespace {
+
+using linalg::Vector;
+
+/// RAII guard: restore the global thread count on scope exit.
+struct ThreadGuard {
+  int before = par::num_threads();
+  ~ThreadGuard() { par::set_num_threads(before); }
+};
+
+/// A cheap prepared instance (the LP kind needs no index builds), tagged so
+/// tests can tell which builder call produced it.
+PreparedInstance tiny_lp_instance(Real scale = 1) {
+  linalg::Matrix p(2, 3);
+  p(0, 0) = scale;
+  p(0, 2) = 2 * scale;
+  p(1, 1) = scale;
+  p(1, 2) = scale;
+  return prepare_lp(core::PackingLp(std::move(p)));
+}
+
+ArtifactCache::Builder counting_builder(std::atomic<int>& builds,
+                                        Real scale = 1) {
+  return [&builds, scale](const sparse::TransposePlanOptions&) {
+    builds.fetch_add(1);
+    return tiny_lp_instance(scale);
+  };
+}
+
+TEST(ArtifactCache, HitMissEvictCountersAndLru) {
+  ArtifactCache::Options options;
+  options.capacity = 2;
+  ArtifactCache cache(options);
+  std::atomic<int> builds{0};
+
+  const auto a1 = cache.get("a", counting_builder(builds));
+  EXPECT_FALSE(a1.hit);
+  const auto a2 = cache.get("a", counting_builder(builds));
+  EXPECT_TRUE(a2.hit);
+  EXPECT_EQ(a1.entry.get(), a2.entry.get());
+  EXPECT_EQ(builds.load(), 1);
+
+  cache.get("b", counting_builder(builds));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch "a" so "b" is the LRU victim of the third key.
+  cache.get("a", counting_builder(builds));
+  cache.get("c", counting_builder(builds));
+  EXPECT_EQ(cache.size(), 2u);
+
+  ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // "b" was evicted: resolving it again rebuilds; "a" is still cached.
+  EXPECT_FALSE(cache.get("b", counting_builder(builds)).hit);
+  EXPECT_EQ(builds.load(), 4);
+
+  // An evicted entry held by a job stays alive through its shared_ptr.
+  EXPECT_EQ(a1.entry->instance().kind, JobKind::kPackingLp);
+  EXPECT_EQ(a1.entry->key(), "a");
+}
+
+TEST(ArtifactCache, BuilderFailureLeavesNoEntryBehind) {
+  ArtifactCache cache;
+  std::atomic<int> builds{0};
+  const ArtifactCache::Builder boom =
+      [](const sparse::TransposePlanOptions&) -> PreparedInstance {
+    throw NumericalError("builder exploded");
+  };
+  EXPECT_THROW(cache.get("k", boom), NumericalError);
+  EXPECT_EQ(cache.size(), 0u);
+  // The next resolve retries with a working builder.
+  EXPECT_FALSE(cache.get("k", counting_builder(builds)).hit);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ArtifactCache, WaiterRebuildAfterFailedBuilderEndsUpCached) {
+  // Lane A's builder throws while lane B waits on the same key: whichever
+  // way the race resolves (B waited on the build mutex and rebuilt the
+  // erased-but-held entry, or B re-inserted a fresh shell), the key must
+  // end up cached -- a later lookup is a pure hit, not a rebuild.
+  ArtifactCache cache;
+  std::atomic<bool> builder_entered{false};
+  std::atomic<bool> release_builder{false};
+  std::atomic<int> good_builds{0};
+
+  std::thread failing([&] {
+    const ArtifactCache::Builder boom =
+        [&](const sparse::TransposePlanOptions&) -> PreparedInstance {
+      builder_entered.store(true);
+      while (!release_builder.load()) std::this_thread::yield();
+      throw NumericalError("transient failure");
+    };
+    EXPECT_THROW(cache.get("k", boom), NumericalError);
+  });
+  while (!builder_entered.load()) std::this_thread::yield();
+
+  std::thread waiting([&] {
+    // Likely blocks on the entry's build mutex until the failure lands.
+    const auto resolved = cache.get("k", counting_builder(good_builds));
+    EXPECT_EQ(resolved.entry->instance().kind, JobKind::kPackingLp);
+  });
+  // Give the waiter a moment to reach the build mutex, then let the
+  // failing builder throw (correct either way; see above).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_builder.store(true);
+  failing.join();
+  waiting.join();
+
+  EXPECT_EQ(good_builds.load(), 1);
+  ASSERT_NE(cache.find("k"), nullptr)
+      << "the successful rebuild must be cached";
+  std::atomic<int> more_builds{0};
+  EXPECT_TRUE(cache.get("k", counting_builder(more_builds)).hit);
+  EXPECT_EQ(more_builds.load(), 0);
+}
+
+TEST(ArtifactCache, WorkspacePoolReusesUpToCap) {
+  ArtifactCache::Options options;
+  options.workspaces_per_entry = 2;
+  ArtifactCache cache(options);
+  std::atomic<int> builds{0};
+  const auto resolved = cache.get("k", counting_builder(builds));
+
+  core::SolverWorkspace* first = nullptr;
+  {
+    WorkspaceLease lease(resolved.entry);
+    ASSERT_NE(lease.get(), nullptr);
+    first = lease.get();
+  }  // returned to the pool
+  {
+    WorkspaceLease lease(resolved.entry);
+    EXPECT_EQ(lease.get(), first);  // same workspace, recycled
+  }
+  EXPECT_EQ(cache.stats().workspace_reuses, 1u);
+
+  // Three concurrent leases against a one-deep pool: one reuse, two fresh;
+  // on release only two fit the cap (the third is dropped).
+  {
+    WorkspaceLease a(resolved.entry), b(resolved.entry), c(resolved.entry);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(b.get(), c.get());
+  }
+  // Now the pool is full (two workspaces): two of three leases reuse.
+  {
+    WorkspaceLease a(resolved.entry), b(resolved.entry), c(resolved.entry);
+  }
+  // 1 (earlier) + 1 + 2: dropped leases never count as reuses.
+  EXPECT_EQ(cache.stats().workspace_reuses, 4u);
+
+  // Moved-from leases release nothing twice.
+  WorkspaceLease outer;
+  {
+    WorkspaceLease inner(resolved.entry);
+    outer = std::move(inner);
+    EXPECT_EQ(inner.get(), nullptr);
+  }
+  EXPECT_NE(outer.get(), nullptr);
+}
+
+TEST(ArtifactCache, PlanOptionsRouteIntoOwnedPlanCache) {
+  ArtifactCache cache;
+  const sparse::TransposePlanOptions plan = cache.plan_options();
+  EXPECT_EQ(plan.autotune.plan_cache, &cache.plan_cache());
+}
+
+TEST(ArtifactCache, CoveringPreparationCachesNormalization) {
+  // A small covering problem: C = I and two diagonal constraints (PSD).
+  core::CoveringProblem problem;
+  problem.objective = linalg::Matrix::identity(3);
+  linalg::Matrix a(3, 3);
+  a(0, 0) = 2;
+  a(1, 1) = 1;
+  linalg::Matrix b(3, 3);
+  b(2, 2) = 4;
+  problem.constraints = {a, b};
+  problem.rhs = Vector{1.0, 2.0};
+  const PreparedInstance prepared = prepare_covering(std::move(problem));
+  EXPECT_NO_THROW(prepared.validate());
+  ASSERT_NE(prepared.normalized, nullptr);
+  EXPECT_EQ(prepared.normalized->packing.size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: determinism, sharding, callbacks, failure isolation.
+// ---------------------------------------------------------------------------
+
+/// A small factorized instance whose factors are tall enough to carry
+/// transpose indexes (m = 64 >> rank), solved with loose eps so the whole
+/// batch runs in well under a second.
+std::shared_ptr<const core::FactorizedPackingInstance> small_factorized(
+    std::uint64_t seed) {
+  return std::make_shared<const core::FactorizedPackingInstance>(
+      apps::random_factorized(
+          {.n = 6, .m = 64, .rank = 2, .nnz_per_column = 4, .seed = seed}));
+}
+
+core::OptimizeOptions loose_options() {
+  core::OptimizeOptions options;
+  options.eps = 0.5;
+  options.decision_eps = 0.3;
+  options.probe_solver = core::ProbeSolver::kPhased;
+  options.decision.dot_options.sketch_rows_override = 8;
+  return options;
+}
+
+TEST(BatchScheduler, LaneResultsBitwiseEqualSoloRuns) {
+  ThreadGuard guard;
+  par::set_num_threads(4);
+
+  const auto inst_a = small_factorized(3);
+  const auto inst_b = small_factorized(4);
+  const core::OptimizeOptions options = loose_options();
+
+  // Solo references at the same pool width.
+  const core::PackingOptimum solo_a = core::approx_packing(*inst_a, options);
+  const core::PackingOptimum solo_b = core::approx_packing(*inst_b, options);
+
+  SolveBatch batch;
+  batch.add_factorized("a", inst_a, options);
+  batch.add_factorized("b", inst_b, options);
+  batch.add_factorized("a", inst_a, options, "a-again");
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const JobResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_GE(r.lane, 0) << "small jobs must run in lanes";
+  }
+  const auto expect_bitwise = [](const core::PackingOptimum& got,
+                                 const core::PackingOptimum& want) {
+    EXPECT_EQ(got.lower, want.lower);
+    EXPECT_EQ(got.upper, want.upper);
+    ASSERT_EQ(got.best_x.size(), want.best_x.size());
+    for (Index i = 0; i < got.best_x.size(); ++i) {
+      EXPECT_EQ(got.best_x[i], want.best_x[i]);
+    }
+  };
+  expect_bitwise(results[0].packing, solo_a);
+  expect_bitwise(results[1].packing, solo_b);
+  expect_bitwise(results[2].packing, solo_a);  // repeated config, cached
+
+  // The two "a" jobs may resolve concurrently from different lanes:
+  // exactly one runs the builder, the other shares it.
+  EXPECT_NE(results[0].cache_hit, results[2].cache_hit);
+  EXPECT_FALSE(results[1].cache_hit);
+
+  // The same batch on the warm scheduler: all hits, same bits.
+  const std::vector<JobResult> warm = scheduler.run(batch);
+  for (const JobResult& r : warm) EXPECT_TRUE(r.cache_hit);
+  expect_bitwise(warm[0].packing, solo_a);
+}
+
+TEST(BatchScheduler, WideJobsRunAtFullWidthAndMatchLanes) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  const auto inst = small_factorized(9);
+  const core::OptimizeOptions options = loose_options();
+
+  SolveBatch narrow_batch;
+  narrow_batch.add_factorized("k", inst, options);
+
+  SolveBatch wide_batch;
+  const std::size_t at = wide_batch.add_factorized("k", inst, options);
+  wide_batch.jobs()[at].work = std::numeric_limits<Index>::max() / 2;
+
+  BatchScheduler narrow_scheduler;
+  BatchScheduler wide_scheduler;
+  const JobResult narrow = narrow_scheduler.run(narrow_batch)[0];
+  const JobResult wide = wide_scheduler.run(wide_batch)[0];
+  ASSERT_TRUE(narrow.ok && wide.ok);
+  EXPECT_GE(narrow.lane, 0);
+  EXPECT_EQ(wide.lane, -1);
+  // Lane-inline and full-width executions agree bit for bit.
+  EXPECT_EQ(narrow.packing.lower, wide.packing.lower);
+  EXPECT_EQ(narrow.packing.upper, wide.packing.upper);
+}
+
+TEST(BatchScheduler, FailuresAreIsolatedAndCallbacksFire) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+
+  SolveBatch batch;
+  batch.add_lp("good", std::make_shared<const core::PackingLp>(
+                           apps::complete_graph_matching_lp(6).lp));
+  JobSpec bad;
+  bad.instance = "bad";
+  bad.kind = JobKind::kPackingLp;
+  bad.builder = [](const sparse::TransposePlanOptions&) -> PreparedInstance {
+    throw NumericalError("instance generation failed");
+  };
+  batch.add(std::move(bad));
+
+  std::atomic<int> callbacks{0};
+  for (auto& job : batch.jobs()) {
+    job.on_complete = [&callbacks](const JobResult&) { callbacks.fetch_add(1); };
+  }
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("instance generation failed"),
+            std::string::npos);
+  EXPECT_EQ(callbacks.load(), 2);
+
+  // A kind mismatch against a cached instance is a per-job error too.
+  SolveBatch mismatched;
+  JobSpec wrong;
+  wrong.instance = "good";  // cached as packing-lp
+  wrong.kind = JobKind::kCovering;
+  wrong.builder = [](const sparse::TransposePlanOptions&) {
+    return tiny_lp_instance();
+  };
+  mismatched.add(std::move(wrong));
+  const JobResult r = scheduler.run(mismatched)[0];
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("prepared as"), std::string::npos);
+}
+
+TEST(BatchScheduler, RunAsyncDeliversSameResults) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  SolveBatch batch;
+  batch.add_lp("lp", std::make_shared<const core::PackingLp>(
+                         apps::complete_graph_matching_lp(6).lp));
+  BatchScheduler scheduler;
+  const JobResult sync = scheduler.run(batch)[0];
+  std::future<std::vector<JobResult>> pending =
+      scheduler.run_async(std::move(batch));
+  const JobResult async = pending.get()[0];
+  ASSERT_TRUE(sync.ok && async.ok);
+  EXPECT_EQ(sync.lp.lower, async.lp.lower);
+  EXPECT_EQ(sync.lp.upper, async.lp.upper);
+}
+
+TEST(BatchScheduler, ConcurrentLanesPrepareDistinctInstancesOnce) {
+  ThreadGuard guard;
+  par::set_num_threads(4);
+
+  // Eight jobs over four distinct factorized instances, resolved lazily
+  // inside concurrent lanes: each instance must be built exactly once, and
+  // its factor transpose indexes must be built exactly at prepare time
+  // (zero on the repeat jobs).
+  std::atomic<int> builds{0};
+  SolveBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t seed = 11 + static_cast<std::uint64_t>(i % 4);
+    JobSpec job;
+    job.instance = str("inst", i % 4);
+    job.kind = JobKind::kPackingFactorized;
+    job.options = loose_options();
+    job.builder = [seed, &builds](const sparse::TransposePlanOptions& plan) {
+      builds.fetch_add(1);
+      apps::FactorizedOptions options{
+          .n = 4, .m = 64, .rank = 2, .nnz_per_column = 4, .seed = seed};
+      options.plan_options = &plan;
+      return prepare_factorized(apps::random_factorized(options));
+    };
+    batch.add(std::move(job));
+  }
+
+  BatchScheduler scheduler;
+  const std::uint64_t index_builds_before = sparse::transpose_index_build_count();
+  const std::vector<JobResult> results = scheduler.run(batch);
+  const std::uint64_t index_builds_cold =
+      sparse::transpose_index_build_count() - index_builds_before;
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+  }
+  EXPECT_EQ(builds.load(), 4) << "one build per distinct instance";
+  // 4 instances x 4 tall factors each.
+  EXPECT_EQ(index_builds_cold, 16u);
+
+  // Warm repeat: zero builder calls, zero index rebuilds.
+  const std::uint64_t before_warm = sparse::transpose_index_build_count();
+  scheduler.run(batch);
+  EXPECT_EQ(builds.load(), 4);
+  EXPECT_EQ(sparse::transpose_index_build_count() - before_warm, 0u);
+  const ArtifactCache::Stats stats = scheduler.cache().stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 12u);  // 4 cold repeats + 8 warm
+}
+
+// ---------------------------------------------------------------------------
+// Manifest reader.
+// ---------------------------------------------------------------------------
+
+TEST(Manifest, ParsesKindsOptionsAndSharedIds) {
+  std::stringstream manifest(
+      "# heterogeneous batch\n"
+      "packing-lp jobs/lp.psdp eps=0.2 label=lp-loose\n"
+      "packing-lp jobs/lp.psdp eps=0.1\n"
+      "packing-factorized jobs/fact.psdp probe=phased decision-eps=0.25\n"
+      "covering jobs/cov.psdp wide=1 id=shared-cov\n"
+      "\n");
+  const SolveBatch batch = read_manifest(manifest, "test");
+  ASSERT_EQ(batch.size(), 4u);
+  const std::vector<JobSpec>& jobs = batch.jobs();
+  EXPECT_EQ(jobs[0].kind, JobKind::kPackingLp);
+  EXPECT_EQ(jobs[0].label, "lp-loose");
+  EXPECT_EQ(jobs[0].options.eps, 0.2);
+  // Jobs naming the same file share one artifact key.
+  EXPECT_EQ(jobs[0].instance, jobs[1].instance);
+  EXPECT_EQ(jobs[2].options.probe_solver, core::ProbeSolver::kPhased);
+  EXPECT_EQ(jobs[2].options.decision_eps, 0.25);
+  EXPECT_EQ(jobs[3].instance, "shared-cov");
+  EXPECT_GT(jobs[3].work, 0) << "wide=1 must mark the job wide";
+  EXPECT_EQ(jobs[1].work, 0);
+}
+
+TEST(Manifest, ErrorsNameLineAndToken) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::stringstream in(text);
+    try {
+      read_manifest(in, "m");
+    } catch (const InvalidArgument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    const std::string what = message_of("packing-lp a.psdp\nwarp b.psdp\n");
+    EXPECT_NE(what.find("m:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("warp"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("packing-lp a.psdp eps=bogus\n");
+    EXPECT_NE(what.find("m:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("packing-lp a.psdp eps\n");
+    EXPECT_NE(what.find("key=value"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("packing-lp\n");
+    EXPECT_NE(what.find("missing instance path"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("# only comments\n\n");
+    EXPECT_NE(what.find("no jobs"), std::string::npos) << what;
+  }
+}
+
+TEST(Manifest, EndToEndSolvesFromFiles) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  const std::string dir = ::testing::TempDir();
+  const std::string lp_path = dir + "/psdp_serve_test.lp.psdp";
+  io::save_lp(lp_path, apps::complete_graph_matching_lp(6).lp);
+  const std::string fact_path = dir + "/psdp_serve_test.fact.psdp";
+  io::save_factorized(fact_path,
+                      apps::random_factorized({.n = 4, .m = 64, .rank = 2,
+                                               .nnz_per_column = 4,
+                                               .seed = 2}));
+
+  std::stringstream manifest;
+  manifest << "packing-lp " << lp_path << " eps=0.2\n"
+           << "packing-lp " << lp_path << " eps=0.1\n"
+           << "packing-factorized " << fact_path
+           << " eps=0.5 decision-eps=0.3 probe=phased\n";
+  SolveBatch batch = read_manifest(manifest, "files");
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+  }
+  // K6 fractional matching optimum is exactly 3.
+  EXPECT_NEAR(results[0].lp.upper, 3.0, 3.0 * 0.25);
+  // The two LP jobs share one manifest path, hence one artifact key:
+  // exactly one of them built it (they may have raced from two lanes).
+  EXPECT_NE(results[0].cache_hit, results[1].cache_hit);
+
+  std::remove(lp_path.c_str());
+  std::remove(fact_path.c_str());
+}
+
+}  // namespace
+}  // namespace psdp::serve

@@ -131,10 +131,61 @@ TEST(Cli, RejectsUnknownFlagAndBadValues) {
   cli.flag<Index>("n", 1, "count");
   const char* bad_flag[] = {"prog", "--zap=1"};
   EXPECT_THROW(cli.parse(2, const_cast<char**>(bad_flag)), InvalidArgument);
+  // Unparseable numerics must surface as the library's InvalidArgument (not
+  // a raw std::invalid_argument leaking out of std::stoll).
   const char* bad_value[] = {"prog", "--n=abc"};
-  EXPECT_THROW(cli.parse(2, const_cast<char**>(bad_value)), std::exception);
+  EXPECT_THROW(cli.parse(2, const_cast<char**>(bad_value)), InvalidArgument);
   const char* missing[] = {"prog", "--n"};
   EXPECT_THROW(cli.parse(2, const_cast<char**>(missing)), InvalidArgument);
+}
+
+TEST(Cli, NumericParseErrorsNameFlagAndText) {
+  const auto message_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const InvalidArgument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    util::Cli cli("prog", "test");
+    cli.flag<Real>("eps", 0.1, "accuracy");
+    const char* argv[] = {"prog", "--eps=bogus"};
+    const std::string what = message_of(
+        [&] { cli.parse(2, const_cast<char**>(argv)); });
+    EXPECT_NE(what.find("--eps"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+  }
+  {
+    // Out-of-range: std::stoll would throw std::out_of_range.
+    util::Cli cli("prog", "test");
+    cli.flag<Index>("n", 1, "count");
+    const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+    const std::string what = message_of(
+        [&] { cli.parse(2, const_cast<char**>(argv)); });
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  {
+    // Out-of-range real: std::stod throws std::out_of_range on 1e999.
+    util::Cli cli("prog", "test");
+    cli.flag<Real>("eps", 0.1, "accuracy");
+    const char* argv[] = {"prog", "--eps=1e999"};
+    const std::string what = message_of(
+        [&] { cli.parse(2, const_cast<char**>(argv)); });
+    EXPECT_NE(what.find("--eps"), std::string::npos) << what;
+  }
+  {
+    // Trailing junk keeps its existing (named) error path.
+    util::Cli cli("prog", "test");
+    cli.flag<Index>("n", 1, "count");
+    const char* argv[] = {"prog", "--n=12x"};
+    const std::string what = message_of(
+        [&] { cli.parse(2, const_cast<char**>(argv)); });
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("12x"), std::string::npos) << what;
+  }
 }
 
 TEST(Cli, RejectsDuplicateFlagRegistration) {
