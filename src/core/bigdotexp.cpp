@@ -9,8 +9,19 @@
 #include "par/cost_meter.hpp"
 #include "par/parallel.hpp"
 #include "rand/jl.hpp"
+#include "simd/simd.hpp"
 
 namespace psdp::core {
+
+const char* panel_precision_name(PanelPrecision precision) {
+  switch (precision) {
+    case PanelPrecision::kDouble:
+      return "double";
+    case PanelPrecision::kFloat32:
+      return "float32";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -168,24 +179,21 @@ Real sketch_exp_dots_fused(const linalg::BlockOp& phi_block, Index dim,
     trace += par::parallel_sum(0, dim * b, [&](Index k) {
       return sq(ws.y_panel.data()[static_cast<std::size_t>(k)]);
     });
+    // Per constraint: the panel's rows scatter into a k_i x b accumulator
+    // through the dispatch seam (the scatter kernel is exactly this AXPY
+    // loop; its scalar backend is the verbatim pre-seam loop), then the
+    // accumulator's squared mass -- the panel's share of ||S Q_i||_F^2 --
+    // reduces through the same seam.
+    const simd::KernelTable& kt = simd::active_kernels();
     par::parallel_for(0, as.size(), [&](Index i) {
       const sparse::Csr& q = as[i].q();
       const Index k = q.cols();
       std::vector<Real>& acc = ws.accumulators[static_cast<std::size_t>(i)];
       acc.assign(static_cast<std::size_t>(k * b), 0.0);
-      for (Index row = 0; row < q.rows(); ++row) {
-        const auto cols = q.row_cols(row);
-        const auto vals = q.row_vals(row);
-        const Real* src = ws.y_panel.data() + row * b;
-        for (std::size_t e = 0; e < cols.size(); ++e) {
-          Real* out = acc.data() + cols[e] * b;
-          const Real v = vals[e];
-          for (Index t = 0; t < b; ++t) out[t] += v * src[t];
-        }
-      }
-      Real panel_share = 0;
-      for (const Real v : acc) panel_share += v * v;
-      dots[i] += panel_share;
+      kt.scatter_rows(q.row_offsets().data(), q.col_indices().data(),
+                      q.values().data(), 0, q.rows(), b, ws.y_panel.data(),
+                      acc.data());
+      dots[i] += kt.sum_sq(acc.data(), k * b);
       par::CostMeter::add_work(
           static_cast<std::uint64_t>(b * (2 * q.nnz() + 2 * k)));
     }, /*grain=*/1);
@@ -193,6 +201,65 @@ Real sketch_exp_dots_fused(const linalg::BlockOp& phi_block, Index dim,
     // its own depth): the trace reduction and the constraint sweep both
     // finish before the next panel starts, so they stack across the
     // ceil(r/block) sequential panels.
+    par::CostMeter::add_depth(par::reduction_depth(dim * b) +
+                              par::reduction_depth(as.size()));
+  }
+  return trace;
+}
+
+/// Float32 twin of sketch_exp_dots_fused -- the mixed-precision sketch mode.
+/// The sketch panel is generated in double (bit-identical to the double
+/// path's panels, same seed stream) and rounded once to float; the Taylor
+/// recurrence then runs entirely on float panels through the caller's float
+/// block operator, and every reduction that feeds a certificate -- the
+/// trace and each panel's dots share -- is a compensated *double* sum over
+/// the float data (sum_sq_f), so float error enters only as O(eps_f) panel
+/// rounding, inside the margin the JL noise budget already absorbs
+/// (docs/noisy_oracle_margin.md). Per-factor float value copies live in the
+/// workspace (ensure_float_values), so steady-state rounds stay
+/// allocation-free here too.
+Real sketch_exp_dots_fused_f(const linalg::BlockOpF& phi_block_f, Index dim,
+                             Index rows, Index degree, std::uint64_t seed,
+                             bool exact, Index block,
+                             const sparse::FactorizedSet& as,
+                             SolverWorkspace& ws, Vector& dots) {
+  std::optional<rand::GaussianSketch> pi;
+  if (!exact) pi.emplace(rand::GaussianSketch::deferred(rows, dim, seed));
+
+  const simd::KernelTable& kt = simd::active_kernels();
+  as.ensure_float_values(ws.factor);
+  if (static_cast<Index>(ws.accumulators_f.size()) < as.size()) {
+    ws.accumulators_f.resize(static_cast<std::size_t>(as.size()));
+  }
+  Real trace = 0;
+  par::global_pool();  // warm up outside the loop (lazy init)
+  for (Index j0 = 0; j0 < rows; j0 += block) {
+    const Index b = std::min(block, rows - j0);
+    fill_sketch_panel(pi, exact, dim, j0, b, ws.x_panel);
+    ws.x_panel_f.reshape(dim, b);
+    kt.convert_d2f(ws.x_panel.data(), ws.x_panel_f.data(), dim * b);
+    linalg::apply_exp_taylor_block_f(phi_block_f, degree, ws.x_panel_f,
+                                     ws.y_panel_f, ws.taylor_f,
+                                     static_cast<float>(kHalfScale));
+    trace += kt.sum_sq_f(ws.y_panel_f.data(), dim * b);
+    par::parallel_for(0, as.size(), [&](Index i) {
+      const sparse::Csr& q = as[i].q();
+      const Index k = q.cols();
+      const auto& fv =
+          ws.factor.float_values[static_cast<std::size_t>(i)];
+      std::vector<float>& acc =
+          ws.accumulators_f[static_cast<std::size_t>(i)];
+      acc.assign(static_cast<std::size_t>(k * b), 0.0f);
+      kt.scatter_rows_f(q.row_offsets().data(), q.col_indices().data(),
+                        fv.values.data(), 0, q.rows(), b,
+                        ws.y_panel_f.data(), acc.data());
+      dots[i] += kt.sum_sq_f(acc.data(), k * b);
+      par::CostMeter::add_work(
+          static_cast<std::uint64_t>(b * (2 * q.nnz() + 2 * k)));
+    }, /*grain=*/1);
+    // Same model costs as the double path: precision changes constants,
+    // not the metered work/depth shape.
+    par::CostMeter::add_work(static_cast<std::uint64_t>(2 * dim * b));
     par::CostMeter::add_depth(par::reduction_depth(dim * b) +
                               par::reduction_depth(as.size()));
   }
@@ -239,7 +306,8 @@ void big_dot_exp(const linalg::SymmetricOp& phi,
                  const linalg::BlockOp& phi_block, Index dim, Real kappa,
                  const sparse::FactorizedSet& as,
                  const BigDotExpOptions& options, SolverWorkspace& workspace,
-                 BigDotExpResult& result) {
+                 BigDotExpResult& result,
+                 const linalg::BlockOpF* phi_block_f) {
   PSDP_CHECK(dim >= 1, "big_dot_exp: dimension must be positive");
   PSDP_CHECK(as.dim() == dim, "big_dot_exp: constraint dimension mismatch");
   PSDP_CHECK(kappa >= 0, "big_dot_exp: kappa must be non-negative");
@@ -300,6 +368,18 @@ void big_dot_exp(const linalg::SymmetricOp& phi,
   result.block_size = block;
   result.fused = false;
 
+  // The float32 gate (see BigDotExpOptions::panel_precision): every leg
+  // must hold or the call silently runs the double path -- and records
+  // that it did, so callers and benches can tell which precision a result
+  // carries.
+  const bool float_panels =
+      options.panel_precision == PanelPrecision::kFloat32 &&
+      phi_block_f != nullptr && static_cast<bool>(*phi_block_f) &&
+      block > 1 && options.fuse_dots &&
+      options.eps >= options.float_panel_min_eps;
+  result.panel_precision =
+      float_panels ? PanelPrecision::kFloat32 : PanelPrecision::kDouble;
+
   result.dots.resize(as.size());
   if (block == 1) {
     // Reference path: r independent Taylor matvec chains, r x m layout.
@@ -321,9 +401,15 @@ void big_dot_exp(const linalg::SymmetricOp& phi,
     // the panel's Taylor sweep -- no m x r buffer, no second pass over S.
     result.fused = true;
     result.dots.fill(0);
-    result.trace_exp = sketch_exp_dots_fused(
-        phi_block, dim, r, result.taylor_degree, options.seed,
-        result.exact_sketch, block, as, workspace, result.dots);
+    if (float_panels) {
+      result.trace_exp = sketch_exp_dots_fused_f(
+          *phi_block_f, dim, r, result.taylor_degree, options.seed,
+          result.exact_sketch, block, as, workspace, result.dots);
+    } else {
+      result.trace_exp = sketch_exp_dots_fused(
+          phi_block, dim, r, result.taylor_degree, options.seed,
+          result.exact_sketch, block, as, workspace, result.dots);
+    }
   } else {
     // Blocked path: panels of `block` sketch rows share each Phi traversal.
     const std::vector<Real> st = sketch_times_exp_half_blocked(

@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "linalg/matrix.hpp"
+#include "linalg/matrixf.hpp"
 #include "linalg/power.hpp"
 
 namespace psdp::linalg {
@@ -30,6 +31,12 @@ namespace psdp::linalg {
 /// y(:, t) = A x(:, t) for every column t. Implementations may assume
 /// x and y do not alias and must resize y to x's shape if needed.
 using BlockOp = std::function<void(const Matrix& x, Matrix& y)>;
+
+/// Float32 panel operator of the mixed-precision sketch mode: same
+/// contract as BlockOp over MatrixF panels. Only the sketch/Taylor panels
+/// run in float; every certificate-bearing quantity stays double (see
+/// BigDotExpOptions::panel_precision).
+using BlockOpF = std::function<void(const MatrixF& x, MatrixF& y)>;
 
 /// Fallback adapter: applies a single-vector operator column by column.
 /// Correct for any SymmetricOp but amortizes nothing; real data structures
@@ -43,11 +50,33 @@ void panel_column(const Matrix& panel, Index col, Vector& out);
 /// Writes a vector into column `col` of a panel.
 void set_panel_column(Matrix& panel, Index col, const Vector& in);
 
-/// Best-of-`reps` wall-clock seconds of a panel-kernel thunk. The minimum
-/// over repetitions (not the mean) is what both the KernelPlan autotuner
-/// and the bench_kernels sweeps record: kernel selection wants the
-/// noise-free cost, and the floor of a few reps is the cheapest robust
+/// Knobs of time_block_kernel: how many repetitions, how many untimed
+/// warmup runs before them, and a wall-clock floor below which extra
+/// repetitions keep running. The defaults reproduce the original
+/// best-of-2, no-warmup behavior; the KernelPlan autotuner raises them
+/// (AutotuneOptions::warmup / min_sample_seconds) so its decisions are
+/// stable on noisy or shared machines.
+struct TimingOptions {
+  /// Minimum timed repetitions; the best (minimum) is returned.
+  int reps = 2;
+  /// Untimed warmup runs before the first timed one (cache/branch-predictor
+  /// priming; also absorbs first-touch page faults of fresh buffers).
+  int warmup = 0;
+  /// Keep timing additional repetitions until the *total* timed wall clock
+  /// reaches this floor (0 = no floor). Capped at 64 repetitions overall so
+  /// a mis-sized floor cannot hang a tuner.
+  double min_elapsed_seconds = 0;
+};
+
+/// Best-of-N wall-clock seconds of a panel-kernel thunk under `options`.
+/// The minimum over repetitions (not the mean) is what both the KernelPlan
+/// autotuner and the bench_kernels sweeps record: kernel selection wants
+/// the noise-free cost, and the floor of a few reps is the cheapest robust
 /// estimate of it.
+double time_block_kernel(const TimingOptions& options,
+                         const std::function<void()>& body);
+
+/// time_block_kernel with {reps, no warmup, no elapsed floor}.
 double time_block_kernel(int reps, const std::function<void()>& body);
 
 }  // namespace psdp::linalg

@@ -1,0 +1,68 @@
+// Row-major float32 panel used by the mixed-precision sketch mode.
+//
+// Deliberately minimal: the float path only ever streams whole panels
+// through the simd kernel tables (taylor_step_f, spmm_rows_f, ...), so
+// MatrixF is storage plus the capacity-preserving reshape that keeps the
+// zero-allocation steady state -- none of Matrix's BLAS surface. Doubles
+// remain the library's Real; see docs/TUNING.md ("panel_precision").
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace psdp::linalg {
+
+class MatrixF {
+ public:
+  MatrixF() = default;
+  MatrixF(Index rows, Index cols, float value = 0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), value) {
+    PSDP_CHECK(rows >= 0 && cols >= 0,
+               "matrixf: dimensions must be non-negative");
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator()(Index i, Index j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  float operator()(Index i, Index j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  /// Capacity-preserving reshape (same contract as Matrix::reshape): sets
+  /// the dimensions without shrinking the backing storage, so workspace
+  /// panels cycling through shapes allocate only at their high-water mark.
+  MatrixF& reshape(Index rows, Index cols) {
+    PSDP_CHECK(rows >= 0 && cols >= 0,
+               "matrixf reshape: dimensions must be non-negative");
+    const auto n = static_cast<std::size_t>(rows * cols);
+    if (n > data_.size()) data_.resize(n);
+    rows_ = rows;
+    cols_ = cols;
+    return *this;
+  }
+
+  MatrixF& fill(float value) {
+    const auto n = static_cast<std::size_t>(rows_ * cols_);
+    std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(n),
+              value);
+    return *this;
+  }
+
+  friend bool operator==(const MatrixF&, const MatrixF&) = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<float> data_;  ///< may exceed rows_*cols_ (kept capacity)
+};
+
+}  // namespace psdp::linalg

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "par/cost_meter.hpp"
+#include "par/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace psdp::linalg {
 
@@ -51,11 +53,45 @@ void apply_exp_taylor_block(const BlockOp& op, Index degree, const Matrix& x,
   workspace.term = x;
   y = x;
   workspace.next.reshape(n, b);
+  // The scale-and-accumulate tail of each step runs as one fused parallel
+  // sweep through the dispatch seam (taylor_step: v = next*s; next = v;
+  // y += v). The store of v rounds the product before the add in every
+  // backend, so this is bitwise identical to the scale(); add_scaled()
+  // pair it replaces -- under every ISA.
+  const simd::KernelTable& kt = simd::active_kernels();
   for (Index j = 1; j < degree; ++j) {
     op(workspace.term, workspace.next);
-    workspace.next.scale(op_scale / static_cast<Real>(j));
+    const Real s = op_scale / static_cast<Real>(j);
+    par::parallel_for_chunked(0, n * b, [&](Index lo, Index hi) {
+      kt.taylor_step(workspace.next.data(), y.data(), s, lo, hi);
+    }, /*grain=*/8192);
     std::swap(workspace.term, workspace.next);
-    y.add_scaled(workspace.term, 1);
+  }
+  par::CostMeter::add_work(
+      static_cast<std::uint64_t>(3 * n * b * (degree - 1)));
+  par::CostMeter::add_depth(static_cast<std::uint64_t>(degree - 1));
+}
+
+void apply_exp_taylor_block_f(const BlockOpF& op, Index degree,
+                              const MatrixF& x, MatrixF& y,
+                              TaylorBlockWorkspaceF& workspace,
+                              float op_scale) {
+  PSDP_CHECK(degree >= 1, "apply_exp_taylor_block_f: degree must be >= 1");
+  PSDP_CHECK(x.cols() >= 1,
+             "apply_exp_taylor_block_f: panel must be non-empty");
+  const Index n = x.rows();
+  const Index b = x.cols();
+  workspace.term = x;
+  y = x;
+  workspace.next.reshape(n, b);
+  const simd::KernelTable& kt = simd::active_kernels();
+  for (Index j = 1; j < degree; ++j) {
+    op(workspace.term, workspace.next);
+    const float s = op_scale / static_cast<float>(j);
+    par::parallel_for_chunked(0, n * b, [&](Index lo, Index hi) {
+      kt.taylor_step_f(workspace.next.data(), y.data(), s, lo, hi);
+    }, /*grain=*/8192);
+    std::swap(workspace.term, workspace.next);
   }
   par::CostMeter::add_work(
       static_cast<std::uint64_t>(3 * n * b * (degree - 1)));

@@ -1,0 +1,38 @@
+// Backend-shared scalar helpers. These are deliberately ISA-free: every
+// backend points its table at the same code here, so the results agree
+// bitwise across ISAs (which the mixed-precision certificate accounting
+// relies on for the compensated float reductions).
+#pragma once
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace psdp::simd::detail {
+
+/// Compensated (Neumaier) double-precision sum of squares of a float
+/// panel. Each product double(x[i])^2 is exact -- a float has 24
+/// significand bits, its square fits double's 53 -- so the only rounding
+/// is in the compensated running sum.
+inline double compensated_sum_sq_f(const float* x, Index n) {
+  double sum = 0;
+  double comp = 0;
+  for (Index i = 0; i < n; ++i) {
+    const double v = static_cast<double>(x[i]) * static_cast<double>(x[i]);
+    const double next = sum + v;
+    if (std::abs(sum) >= std::abs(v)) {
+      comp += (sum - next) + v;
+    } else {
+      comp += (v - next) + sum;
+    }
+    sum = next;
+  }
+  return sum + comp;
+}
+
+/// dst[i] = float(src[i]) (round-to-nearest down-conversion).
+inline void convert_panel_d2f(const double* src, float* dst, Index n) {
+  for (Index i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+}  // namespace psdp::simd::detail

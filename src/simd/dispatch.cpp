@@ -1,0 +1,199 @@
+// Runtime ISA selection behind simd::active_kernels().
+//
+// Which backends exist in the binary is decided at build time (CMake sets
+// PSDP_HAVE_AVX2 / PSDP_HAVE_AVX512 / PSDP_HAVE_NEON on this file only);
+// which one runs is decided here at first use: the best compiled-in ISA the
+// CPU supports, overridable by the PSDP_SIMD environment variable and by
+// set_active_isa(). The active table is one atomic pointer, so the hot
+// paths pay a single relaxed load per kernel batch.
+
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace psdp::simd {
+
+const KernelTable* scalar_kernel_table();
+#if defined(PSDP_HAVE_AVX2)
+const KernelTable* avx2_kernel_table();
+#endif
+#if defined(PSDP_HAVE_AVX512)
+const KernelTable* avx512_kernel_table();
+#endif
+#if defined(PSDP_HAVE_NEON)
+const KernelTable* neon_kernel_table();
+#endif
+
+namespace {
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kNeon:
+#if defined(PSDP_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#if defined(PSDP_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(PSDP_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // NEON is architecturally mandatory on aarch64
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* table_for(Isa isa) {
+  switch (isa) {
+#if defined(PSDP_HAVE_NEON)
+    case Isa::kNeon:
+      return neon_kernel_table();
+#endif
+#if defined(PSDP_HAVE_AVX2)
+    case Isa::kAvx2:
+      return avx2_kernel_table();
+#endif
+#if defined(PSDP_HAVE_AVX512)
+    case Isa::kAvx512:
+      return avx512_kernel_table();
+#endif
+    default:
+      return scalar_kernel_table();
+  }
+}
+
+/// Preference order, best first.
+constexpr Isa kPreference[] = {Isa::kAvx512, Isa::kAvx2, Isa::kNeon,
+                               Isa::kScalar};
+
+Isa initial_isa() {
+  // The environment override is read once, at first dispatch: an
+  // unavailable or unrecognized request falls back to the best supported
+  // ISA rather than failing (headless perf runs set PSDP_SIMD=scalar on
+  // machines they cannot predict).
+  if (const char* env = std::getenv("PSDP_SIMD")) {
+    Isa requested;
+    const std::string value(env);
+    if (!value.empty() && value != "auto" && isa_from_name(value, requested) &&
+        isa_available(requested)) {
+      return requested;
+    }
+  }
+  return best_supported_isa();
+}
+
+struct ActiveState {
+  std::atomic<const KernelTable*> table{nullptr};
+  std::atomic<int> isa{0};
+};
+
+ActiveState& active_state() {
+  static ActiveState state;
+  static const bool initialized = [] {
+    const Isa isa = initial_isa();
+    state.table.store(table_for(isa), std::memory_order_relaxed);
+    state.isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)initialized;
+  return state;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool isa_from_name(const std::string& name, Isa& out) {
+  for (const Isa isa : kPreference) {
+    if (name == isa_name(isa)) {
+      out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Isa> compiled_isas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : kPreference) {
+    if (isa_compiled(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+bool isa_available(Isa isa) { return isa_compiled(isa) && cpu_supports(isa); }
+
+Isa best_supported_isa() {
+  for (const Isa isa : kPreference) {
+    if (isa_available(isa)) return isa;
+  }
+  return Isa::kScalar;
+}
+
+Isa active_isa() {
+  return static_cast<Isa>(active_state().isa.load(std::memory_order_relaxed));
+}
+
+void set_active_isa(Isa isa) {
+  PSDP_CHECK(isa_available(isa),
+             str("simd: ISA '", isa_name(isa),
+                 "' is not available (not compiled in or not supported by "
+                 "this CPU)"));
+  ActiveState& state = active_state();
+  state.table.store(table_for(isa), std::memory_order_relaxed);
+  state.isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+const KernelTable& active_kernels() {
+  return *active_state().table.load(std::memory_order_relaxed);
+}
+
+}  // namespace psdp::simd

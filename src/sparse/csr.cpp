@@ -7,6 +7,7 @@
 
 #include "par/cost_meter.hpp"
 #include "par/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace psdp::sparse {
 
@@ -84,12 +85,13 @@ std::span<const Real> Csr::row_vals(Index i) const {
 void Csr::apply(const Vector& x, Vector& y) const {
   PSDP_CHECK(x.size() == cols_, "csr apply: dimension mismatch");
   if (y.size() != rows_) y = Vector(rows_);
-  par::parallel_for(0, rows_, [&](Index i) {
-    const auto cols = row_cols(i);
-    const auto vals = row_vals(i);
-    Real acc = 0;
-    for (std::size_t k = 0; k < cols.size(); ++k) acc += vals[k] * x[cols[k]];
-    y[i] = acc;
+  // The width-1 SpMM through the dispatch seam: one row-range kernel serves
+  // apply() and apply_block() alike, so the "SpMM column t == matvec"
+  // bitwise guarantee holds under every backend by construction.
+  const simd::KernelTable& kt = simd::active_kernels();
+  par::parallel_for_chunked(0, rows_, [&](Index ib, Index ie) {
+    kt.spmm_rows(offsets_.data(), columns_.data(), values_.data(), ib, ie, 1,
+                 x.data(), y.data());
   }, /*grain=*/64);
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz()));
   par::CostMeter::add_depth(par::reduction_depth(cols_));
@@ -178,139 +180,17 @@ void Csr::build_transpose_index(const TransposePlanOptions& options) {
               : KernelPlan::heuristic(has_segment_index());
 }
 
-namespace {
-
-/// Gather kernel for one span of output columns: output row j of Y is the
-/// serial row-order reduction of column j's entries, with the accumulator
-/// row held in registers (B known at compile time for the common widths).
-template <int B>
-void gather_columns(const std::vector<Index>& offsets,
-                    const std::vector<Index>& rows,
-                    const std::vector<Real>& values, Index jb, Index je,
-                    const Real* x, Real* y) {
-  for (Index j = jb; j < je; ++j) {
-    Real acc[B] = {};
-    const auto b0 = static_cast<std::size_t>(offsets[static_cast<std::size_t>(j)]);
-    const auto e0 =
-        static_cast<std::size_t>(offsets[static_cast<std::size_t>(j) + 1]);
-    for (std::size_t e = b0; e < e0; ++e) {
-      const Real v = values[e];
-      const Real* in = x + rows[e] * B;
-      for (int t = 0; t < B; ++t) acc[t] += v * in[t];
-    }
-    Real* out = y + j * B;
-    for (int t = 0; t < B; ++t) out[t] = acc[t];
-  }
-}
-
-/// Runtime-width fallback of the gather kernel.
-void gather_columns_any(const std::vector<Index>& offsets,
-                        const std::vector<Index>& rows,
-                        const std::vector<Real>& values, Index jb, Index je,
-                        Index b, const Real* x, Real* y) {
-  for (Index j = jb; j < je; ++j) {
-    Real* out = y + j * b;
-    std::fill(out, out + b, Real{0});
-    const auto b0 = static_cast<std::size_t>(offsets[static_cast<std::size_t>(j)]);
-    const auto e0 =
-        static_cast<std::size_t>(offsets[static_cast<std::size_t>(j) + 1]);
-    for (std::size_t e = b0; e < e0; ++e) {
-      const Real v = values[e];
-      const Real* in = x + rows[e] * b;
-      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
-    }
-  }
-}
-
-/// One window of the segmented-column gather, for one span of output
-/// columns: every owned column folds its window-local entry span
-/// (contiguous in the CSC arrays; adjacent windows' spans concatenate)
-/// onto its accumulator row with a load-modify-store through y. Windows
-/// are swept sequentially by the caller with all threads inside the same
-/// window, so each output still reduces in ascending row order -- bitwise
-/// identical to gather_columns for any window size -- while the window's
-/// input-panel slice is shared cache-hot across every thread.
-/// Entries of software-prefetch lead inside the windowed gather's fold
-/// loop: a column's window-local rows are ascending but ~cols rows apart,
-/// which the hardware prefetcher cannot follow -- issuing the fetch of
-/// entry e + kGatherPrefetch while folding entry e hides the latency the
-/// scatter gets for free from its sequential streaming. Prefetching is
-/// invisible to the results.
-constexpr std::size_t kGatherPrefetch = 12;
-
-template <int B>
-inline void prefetch_panel_row(const Real* in) {
-#if defined(__GNUC__) || defined(__clang__)
-  // One prefetch per cache line of the b-wide panel row (64 bytes = 8
-  // Reals).
-  for (int t = 0; t < B; t += 8) __builtin_prefetch(in + t, 0, 1);
-#else
-  (void)in;
-#endif
-}
-
-template <int B>
-void gather_columns_window(const std::vector<Index>& seg_starts, Index s0,
-                           Index s1, Index cols,
-                           const std::vector<Index>& rows,
-                           const std::vector<Real>& values, Index jb,
-                           Index je, const Real* x, Real* y) {
-  for (Index j = jb; j < je; ++j) {
-    const auto b0 =
-        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s0 * cols + j)]);
-    const auto e0 =
-        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s1 * cols + j)]);
-    if (b0 == e0) continue;
-    Real acc[B];
-    Real* out = y + j * B;
-    for (int t = 0; t < B; ++t) acc[t] = out[t];
-    for (std::size_t e = b0; e < e0; ++e) {
-      // Sub-cache-line panel rows (B < 4) reuse lines across nearby rows
-      // anyway; the prefetch would be pure per-entry overhead there.
-      if constexpr (B >= 4) {
-        if (e + kGatherPrefetch < e0) {
-          prefetch_panel_row<B>(x + rows[e + kGatherPrefetch] * B);
-        }
-      }
-      const Real v = values[e];
-      const Real* in = x + rows[e] * B;
-      for (int t = 0; t < B; ++t) acc[t] += v * in[t];
-    }
-    for (int t = 0; t < B; ++t) out[t] = acc[t];
-  }
-}
-
-/// Runtime-width fallback of the windowed gather.
-void gather_columns_window_any(const std::vector<Index>& seg_starts, Index s0,
-                               Index s1, Index cols,
-                               const std::vector<Index>& rows,
-                               const std::vector<Real>& values, Index jb,
-                               Index je, Index b, const Real* x, Real* y) {
-  for (Index j = jb; j < je; ++j) {
-    const auto b0 =
-        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s0 * cols + j)]);
-    const auto e0 =
-        static_cast<std::size_t>(seg_starts[static_cast<std::size_t>(s1 * cols + j)]);
-    Real* out = y + j * b;
-    for (std::size_t e = b0; e < e0; ++e) {
-      const Real v = values[e];
-      const Real* in = x + rows[e] * b;
-      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
-    }
-  }
-}
-
-}  // namespace
-
 void Csr::apply_transpose(const Vector& x, Vector& y) const {
   PSDP_CHECK(x.size() == rows_, "csr apply_transpose: dimension mismatch");
   if (y.size() != cols_) y = Vector(cols_);
   if (t_built_) {
-    // Transpose-index gather: one pass over the nonzeros, each output
-    // reduced serially in row order (thread-count independent).
+    // Transpose-index gather through the dispatch seam (width 1): one pass
+    // over the nonzeros, each output reduced serially in row order
+    // (thread-count independent).
+    const simd::KernelTable& kt = simd::active_kernels();
     par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
-      gather_columns<1>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                        y.data());
+      kt.gather_panel(t_offsets_.data(), t_rows_.data(), t_values_.data(),
+                      jb, je, 1, x.data(), y.data());
     }, /*grain=*/64);
     par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz()));
     par::CostMeter::add_depth(par::reduction_depth(rows_));
@@ -346,19 +226,14 @@ void Csr::apply_block(const Matrix& x, Matrix& y) const {
   const Index b = x.cols();
   PSDP_CHECK(b >= 1, "csr apply_block: panel must have at least one column");
   y.reshape(rows_, b);
-  // Row-parallel SpMM: one pass over the nonzeros serves all b columns. The
-  // grain shrinks with b so chunks stay at comparable work to apply()'s.
+  // Row-parallel SpMM through the dispatch seam: one pass over the nonzeros
+  // serves all b columns. The grain shrinks with b so chunks stay at
+  // comparable work to apply()'s.
   const Index grain = std::max<Index>(1, 64 / b);
-  par::parallel_for(0, rows_, [&](Index i) {
-    const auto cols = row_cols(i);
-    const auto vals = row_vals(i);
-    Real* out = y.data() + i * b;
-    std::fill(out, out + b, Real{0});
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      const Real v = vals[k];
-      const Real* in = x.data() + cols[k] * b;
-      for (Index t = 0; t < b; ++t) out[t] += v * in[t];
-    }
+  const simd::KernelTable& kt = simd::active_kernels();
+  par::parallel_for_chunked(0, rows_, [&](Index ib, Index ie) {
+    kt.spmm_rows(offsets_.data(), columns_.data(), values_.data(), ib, ie, b,
+                 x.data(), y.data());
   }, grain);
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
   par::CostMeter::add_depth(par::reduction_depth(cols_));
@@ -381,8 +256,14 @@ void Csr::apply_transpose_block(const Matrix& x, Matrix& y,
     apply_transpose_block_owned(x, y, partial);
     return;
   }
+  // A caller-provided plan is honored only when its provenance matches the
+  // running kernel set and active ISA: a stale plan (deserialized from an
+  // older revision, or tuned under another dispatch target) carries timings
+  // about kernels this process does not run, so the matrix's own plan --
+  // freshly stamped at build_transpose_index() time -- decides instead.
   const KernelPlan& p =
-      plan != nullptr && !plan->entries().empty() ? *plan : plan_;
+      plan != nullptr && !plan->entries().empty() && !plan->stale() ? *plan
+                                                                    : plan_;
   switch (p.choose(x.cols())) {
     case TransposeKernel::kSegmented:
       if (has_segment_index()) {
@@ -416,17 +297,10 @@ void Csr::apply_transpose_block_owned(const Matrix& x, Matrix& y,
   const Index max_chunks = std::max<Index>(1, par::num_threads());
   const Index chunks =
       std::clamp<Index>((rows_ + grain - 1) / grain, 1, max_chunks);
+  const simd::KernelTable& kt = simd::active_kernels();
   const auto scatter_rows = [&](Index begin, Index end, Real* out) {
-    for (Index i = begin; i < end; ++i) {
-      const auto cols = row_cols(i);
-      const auto vals = row_vals(i);
-      const Real* in = x.data() + i * b;
-      for (std::size_t k = 0; k < cols.size(); ++k) {
-        Real* row = out + cols[k] * b;
-        const Real v = vals[k];
-        for (Index t = 0; t < b; ++t) row[t] += v * in[t];
-      }
-    }
+    kt.scatter_rows(offsets_.data(), columns_.data(), values_.data(), begin,
+                    end, b, x.data(), out);
   };
   if (chunks == 1) {
     y.fill(0);
@@ -463,37 +337,12 @@ void Csr::apply_transpose_block_indexed(const Matrix& x, Matrix& y) const {
   const Index avg_work =
       std::max<Index>(1, (nnz() * b) / std::max<Index>(1, cols_));
   const Index grain = std::max<Index>(1, 4096 / avg_work);
+  // Width dispatch (the compile-time-B register kernels for the common
+  // widths) now lives inside the backend's gather_panel.
+  const simd::KernelTable& kt = simd::active_kernels();
   par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
-    switch (b) {
-      case 1:
-        gather_columns<1>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                          y.data());
-        break;
-      case 2:
-        gather_columns<2>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                          y.data());
-        break;
-      case 4:
-        gather_columns<4>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                          y.data());
-        break;
-      case 8:
-        gather_columns<8>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                          y.data());
-        break;
-      case 16:
-        gather_columns<16>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                           y.data());
-        break;
-      case 32:
-        gather_columns<32>(t_offsets_, t_rows_, t_values_, jb, je, x.data(),
-                           y.data());
-        break;
-      default:
-        gather_columns_any(t_offsets_, t_rows_, t_values_, jb, je, b,
-                           x.data(), y.data());
-        break;
-    }
+    kt.gather_panel(t_offsets_.data(), t_rows_.data(), t_values_.data(), jb,
+                    je, b, x.data(), y.data());
   }, grain);
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
   par::CostMeter::add_depth(par::reduction_depth(rows_));
@@ -532,45 +381,109 @@ void Csr::apply_transpose_block_segmented(const Matrix& x, Matrix& y) const {
   // Windows sweep sequentially with the column-parallel fold inside each
   // one: every thread works the same cache-resident x-slice, and each
   // output is still one ascending-row reduction across the windows.
+  const simd::KernelTable& kt = simd::active_kernels();
   for (Index s0 = 0; s0 < num_segs; s0 += group) {
     const Index s1 = std::min(num_segs, s0 + group);
     par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
-      switch (b) {
-        case 1:
-          gather_columns_window<1>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                   t_values_, jb, je, x.data(), y.data());
-          break;
-        case 2:
-          gather_columns_window<2>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                   t_values_, jb, je, x.data(), y.data());
-          break;
-        case 4:
-          gather_columns_window<4>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                   t_values_, jb, je, x.data(), y.data());
-          break;
-        case 8:
-          gather_columns_window<8>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                   t_values_, jb, je, x.data(), y.data());
-          break;
-        case 16:
-          gather_columns_window<16>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                    t_values_, jb, je, x.data(), y.data());
-          break;
-        case 32:
-          gather_columns_window<32>(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                    t_values_, jb, je, x.data(), y.data());
-          break;
-        default:
-          gather_columns_window_any(t_seg_starts_, s0, s1, cols_, t_rows_,
-                                    t_values_, jb, je, b, x.data(),
-                                    y.data());
-          break;
-      }
+      kt.gather_window(t_seg_starts_.data(), s0, s1, cols_, t_rows_.data(),
+                       t_values_.data(), jb, je, b, x.data(), y.data());
     }, grain);
   }
   par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
   par::CostMeter::add_depth(static_cast<std::uint64_t>(windows) *
                             par::reduction_depth(cols_));
+}
+
+void Csr::fill_float_values(std::vector<float>& values_f,
+                            std::vector<float>& t_values_f) const {
+  values_f.resize(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_f[i] = static_cast<float>(values_[i]);
+  }
+  if (t_built_) {
+    t_values_f.resize(t_values_.size());
+    for (std::size_t i = 0; i < t_values_.size(); ++i) {
+      t_values_f[i] = static_cast<float>(t_values_[i]);
+    }
+  } else {
+    t_values_f.clear();
+  }
+}
+
+void Csr::apply_block_f(const MatrixF& x, MatrixF& y,
+                        std::span<const float> values_f) const {
+  PSDP_CHECK(x.rows() == cols_, "csr apply_block_f: dimension mismatch");
+  PSDP_CHECK(static_cast<Index>(values_f.size()) == nnz(),
+             "csr apply_block_f: float value copy out of date");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1, "csr apply_block_f: panel must have at least one column");
+  y.reshape(rows_, b);
+  const Index grain = std::max<Index>(1, 64 / b);
+  const simd::KernelTable& kt = simd::active_kernels();
+  par::parallel_for_chunked(0, rows_, [&](Index ib, Index ie) {
+    kt.spmm_rows_f(offsets_.data(), columns_.data(), values_f.data(), ib, ie,
+                   b, x.data(), y.data());
+  }, grain);
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(par::reduction_depth(cols_));
+}
+
+void Csr::apply_transpose_block_f(const MatrixF& x, MatrixF& y,
+                                  std::span<const float> values_f,
+                                  std::span<const float> t_values_f,
+                                  std::vector<float>& partial) const {
+  PSDP_CHECK(x.rows() == rows_,
+             "csr apply_transpose_block_f: dimension mismatch");
+  const Index b = x.cols();
+  PSDP_CHECK(b >= 1,
+             "csr apply_transpose_block_f: panel must have at least one "
+             "column");
+  y.reshape(cols_, b);
+  const simd::KernelTable& kt = simd::active_kernels();
+  if (t_built_) {
+    PSDP_CHECK(static_cast<Index>(t_values_f.size()) == nnz(),
+               "csr apply_transpose_block_f: float CSC copy out of date");
+    const Index avg_work =
+        std::max<Index>(1, (nnz() * b) / std::max<Index>(1, cols_));
+    const Index grain = std::max<Index>(1, 4096 / avg_work);
+    par::parallel_for_chunked(0, cols_, [&](Index jb, Index je) {
+      kt.gather_panel_f(t_offsets_.data(), t_rows_.data(), t_values_f.data(),
+                        jb, je, b, x.data(), y.data());
+    }, grain);
+  } else {
+    PSDP_CHECK(static_cast<Index>(values_f.size()) == nnz(),
+               "csr apply_transpose_block_f: float value copy out of date");
+    // Owned-column scatter over row chunks, mirroring
+    // apply_transpose_block_owned (chunk-order combine, deterministic for a
+    // fixed thread count).
+    const Index grain = std::max<Index>(1, 256 / b);
+    const Index max_chunks = std::max<Index>(1, par::num_threads());
+    const Index chunks =
+        std::clamp<Index>((rows_ + grain - 1) / grain, 1, max_chunks);
+    const auto scatter = [&](Index begin, Index end, float* out) {
+      kt.scatter_rows_f(offsets_.data(), columns_.data(), values_f.data(),
+                        begin, end, b, x.data(), out);
+    };
+    if (chunks == 1) {
+      y.fill(0);
+      scatter(0, rows_, y.data());
+    } else {
+      partial.assign(static_cast<std::size_t>(chunks * cols_ * b), 0);
+      const Index chunk_size = (rows_ + chunks - 1) / chunks;
+      par::global_pool().run_batch(chunks, [&](Index c) {
+        scatter(c * chunk_size, std::min(rows_, (c + 1) * chunk_size),
+                partial.data() + c * cols_ * b);
+      });
+      y.fill(0);
+      float* out = y.data();
+      for (Index c = 0; c < chunks; ++c) {
+        const float* part = partial.data() + c * cols_ * b;
+        for (Index idx = 0; idx < cols_ * b; ++idx) out[idx] += part[idx];
+      }
+    }
+  }
+  par::CostMeter::add_work(static_cast<std::uint64_t>(2 * nnz() * b));
+  par::CostMeter::add_depth(par::reduction_depth(rows_));
 }
 
 Csr& Csr::scale(Real s) {

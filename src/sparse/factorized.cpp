@@ -118,6 +118,15 @@ void FactorizedPsd::apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
   q_.apply_block(scratch, y);
 }
 
+void FactorizedPsd::apply_block_f(const MatrixF& x, MatrixF& y,
+                                  MatrixF& scratch,
+                                  std::span<const float> values_f,
+                                  std::span<const float> t_values_f,
+                                  std::vector<float>& partial) const {
+  q_.apply_transpose_block_f(x, scratch, values_f, t_values_f, partial);
+  q_.apply_block_f(scratch, y, values_f);
+}
+
 Real FactorizedPsd::dot_dense(const Matrix& s) const {
   PSDP_CHECK(s.rows() == dim() && s.cols() == dim(),
              "dot_dense: dimension mismatch");
@@ -223,6 +232,46 @@ void FactorizedSet::weighted_apply_block(const Vector& x, const Matrix& v,
         v, workspace.contribution, workspace.scratch,
         workspace.transpose_partial, workspace.plan);
     y.add_scaled(workspace.contribution, x[i]);
+  }
+}
+
+void FactorizedSet::ensure_float_values(BlockWorkspace& workspace) const {
+  if (static_cast<Index>(workspace.float_values.size()) < size()) {
+    workspace.float_values.resize(static_cast<std::size_t>(size()));
+  }
+  for (Index i = 0; i < size(); ++i) {
+    auto& fv = workspace.float_values[static_cast<std::size_t>(i)];
+    if (!fv.built) {
+      items_[static_cast<std::size_t>(i)].q().fill_float_values(fv.values,
+                                                                fv.t_values);
+      fv.built = true;
+    }
+  }
+}
+
+void FactorizedSet::weighted_apply_block_f(const Vector& x, const MatrixF& v,
+                                           MatrixF& y,
+                                           BlockWorkspace& workspace) const {
+  PSDP_CHECK(x.size() == size(),
+             "weighted_apply_block_f: weight length mismatch");
+  PSDP_CHECK(v.rows() == dim_,
+             "weighted_apply_block_f: panel dimension mismatch");
+  ensure_float_values(workspace);
+  const Index b = v.cols();
+  y.reshape(dim_, b);
+  y.fill(0);
+  for (Index i = 0; i < size(); ++i) {
+    if (x[i] == 0) continue;
+    const auto& fv = workspace.float_values[static_cast<std::size_t>(i)];
+    items_[static_cast<std::size_t>(i)].apply_block_f(
+        v, workspace.contribution_f, workspace.scratch_f, fv.values,
+        fv.t_values, workspace.transpose_partial_f);
+    // Weights stay double until the very last multiply: one rounding per
+    // accumulated term, same as the float kernels themselves.
+    const float w = static_cast<float>(x[i]);
+    float* yd = y.data();
+    const float* cd = workspace.contribution_f.data();
+    for (Index e = 0; e < dim_ * b; ++e) yd[e] += w * cd[e];
   }
 }
 

@@ -86,6 +86,15 @@ class FactorizedPsd {
   void apply_block(const Matrix& x, Matrix& y, Matrix& scratch,
                    std::vector<Real>& partial, const KernelPlan* plan) const;
 
+  /// Float32 twin of apply_block for the mixed-precision sketch mode: two
+  /// float SpMMs through the caller's scratch panel, using the caller's
+  /// float32 value copies of Q (FactorizedSet::ensure_float_values builds
+  /// and recycles them). Deterministic per ISA; float rounding only.
+  void apply_block_f(const MatrixF& x, MatrixF& y, MatrixF& scratch,
+                     std::span<const float> values_f,
+                     std::span<const float> t_values_f,
+                     std::vector<float>& partial) const;
+
   /// (Q Q^T) . S for a dense symmetric S: sum of column quadratic forms.
   Real dot_dense(const Matrix& s) const;
 
@@ -135,9 +144,40 @@ class FactorizedSet {
     /// BigDotExpOptions::kernel_plan through here; holding a plan is a
     /// pointer copy, so the zero-allocation steady state is unaffected.
     const KernelPlan* plan = nullptr;
+
+    /// Float twins of the panels above, used only by the mixed-precision
+    /// sketch mode (BigDotExpOptions::panel_precision).
+    MatrixF contribution_f;  ///< dim x b float accumulator
+    MatrixF scratch_f;       ///< k_i x b float intermediate
+    std::vector<float> transpose_partial_f;
+    /// Per-factor float32 copies of Q_i's values (and cached CSC values),
+    /// built once by ensure_float_values and reused across panels, rounds,
+    /// and solves. Stale only if a factor is mutated after the build --
+    /// instances are immutable for the duration of a solve, and the float
+    /// kernels cross-check sizes against nnz.
+    struct FloatFactorValues {
+      std::vector<float> values;
+      std::vector<float> t_values;  ///< empty when no transpose index
+      bool built = false;
+    };
+    std::vector<FloatFactorValues> float_values;
   };
   void weighted_apply_block(const Vector& x, const Matrix& v, Matrix& y,
                             BlockWorkspace& workspace) const;
+
+  /// Build (idempotently) the workspace's per-factor float32 value copies.
+  /// Runs once per workspace; after it, the float sweeps below allocate
+  /// nothing (the zero-allocation steady state extends to the mixed-
+  /// precision mode).
+  void ensure_float_values(BlockWorkspace& workspace) const;
+
+  /// Float32 twin of weighted_apply_block: same factor traversal over
+  /// MatrixF panels through the float kernel seam. Column results carry
+  /// float rounding (deterministic per ISA); only the sketch/Taylor panels
+  /// ever run through here -- every certificate-bearing quantity stays
+  /// double (see BigDotExpOptions::panel_precision).
+  void weighted_apply_block_f(const Vector& x, const MatrixF& v, MatrixF& y,
+                              BlockWorkspace& workspace) const;
 
  private:
   std::vector<FactorizedPsd> items_;

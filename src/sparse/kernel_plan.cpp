@@ -60,7 +60,8 @@ bool operator==(const KernelPlanEntry& a, const KernelPlanEntry& b) {
   return a.width == b.width && a.choice == b.choice &&
          a.gather_seconds == b.gather_seconds &&
          a.segmented_seconds == b.segmented_seconds &&
-         a.scatter_seconds == b.scatter_seconds;
+         a.scatter_seconds == b.scatter_seconds &&
+         a.scalar_gather_seconds == b.scalar_gather_seconds;
 }
 
 KernelPlan KernelPlan::heuristic(bool segmented_available) {
@@ -69,12 +70,14 @@ KernelPlan KernelPlan::heuristic(bool segmented_available) {
   if (segmented_available) {
     plan.set_entry({kWideBucket, TransposeKernel::kSegmented, 0, 0, 0});
   }
+  plan.set_provenance(simd::active_isa(), kKernelSetVersion);
   return plan;
 }
 
 KernelPlan KernelPlan::forced(TransposeKernel kernel) {
   KernelPlan plan;
   plan.set_entry({1, kernel, 0, 0, 0});
+  plan.set_provenance(simd::active_isa(), kKernelSetVersion);
   return plan;
 }
 
@@ -118,9 +121,15 @@ std::string KernelPlan::to_json() const {
         << ", \"kernel\": \"" << kernel_name(e.choice)
         << "\", \"gather_seconds\": " << e.gather_seconds
         << ", \"segmented_seconds\": " << e.segmented_seconds
-        << ", \"scatter_seconds\": " << e.scatter_seconds << "}";
+        << ", \"scatter_seconds\": " << e.scatter_seconds
+        << ", \"scalar_gather_seconds\": " << e.scalar_gather_seconds << "}";
   }
-  out << "]}";
+  // Provenance after the entries array: from_json bounds its search to the
+  // span between the array and the enclosing '}', so these keys can never
+  // collide with identically named keys elsewhere in a surrounding document
+  // (the bench JSON header also carries an "isa").
+  out << "], \"isa\": \"" << simd::isa_name(isa_)
+      << "\", \"kernel_set_version\": " << kernel_set_version_ << "}";
   return out.str();
 }
 
@@ -196,10 +205,35 @@ KernelPlan KernelPlan::from_json(const std::string& text) {
     entry.gather_seconds = seconds("gather_seconds");
     entry.segmented_seconds = seconds("segmented_seconds");
     entry.scatter_seconds = seconds("scatter_seconds");
+    entry.scalar_gather_seconds = seconds("scalar_gather_seconds");
     plan.set_entry(entry);
     cursor = close + 1;
   }
   PSDP_CHECK(!plan.entries().empty(), "kernel plan: empty \"entries\" array");
+  // Provenance keys sit between the entries array and the '}' closing the
+  // plan object (to_json emits them there); bounding the search to that
+  // span keeps a surrounding document's own "isa" key (the bench JSON
+  // header has one) from being misread as the plan's. Absent keys -- a
+  // pre-revision plan -- leave the kScalar/0 default, which stale()
+  // reports as stale.
+  const std::size_t object_close = text.find('}', array_close);
+  const std::size_t limit =
+      object_close == std::string::npos ? text.size() : object_close;
+  simd::Isa isa = simd::Isa::kScalar;
+  int version = 0;
+  const std::size_t isa_at = find_key(text, "isa", array_close, limit);
+  if (isa_at != std::string::npos) {
+    const std::string name = parse_string(text, isa_at, "isa");
+    PSDP_CHECK(simd::isa_from_name(name, isa),
+               str("kernel plan: unknown isa '", name, "'"));
+  }
+  const std::size_t version_at =
+      find_key(text, "kernel_set_version", array_close, limit);
+  if (version_at != std::string::npos) {
+    version = static_cast<int>(
+        parse_number(text, version_at, "kernel_set_version"));
+  }
+  plan.set_provenance(isa, version);
   return plan;
 }
 
@@ -236,6 +270,8 @@ KernelPlan autotune_transpose_plan(const Csr& a,
   }
 
   KernelPlan plan;
+  const linalg::TimingOptions timing{options.reps, options.warmup,
+                                     options.min_sample_seconds};
   linalg::Matrix x, y;
   std::vector<Real> partial;
   for (const Index width : widths) {
@@ -247,7 +283,7 @@ KernelPlan autotune_transpose_plan(const Csr& a,
     KernelPlanEntry entry;
     entry.width = width;
     entry.gather_seconds =
-        linalg::time_block_kernel(options.reps, [&] {
+        linalg::time_block_kernel(timing, [&] {
           for (int it = 0; it < inner; ++it) {
             a.apply_transpose_block_indexed(x, y);
           }
@@ -255,7 +291,7 @@ KernelPlan autotune_transpose_plan(const Csr& a,
         inner;
     if (segmented) {
       entry.segmented_seconds =
-          linalg::time_block_kernel(options.reps, [&] {
+          linalg::time_block_kernel(timing, [&] {
             for (int it = 0; it < inner; ++it) {
               a.apply_transpose_block_segmented(x, y);
             }
@@ -263,12 +299,25 @@ KernelPlan autotune_transpose_plan(const Csr& a,
           inner;
     }
     entry.scatter_seconds =
-        linalg::time_block_kernel(options.reps, [&] {
+        linalg::time_block_kernel(timing, [&] {
           for (int it = 0; it < inner; ++it) {
             a.apply_transpose_block_owned(x, y, partial);
           }
         }) /
         inner;
+    if (options.measure_scalar &&
+        simd::active_isa() != simd::Isa::kScalar) {
+      // Reporting only (bench attribution of the SIMD speedup); forced
+      // scalar for the duration of this one timing, then restored.
+      simd::ScopedIsa forced_scalar(simd::Isa::kScalar);
+      entry.scalar_gather_seconds =
+          linalg::time_block_kernel(timing, [&] {
+            for (int it = 0; it < inner; ++it) {
+              a.apply_transpose_block_indexed(x, y);
+            }
+          }) /
+          inner;
+    }
     // The deterministic pair first; the scatter only on explicit opt-in
     // (it is deterministic for a fixed thread count only, so letting the
     // tuner pick it would let timing noise change solver bits).
@@ -283,6 +332,7 @@ KernelPlan autotune_transpose_plan(const Csr& a,
     }
     plan.set_entry(entry);
   }
+  plan.set_provenance(simd::active_isa(), KernelPlan::kKernelSetVersion);
   return plan;
 }
 
@@ -294,9 +344,12 @@ namespace {
 /// callers differing in widths, reps, the flop gate, or the scatter
 /// opt-in must never silently share a plan (the opt-in in particular
 /// decides whether a cached plan can ever pick the thread-count-dependent
-/// scatter). The plan_cache pointer is deliberately excluded: it names
-/// *which* memo to consult, not what to memoize.
-using PlanCacheKey = std::array<std::int64_t, 5>;
+/// scatter). The active ISA is the sixth element: a plan's timings (and
+/// stale() verdict) are per dispatch target, so a ScopedIsa change turns
+/// lookups into misses instead of serving mismatched plans. The plan_cache
+/// pointer is deliberately excluded: it names *which* memo to consult, not
+/// what to memoize.
+using PlanCacheKey = std::array<std::int64_t, 6>;
 
 int log2_bucket(Index v) { return std::bit_width(static_cast<std::uint64_t>(std::max<Index>(v, 1))); }
 
@@ -307,7 +360,10 @@ std::int64_t options_fingerprint(const AutotuneOptions& options) {
   };
   mix(options.enable ? 1 : 0);
   mix(options.allow_scatter_choice ? 2 : 0);
+  mix(options.measure_scalar ? 4 : 0);
   mix(static_cast<std::uint64_t>(options.reps));
+  mix(static_cast<std::uint64_t>(options.warmup));
+  mix(std::bit_cast<std::uint64_t>(options.min_sample_seconds));
   mix(static_cast<std::uint64_t>(options.min_bench_flops));
   for (const Index w : options.widths) mix(static_cast<std::uint64_t>(w));
   return static_cast<std::int64_t>(h);
@@ -315,7 +371,8 @@ std::int64_t options_fingerprint(const AutotuneOptions& options) {
 
 PlanCacheKey plan_cache_key(const Csr& a, const AutotuneOptions& options) {
   return {log2_bucket(a.nnz()), log2_bucket(a.rows()), log2_bucket(a.cols()),
-          a.has_segment_index() ? 1 : 0, options_fingerprint(options)};
+          a.has_segment_index() ? 1 : 0, options_fingerprint(options),
+          static_cast<std::int64_t>(simd::active_isa())};
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "simd/simd.hpp"
 #include "util/common.hpp"
 
 namespace psdp::sparse {
@@ -67,6 +68,12 @@ struct KernelPlanEntry {
   double segmented_seconds = 0;  ///< measured segmented time (0 = unmeasured
                                  ///< or no segment grid)
   double scatter_seconds = 0;    ///< measured scatter time (0 = unmeasured)
+  /// Gather time under the forced-scalar backend, measured only when
+  /// AutotuneOptions::measure_scalar is set (0 = unmeasured). Reported so
+  /// the bench sweeps can attribute speedups to the SIMD backends; never
+  /// part of the choice (the scalar backend is never faster, and choices
+  /// must not depend on which ISA happened to be active).
+  double scalar_gather_seconds = 0;
 };
 
 bool operator==(const KernelPlanEntry& a, const KernelPlanEntry& b);
@@ -81,6 +88,14 @@ bool operator==(const KernelPlanEntry& a, const KernelPlanEntry& b);
 /// Csr::apply_transpose_block and BigDotExpOptions::kernel_plan).
 class KernelPlan {
  public:
+  /// Revision of the transpose-kernel set plans are tuned against. Bumped
+  /// whenever the kernels' performance profile changes shape (revision 2 =
+  /// the simd dispatch-seam kernels of the SIMD layer; 1 = the scalar
+  /// kernels of PR 3/4, which serialized neither isa nor version).
+  /// Deserialized plans carrying another revision are stale: their timings
+  /// describe kernels this binary does not run.
+  static constexpr int kKernelSetVersion = 2;
+
   KernelPlan() = default;
 
   /// The measurement-free fallback: gather up to width 8, then the
@@ -108,24 +123,56 @@ class KernelPlan {
   /// The decision table, sorted by bucket width.
   const std::vector<KernelPlanEntry>& entries() const { return entries_; }
 
+  /// The ISA the plan's timings were measured under (heuristic(), forced()
+  /// and the autotuner stamp the active ISA at build time; deserialized
+  /// plans without the field report kScalar).
+  simd::Isa isa() const { return isa_; }
+  /// The kernel-set revision the plan was tuned for (0 = a plan from
+  /// before revisions were serialized -- always stale).
+  int kernel_set_version() const { return kernel_set_version_; }
+  /// Stamp provenance (from_json and tests; plan builders stamp
+  /// automatically).
+  void set_provenance(simd::Isa isa, int kernel_set_version) {
+    isa_ = isa;
+    kernel_set_version_ = kernel_set_version;
+  }
+
+  /// True when this plan's timings do not describe the kernels the process
+  /// would actually run: tuned for another kernel-set revision or under
+  /// another ISA than the currently active one. Stale plans are re-tuned
+  /// (bench_kernels --plan-in) or ignored in favor of the matrix's own
+  /// plan (Csr::apply_transpose_block) rather than silently dispatched.
+  bool stale() const {
+    return kernel_set_version_ != kKernelSetVersion ||
+           isa_ != simd::active_isa();
+  }
+
   /// Serialize to a JSON object: {"entries": [{"width": .., "kernel":
   /// "gather", "gather_seconds": .., "segmented_seconds": ..,
-  /// "scatter_seconds": ..}, ..]}. Timings round-trip exactly (printed with
-  /// max_digits10 precision).
+  /// "scatter_seconds": .., "scalar_gather_seconds": ..}, ..],
+  /// "isa": "avx2", "kernel_set_version": 2}. Timings round-trip exactly
+  /// (printed with max_digits10 precision).
   std::string to_json() const;
 
   /// Parse a plan serialized by to_json(); throws InvalidArgument on
   /// malformed input or unknown kernel names. Tolerant of surrounding JSON
-  /// (scans for the "entries" array), so it accepts both a standalone plan
-  /// file and the "kernel_plan" section of BENCH_kernels.json.
+  /// (scans for the "entries" array; "isa" and "kernel_set_version" are
+  /// read from the same object, and their absence -- a pre-revision plan
+  /// -- deserializes as kScalar/0, which stale() reports as stale), so it
+  /// accepts both a standalone plan file and the "kernel_plan" section of
+  /// BENCH_kernels.json.
   static KernelPlan from_json(const std::string& text);
 
   friend bool operator==(const KernelPlan& a, const KernelPlan& b) {
-    return a.entries_ == b.entries_;
+    return a.entries_ == b.entries_ && a.isa_ == b.isa_ &&
+           a.kernel_set_version_ == b.kernel_set_version_;
   }
 
  private:
   std::vector<KernelPlanEntry> entries_;  ///< sorted by width
+  /// Provenance: the ISA and kernel-set revision the timings describe.
+  simd::Isa isa_ = simd::Isa::kScalar;
+  int kernel_set_version_ = 0;
 };
 
 /// Knobs of the transpose-kernel autotuner.
@@ -138,6 +185,20 @@ struct AutotuneOptions {
   std::vector<Index> widths;
   /// Timing repetitions per kernel; the best rep is kept.
   int reps = 2;
+  /// Untimed warmup runs before the timed repetitions of each kernel
+  /// (linalg::TimingOptions::warmup): absorbs first-touch faults of the
+  /// fresh panels and primes the dispatch seam's branch targets.
+  int warmup = 1;
+  /// Wall-clock floor per kernel measurement (TimingOptions::
+  /// min_elapsed_seconds); 0 = reps alone decide. Raised by bench_kernels
+  /// so plan decisions are stable on noisy machines.
+  double min_sample_seconds = 0;
+  /// Also time the gather under a forced-scalar dispatch (simd::ScopedIsa)
+  /// and record it in KernelPlanEntry::scalar_gather_seconds. Off by
+  /// default -- it doubles the gather's timing cost and informs reporting
+  /// only, never the choice. No-op when the active ISA already is scalar
+  /// (the plain gather timing is the scalar timing).
+  bool measure_scalar = false;
   /// Matrices whose largest measured apply is below this many flops skip
   /// measurement entirely and take the heuristic plan: tiny factors are
   /// cache-resident whichever kernel runs, and solvers construct thousands
@@ -201,8 +262,10 @@ class TransposePlanCache {
   Stats stats() const;
 
  private:
-  /// Shape bucket + options fingerprint (see kernel_plan.cpp).
-  using Key = std::array<std::int64_t, 5>;
+  /// Shape bucket + options fingerprint + active ISA (see kernel_plan.cpp;
+  /// the ISA is part of the key so a plan tuned under one dispatch target
+  /// is a miss -- re-tuned, not reused -- under another).
+  using Key = std::array<std::int64_t, 6>;
 
   struct Slot {
     Key key;

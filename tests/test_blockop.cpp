@@ -331,5 +331,33 @@ TEST(BigDotExpBlocked, RejectsNegativeBlockSize) {
   EXPECT_THROW(core::big_dot_exp(f.phi, 1.0, f.set, options), InvalidArgument);
 }
 
+TEST(TimeBlockKernel, WarmupRunsUntimedBeforeTheRepetitions) {
+  int calls = 0;
+  linalg::TimingOptions options;
+  options.reps = 3;
+  options.warmup = 2;
+  const double seconds =
+      linalg::time_block_kernel(options, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);  // 2 untimed warmup runs + 3 timed repetitions
+  EXPECT_GE(seconds, 0.0);
+}
+
+TEST(TimeBlockKernel, ElapsedFloorExtendsAndCapsRepetitions) {
+  // A near-instant body cannot reach a 2 ms floor in 1 rep: the sampler
+  // keeps repeating -- but the 64-rep cap bounds it, so a mis-sized floor
+  // cannot hang a tuner.
+  int calls = 0;
+  linalg::TimingOptions options;
+  options.reps = 1;
+  options.min_elapsed_seconds = 2e-3;
+  linalg::time_block_kernel(options, [&] { ++calls; });
+  EXPECT_GT(calls, 1);
+  EXPECT_LE(calls, 64);
+  // The int overload is the same sampler with no warmup and no floor.
+  calls = 0;
+  linalg::time_block_kernel(2, [&] { ++calls; });
+  EXPECT_EQ(calls, 2);
+}
+
 }  // namespace
 }  // namespace psdp

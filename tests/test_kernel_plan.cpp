@@ -16,6 +16,7 @@
 #include "core/penalty_oracle.hpp"
 #include "par/parallel.hpp"
 #include "rand/rng.hpp"
+#include "simd/simd.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/kernel_plan.hpp"
 #include "test_helpers.hpp"
@@ -337,6 +338,139 @@ TEST(KernelPlanThreading, OraclePenaltiesInvariantToKernelChoice) {
     EXPECT_EQ(workspace.factor.plan, &force_segmented)
         << "per-call kernel_plan override leaked into the shared workspace";
   }
+}
+
+// ----------------------------------------------------------------------
+// Plan provenance (ISA + kernel-set revision): serialization, staleness,
+// and how stale plans are treated by the dispatch and the cache.
+// ----------------------------------------------------------------------
+
+TEST(KernelPlan, ProvenanceRoundTripsThroughJson) {
+  KernelPlan plan = KernelPlan::heuristic(true);
+  EXPECT_EQ(plan.isa(), simd::active_isa());
+  EXPECT_EQ(plan.kernel_set_version(), KernelPlan::kKernelSetVersion);
+  EXPECT_FALSE(plan.stale());
+  const KernelPlan reloaded = KernelPlan::from_json(plan.to_json());
+  EXPECT_EQ(reloaded, plan);  // includes isa and kernel_set_version
+  EXPECT_FALSE(reloaded.stale());
+  // The scalar-baseline timing of an entry round-trips too.
+  KernelPlan measured;
+  measured.set_entry({8, TransposeKernel::kGather, 1e-6, 0, 2e-6, 4e-6});
+  measured.set_provenance(simd::active_isa(), KernelPlan::kKernelSetVersion);
+  EXPECT_EQ(KernelPlan::from_json(measured.to_json()), measured);
+}
+
+TEST(KernelPlan, MissingOrMismatchedProvenanceReadsAsStale) {
+  // Manually assembled plans carry no provenance: stale by construction.
+  KernelPlan manual;
+  manual.set_entry({4, TransposeKernel::kGather, 0, 0, 0});
+  EXPECT_TRUE(manual.stale());
+  // Pre-provenance serializations (no isa / kernel_set_version keys) read
+  // back as kernel set 0 -- stale, so reloading an old BENCH artifact
+  // re-tunes instead of dispatching through retired measurements.
+  const KernelPlan reloaded = KernelPlan::from_json(
+      "{\"entries\": [{\"width\": 4, \"kernel\": \"gather\"}]}");
+  EXPECT_EQ(reloaded.kernel_set_version(), 0);
+  EXPECT_EQ(reloaded.isa(), simd::Isa::kScalar);
+  EXPECT_TRUE(reloaded.stale());
+  // A provenance from an older kernel set is stale under the right ISA...
+  KernelPlan old_set = KernelPlan::heuristic(true);
+  old_set.set_provenance(simd::active_isa(),
+                         KernelPlan::kKernelSetVersion - 1);
+  EXPECT_TRUE(old_set.stale());
+  // ...and a current-set plan goes stale when the dispatch target moves.
+  if (simd::compiled_isas().size() > 1) {
+    const KernelPlan current = KernelPlan::heuristic(true);
+    const simd::Isa other = simd::active_isa() == simd::Isa::kScalar
+                                ? simd::compiled_isas().back()
+                                : simd::Isa::kScalar;
+    simd::ScopedIsa forced(other);
+    EXPECT_TRUE(current.stale());
+  }
+}
+
+TEST(KernelPlan, StaleCallerPlanIsIgnoredByDispatch) {
+  ThreadGuard guard;
+  par::set_num_threads(4);
+  Csr tall = tall_random(1 << 12, 16, 91);
+  tall.build_transpose_index();
+  linalg::Matrix x(tall.rows(), 8);
+  rand::Rng rng(5);
+  for (Index i = 0; i < x.rows(); ++i) {
+    for (Index t = 0; t < x.cols(); ++t) x(i, t) = rng.normal();
+  }
+  std::vector<Real> partial;
+  linalg::Matrix y_ref;
+  tall.apply_transpose_block(x, y_ref, partial);
+  // A stale plan forcing the scatter (whose 4-thread accumulation order
+  // differs from the gather's) must be ignored: the dispatch falls back
+  // to the matrix's own plan and the output matches the gather bitwise.
+  KernelPlan stale;
+  stale.set_entry({1 << 20, TransposeKernel::kScatter, 0, 0, 0});
+  ASSERT_TRUE(stale.stale());
+  linalg::Matrix y;
+  tall.apply_transpose_block(x, y, partial, &stale);
+  for (Index j = 0; j < y.rows(); ++j) {
+    for (Index t = 0; t < y.cols(); ++t) EXPECT_EQ(y(j, t), y_ref(j, t));
+  }
+}
+
+TEST(TransposePlanCache, IsaMismatchIsAMiss) {
+  if (simd::compiled_isas().size() < 2) {
+    GTEST_SKIP() << "scalar-only build: no second ISA to miss against";
+  }
+  Csr tall = tall_random(1 << 14, 16, 7);
+  TransposePlanOptions build;
+  build.autotune.enable = false;
+  tall.build_transpose_index(build);
+  AutotuneOptions tune;
+  tune.widths = {8};
+  tune.reps = 1;
+  TransposePlanCache cache(8);
+  const KernelPlan first = cache.get(tall, tune);
+  EXPECT_FALSE(first.stale());
+  cache.get(tall, tune);
+  TransposePlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  {
+    // Same shape bucket, same options, different dispatch target: the
+    // cached plan's measurements do not transfer -- re-tuned, not reused.
+    simd::ScopedIsa forced(simd::Isa::kScalar);
+    const KernelPlan scalar_plan = cache.get(tall, tune);
+    EXPECT_EQ(scalar_plan.isa(), simd::Isa::kScalar);
+    EXPECT_FALSE(scalar_plan.stale());
+  }
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(KernelPlan, MeasureScalarRecordsBaselineTiming) {
+  Csr tall = tall_random(1 << 14, 16, 13);
+  TransposePlanOptions build;
+  build.autotune.enable = false;
+  tall.build_transpose_index(build);
+  AutotuneOptions tune;
+  tune.widths = {8};
+  tune.reps = 1;
+  tune.measure_scalar = true;
+  const KernelPlan plan = autotune_transpose_plan(tall, tune);
+  ASSERT_EQ(plan.entries().size(), 1u);
+  if (simd::active_isa() != simd::Isa::kScalar) {
+    EXPECT_GT(plan.entries()[0].scalar_gather_seconds, 0.0);
+  } else {
+    // Already scalar: there is no second backend to baseline against.
+    EXPECT_EQ(plan.entries()[0].scalar_gather_seconds, 0.0);
+  }
+  // The knob is part of the tuner-option fingerprint, so cached plans
+  // with and without the baseline cannot shadow each other.
+  AutotuneOptions plain = tune;
+  plain.measure_scalar = false;
+  TransposePlanCache cache(8);
+  cache.get(tall, tune);
+  cache.get(tall, plain);
+  EXPECT_EQ(cache.stats().misses, 2u);
 }
 
 }  // namespace
