@@ -1,0 +1,544 @@
+// Serve-layer latency bench: an open-loop Poisson arrival stream over a
+// heavy-tailed instance mix, replayed twice through the batch scheduler --
+//
+//   baseline   the PR-5 static regime: FIFO queue, no preemption, no
+//              widening (a lane that picks up an elephant keeps it, and
+//              every tiny job behind it waits);
+//   aware      the latency-aware regime: EDF queue ordered by deadline,
+//              oracle-round preemption (an urgent arrival borrows a busy
+//              lane between rounds), and dynamic widening (the last jobs
+//              of a burst take the whole pool).
+//
+// The mix is 80% tiny / 15% medium / 5% elephant factorized-packing jobs;
+// tiny and medium jobs carry relative deadlines calibrated from per-class
+// solo runs, elephants are batch work with no deadline. The arrival rate
+// is self-calibrated to a target utilization from the same solo runs, so
+// the bench exercises comparable queueing pressure on any machine.
+//
+// Reported per run and per class: p50/p99 queue, run and total latency,
+// jobs/s over the makespan, deadline-hit rate, and the scheduler's
+// preemption/promotion/demotion counters. Every completed job is compared
+// bitwise against its solo reference -- preempted, parked and promoted
+// solves must not change a single bit (the serve/scheduler.hpp contract).
+//
+// Results are spliced into BENCH_serve.json as a "latency" section
+// (replacing any previous one; the rest of the file is preserved).
+//
+// Gates (exit 1 on failure):
+//   * always: zero identity mismatches across both runs;
+//   * --smoke: aware tiny-class p99 total latency < solo tiny time x lanes
+//     (i.e. an interactive job never waits out a whole static shard);
+//   * --assert-improvement=X: baseline/aware tiny p99 >= X at >= 95% of
+//     baseline throughput (the ISSUE acceptance bar is 2).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/generators.hpp"
+#include "bench_common.hpp"
+#include "par/parallel.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace psdp;
+
+/// One reusable job configuration: a cache key, a deterministic builder,
+/// and solver options. Arrivals instantiate these round-robin per class.
+struct JobTemplate {
+  std::string instance;
+  std::string label;
+  apps::FactorizedOptions generator;
+  core::OptimizeOptions options;
+};
+
+struct JobClass {
+  std::string name;
+  double weight = 0;            ///< mix fraction
+  bool deadline = false;        ///< latency-sensitive class
+  std::vector<JobTemplate> templates;
+  // Filled by the solo pass:
+  double solo_seconds = 0;      ///< mean solo run time over templates
+  double deadline_ms = 0;       ///< calibrated relative deadline
+};
+
+core::OptimizeOptions load_options(Real eps) {
+  core::OptimizeOptions options;
+  options.eps = eps;
+  options.decision_eps = 0.25;
+  options.probe_solver = core::ProbeSolver::kPhased;
+  // Modest fixed sketch, as a serving deployment would run its probes
+  // (certificates stay measured and valid; only probe progress varies).
+  options.decision.dot_options.sketch_rows_override = 16;
+  return options;
+}
+
+/// The heavy-tailed mix. Elephants are ~2 orders of magnitude more work
+/// than tiny jobs, so a FIFO lane that picks one up blocks its queue for
+/// many tiny-job service times -- exactly the p99 regime the aware
+/// scheduler is built for.
+std::vector<JobClass> make_classes(bool smoke) {
+  const auto fill = [](JobClass& cls, Index m, Index n, Real eps, int count,
+                       std::uint64_t seed0) {
+    for (int i = 0; i < count; ++i) {
+      JobTemplate t;
+      t.instance = str(cls.name, i);
+      t.label = t.instance;
+      t.generator.m = m;
+      t.generator.n = n;
+      t.generator.rank = 2;
+      t.generator.nnz_per_column = 6;
+      t.generator.seed = seed0 + static_cast<std::uint64_t>(i);
+      t.options = load_options(eps);
+      cls.templates.push_back(std::move(t));
+    }
+  };
+  std::vector<JobClass> classes(3);
+  classes[0].name = "tiny";
+  classes[0].weight = 0.80;
+  classes[0].deadline = true;
+  fill(classes[0], smoke ? 128 : 256, 8, 0.5, 3, 100);
+  classes[1].name = "medium";
+  classes[1].weight = 0.15;
+  classes[1].deadline = true;
+  fill(classes[1], smoke ? 256 : 1024, 10, 0.45, 2, 200);
+  classes[2].name = "elephant";
+  classes[2].weight = 0.05;
+  classes[2].deadline = false;
+  fill(classes[2], smoke ? 512 : 4096, 12, 0.4, 1, 300);
+  return classes;
+}
+
+serve::JobSpec make_spec(const JobTemplate& t, double deadline_ms) {
+  serve::JobSpec spec;
+  spec.instance = t.instance;
+  spec.label = t.label;
+  spec.kind = serve::JobKind::kPackingFactorized;
+  spec.options = t.options;
+  spec.deadline_ms = deadline_ms;
+  const apps::FactorizedOptions generator = t.generator;
+  spec.builder = [generator](const sparse::TransposePlanOptions& plan) {
+    apps::FactorizedOptions options = generator;
+    options.plan_options = &plan;
+    return serve::prepare_factorized(apps::random_factorized(options));
+  };
+  return spec;
+}
+
+/// One pre-sampled arrival of the open-loop stream.
+struct Arrival {
+  double at_seconds = 0;   ///< offset from stream start
+  int cls = 0;             ///< index into classes
+  int tmpl = 0;            ///< index into classes[cls].templates
+};
+
+struct Percentiles {
+  double p50 = 0;
+  double p99 = 0;
+};
+
+Percentiles percentiles(std::vector<double> v) {
+  Percentiles p;
+  if (v.empty()) return p;
+  std::sort(v.begin(), v.end());
+  const auto at = [&](double q) {
+    const std::size_t i = static_cast<std::size_t>(
+        std::min<double>(std::ceil(q * static_cast<double>(v.size())) - 1,
+                         static_cast<double>(v.size() - 1)));
+    return v[std::max<std::size_t>(i, 0)];
+  };
+  p.p50 = at(0.50);
+  p.p99 = at(0.99);
+  return p;
+}
+
+struct ClassLatency {
+  std::size_t jobs = 0;
+  Percentiles queue, run, total;
+};
+
+struct RunReport {
+  std::vector<serve::JobResult> results;
+  double makespan_seconds = 0;
+  double jobs_per_second = 0;
+  double deadline_hit_rate = 1;
+  serve::SchedulerStats stats;
+  std::vector<ClassLatency> classes;
+};
+
+/// Replay the arrival stream through one scheduler configuration with real
+/// wall-clock sleeps (open-loop: late service never slows arrivals down).
+RunReport replay(const std::vector<JobClass>& classes,
+                 const std::vector<Arrival>& arrivals,
+                 const serve::SchedulerOptions& options, int lanes) {
+  serve::BatchScheduler scheduler(options);
+  scheduler.open(lanes);
+  util::WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Arrival& a : arrivals) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(a.at_seconds)));
+    const JobClass& cls = classes[static_cast<std::size_t>(a.cls)];
+    scheduler.submit(make_spec(
+        cls.templates[static_cast<std::size_t>(a.tmpl)],
+        cls.deadline ? cls.deadline_ms : 0));
+  }
+  RunReport report;
+  report.results = scheduler.close();
+  report.makespan_seconds = timer.seconds();
+  report.jobs_per_second =
+      report.makespan_seconds > 0
+          ? static_cast<double>(report.results.size()) / report.makespan_seconds
+          : 0;
+  report.stats = scheduler.stats();
+
+  std::size_t with_deadline = 0, met = 0;
+  report.classes.resize(classes.size());
+  std::vector<std::vector<double>> queue(classes.size()), run(classes.size()),
+      total(classes.size());
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const serve::JobResult& r = report.results[i];
+    const std::size_t c = static_cast<std::size_t>(arrivals[i].cls);
+    if (r.shed) continue;  // shed jobs have no run latency
+    queue[c].push_back(r.queue_seconds);
+    run[c].push_back(r.run_seconds);
+    total[c].push_back(r.queue_seconds + r.run_seconds);
+    if (r.deadline_ms > 0) {
+      ++with_deadline;
+      met += r.deadline_met ? 1 : 0;
+    }
+  }
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    report.classes[c].jobs = total[c].size();
+    report.classes[c].queue = percentiles(queue[c]);
+    report.classes[c].run = percentiles(run[c]);
+    report.classes[c].total = percentiles(total[c]);
+  }
+  report.deadline_hit_rate =
+      with_deadline > 0
+          ? static_cast<double>(met) / static_cast<double>(with_deadline)
+          : 1;
+  return report;
+}
+
+/// Splice `section` into the JSON file at `path` as its "latency" member,
+/// replacing a previous one and preserving everything else. Falls back to
+/// a fresh standalone object when the file is absent or unreadable.
+void splice_latency(const std::string& path, const std::string& section) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in.is_open()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  const std::size_t close = text.rfind('}');
+  if (close == std::string::npos) {
+    text = str("{\n  \"bench\": \"serve\",\n  \"latency\": ", section, "\n}\n");
+  } else {
+    const std::size_t key = text.find("\"latency\"");
+    if (key != std::string::npos) {
+      // Erase from the comma before the key through the member's matching
+      // closing brace.
+      std::size_t begin = text.rfind(',', key);
+      if (begin == std::string::npos) begin = key;
+      std::size_t i = text.find('{', key);
+      int depth = 0;
+      while (i < text.size()) {
+        if (text[i] == '{') ++depth;
+        if (text[i] == '}' && --depth == 0) break;
+        ++i;
+      }
+      PSDP_CHECK(i < text.size(),
+                 str(path, ": unbalanced braces in existing latency section"));
+      text.erase(begin, i + 1 - begin);
+    }
+    const std::size_t tail = text.rfind('}');
+    text.insert(tail, str(",\n  \"latency\": ", section, "\n"));
+  }
+  std::ofstream out(path);
+  out << text;
+  out.flush();
+  PSDP_CHECK(out.good(), str("cannot write ", path));
+}
+
+std::string class_json(const RunReport& report,
+                       const std::vector<JobClass>& classes) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{";
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const ClassLatency& l = report.classes[c];
+    out << (c > 0 ? ", " : "") << "\"" << classes[c].name
+        << "\": {\"jobs\": " << l.jobs << ", \"p50_queue\": " << l.queue.p50
+        << ", \"p99_queue\": " << l.queue.p99
+        << ", \"p50_run\": " << l.run.p50 << ", \"p99_run\": " << l.run.p99
+        << ", \"p50_total\": " << l.total.p50
+        << ", \"p99_total\": " << l.total.p99 << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string run_json(const RunReport& report,
+                     const std::vector<JobClass>& classes) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"makespan_seconds\": " << report.makespan_seconds
+      << ", \"jobs_per_second\": " << report.jobs_per_second
+      << ", \"deadline_hit_rate\": " << report.deadline_hit_rate
+      << ", \"preemptions\": " << report.stats.preemptions
+      << ", \"promotions\": " << report.stats.promotions
+      << ", \"demotions\": " << report.stats.demotions
+      << ", \"shed\": " << report.stats.shed
+      << ", \"peak_queue\": " << report.stats.peak_queue
+      << ", \"classes\": " << class_json(report, classes) << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_load",
+                "Poisson load latency: EDF + preemption vs static FIFO lanes");
+  auto& smoke = cli.flag<bool>("smoke", false, "tiny instances for CI");
+  auto& threads = cli.flag<int>("threads", 8, "pool width (0 = keep default)");
+  auto& lanes_flag = cli.flag<int>("lanes", 0, "lanes (0 = pool width)");
+  auto& jobs_flag = cli.flag<int>("jobs", 0, "arrivals (0 = auto by mode)");
+  auto& utilization = cli.flag<Real>(
+      "utilization", 0.75, "target offered load as a fraction of capacity");
+  auto& seed = cli.flag<int>("seed", 42, "arrival-stream RNG seed");
+  auto& out_path = cli.flag<std::string>(
+      "out", "BENCH_serve.json", "JSON file to splice the latency section into");
+  auto& assert_improvement = cli.flag<Real>(
+      "assert-improvement", 0,
+      "fail unless baseline/aware tiny p99 >= this at >= 95% of baseline "
+      "throughput (0 = report only)");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  if (threads.value > 0) par::set_num_threads(threads.value);
+  const int width = par::num_threads();
+  const int lanes = lanes_flag.value > 0 ? lanes_flag.value : width;
+  const int n_jobs = jobs_flag.value > 0 ? jobs_flag.value
+                                         : (smoke.value ? 32 : 100);
+
+  bench::print_header(
+      "LOAD: open-loop Poisson arrivals over a heavy-tailed job mix",
+      str("Static FIFO lanes (the PR-5 regime) vs EDF + oracle-round "
+          "preemption + dynamic widening, ", lanes, " lanes over ", width,
+          " threads, target utilization ", utilization.value, "."));
+
+  std::vector<JobClass> classes = make_classes(smoke.value);
+
+  // ---- solo references: per-template ground truth + calibration ----------
+  // Each template runs alone as a narrow lane job (regions inline) on a
+  // fresh scheduler; the payload is the identity reference for every
+  // instantiation of that template (narrow, wide and promoted runs are all
+  // bitwise identical), and the warm run time is the *inline* service time
+  // a lane actually pays -- the honest unit for rate and deadline
+  // calibration.
+  std::vector<std::vector<serve::JobResult>> solo(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    double sum = 0;
+    for (const JobTemplate& t : classes[c].templates) {
+      serve::SchedulerOptions options;
+      options.widening = false;  // measure the un-promoted inline regime
+      serve::BatchScheduler scheduler(options);
+      serve::SolveBatch cold;
+      cold.add(make_spec(t, 0));
+      scheduler.run(cold);  // pays the one-time instance build
+      serve::SolveBatch warm;
+      warm.add(make_spec(t, 0));
+      std::vector<serve::JobResult> result = scheduler.run(warm);
+      PSDP_CHECK(result.front().ok, str("solo run failed for ", t.label, ": ",
+                                        result.front().error));
+      sum += result.front().run_seconds;
+      solo[c].push_back(std::move(result.front()));
+    }
+    classes[c].solo_seconds =
+        sum / static_cast<double>(classes[c].templates.size());
+    // Deadline: a small multiple of the class's own service time plus a
+    // queueing allowance; hittable under EDF+preemption, routinely blown
+    // when the job sits behind an elephant on a FIFO lane.
+    classes[c].deadline_ms = 1e3 * (4 * classes[c].solo_seconds) + 25;
+    std::cout << "solo " << classes[c].name << ": "
+              << classes[c].solo_seconds << " s/job, deadline "
+              << (classes[c].deadline ? str(classes[c].deadline_ms, " ms")
+                                      : std::string("none"))
+              << "\n";
+  }
+
+  // ---- arrival stream (shared verbatim by both runs) ---------------------
+  // Capacity is bounded by physical cores, not by lane count: lanes beyond
+  // the core count time-slice rather than add service rate.
+  const int effective_lanes = std::min(
+      lanes, std::max(1, static_cast<int>(std::thread::hardware_concurrency())));
+  double mean_work = 0;
+  for (const JobClass& c : classes) mean_work += c.weight * c.solo_seconds;
+  const double rate =
+      utilization.value * static_cast<double>(effective_lanes) / mean_work;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed.value));
+  std::exponential_distribution<double> interarrival(rate);
+  // Exact-proportion deck rather than iid draws: a short smoke stream must
+  // still contain its elephants, or there is no tail to measure.
+  std::vector<int> deck;
+  for (std::size_t r = classes.size(); r-- > 0;) {  // rarest classes first
+    const int count = std::max<int>(
+        1, static_cast<int>(std::lround(classes[r].weight * n_jobs)));
+    for (int i = 0; i < count && static_cast<int>(deck.size()) < n_jobs; ++i) {
+      deck.push_back(static_cast<int>(r));
+    }
+  }
+  while (static_cast<int>(deck.size()) < n_jobs) deck.push_back(0);
+  std::shuffle(deck.begin(), deck.end(), rng);
+  std::vector<Arrival> arrivals(static_cast<std::size_t>(n_jobs));
+  std::vector<int> round_robin(classes.size(), 0);
+  double clock = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Arrival& a = arrivals[i];
+    clock += interarrival(rng);
+    a.at_seconds = clock;
+    a.cls = deck[i];
+    auto& next = round_robin[static_cast<std::size_t>(a.cls)];
+    a.tmpl = next;
+    next = (next + 1) %
+           static_cast<int>(classes[static_cast<std::size_t>(a.cls)]
+                                .templates.size());
+  }
+  std::cout << n_jobs << " arrivals at " << rate << " jobs/s over ~"
+            << clock << " s\n\n";
+
+  // ---- baseline: the PR-5 static regime ----------------------------------
+  serve::SchedulerOptions baseline_options;
+  baseline_options.queue = serve::QueuePolicy::kFifo;
+  baseline_options.preemption = false;
+  baseline_options.widening = false;
+  std::cout << "baseline (FIFO, static lanes)...\n";
+  const RunReport baseline = replay(classes, arrivals, baseline_options, lanes);
+
+  // ---- aware: EDF + preemption + widening --------------------------------
+  serve::SchedulerOptions aware_options;
+  aware_options.queue = serve::QueuePolicy::kEdf;
+  aware_options.preemption = true;
+  aware_options.widening = true;
+  std::cout << "aware (EDF, preemption, widening)...\n";
+  const RunReport aware = replay(classes, arrivals, aware_options, lanes);
+
+  // ---- identity: every completed job bitwise equal to its solo run -------
+  Index mismatches = 0;
+  for (const RunReport* report : {&baseline, &aware}) {
+    for (std::size_t i = 0; i < report->results.size(); ++i) {
+      const serve::JobResult& r = report->results[i];
+      if (r.shed) continue;
+      const serve::JobResult& ref =
+          solo[static_cast<std::size_t>(arrivals[i].cls)]
+              [static_cast<std::size_t>(arrivals[i].tmpl)];
+      if (!r.ok || !serve::payload_bitwise_equal(r, ref)) {
+        ++mismatches;
+        std::cout << "IDENTITY MISMATCH: job " << i << " (" << r.label
+                  << (r.preemptions > 0 ? ", preempted" : "")
+                  << (r.promoted ? ", promoted" : "") << ")"
+                  << (!r.ok ? str(": ", r.error) : std::string()) << "\n";
+      }
+    }
+  }
+
+  // ---- report -------------------------------------------------------------
+  util::Table table({"run", "class", "p50 queue", "p99 queue", "p99 total",
+                     "jobs"});
+  const auto add_rows = [&](const char* name, const RunReport& report) {
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      const ClassLatency& l = report.classes[c];
+      table.add_row({name, classes[c].name, util::Table::cell(l.queue.p50),
+                     util::Table::cell(l.queue.p99),
+                     util::Table::cell(l.total.p99),
+                     util::Table::cell(static_cast<double>(l.jobs))});
+    }
+  };
+  add_rows("baseline", baseline);
+  add_rows("aware", aware);
+  table.print();
+  const auto summarize = [&](const char* name, const RunReport& report) {
+    std::cout << name << ": " << report.jobs_per_second << " jobs/s, "
+              << 100 * report.deadline_hit_rate << "% deadlines met, "
+              << report.stats.preemptions << " preemptions, "
+              << report.stats.promotions << " promotions, "
+              << report.stats.demotions << " demotions\n";
+  };
+  summarize("baseline", baseline);
+  summarize("aware", aware);
+
+  const double tiny_p99_baseline = baseline.classes[0].total.p99;
+  const double tiny_p99_aware = aware.classes[0].total.p99;
+  const double improvement =
+      tiny_p99_aware > 0 ? tiny_p99_baseline / tiny_p99_aware : 0;
+  std::cout << "tiny p99 total: " << tiny_p99_baseline << " s -> "
+            << tiny_p99_aware << " s (" << improvement << "x)\n";
+
+  // ---- JSON ---------------------------------------------------------------
+  {
+    std::ostringstream section;
+    section.precision(17);
+    section << "{\n    \"smoke\": " << (smoke.value ? "true" : "false")
+            << ", \"threads\": " << width << ", \"lanes\": " << lanes
+            << ", \"jobs\": " << n_jobs << ", \"seed\": " << seed.value
+            << ",\n    \"utilization\": " << utilization.value
+            << ", \"arrival_rate_per_s\": " << rate << ",\n    \"solo\": {";
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      section << (c > 0 ? ", " : "") << "\"" << classes[c].name
+              << "\": " << classes[c].solo_seconds;
+    }
+    section << "},\n    \"baseline\": " << run_json(baseline, classes)
+            << ",\n    \"aware\": " << run_json(aware, classes)
+            << ",\n    \"identity_mismatches\": " << mismatches
+            << ",\n    \"tiny_p99_improvement\": " << improvement << "\n  }";
+    splice_latency(out_path.value, section.str());
+  }
+  std::cout << "spliced latency section into " << out_path.value << "\n";
+
+  // ---- verdicts -----------------------------------------------------------
+  bool ok = true;
+  bench::print_verdict(mismatches == 0,
+                       mismatches == 0
+                           ? std::string("preempted/parked/promoted results "
+                                         "bitwise identical to solo runs")
+                           : str(mismatches, " job(s) diverged from solo"));
+  ok = ok && mismatches == 0;
+  if (smoke.value) {
+    // The static worst case for an interactive job is waiting out a full
+    // shard of elephants: solo x lanes. The aware scheduler must beat it.
+    const double bound = classes[0].solo_seconds * lanes;
+    const bool latency_ok = tiny_p99_aware < bound;
+    bench::print_verdict(latency_ok,
+                         str("aware tiny p99 ", tiny_p99_aware,
+                             " s vs static-shard bound ", bound, " s"));
+    ok = ok && latency_ok;
+  }
+  if (assert_improvement.value > 0) {
+    const bool faster = improvement >= assert_improvement.value;
+    const bool throughput_held =
+        aware.jobs_per_second >= 0.95 * baseline.jobs_per_second;
+    bench::print_verdict(faster, str("tiny p99 improved ", improvement,
+                                     "x (target >= ",
+                                     assert_improvement.value, "x)"));
+    bench::print_verdict(throughput_held,
+                         str("aware throughput ", aware.jobs_per_second,
+                             " jobs/s vs baseline ",
+                             baseline.jobs_per_second, " jobs/s"));
+    ok = ok && faster && throughput_held;
+  }
+  return ok ? 0 : 1;
+}

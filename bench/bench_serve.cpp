@@ -55,6 +55,7 @@ struct JobTiming {
   std::string kind;
   double sequential_seconds = 0;
   double batch_seconds = 0;
+  double batch_queue_seconds = 0;
   double warm_seconds = 0;
   bool batch_cache_hit = false;
   int batch_lane = -1;
@@ -178,36 +179,6 @@ serve::SolveBatch make_batch(bool smoke) {
   return batch;
 }
 
-/// Exact (bitwise) comparison of the payloads two runs of one job produced.
-bool results_identical(const serve::JobResult& a, const serve::JobResult& b) {
-  if (a.ok != b.ok) return false;
-  if (!a.ok) return true;  // both failed: error text may name paths etc.
-  const auto vectors_equal = [](const linalg::Vector& x,
-                                const linalg::Vector& y) {
-    if (x.size() != y.size()) return false;
-    for (Index i = 0; i < x.size(); ++i) {
-      if (x[i] != y[i]) return false;
-    }
-    return true;
-  };
-  switch (a.kind) {
-    case serve::JobKind::kPackingDense:
-    case serve::JobKind::kPackingFactorized:
-      return a.packing.lower == b.packing.lower &&
-             a.packing.upper == b.packing.upper &&
-             vectors_equal(a.packing.best_x, b.packing.best_x);
-    case serve::JobKind::kCovering:
-      return a.covering.objective == b.covering.objective &&
-             a.covering.lower_bound == b.covering.lower_bound &&
-             a.covering.packing.lower == b.covering.packing.lower &&
-             a.covering.packing.upper == b.covering.packing.upper;
-    case serve::JobKind::kPackingLp:
-      return a.lp.lower == b.lp.lower && a.lp.upper == b.lp.upper &&
-             vectors_equal(a.lp.best_x, b.lp.best_x);
-  }
-  return false;
-}
-
 /// The sequential baseline: each job on a fresh scheduler (fresh caches)
 /// with wide_work = 0, so it runs alone at full pool width -- one emulated
 /// process entry per job.
@@ -310,8 +281,8 @@ int main(int argc, char** argv) {
   Index mismatches = 0;
   std::vector<JobTiming> timings;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!results_identical(seq_results[i], cold_results[i]) ||
-        !results_identical(seq_results[i], warm_results[i])) {
+    if (!serve::payload_bitwise_equal(seq_results[i], cold_results[i]) ||
+        !serve::payload_bitwise_equal(seq_results[i], warm_results[i])) {
       ++mismatches;
       std::cout << "IDENTITY MISMATCH: " << seq_results[i].label << "\n";
     }
@@ -319,8 +290,9 @@ int main(int argc, char** argv) {
     t.label = cold_results[i].label;
     t.kind = serve::job_kind_name(cold_results[i].kind);
     t.sequential_seconds = seq_results[i].seconds;
-    t.batch_seconds = cold_results[i].seconds;
-    t.warm_seconds = warm_results[i].seconds;
+    t.batch_seconds = cold_results[i].run_seconds;
+    t.batch_queue_seconds = cold_results[i].queue_seconds;
+    t.warm_seconds = warm_results[i].run_seconds;
     t.batch_cache_hit = cold_results[i].cache_hit;
     t.batch_lane = cold_results[i].lane;
     timings.push_back(std::move(t));
@@ -400,6 +372,7 @@ int main(int argc, char** argv) {
       out << "    {\"label\": \"" << t.label << "\", \"kind\": \"" << t.kind
           << "\", \"sequential_seconds\": " << t.sequential_seconds
           << ", \"batch_seconds\": " << t.batch_seconds
+          << ", \"batch_queue_seconds\": " << t.batch_queue_seconds
           << ", \"warm_seconds\": " << t.warm_seconds
           << ", \"batch_cache_hit\": " << (t.batch_cache_hit ? "true" : "false")
           << ", \"batch_lane\": " << t.batch_lane << "}"

@@ -122,7 +122,13 @@ void print_job_line(const serve::JobResult& r) {
        << serve::job_kind_name(r.kind) << ", "
        << (r.lane >= 0 ? "lane " + std::to_string(r.lane) : std::string("wide"))
        << (r.cache_hit ? ", cached" : "") << ") "
-       << std::setprecision(4) << r.seconds << " s";
+       << std::setprecision(4) << r.run_seconds << " s run + "
+       << r.queue_seconds << " s queued";
+  if (r.deadline_ms > 0) {
+    line << (r.deadline_met ? "  [deadline met]" : "  [deadline MISSED]");
+  }
+  if (r.preemptions > 0) line << "  [preempted x" << r.preemptions << "]";
+  if (r.promoted) line << "  [widened]";
   if (r.ok) {
     switch (r.kind) {
       case serve::JobKind::kPackingDense:
@@ -169,6 +175,12 @@ int run_batch(const std::string& manifest, int lanes) {
             << " jobs/s); cache " << stats.hits << " hits / " << stats.misses
             << " misses / " << stats.evictions << " evictions, "
             << stats.workspace_reuses << " workspace reuses\n";
+  const serve::SchedulerStats sched = scheduler.stats();
+  std::cout << "Scheduler: " << sched.preemptions << " preemptions, "
+            << sched.promotions << " promotions, " << sched.demotions
+            << " demotions, " << sched.shed << " shed, peak queue "
+            << sched.peak_queue << ", " << sched.deadline_misses
+            << " deadline misses\n";
   return failed == 0 ? 0 : 1;
 }
 

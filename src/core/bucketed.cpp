@@ -52,6 +52,9 @@ BucketedResult run_bucketed_loop(PenaltyOracle& oracle,
 
   while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
          !(options.early_primal_exit && state.primal_certified(noise))) {
+    // Round boundary: no locks held, no parallel region open -- the one
+    // safe place to lend the thread out (see yield_point.hpp).
+    if (options.yield != nullptr) options.yield->check();
     ++state.t;
     oracle.compute(state.x, static_cast<std::uint64_t>(state.t), batch);
     const Real tr_w = batch.trace;

@@ -41,6 +41,9 @@ struct BucketedOptions {
   bool track_trajectory = false;
   Index max_iterations_override = 0;
   bool early_primal_exit = true;
+  /// Cooperative check-in invoked once per round, outside any parallel
+  /// region (yield_point.hpp); cannot change results. nullptr = none.
+  YieldPoint* yield = nullptr;
 };
 
 struct FactorizedBucketedOptions : BucketedOptions {

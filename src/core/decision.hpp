@@ -35,6 +35,7 @@
 
 #include "core/bigdotexp.hpp"
 #include "core/instance.hpp"
+#include "core/yield_point.hpp"
 
 namespace psdp::core {
 
@@ -91,6 +92,11 @@ struct DecisionOptions {
   /// SolverWorkspace). nullptr = the oracle owns a private workspace.
   /// Ignored by the dense solver.
   SolverWorkspace* workspace = nullptr;
+  /// Cooperative check-in invoked once per round, outside any parallel
+  /// region (yield_point.hpp). The serve scheduler uses it for preemption
+  /// and dynamic lane widening at round boundaries; it cannot change the
+  /// solve's results. nullptr = no check-ins.
+  YieldPoint* yield = nullptr;
 };
 
 /// One iteration's diagnostics (recorded when track_trajectory is set).

@@ -84,6 +84,9 @@ MixedResult run_mixed_loop(PenaltyOracle& oracle,
   };
 
   while (min_coverage() < cover_target && result.iterations < r_limit) {
+    // Round boundary: no locks held, no parallel region open -- the one
+    // safe place to lend the thread out (see yield_point.hpp).
+    if (options.yield != nullptr) options.yield->check();
     ++result.iterations;
 
     // Packing penalties: P . A_i with P = exp(Psi)/Tr, via the oracle.

@@ -72,6 +72,9 @@ struct MixedFactorizedInstance {
 struct MixedOptions {
   Real eps = 0.1;
   Index max_iterations_override = 0;  ///< 0 = the R-style budget
+  /// Cooperative check-in invoked once per round, outside any parallel
+  /// region (yield_point.hpp); cannot change results. nullptr = none.
+  YieldPoint* yield = nullptr;
 };
 
 struct MixedFactorizedOptions : MixedOptions {

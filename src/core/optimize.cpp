@@ -89,6 +89,7 @@ Options probe_schedule_options(const DecisionOptions& decision) {
   options.dot_eps = decision.dot_eps;
   options.dot_options = decision.dot_options;
   options.workspace = decision.workspace;
+  options.yield = decision.yield;
   return options;
 }
 

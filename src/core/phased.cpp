@@ -53,6 +53,9 @@ PhasedResult run_phased_loop(PenaltyOracle& oracle,
 
   while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
          !(options.early_primal_exit && state.primal_certified(noise))) {
+    // Phase boundary: no locks held, no parallel region open -- the one
+    // safe place to lend the thread out (see yield_point.hpp).
+    if (options.yield != nullptr) options.yield->check();
     // --- Phase start: the one oracle evaluation. ---
     ++result.phases;
     oracle.compute(state.x, static_cast<std::uint64_t>(result.phases), batch);

@@ -59,6 +59,9 @@ struct PhasedOptions {
   /// docs/noisy_oracle_margin.md (repro: bench_variants --margin-blowup).
   /// No effect on exact oracles (noise 0 collapses both margins).
   bool two_sided_margin = false;
+  /// Cooperative check-in invoked once per phase, outside any parallel
+  /// region (yield_point.hpp); cannot change results. nullptr = none.
+  YieldPoint* yield = nullptr;
 };
 
 /// Diagnostics for one phase.

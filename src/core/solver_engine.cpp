@@ -105,6 +105,9 @@ EngineRun run_decision_loop(PenaltyOracle& oracle,
   // noise_bound instead.)
   while (state.x_norm1 <= c.k_cap && state.t < r_limit &&
          !(options.early_primal_exit && state.primal_certified(0))) {
+    // Round boundary: no locks held, no parallel region open -- the one
+    // safe place to lend the thread out (see yield_point.hpp).
+    if (options.yield != nullptr) options.yield->check();
     ++state.t;
     if ((state.t - 1) % exp_stride == 0) {
       // Refresh the penalties (every iteration in paper-faithful mode; the

@@ -8,7 +8,13 @@ thread_local const ThreadPool* t_owner = nullptr;
 // run_batch from a task body running on the submitting thread must execute
 // inline: re-submitting would self-deadlock on submit_mutex_.
 thread_local bool t_submitting = false;
+// Caller-requested inline execution (see regions_inlined() in the header).
+thread_local bool t_regions_inlined = false;
 }
+
+bool regions_inlined() { return t_regions_inlined; }
+
+void set_regions_inlined(bool inlined) { t_regions_inlined = inlined; }
 
 ThreadPool::ThreadPool(int workers) {
   PSDP_CHECK(workers >= 0, "worker count must be non-negative");
@@ -80,8 +86,9 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_batch(Index count, TaskRef task) {
   if (count <= 0) return;
   // Nested region (from a worker, or from the submitting thread's own task
-  // share) or no workers: run inline.
-  if (on_worker_thread() || t_submitting || threads_.empty()) {
+  // share), caller-requested inline execution, or no workers: run inline.
+  if (on_worker_thread() || t_submitting || t_regions_inlined ||
+      threads_.empty()) {
     for (Index k = 0; k < count; ++k) task(k);
     return;
   }

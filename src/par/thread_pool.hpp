@@ -53,6 +53,32 @@ class TaskRef {
   void (*invoke_)(const void*, Index) = nullptr;
 };
 
+/// Thread-local inline-execution override: while set, every run_batch
+/// submitted from this thread executes its tasks inline (sequentially, in
+/// task order) instead of dispatching to the pool -- exactly what a nested
+/// region or a zero-worker pool would do. The serve scheduler's narrow
+/// lanes run under this flag so a whole solve occupies one thread; clearing
+/// it mid-solve (at an oracle-round boundary) re-routes subsequent regions
+/// to the shared pool at full width. Results are unaffected either way:
+/// loop partitioning and reduce combine order depend only on the global
+/// par::num_threads(), never on which thread executes a chunk.
+bool regions_inlined();
+void set_regions_inlined(bool inlined);
+
+/// RAII save/set/restore of the inline-execution flag.
+class ScopedRegionInline {
+ public:
+  explicit ScopedRegionInline(bool inlined) : prev_(regions_inlined()) {
+    set_regions_inlined(inlined);
+  }
+  ~ScopedRegionInline() { set_regions_inlined(prev_); }
+  ScopedRegionInline(const ScopedRegionInline&) = delete;
+  ScopedRegionInline& operator=(const ScopedRegionInline&) = delete;
+
+ private:
+  bool prev_;
+};
+
 class ThreadPool {
  public:
   /// Creates `workers` worker threads (>=0). With zero workers every task

@@ -97,6 +97,12 @@ SolveBatch read_manifest(std::istream& in, const std::string& source) {
           job.work = util::detail::parse_value<bool>(value)
                          ? std::numeric_limits<Index>::max() / 2
                          : 0;
+        } else if (key == "priority") {
+          job.priority = util::detail::parse_value<int>(value);
+        } else if (key == "deadline-ms") {
+          job.deadline_ms = util::detail::parse_value<double>(value);
+          PSDP_CHECK(job.deadline_ms >= 0,
+                     str("deadline-ms must be >= 0, got ", value));
         } else {
           PSDP_CHECK(false, str("unknown manifest key '", key, "'"));
         }

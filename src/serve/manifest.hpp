@@ -16,6 +16,12 @@
 //                    naming the same file share its prepared artifacts
 //   wide=0|1         force the job to run at full pool width (wide=1) or
 //                    inside a lane (wide=0); default: narrow
+//   priority=N       scheduling priority (integer, higher runs first;
+//                    default 0) -- only meaningful under the EDF queue
+//   deadline-ms=X    relative deadline in milliseconds from submission
+//                    (positive real; 0 = none). EDF orders equal-priority
+//                    jobs by earliest deadline, and JobResult reports
+//                    whether it was met.
 //
 // Example -- nine jobs over three instances, sharing artifacts per file:
 //

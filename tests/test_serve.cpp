@@ -411,6 +411,273 @@ TEST(BatchScheduler, ConcurrentLanesPrepareDistinctInstancesOnce) {
   EXPECT_EQ(stats.hits, 12u);  // 4 cold repeats + 8 warm
 }
 
+TEST(BatchScheduler, ThrowingCallbackIsRecordedWithoutFailingTheJob) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  SolveBatch batch;
+  batch.add_lp("cb", std::make_shared<const core::PackingLp>(
+                         apps::complete_graph_matching_lp(6).lp));
+  batch.add_lp("cb", std::make_shared<const core::PackingLp>(
+                         apps::complete_graph_matching_lp(6).lp),
+               {}, "quiet");
+  batch.jobs()[0].on_complete = [](const JobResult&) {
+    throw std::runtime_error("callback boom");
+  };
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 2u);
+  // The job itself succeeded; only the callback failed, and that failure
+  // is reported instead of vanishing.
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_NE(results[0].callback_error.find("callback boom"),
+            std::string::npos);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_TRUE(results[1].callback_error.empty());
+}
+
+TEST(BatchScheduler, QueueAndRunSecondsAreSplitAndDeadlinesEchoed) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  SolveBatch batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.add_lp(str("lp", i), std::make_shared<const core::PackingLp>(
+                                   apps::complete_graph_matching_lp(6).lp));
+  }
+  batch.jobs()[1].deadline_ms = 1e7;  // trivially met
+  batch.jobs()[2].priority = 2;
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  for (const JobResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.run_seconds, 0);
+    EXPECT_GE(r.queue_seconds, 0);
+    EXPECT_EQ(r.seconds, r.run_seconds) << "seconds aliases run time";
+  }
+  EXPECT_EQ(results[0].deadline_ms, 0);
+  EXPECT_EQ(results[1].deadline_ms, 1e7);
+  EXPECT_TRUE(results[1].deadline_met);
+}
+
+// ---------------------------------------------------------------------------
+// Preemption / widening determinism and admission control.
+// ---------------------------------------------------------------------------
+
+/// A builder that parks its lane inside the artifact resolve until the test
+/// opens `gate` -- the deterministic way to have a job mid-claim while the
+/// test stages the queue behind it.
+ArtifactCache::Builder gated_factorized_builder(
+    std::shared_ptr<const core::FactorizedPackingInstance> instance,
+    std::atomic<bool>& started, std::atomic<bool>& gate) {
+  return [instance, &started, &gate](const sparse::TransposePlanOptions&) {
+    started.store(true);
+    while (!gate.load()) std::this_thread::yield();
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kPackingFactorized;
+    prepared.factorized = instance;
+    return prepared;
+  };
+}
+
+TEST(BatchScheduler, PreemptedAndPreemptingJobsBitwiseEqualSoloRuns) {
+  ThreadGuard guard;
+  par::set_num_threads(4);
+  const auto inst_slow = small_factorized(21);
+  const auto inst_urgent = small_factorized(22);
+  const core::OptimizeOptions options = loose_options();
+  const core::PackingOptimum solo_slow =
+      core::approx_packing(*inst_slow, options);
+  const core::PackingOptimum solo_urgent =
+      core::approx_packing(*inst_urgent, options);
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  BatchScheduler scheduler;
+  scheduler.open(1);  // one lane: the urgent job can only run by borrowing it
+
+  JobSpec slow;  // no deadline: batch work
+  slow.instance = "slow";
+  slow.kind = JobKind::kPackingFactorized;
+  slow.options = options;
+  slow.builder = gated_factorized_builder(inst_slow, started, gate);
+  scheduler.submit(slow);
+  while (!started.load()) std::this_thread::yield();  // lane claimed it
+
+  JobSpec urgent;  // a deadline outranks no-deadline under EDF
+  urgent.instance = "urgent";
+  urgent.kind = JobKind::kPackingFactorized;
+  urgent.options = options;
+  urgent.deadline_ms = 60 * 1000;
+  urgent.builder = [inst_urgent](const sparse::TransposePlanOptions&) {
+    PreparedInstance prepared;
+    prepared.kind = JobKind::kPackingFactorized;
+    prepared.factorized = inst_urgent;
+    return prepared;
+  };
+  scheduler.submit(urgent);
+  gate.store(true);  // the slow solve now starts with the urgent job queued
+
+  const std::vector<JobResult> results = scheduler.close();
+  ASSERT_EQ(results.size(), 2u);
+  const JobResult& r_slow = results[0];
+  const JobResult& r_urgent = results[1];
+  ASSERT_TRUE(r_slow.ok) << r_slow.error;
+  ASSERT_TRUE(r_urgent.ok) << r_urgent.error;
+  // The slow job must have yielded its lane at a round boundary.
+  EXPECT_GE(r_slow.preemptions, 1);
+  EXPECT_EQ(r_urgent.lane, 0);
+  EXPECT_GE(scheduler.stats().preemptions, 1u);
+
+  // Parked-and-resumed and borrowed-lane runs are bitwise solo runs.
+  const auto expect_bitwise = [](const core::PackingOptimum& got,
+                                 const core::PackingOptimum& want) {
+    EXPECT_EQ(got.lower, want.lower);
+    EXPECT_EQ(got.upper, want.upper);
+    ASSERT_EQ(got.best_x.size(), want.best_x.size());
+    for (Index i = 0; i < got.best_x.size(); ++i) {
+      EXPECT_EQ(got.best_x[i], want.best_x[i]);
+    }
+  };
+  expect_bitwise(r_slow.packing, solo_slow);
+  expect_bitwise(r_urgent.packing, solo_urgent);
+  EXPECT_TRUE(payload_bitwise_equal(r_slow, r_slow));
+}
+
+TEST(BatchScheduler, PromotedJobsWidenAndStayBitwiseEqualSoloRuns) {
+  ThreadGuard guard;
+  par::set_num_threads(4);
+  const auto inst = small_factorized(23);
+  const core::OptimizeOptions options = loose_options();
+  const core::PackingOptimum solo = core::approx_packing(*inst, options);
+
+  // A single narrow job with an empty queue behind it: the sole runner
+  // promotes to full pool width at its first round boundary.
+  SolveBatch batch;
+  batch.add_factorized("only", inst, options);
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[0].promoted);
+  EXPECT_GE(scheduler.stats().promotions, 1u);
+  EXPECT_EQ(results[0].packing.lower, solo.lower);
+  EXPECT_EQ(results[0].packing.upper, solo.upper);
+  ASSERT_EQ(results[0].packing.best_x.size(), solo.best_x.size());
+  for (Index i = 0; i < solo.best_x.size(); ++i) {
+    EXPECT_EQ(results[0].packing.best_x[i], solo.best_x[i]);
+  }
+
+  // FIFO with preemption/widening off is the PR-5 static baseline: the
+  // same job must neither promote nor preempt.
+  SchedulerOptions baseline;
+  baseline.queue = QueuePolicy::kFifo;
+  baseline.preemption = false;
+  baseline.widening = false;
+  BatchScheduler static_scheduler(baseline);
+  const JobResult static_run = static_scheduler.run(batch)[0];
+  ASSERT_TRUE(static_run.ok);
+  EXPECT_FALSE(static_run.promoted);
+  EXPECT_EQ(static_run.preemptions, 0);
+  EXPECT_EQ(static_run.packing.lower, solo.lower);
+  EXPECT_EQ(static_run.packing.upper, solo.upper);
+}
+
+TEST(BatchScheduler, AdmissionControlRejectsWhenQueueIsFull) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  SchedulerOptions options;
+  options.max_queue = 1;
+  options.admission = AdmissionPolicy::kReject;
+  BatchScheduler scheduler(options);
+  scheduler.open(1);
+
+  JobSpec blocker;
+  blocker.instance = "blocker";
+  blocker.kind = JobKind::kPackingFactorized;
+  blocker.options = loose_options();
+  blocker.builder =
+      gated_factorized_builder(small_factorized(31), started, gate);
+  scheduler.submit(blocker);
+  while (!started.load()) std::this_thread::yield();
+
+  const auto lp_spec = [](const std::string& key) {
+    JobSpec spec;
+    spec.instance = key;
+    spec.kind = JobKind::kPackingLp;
+    spec.builder = [](const sparse::TransposePlanOptions&) {
+      return tiny_lp_instance();
+    };
+    return spec;
+  };
+  scheduler.submit(lp_spec("queued"));    // fills the one queue seat
+  std::atomic<int> shed_callbacks{0};
+  JobSpec overflow = lp_spec("overflow");
+  overflow.on_complete = [&shed_callbacks](const JobResult& r) {
+    EXPECT_TRUE(r.shed);
+    shed_callbacks.fetch_add(1);
+  };
+  scheduler.submit(overflow);             // bounced at the door
+  gate.store(true);
+
+  const std::vector<JobResult> results = scheduler.close();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_TRUE(results[2].shed);
+  EXPECT_NE(results[2].error.find("queue full"), std::string::npos);
+  EXPECT_EQ(shed_callbacks.load(), 1);
+  EXPECT_EQ(scheduler.stats().shed, 1u);
+}
+
+TEST(BatchScheduler, AdmissionControlShedsLeastUrgentForUrgentArrival) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  SchedulerOptions options;
+  options.max_queue = 1;
+  options.admission = AdmissionPolicy::kShedLowest;
+  BatchScheduler scheduler(options);
+  scheduler.open(1);
+
+  JobSpec blocker;
+  blocker.instance = "blocker";
+  blocker.kind = JobKind::kPackingFactorized;
+  blocker.options = loose_options();
+  blocker.builder =
+      gated_factorized_builder(small_factorized(32), started, gate);
+  scheduler.submit(blocker);
+  while (!started.load()) std::this_thread::yield();
+
+  const auto lp_spec = [](const std::string& key, int priority) {
+    JobSpec spec;
+    spec.instance = key;
+    spec.kind = JobKind::kPackingLp;
+    spec.priority = priority;
+    spec.builder = [](const sparse::TransposePlanOptions&) {
+      return tiny_lp_instance();
+    };
+    return spec;
+  };
+  scheduler.submit(lp_spec("meek", 0));
+  scheduler.submit(lp_spec("vip", 5));     // displaces "meek"
+  scheduler.submit(lp_spec("lowly", -1));  // outranked: shed itself
+  gate.store(true);
+
+  const std::vector<JobResult> results = scheduler.close();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;   // blocker
+  EXPECT_TRUE(results[1].shed);                     // meek, displaced
+  EXPECT_NE(results[1].error.find("displaced"), std::string::npos);
+  EXPECT_TRUE(results[2].ok) << results[2].error;   // vip
+  EXPECT_TRUE(results[3].shed);                     // lowly, bounced
+  EXPECT_EQ(scheduler.stats().shed, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Manifest reader.
 // ---------------------------------------------------------------------------
@@ -436,6 +703,49 @@ TEST(Manifest, ParsesKindsOptionsAndSharedIds) {
   EXPECT_EQ(jobs[3].instance, "shared-cov");
   EXPECT_GT(jobs[3].work, 0) << "wide=1 must mark the job wide";
   EXPECT_EQ(jobs[1].work, 0);
+}
+
+TEST(Manifest, ParsesPriorityAndDeadlineRoundTrip) {
+  std::stringstream manifest(
+      "packing-lp a.psdp priority=3 deadline-ms=12.5\n"
+      "packing-lp b.psdp deadline-ms=0\n"
+      "packing-lp c.psdp\n");
+  const SolveBatch batch = read_manifest(manifest, "test");
+  ASSERT_EQ(batch.size(), 3u);
+  const std::vector<JobSpec>& jobs = batch.jobs();
+  EXPECT_EQ(jobs[0].priority, 3);
+  EXPECT_EQ(jobs[0].deadline_ms, 12.5);
+  EXPECT_EQ(jobs[1].deadline_ms, 0);  // explicit zero = no deadline
+  EXPECT_EQ(jobs[2].priority, 0);
+  EXPECT_EQ(jobs[2].deadline_ms, 0);
+}
+
+TEST(Manifest, PriorityAndDeadlineErrorsNameLineAndToken) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::stringstream in(text);
+    try {
+      read_manifest(in, "m");
+    } catch (const InvalidArgument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    const std::string what =
+        message_of("packing-lp a.psdp\npacking-lp b.psdp priority=soon\n");
+    EXPECT_NE(what.find("m:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("soon"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("packing-lp a.psdp deadline-ms=-5\n");
+    EXPECT_NE(what.find("m:1"), std::string::npos) << what;
+    EXPECT_NE(what.find(">= 0"), std::string::npos) << what;
+  }
+  {
+    const std::string what =
+        message_of("packing-lp a.psdp deadline-ms=later\n");
+    EXPECT_NE(what.find("later"), std::string::npos) << what;
+  }
 }
 
 TEST(Manifest, ErrorsNameLineAndToken) {
