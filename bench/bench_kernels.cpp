@@ -55,6 +55,7 @@
 #include "simd/simd.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/kernel_plan.hpp"
+#include "util/cli.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -980,27 +981,20 @@ int run_sweep(const SweepConfig& config) {
              : 1;
 }
 
-/// Parse "1,4,8,32" into widths; throws InvalidArgument on junk.
+/// Parse "1,4,8,32" into widths via the shared util::parse_index_list, so
+/// malformed input throws the flag-naming InvalidArgument every other entry
+/// point throws instead of escaping as a raw std::stoll exception.
 std::vector<Index> parse_widths(const std::string& text) {
   std::vector<Index> widths;
-  std::size_t at = 0;
-  while (at < text.size()) {
-    std::size_t used = 0;
-    long long v = 0;
-    try {
-      v = std::stoll(text.substr(at), &used);
-    } catch (const std::exception&) {
-      used = 0;  // non-numeric or out-of-range: fall through to the check
-    }
-    PSDP_CHECK(used > 0 && v >= 1, str("--widths: bad width list '", text, "'"));
-    widths.push_back(static_cast<Index>(v));
-    at += used;
-    if (at < text.size()) {
-      PSDP_CHECK(text[at] == ',', str("--widths: bad width list '", text, "'"));
-      ++at;
-    }
+  try {
+    widths = util::parse_index_list(text);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(str("flag --widths: ", e.what()));
   }
-  PSDP_CHECK(!widths.empty(), "--widths: empty width list");
+  PSDP_CHECK(!widths.empty(), "flag --widths: empty width list");
+  for (const Index w : widths) {
+    PSDP_CHECK(w >= 1, str("flag --widths: width ", w, " must be >= 1"));
+  }
   return widths;
 }
 
@@ -1009,28 +1003,38 @@ std::vector<Index> parse_widths(const std::string& text) {
 int main(int argc, char** argv) {
   SweepConfig config;
   bool sweep_only = false;
-  // Consume the sweep's own flags so google-benchmark never sees them; the
-  // rest of argv is handed to benchmark::Initialize untouched.
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      config.smoke = true;
-      sweep_only = true;
-    } else if (arg == "--sweep-only") {
-      sweep_only = true;
-    } else if (arg.rfind("--widths=", 0) == 0) {
-      config.widths = parse_widths(arg.substr(9));
-    } else if (arg.rfind("--plan-in=", 0) == 0) {
-      config.plan_in = arg.substr(10);
-    } else if (arg.rfind("--plan-out=", 0) == 0) {
-      config.plan_out = arg.substr(11);
-    } else {
-      argv[kept++] = argv[i];
+  int sweep_status = 1;
+  // The sweep's flags and run throw InvalidArgument on bad input (a width
+  // list that fails parse_index_list, an unreadable --plan-in); report it
+  // like the Cli-based binaries do instead of letting it escape to
+  // std::terminate.
+  try {
+    // Consume the sweep's own flags so google-benchmark never sees them;
+    // the rest of argv is handed to benchmark::Initialize untouched.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--smoke") {
+        config.smoke = true;
+        sweep_only = true;
+      } else if (arg == "--sweep-only") {
+        sweep_only = true;
+      } else if (arg.rfind("--widths=", 0) == 0) {
+        config.widths = parse_widths(arg.substr(9));
+      } else if (arg.rfind("--plan-in=", 0) == 0) {
+        config.plan_in = arg.substr(10);
+      } else if (arg.rfind("--plan-out=", 0) == 0) {
+        config.plan_out = arg.substr(11);
+      } else {
+        argv[kept++] = argv[i];
+      }
     }
+    argc = kept;
+    sweep_status = run_sweep(config);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
-  argc = kept;
-  const int sweep_status = run_sweep(config);
   if (sweep_only) return sweep_status;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

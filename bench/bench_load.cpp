@@ -35,6 +35,7 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -46,6 +47,7 @@
 #include "par/parallel.hpp"
 #include "serve/scheduler.hpp"
 #include "util/cli.hpp"
+#include "util/spsa.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -118,12 +120,19 @@ std::vector<JobClass> make_classes(bool smoke) {
   return classes;
 }
 
-serve::JobSpec make_spec(const JobTemplate& t, double deadline_ms) {
+serve::JobSpec make_spec(const JobTemplate& t,
+                         std::optional<double> deadline_ms) {
   serve::JobSpec spec;
   spec.instance = t.instance;
   spec.label = t.label;
   spec.kind = serve::JobKind::kPackingFactorized;
   spec.options = t.options;
+  // Re-derive the registry-backed solver knobs at submit time: the
+  // template's options were constructed before any profile load or SPSA
+  // perturbation, and under untouched defaults this re-read is the same
+  // bits, so the identity gates are unaffected.
+  spec.options.dot_block_size = util::tunable_dot_block_size();
+  spec.options.decision.dot_options.block_size = util::tunable_block_size();
   spec.deadline_ms = deadline_ms;
   const apps::FactorizedOptions generator = t.generator;
   spec.builder = [generator](const sparse::TransposePlanOptions& plan) {
@@ -191,7 +200,8 @@ RunReport replay(const std::vector<JobClass>& classes,
     const JobClass& cls = classes[static_cast<std::size_t>(a.cls)];
     scheduler.submit(make_spec(
         cls.templates[static_cast<std::size_t>(a.tmpl)],
-        cls.deadline ? cls.deadline_ms : 0));
+        cls.deadline ? std::optional<double>(cls.deadline_ms)
+                     : std::nullopt));
   }
   RunReport report;
   report.results = scheduler.close();
@@ -213,7 +223,7 @@ RunReport replay(const std::vector<JobClass>& classes,
     queue[c].push_back(r.queue_seconds);
     run[c].push_back(r.run_seconds);
     total[c].push_back(r.queue_seconds + r.run_seconds);
-    if (r.deadline_ms > 0) {
+    if (r.deadline_ms.has_value()) {
       ++with_deadline;
       met += r.deadline_met ? 1 : 0;
     }
@@ -326,7 +336,25 @@ int main(int argc, char** argv) {
       "assert-improvement", 0,
       "fail unless baseline/aware tiny p99 >= this at >= 95% of baseline "
       "throughput (0 = report only)");
-  cli.parse(argc, argv);
+  auto& spsa_iters = cli.flag<int>(
+      "spsa-iters", 0, "SPSA tuning iterations after the main runs (0 = off)");
+  auto& spsa_jobs = cli.flag<int>(
+      "spsa-jobs", 12, "arrivals replayed per SPSA objective evaluation");
+  auto& spsa_seed =
+      cli.flag<int>("spsa-seed", 7, "SPSA Rademacher-direction seed");
+  auto& profile_in = cli.flag<std::string>(
+      "profile-in", "",
+      "tuned-profile JSON applied at startup (shape-bucket matched)");
+  auto& profile_out = cli.flag<std::string>(
+      "profile-out", "",
+      "persist the SPSA-tuned per-shape-bucket profile to this JSON file");
+  util::add_tunable_flags(cli);
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   if (cli.help_requested()) return 0;
 
   if (threads.value > 0) par::set_num_threads(threads.value);
@@ -343,6 +371,39 @@ int main(int argc, char** argv) {
 
   std::vector<JobClass> classes = make_classes(smoke.value);
 
+  // The profile key of one class: the shape bucket of its (deterministic)
+  // generated instance, exactly as PreparedInstance::shape_bucket computes
+  // it for factorized jobs.
+  const auto class_bucket = [](const JobClass& cls) {
+    const core::FactorizedPackingInstance instance =
+        apps::random_factorized(cls.templates.front().generator);
+    return util::ShapeBucket::of(instance.total_nnz(), instance.dim(),
+                                 instance.size());
+  };
+
+  // ---- tuned profile, applied before anything solves ---------------------
+  // Startup-order contract (mirrors solver_cli): the profile lands before
+  // the solo calibration, so solo references, both replays and the identity
+  // gates all run under one consistent knob set.
+  if (!profile_in.value.empty()) {
+    const util::TunableProfileStore profiles =
+        util::TunableProfileStore::load(profile_in.value);
+    bool applied = false;
+    for (const JobClass& cls : classes) {
+      const util::ShapeBucket bucket = class_bucket(cls);
+      if (profiles.apply(bucket, util::tunables())) {
+        std::cout << "applied tuned profile for " << cls.name
+                  << " shape bucket (2^" << bucket.log2_nnz << " nnz, 2^"
+                  << bucket.log2_rows << " rows, 2^" << bucket.log2_cols
+                  << " cols)\n";
+        applied = true;
+      }
+    }
+    if (!applied) {
+      std::cout << "no tuned profile matched this workload's shape buckets\n";
+    }
+  }
+
   // ---- solo references: per-template ground truth + calibration ----------
   // Each template runs alone as a narrow lane job (regions inline) on a
   // fresh scheduler; the payload is the identity reference for every
@@ -358,10 +419,10 @@ int main(int argc, char** argv) {
       options.widening = false;  // measure the un-promoted inline regime
       serve::BatchScheduler scheduler(options);
       serve::SolveBatch cold;
-      cold.add(make_spec(t, 0));
+      cold.add(make_spec(t, std::nullopt));
       scheduler.run(cold);  // pays the one-time instance build
       serve::SolveBatch warm;
-      warm.add(make_spec(t, 0));
+      warm.add(make_spec(t, std::nullopt));
       std::vector<serve::JobResult> result = scheduler.run(warm);
       PSDP_CHECK(result.front().ok, str("solo run failed for ", t.label, ": ",
                                         result.front().error));
@@ -488,6 +549,81 @@ int main(int argc, char** argv) {
   std::cout << "tiny p99 total: " << tiny_p99_baseline << " s -> "
             << tiny_p99_aware << " s (" << improvement << "x)\n";
 
+  // ---- SPSA autotuning over replayed traffic ------------------------------
+  // Runs after the identity gates (which lock the default-knob bits), so
+  // perturbed evaluations are free to change solver bits. The objective is
+  // the mean total latency of a short prefix of the same arrival stream
+  // replayed through the aware configuration, with the scheduler options
+  // re-derived from the registry inside every evaluation so the perturbed
+  // knobs actually reach the scheduler and the solves.
+  std::optional<util::SpsaResult> spsa;
+  int spsa_eval_jobs = 0;
+  bool profile_round_trip_ok = true;
+  if (spsa_iters.value > 0) {
+    spsa_eval_jobs = std::max(1, std::min(spsa_jobs.value, n_jobs));
+    const std::vector<Arrival> eval_arrivals(
+        arrivals.begin(), arrivals.begin() + spsa_eval_jobs);
+    const auto objective = [&]() {
+      serve::SchedulerOptions options;  // registry-backed wide_work / caches
+      options.queue = serve::QueuePolicy::kEdf;
+      options.preemption = true;
+      options.widening = true;
+      const int tuned_lanes = static_cast<int>(util::tunable_lanes());
+      const RunReport r = replay(classes, eval_arrivals, options,
+                                 tuned_lanes > 0 ? tuned_lanes : lanes);
+      double sum = 0;
+      std::size_t done = 0;
+      for (const serve::JobResult& res : r.results) {
+        if (res.shed) continue;
+        if (!res.ok) return 1e9;  // a failing candidate is maximally bad
+        sum += res.queue_seconds + res.run_seconds;
+        ++done;
+      }
+      return done > 0 ? sum / static_cast<double>(done) : 1e9;
+    };
+    util::SpsaOptions options;
+    // grain/threads stay out deliberately: tuning them re-chunks parallel
+    // reductions and would break the bitwise-reproducibility contract for
+    // anyone who loads the resulting profile.
+    options.knobs = {
+        util::TunableId::k_dot_block_size, util::TunableId::k_block_size,
+        util::TunableId::k_lanes, util::TunableId::k_wide_work};
+    options.iterations = spsa_iters.value;
+    options.seed = static_cast<std::uint64_t>(spsa_seed.value);
+    std::cout << "\nspsa: tuning {dot_block_size, block_size, lanes, "
+                 "wide_work} over "
+              << spsa_eval_jobs << " replayed arrivals, " << spsa_iters.value
+              << " iterations...\n";
+    spsa = util::spsa_minimize(util::tunables(), options, objective);
+    std::cout << "spsa: mean total latency " << spsa->initial_objective
+              << " s -> " << spsa->best_objective << " s over "
+              << spsa->evaluations << " evaluations\n";
+    for (const auto& [name, value] : spsa->tuned) {
+      std::cout << "spsa: tuned " << name << " = " << value << "\n";
+    }
+
+    if (!profile_out.value.empty()) {
+      util::TunableProfileStore store;
+      for (const JobClass& cls : classes) {
+        // One entry per workload shape: the tuned point was selected on the
+        // full mix, so every class bucket records it.
+        store.put(class_bucket(cls), spsa->tuned);
+      }
+      store.save(profile_out.value);
+      const util::TunableProfileStore reloaded =
+          util::TunableProfileStore::load(profile_out.value);
+      profile_round_trip_ok = reloaded.to_json() == store.to_json();
+      if (profile_round_trip_ok) {
+        std::cout << "[PROFILE OK] " << store.size()
+                  << " shape-bucket profile(s) round-trip through "
+                  << profile_out.value << "\n";
+      } else {
+        std::cout << "[PROFILE FAIL] reloaded profile JSON differs from the "
+                     "persisted one\n";
+      }
+    }
+  }
+
   // ---- JSON ---------------------------------------------------------------
   {
     std::ostringstream section;
@@ -504,7 +640,28 @@ int main(int argc, char** argv) {
     section << "},\n    \"baseline\": " << run_json(baseline, classes)
             << ",\n    \"aware\": " << run_json(aware, classes)
             << ",\n    \"identity_mismatches\": " << mismatches
-            << ",\n    \"tiny_p99_improvement\": " << improvement << "\n  }";
+            << ",\n    \"tiny_p99_improvement\": " << improvement;
+    if (spsa) {
+      const double spsa_improvement =
+          spsa->best_objective > 0
+              ? spsa->initial_objective / spsa->best_objective
+              : 0;
+      section << ",\n    \"spsa\": {\"iterations\": " << spsa_iters.value
+              << ", \"evaluations\": " << spsa->evaluations
+              << ", \"seed\": " << spsa_seed.value
+              << ", \"eval_jobs\": " << spsa_eval_jobs
+              << ",\n      \"initial_mean_total_s\": "
+              << spsa->initial_objective
+              << ", \"tuned_mean_total_s\": " << spsa->best_objective
+              << ", \"mean_total_improvement\": " << spsa_improvement
+              << ",\n      \"tuned\": {";
+      for (std::size_t i = 0; i < spsa->tuned.size(); ++i) {
+        section << (i > 0 ? ", " : "") << "\"" << spsa->tuned[i].first
+                << "\": " << spsa->tuned[i].second;
+      }
+      section << "}}";
+    }
+    section << "\n  }";
     splice_latency(out_path.value, section.str());
   }
   std::cout << "spliced latency section into " << out_path.value << "\n";
@@ -526,6 +683,20 @@ int main(int argc, char** argv) {
                          str("aware tiny p99 ", tiny_p99_aware,
                              " s vs static-shard bound ", bound, " s"));
     ok = ok && latency_ok;
+  }
+  if (spsa) {
+    // Best-seen tracking guarantees <=; a strict improvement is the normal
+    // outcome (some perturbed evaluation beats the baseline evaluation).
+    const bool not_worse = spsa->best_objective <= spsa->initial_objective;
+    bench::print_verdict(
+        not_worse, str("spsa tuned mean total ", spsa->best_objective,
+                       " s vs initial ", spsa->initial_objective, " s"));
+    ok = ok && not_worse;
+    if (!profile_out.value.empty()) {
+      bench::print_verdict(profile_round_trip_ok,
+                           "tuned profile JSON round-trips");
+      ok = ok && profile_round_trip_ok;
+    }
   }
   if (assert_improvement.value > 0) {
     const bool faster = improvement >= assert_improvement.value;

@@ -17,6 +17,7 @@
 // other tooling.
 #include <iomanip>
 #include <iostream>
+#include <optional>
 
 #include "apps/beamforming.hpp"
 #include "apps/generators.hpp"
@@ -30,6 +31,7 @@
 #include "simd/simd.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
+#include "util/tunables.hpp"
 
 namespace {
 
@@ -63,11 +65,30 @@ int solve_packing_dense(const std::string& path, const core::OptimizeOptions& op
 }
 
 int solve_packing_factorized(const std::string& path,
-                             const core::OptimizeOptions& options) {
+                             core::OptimizeOptions options,
+                             const util::TunableProfileStore* profiles) {
   const core::FactorizedPackingInstance instance = io::load_factorized(path);
   std::cout << "Loaded factorized packing instance: n = " << instance.size()
             << ", m = " << instance.dim() << ", q = " << instance.total_nnz()
             << "\n";
+  // With --tunables-profile, apply the tuned values recorded for this
+  // instance's shape bucket (if any) and re-derive the registry-backed
+  // option defaults the caller captured before the profile landed.
+  if (profiles != nullptr) {
+    const util::ShapeBucket bucket = util::ShapeBucket::of(
+        instance.total_nnz(), instance.dim(), instance.size());
+    if (profiles->apply(bucket, util::tunables())) {
+      std::cout << "Applied tuned profile for shape bucket (2^"
+                << bucket.log2_nnz << " nnz, 2^" << bucket.log2_rows
+                << " rows, 2^" << bucket.log2_cols << " cols)\n";
+      const core::OptimizeOptions fresh;
+      options.dot_block_size = fresh.dot_block_size;
+      options.decision.dot_options.block_size =
+          fresh.decision.dot_options.block_size;
+    } else {
+      std::cout << "No tuned profile for this shape bucket; defaults kept\n";
+    }
+  }
   util::WallTimer timer;
   const core::PackingOptimum r = core::approx_packing(instance, options);
   std::cout << "OPT in [" << r.lower << ", " << r.upper << "]  ("
@@ -124,7 +145,7 @@ void print_job_line(const serve::JobResult& r) {
        << (r.cache_hit ? ", cached" : "") << ") "
        << std::setprecision(4) << r.run_seconds << " s run + "
        << r.queue_seconds << " s queued";
-  if (r.deadline_ms > 0) {
+  if (r.deadline_ms.has_value()) {
     line << (r.deadline_met ? "  [deadline met]" : "  [deadline MISSED]");
   }
   if (r.preemptions > 0) line << "  [preempted x" << r.preemptions << "]";
@@ -153,10 +174,14 @@ void print_job_line(const serve::JobResult& r) {
   std::cout << line.str();
 }
 
-int run_batch(const std::string& manifest, int lanes) {
+int run_batch(const std::string& manifest, std::optional<int> lanes) {
+  // Order matters: load_manifest applies any `set key=value` tunable
+  // overrides as it reads, and SchedulerOptions is constructed after, so
+  // its registry-backed defaults (lanes, wide_work, cache sizing) see
+  // them. An explicit --lanes flag still wins over everything.
   serve::SolveBatch batch = serve::load_manifest(manifest);
   serve::SchedulerOptions options;
-  options.lanes = lanes;
+  if (lanes.has_value()) options.lanes = *lanes;
   for (auto& job : batch.jobs()) job.on_complete = print_job_line;
   serve::BatchScheduler scheduler(options);
 
@@ -230,7 +255,17 @@ int main(int argc, char** argv) {
       "panel-precision", "double",
       "sketch/Taylor panel precision: double | float32 (float32 engages "
       "only on the blocked fused path at eps above the certificate gate)");
-  cli.parse(argc, argv);
+  auto& profile_path = cli.flag<std::string>(
+      "tunables-profile", "",
+      "per-shape tuned profile JSON (from bench_load --profile-out); the "
+      "bucket matching the loaded factorized instance is applied");
+  util::add_tunable_flags(cli);  // --tune-<knob> for every registry entry
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
   if (cli.help_requested()) return 0;
 
   try {
@@ -247,9 +282,17 @@ int main(int argc, char** argv) {
       write_example(example.value, kind.value);
       return 0;
     }
+    std::optional<util::TunableProfileStore> profiles;
+    if (!profile_path.value.empty()) {
+      profiles = util::TunableProfileStore::load(profile_path.value);
+      std::cout << "Loaded tuned profiles: " << profiles->size()
+                << " shape buckets\n";
+    }
     print_kernel_banner(precision);
     if (!batch.value.empty()) {
-      return run_batch(batch.value, lanes.value);
+      return run_batch(batch.value, lanes.set
+                                        ? std::optional<int>(lanes.value)
+                                        : std::nullopt);
     }
     PSDP_CHECK(!input.value.empty(),
                "--input is required (or --write-example / --batch)");
@@ -260,7 +303,8 @@ int main(int argc, char** argv) {
       return solve_packing_dense(input.value, options);
     }
     if (kind.value == "packing-factorized") {
-      return solve_packing_factorized(input.value, options);
+      return solve_packing_factorized(
+          input.value, options, profiles ? &*profiles : nullptr);
     }
     if (kind.value == "covering") {
       return solve_covering(input.value, options);

@@ -44,6 +44,7 @@
 #include "linalg/vector.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/factorized.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::core {
 
@@ -87,8 +88,9 @@ struct BigDotExpOptions {
   /// 1 = the single-vector reference path, bit-identical to the original
   /// implementation; b > 1 = blocked panels of width b. All settings use
   /// the same sketch for the same seed, so results agree to rounding
-  /// (~1e-12 relative) across block sizes.
-  Index block_size = 0;
+  /// (~1e-12 relative) across block sizes. Defaulted from the tunable
+  /// registry (`block_size`, default 0).
+  Index block_size = util::tunable_block_size();
   /// Blocked path only: accumulate each panel's contribution to the dots
   /// and the trace right after that panel's last Taylor step, while the
   /// panel is cache-hot, instead of materializing S^T (m x r) and

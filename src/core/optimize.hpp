@@ -29,6 +29,7 @@
 
 #include "core/decision.hpp"
 #include "core/instance.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::core {
 
@@ -56,8 +57,9 @@ struct OptimizeOptions {
   /// applied to every probe regardless of `probe_solver` (the knob routes
   /// through the shared oracle config); 0 keeps
   /// `decision.dot_options.block_size` (whose 0 means auto). See
-  /// BigDotExpOptions::block_size.
-  Index dot_block_size = 0;
+  /// BigDotExpOptions::block_size. Defaulted from the tunable registry
+  /// (`dot_block_size`, default 0).
+  Index dot_block_size = util::tunable_dot_block_size();
   /// Solver variant used for factorized probes (the dense path always runs
   /// the plain decision solver).
   ProbeSolver probe_solver = ProbeSolver::kDecision;

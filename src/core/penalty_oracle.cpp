@@ -87,25 +87,19 @@ Real DenseEigOracle::lambda_max(const Vector& weights) {
 
 // --------------------------------------------------------------- sketched --
 
-namespace {
-
-/// Rebase cadence of the incremental bounds: a from-scratch O(n) recompute
-/// every this many rounds caps float drift without showing up in the
-/// per-round cost.
-constexpr Index kBoundRebaseInterval = 64;
-
-/// Cancellation guard of the incremental bounds: rebase early once the
-/// absolute delta mass folded in since the last rebase exceeds this many
-/// times the current sum. Rounding residue is bounded by (rounds x eps x
-/// flux) <= 64 * 2.2e-16 * 8 * trace ~ 1.1e-13 * trace, so the tracked
-/// values honor the documented 1e-12 agreement with from-scratch sums even
-/// on adversarial grow-then-collapse trajectories. Monotone trajectories
-/// keep flux == trace (ratio 1) and never trigger early; when the guard
-/// does fire, the rebase is only the O(n) sum the pre-incremental oracle
-/// paid every round.
-constexpr Real kBoundFluxRatio = 8;
-
-}  // namespace
+// Rebase cadence of the incremental bounds: a from-scratch O(n) recompute
+// every rebase_interval_ rounds caps float drift without showing up in the
+// per-round cost. bound_flux_ratio_ is the cancellation guard: rebase early
+// once the absolute delta mass folded in since the last rebase exceeds this
+// many times the current sum. At the defaults (64, 8) the rounding residue
+// is bounded by (rounds x eps x flux) <= 64 * 2.2e-16 * 8 * trace
+// ~ 1.1e-13 * trace, so the tracked values honor the documented 1e-12
+// agreement with from-scratch sums even on adversarial grow-then-collapse
+// trajectories. Monotone trajectories keep flux == trace (ratio 1) and
+// never trigger early; when the guard does fire, the rebase is only the
+// O(n) sum the pre-incremental oracle paid every round. Both knobs come
+// from the tunable registry (`rebase_interval`, `bound_flux_ratio`),
+// snapshotted at construction.
 
 SketchedTaylorOracle::SketchedTaylorOracle(
     const FactorizedPackingInstance& instance,
@@ -115,6 +109,8 @@ SketchedTaylorOracle::SketchedTaylorOracle(
       dot_eps_(options.dot_eps > 0 ? options.dot_eps : options.eps / 2),
       kappa_cap_(options.kappa_cap),
       x_work_(instance.size()),
+      rebase_interval_(util::tunable_rebase_interval()),
+      bound_flux_ratio_(util::tunable_bound_flux_ratio()),
       workspace_(options.workspace != nullptr ? options.workspace
                                               : &own_workspace_) {
   PSDP_CHECK(dot_eps_ > 0 && dot_eps_ < 1,
@@ -161,8 +157,8 @@ void SketchedTaylorOracle::sync_bounds(const Vector& x) {
   // has churned far more mass through the sums than they currently hold: a
   // from-scratch sum pins the incremental values back onto the exact ones,
   // so drift never accumulates past a few rounds' worth of rounding.
-  if (++rounds_since_rebase_ >= kBoundRebaseInterval || trace_psi_ < 0 ||
-      lambda_bound_ < 0 || bound_flux_ > kBoundFluxRatio * trace_psi_) {
+  if (++rounds_since_rebase_ >= rebase_interval_ || trace_psi_ < 0 ||
+      lambda_bound_ < 0 || bound_flux_ > bound_flux_ratio_ * trace_psi_) {
     trace_psi_ = 0;
     lambda_bound_ = 0;
     for (Index i = 0; i < size(); ++i) {

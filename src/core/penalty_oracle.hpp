@@ -47,6 +47,7 @@
 
 #include "core/bigdotexp.hpp"
 #include "core/instance.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::core {
 
@@ -143,7 +144,8 @@ struct SketchedOracleOptions {
   /// (Lemma 3.2's (1+10 eps)K for the decision solvers). 0 = none: only the
   /// tracked runtime bound min(Tr[Psi], sum_i x_i lambda_max(A_i)) -- which
   /// is what the bucketed/mixed variants (no Lemma 3.2 invariant) rely on.
-  Real kappa_cap = 0;
+  /// Defaulted from the tunable registry (`kappa_cap`, default 0).
+  Real kappa_cap = util::tunable_kappa_cap();
   /// Sketch/Taylor/blocking knobs, including block_size and the transpose
   /// kernel_plan (a caller-reloaded or forced sparse::KernelPlan applied to
   /// every factor's Q^T panels; nullptr = each factor's own autotuned
@@ -216,6 +218,12 @@ class SketchedTaylorOracle final : public PenaltyOracle {
   /// cancellation guard's measure of churn).
   Real bound_flux_ = 0;
   Index rounds_since_rebase_ = 0;
+  /// Rebase cadence + cancellation-guard ratio of the incremental bounds,
+  /// snapshotted from the tunable registry (`rebase_interval`,
+  /// `bound_flux_ratio`) at construction so one solve never mixes cadences
+  /// mid-trajectory even if the registry changes under it.
+  Index rebase_interval_ = 64;
+  Real bound_flux_ratio_ = 8;
   /// Sketch/Taylor scratch recycled across rounds; external when the caller
   /// provided SketchedOracleOptions::workspace.
   SolverWorkspace own_workspace_;

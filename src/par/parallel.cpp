@@ -8,16 +8,25 @@ namespace psdp::par {
 namespace {
 
 int default_threads() {
+  // The `threads` tunable wins when set (> 0); otherwise the hardware
+  // width. Resolved lazily on the first num_threads() call rather than at
+  // static-init time, so PSDP_TUNE_THREADS and CLI/manifest overrides
+  // applied before the first parallel loop take effect.
+  const int tuned = static_cast<int>(util::tunable_threads());
+  if (tuned > 0) return tuned;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : static_cast<int>(hw);
 }
 
-int g_threads = default_threads();
+int g_threads = 0;  // 0 = unresolved; see num_threads()
 std::unique_ptr<ThreadPool> g_pool;
 
 }  // namespace
 
-int num_threads() { return g_threads; }
+int num_threads() {
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
 
 void set_num_threads(int threads) {
   PSDP_CHECK(threads >= 1, "thread count must be at least 1");
@@ -27,7 +36,7 @@ void set_num_threads(int threads) {
 
 ThreadPool& global_pool() {
   if (!g_pool) {
-    g_pool = std::make_unique<ThreadPool>(g_threads - 1);
+    g_pool = std::make_unique<ThreadPool>(num_threads() - 1);
   }
   return *g_pool;
 }

@@ -23,6 +23,7 @@
 
 #include "par/thread_pool.hpp"
 #include "util/common.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::par {
 
@@ -37,14 +38,24 @@ void set_num_threads(int threads);
 ThreadPool& global_pool();
 
 /// Minimum number of loop iterations per chunk; below this a loop runs
-/// serially. Tuned so tiny vectors do not pay fork-join overhead.
+/// serially. Tuned so tiny vectors do not pay fork-join overhead. This is
+/// the registry default of the `grain` tunable; loops read the live value
+/// through default_grain() below.
 inline constexpr Index kDefaultGrain = 1024;
+
+/// The grain parallel loops use when the caller does not pass one: the
+/// `grain` tunable (default kDefaultGrain). One relaxed atomic load per
+/// loop launch -- noise next to the fork-join itself. Note a tuned grain
+/// changes chunk boundaries and hence reduction summation order, which is
+/// why `grain` is excluded from the default SPSA knob set: bit-identity
+/// under untouched defaults is the guarantee, not under arbitrary tuning.
+inline Index default_grain() { return util::tunable_grain(); }
 
 /// Invoke body(begin_k, end_k) over an even partition of [begin, end) into
 /// roughly `num_threads()` chunks of at least `grain` elements.
 template <typename Body>
 void parallel_for_chunked(Index begin, Index end, Body&& body,
-                          Index grain = kDefaultGrain) {
+                          Index grain = default_grain()) {
   if (end <= begin) return;
   PSDP_CHECK(grain >= 1, "grain must be positive");
   const Index n = end - begin;
@@ -66,7 +77,7 @@ void parallel_for_chunked(Index begin, Index end, Body&& body,
 /// Element-wise parallel loop.
 template <typename Body>
 void parallel_for(Index begin, Index end, Body&& body,
-                  Index grain = kDefaultGrain) {
+                  Index grain = default_grain()) {
   parallel_for_chunked(
       begin, end,
       [&](Index b, Index e) {
@@ -98,7 +109,7 @@ bool& reduce_scratch_busy() {
 /// in chunk order on the calling thread.
 template <typename T, typename Body, typename Combine>
 T parallel_reduce(Index begin, Index end, T init, Body&& body,
-                  Combine&& combine, Index grain = kDefaultGrain) {
+                  Combine&& combine, Index grain = default_grain()) {
   if (end <= begin) return init;
   const Index n = end - begin;
   const Index max_chunks = std::max<Index>(1, num_threads());
@@ -138,7 +149,7 @@ T parallel_reduce(Index begin, Index end, T init, Body&& body,
 /// Common case: parallel sum of body(i).
 template <typename Body>
 Real parallel_sum(Index begin, Index end, Body&& body,
-                  Index grain = kDefaultGrain) {
+                  Index grain = default_grain()) {
   return parallel_reduce(begin, end, Real{0},
                          std::forward<Body>(body), std::plus<Real>{}, grain);
 }
@@ -146,7 +157,7 @@ Real parallel_sum(Index begin, Index end, Body&& body,
 /// Parallel max of body(i) over a non-empty range.
 template <typename Body>
 Real parallel_max(Index begin, Index end, Body&& body,
-                  Index grain = kDefaultGrain) {
+                  Index grain = default_grain()) {
   PSDP_CHECK(end > begin, "parallel_max over empty range");
   return parallel_reduce(
       begin, end, -std::numeric_limits<Real>::infinity(),

@@ -54,6 +54,30 @@ Index PreparedInstance::estimated_work() const {
   return 0;
 }
 
+util::ShapeBucket PreparedInstance::shape_bucket() const {
+  switch (kind) {
+    case JobKind::kPackingDense:
+      if (!packing) return {};
+      return util::ShapeBucket::of(
+          packing->dim() * packing->dim() * packing->size(), packing->dim(),
+          packing->size());
+    case JobKind::kPackingFactorized:
+      if (!factorized) return {};
+      return util::ShapeBucket::of(factorized->total_nnz(),
+                                   factorized->dim(), factorized->size());
+    case JobKind::kCovering:
+      if (!covering) return {};
+      return util::ShapeBucket::of(
+          covering->dim() * covering->dim() * covering->size(),
+          covering->dim(), covering->size());
+    case JobKind::kPackingLp:
+      if (!lp) return {};
+      return util::ShapeBucket::of(lp->rows() * lp->size(), lp->rows(),
+                                   lp->size());
+  }
+  return {};
+}
+
 void PreparedInstance::validate() const {
   const int set = (packing != nullptr) + (factorized != nullptr) +
                   (covering != nullptr) + (lp != nullptr);

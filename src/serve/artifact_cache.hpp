@@ -80,6 +80,13 @@ struct PreparedInstance {
   /// pack onto lanes, large ones keep the full pool width.
   Index estimated_work() const;
 
+  /// The tunable-profile shape bucket of this instance (see
+  /// util::TunableProfileStore): util::ShapeBucket::of over (nnz, rows,
+  /// cols), where factorized instances report (total factor nnz, ambient
+  /// dim, constraint count) and the dense/LP kinds their dense equivalents.
+  /// Serve entry points match this against a loaded profile at startup.
+  util::ShapeBucket shape_bucket() const;
+
   /// Throws InvalidArgument unless exactly the pointer matching `kind` is
   /// set (normalized is required alongside covering).
   void validate() const;
@@ -95,11 +102,15 @@ PreparedInstance prepare_lp(core::PackingLp lp);
 class ArtifactCache {
  public:
   struct Options {
-    /// Prepared instances kept (LRU beyond this).
-    std::size_t capacity = 32;
+    /// Prepared instances kept (LRU beyond this). Defaulted from the
+    /// tunable registry (`cache_capacity`, default 32).
+    std::size_t capacity =
+        static_cast<std::size_t>(util::tunable_cache_capacity());
     /// Pooled SolverWorkspaces retained per entry; leases beyond the cap
     /// are served with fresh workspaces that are dropped on release.
-    std::size_t workspaces_per_entry = 8;
+    /// Defaulted from the tunable registry (`workspaces_per_entry`).
+    std::size_t workspaces_per_entry =
+        static_cast<std::size_t>(util::tunable_workspaces_per_entry());
     /// Transpose-index build options handed to builders. Its
     /// autotune.plan_cache field is overwritten to point at this cache's
     /// owned TransposePlanCache (see plan_options()).

@@ -6,6 +6,7 @@
 
 #include "io/instance_io.hpp"
 #include "util/cli.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::serve {
 
@@ -47,9 +48,17 @@ SolveBatch read_manifest(std::istream& in, const std::string& source) {
   Index line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    // Strip comments and whitespace-only lines.
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
+    // Strip comments: '#' starts one only at line start or after
+    // whitespace. A '#' embedded in a token (label=p99#high, an id with a
+    // fragment) is data -- the old find-any-'#' rule silently truncated
+    // such values and then quoted the truncated line in error messages.
+    for (std::size_t at = 0; at < line.size(); ++at) {
+      if (line[at] == '#' &&
+          (at == 0 || line[at - 1] == ' ' || line[at - 1] == '\t')) {
+        line.resize(at);
+        break;
+      }
+    }
     std::istringstream fields(line);
     std::string kind_name;
     if (!(fields >> kind_name)) continue;  // blank
@@ -58,6 +67,32 @@ SolveBatch read_manifest(std::istream& in, const std::string& source) {
       throw InvalidArgument(
           str(source, ":", line_number, ": ", what, " in '", line, "'"));
     };
+
+    // `set key=value ...` lines apply tunable-registry overrides (see
+    // util/tunables.hpp) to the process-wide registry as they are read, so
+    // they land after env and CLI overrides and before any job on a later
+    // line runs: "set lanes=2" at the top of a manifest tunes the whole
+    // batch. Unknown names and out-of-range values get the registry's
+    // named errors plus the manifest location.
+    if (kind_name == "set") {
+      std::string assignment;
+      bool any = false;
+      while (fields >> assignment) {
+        const std::size_t eq = assignment.find('=');
+        if (eq == std::string::npos) {
+          fail(str("expected key=value, got '", assignment, "'"));
+        }
+        try {
+          util::tunables().set_named(assignment.substr(0, eq),
+                                     assignment.substr(eq + 1));
+        } catch (const InvalidArgument& e) {
+          fail(e.what());
+        }
+        any = true;
+      }
+      if (!any) fail("set line without assignments");
+      continue;
+    }
 
     JobSpec job;
     try {
@@ -100,9 +135,12 @@ SolveBatch read_manifest(std::istream& in, const std::string& source) {
         } else if (key == "priority") {
           job.priority = util::detail::parse_value<int>(value);
         } else if (key == "deadline-ms") {
-          job.deadline_ms = util::detail::parse_value<double>(value);
-          PSDP_CHECK(job.deadline_ms >= 0,
+          // 0 is a real (immediately-due) deadline, not "none": the spec
+          // field is an optional, and any parsed value engages it.
+          const double deadline = util::detail::parse_value<double>(value);
+          PSDP_CHECK(deadline >= 0,
                      str("deadline-ms must be >= 0, got ", value));
+          job.deadline_ms = deadline;
         } else {
           PSDP_CHECK(false, str("unknown manifest key '", key, "'"));
         }

@@ -483,12 +483,17 @@ std::size_t BatchScheduler::submit(JobSpec job) {
     slot.result.kind = slot.spec.kind;
     slot.result.deadline_ms = slot.spec.deadline_ms;
     slot.enqueue = Clock::now();
-    slot.has_deadline = slot.spec.deadline_ms > 0;
+    // An engaged optional is a deadline, zero included: deadline-ms=0 means
+    // "due immediately" (front of its priority class under EDF, and
+    // deadline_met almost surely false), not "no deadline" -- the unset
+    // state is the optional being empty, so an explicit 0 can no longer
+    // silently disable the deadline.
+    slot.has_deadline = slot.spec.deadline_ms.has_value();
     if (slot.has_deadline) {
       slot.deadline =
           slot.enqueue + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::milli>(
-                                 slot.spec.deadline_ms));
+                                 *slot.spec.deadline_ms));
     }
     slot.wide = slot.spec.work >= options_.wide_work;
 

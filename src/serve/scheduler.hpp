@@ -54,6 +54,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,12 +89,15 @@ struct JobSpec {
   /// Scheduling priority: higher runs first; ties broken by deadline
   /// (earlier first), then submission order.
   int priority = 0;
-  /// Relative deadline in milliseconds from submission; 0 = none. Under
+  /// Relative deadline in milliseconds from submission; nullopt = no
+  /// deadline, 0 = due immediately (maximally urgent, and deadline_met
+  /// will report whether it somehow finished in time -- an unset and a
+  /// zero deadline are distinct states, not aliases). Under
   /// QueuePolicy::kEdf the queue orders by the resulting absolute
   /// deadline within a priority class; JobResult::deadline_met reports
   /// whether the job finished in time (deadlines steer scheduling, they
   /// never abort a solve).
-  double deadline_ms = 0;
+  std::optional<double> deadline_ms;
   /// Invoked right after the job finishes (or is shed), on whichever
   /// thread ran it (lane threads included) -- keep it cheap and
   /// thread-safe. A throwing callback cannot fail the batch: its
@@ -117,8 +121,8 @@ struct JobResult {
   double run_seconds = 0;   ///< wall clock from first start to finish
                             ///< (artifact resolve + solve; includes time
                             ///< parked while preempted)
-  double deadline_ms = 0;   ///< echo of JobSpec::deadline_ms
-  bool deadline_met = true; ///< false iff deadline_ms > 0 and missed
+  std::optional<double> deadline_ms;  ///< echo of JobSpec::deadline_ms
+  bool deadline_met = true; ///< false iff a deadline was set and missed
   bool cache_hit = false; ///< artifacts served without running the builder
   int lane = -1;          ///< lane that ran it; -1 = full-width (wide) job
   int preemptions = 0;    ///< times this job yielded to a more urgent one
@@ -186,9 +190,11 @@ enum class AdmissionPolicy {
 struct SchedulerOptions {
   /// Concurrent lane threads draining the queue. 0 = auto: for run(),
   /// min(batch size, par::num_threads()); for open(), par::num_threads().
-  int lanes = 0;
+  /// Defaulted from the tunable registry (`lanes`, default 0).
+  int lanes = static_cast<int>(util::tunable_lanes());
   /// JobSpec::work at or above this runs at full pool width, alone.
-  Index wide_work = Index{1} << 26;
+  /// Defaulted from the tunable registry (`wide_work`, default 2^26).
+  Index wide_work = util::tunable_wide_work();
   /// Artifact-cache sizing and transpose-plan build options.
   ArtifactCache::Options cache;
   /// Waiting-job order. kEdf is the latency-aware default; kFifo

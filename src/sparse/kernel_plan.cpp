@@ -439,7 +439,11 @@ TransposePlanCache::Stats TransposePlanCache::stats() const {
 }
 
 TransposePlanCache& global_transpose_plan_cache() {
-  static TransposePlanCache cache;
+  // Sized from the tunable registry (`plan_cache_capacity`, default
+  // kDefaultCapacity) at first use; an override must land before the first
+  // plan lookup (env var, or CLI flags parsed before any solve).
+  static TransposePlanCache cache(
+      static_cast<std::size_t>(util::tunable_plan_cache_capacity()));
   return cache;
 }
 

@@ -32,6 +32,7 @@
 
 #include "simd/simd.hpp"
 #include "util/common.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::sparse {
 
@@ -290,8 +291,9 @@ struct TransposePlanOptions {
   /// Base row granularity of the segment grid; the apply-time window is a
   /// whole multiple of this. 0 disables the grid (and with it the
   /// segmented kernel). Matrices with rows <= segment_rows skip the grid:
-  /// a single segment is exactly the plain gather.
-  Index segment_rows = 1024;
+  /// a single segment is exactly the plain gather. Defaulted from the
+  /// tunable registry (`segment_rows`, default 1024).
+  Index segment_rows = util::tunable_segment_rows();
   /// Skip the grid when its offset table would exceed this multiple of the
   /// nonzero count -- wide matrices (many columns, few segments' worth of
   /// rows each) would pay more index than data. Tall factors sail under
@@ -304,8 +306,9 @@ struct TransposePlanOptions {
   /// the same window. When a single window covers the whole matrix the
   /// segmented kernel delegates to the plain gather (same bits, none of
   /// the windowing overhead); tests shrink this to force multi-window
-  /// sweeps on tiny matrices.
-  Index window_bytes = Index{1} << 20;
+  /// sweeps on tiny matrices. Defaulted from the tunable registry
+  /// (`window_bytes`, default 1 MiB).
+  Index window_bytes = util::tunable_window_bytes();
   /// Autotuner knobs; autotune.enable = false leaves the heuristic plan.
   AutotuneOptions autotune;
 };

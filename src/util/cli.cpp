@@ -58,8 +58,36 @@ std::string parse_value<std::string>(const std::string& text) {
 
 }  // namespace detail
 
+std::vector<Index> parse_index_list(const std::string& text) {
+  std::vector<Index> out;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    const std::size_t comma = text.find(',', at);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    out.push_back(detail::parse_value<Index>(text.substr(at, end - at)));
+    // A trailing comma means one more (empty, hence invalid) item.
+    at = comma == std::string::npos ? text.size() : comma + 1;
+    if (comma != std::string::npos && at == text.size()) {
+      throw InvalidArgument(str("trailing comma in list '", text, "'"));
+    }
+  }
+  return out;
+}
+
 Cli::Cli(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::flag_callback(const std::string& name,
+                        const std::string& default_repr,
+                        const std::string& help,
+                        std::function<void(const std::string&)> assign) {
+  ErasedFlag erased;
+  erased.name = name;
+  erased.help = help;
+  erased.default_repr = default_repr;
+  erased.assign = std::move(assign);
+  add_erased(std::move(erased));
+}
 
 void Cli::add_erased(ErasedFlag flag) {
   PSDP_CHECK(find(flag.name) == nullptr,

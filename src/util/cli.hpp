@@ -37,6 +37,15 @@ class Cli {
   Flag<T>& flag(const std::string& name, T default_value,
                 const std::string& help);
 
+  /// Register a flag whose value is consumed by `assign` instead of stored:
+  /// the callback receives the raw text and may throw InvalidArgument, which
+  /// parse() wraps with the flag name like any typed flag. For flags that
+  /// write into external state (the tunable registry) or parse structured
+  /// values (width lists).
+  void flag_callback(const std::string& name, const std::string& default_repr,
+                     const std::string& help,
+                     std::function<void(const std::string&)> assign);
+
   /// Parse argv. On --help, prints usage and sets help_requested().
   void parse(int argc, char** argv);
 
@@ -66,6 +75,12 @@ namespace detail {
 template <typename T>
 T parse_value(const std::string& text);
 }  // namespace detail
+
+/// Parse a comma-separated integer list ("4,8,16") through the same
+/// error-wrapping path as every scalar flag: malformed or empty items throw
+/// InvalidArgument (never a raw std::invalid_argument). An empty string is
+/// an empty list.
+std::vector<Index> parse_index_list(const std::string& text);
 
 template <typename T>
 Cli::Flag<T>& Cli::flag(const std::string& name, T default_value,

@@ -1,0 +1,120 @@
+#include "util/spsa.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace psdp::util {
+
+namespace {
+
+// Clamp a step-unit coordinate into the knob's fence and, for integral
+// knobs, snap the resulting value to the step grid anchored at min (so a
+// perturbation of +-1 step unit always moves an integral knob by a full
+// step instead of vanishing in the rounding).
+double clamp_units(const TunableInfo& meta, double units) {
+  const double lo = meta.min / meta.step;
+  const double hi = meta.max / meta.step;
+  double u = std::min(hi, std::max(lo, units));
+  if (meta.integral) {
+    u = lo + std::round(u - lo);
+    u = std::min(hi, std::max(lo, u));
+  }
+  return u;
+}
+
+void store_point(Tunables& registry, const std::vector<TunableId>& knobs,
+                 const std::vector<double>& units) {
+  for (std::size_t i = 0; i < knobs.size(); ++i) {
+    registry.set(knobs[i], units[i] * Tunables::info(knobs[i]).step);
+  }
+}
+
+std::vector<std::pair<std::string, double>> name_point(
+    const Tunables& registry, const std::vector<TunableId>& knobs) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(knobs.size());
+  for (TunableId id : knobs) {
+    out.emplace_back(Tunables::info(id).name, registry.get(id));
+  }
+  return out;
+}
+
+}  // namespace
+
+SpsaResult spsa_minimize(Tunables& registry, const SpsaOptions& options,
+                         const std::function<double()>& objective) {
+  PSDP_CHECK(!options.knobs.empty(), "spsa: no knobs selected");
+  PSDP_CHECK(options.iterations > 0, "spsa: iterations must be positive");
+  PSDP_CHECK(options.perturbation_scale > 0,
+             "spsa: perturbation_scale must be positive");
+  for (TunableId id : options.knobs) {
+    PSDP_CHECK(Tunables::info(id).step > 0,
+               str("spsa: tunable ", Tunables::info(id).name,
+                   " has no step"));
+  }
+
+  const std::size_t d = options.knobs.size();
+  std::vector<double> theta(d);  // current iterate, in step units
+  for (std::size_t i = 0; i < d; ++i) {
+    theta[i] = registry.get(options.knobs[i]) /
+               Tunables::info(options.knobs[i]).step;
+  }
+
+  SpsaResult result;
+  result.initial = name_point(registry, options.knobs);
+
+  // Baseline: the unperturbed starting point is evaluated first, and is
+  // the point to beat -- a tuned profile must never regress the default.
+  store_point(registry, options.knobs, theta);
+  result.initial_objective = objective();
+  ++result.evaluations;
+  result.best_objective = result.initial_objective;
+  std::vector<double> best = theta;
+
+  std::mt19937_64 rng(options.seed);
+  std::vector<double> delta(d);
+  std::vector<double> probe(d);
+  for (int k = 0; k < options.iterations; ++k) {
+    const double a_k =
+        options.step_scale /
+        std::pow(k + 1 + options.stability, options.alpha);
+    const double c_k =
+        options.perturbation_scale / std::pow(k + 1, options.gamma);
+
+    for (std::size_t i = 0; i < d; ++i) {
+      delta[i] = (rng() & 1u) ? 1.0 : -1.0;
+    }
+
+    const auto evaluate_at = [&](double sign) {
+      for (std::size_t i = 0; i < d; ++i) {
+        probe[i] = clamp_units(Tunables::info(options.knobs[i]),
+                               theta[i] + sign * c_k * delta[i]);
+      }
+      store_point(registry, options.knobs, probe);
+      const double y = objective();
+      ++result.evaluations;
+      if (y < result.best_objective) {
+        result.best_objective = y;
+        best = probe;
+      }
+      return y;
+    };
+    const double y_plus = evaluate_at(+1.0);
+    const double y_minus = evaluate_at(-1.0);
+
+    // ghat_i = (y+ - y-) / (2 c_k delta_i); delta_i in {-1, +1} so the
+    // division is a multiplication.
+    const double diff = (y_plus - y_minus) / (2.0 * c_k);
+    for (std::size_t i = 0; i < d; ++i) {
+      theta[i] = clamp_units(Tunables::info(options.knobs[i]),
+                             theta[i] - a_k * diff * delta[i]);
+    }
+  }
+
+  // Leave the registry at the best point seen and report it.
+  store_point(registry, options.knobs, best);
+  result.tuned = name_point(registry, options.knobs);
+  return result;
+}
+
+}  // namespace psdp::util

@@ -1,0 +1,72 @@
+// SPSA (simultaneous perturbation stochastic approximation) over the
+// tunable registry -- the chess-engine tuning loop from SNIPPETS.md
+// Snippet 2, pointed at solver knobs instead of evaluation weights.
+//
+// Each iteration draws one Rademacher direction delta in {-1, +1}^d,
+// evaluates the objective at theta + c_k * delta and theta - c_k * delta
+// (two evaluations regardless of dimension -- the whole point of SPSA),
+// and steps along the estimated gradient with the standard decaying gains
+//
+//   a_k = a / (k + 1 + A)^alpha     (alpha = 0.602)
+//   c_k = c / (k + 1)^gamma         (gamma = 0.101)
+//
+// All arithmetic happens in *step units* (value / step from the registry
+// metadata), so one SPSA schedule serves knobs spanning five orders of
+// magnitude; values are clamped to the registry's [min, max] and integral
+// knobs round to the step grid. The driver evaluates the unperturbed
+// starting point first and keeps the best point *seen* (perturbation
+// evaluations included): with a noisy objective the iterate can drift, and
+// serve startup must never load a profile worse than the default it
+// replaced. Randomness comes from one seeded mt19937_64, so a fixed seed
+// replays the exact evaluation sequence (locked by test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/tunables.hpp"
+
+namespace psdp::util {
+
+struct SpsaOptions {
+  /// Knobs to tune, by TunableId. Everything else stays untouched.
+  std::vector<TunableId> knobs;
+  /// Gradient iterations; 2 objective evaluations each, plus the baseline.
+  int iterations = 8;
+  /// PRNG seed for the Rademacher directions (fixed seed => deterministic).
+  std::uint64_t seed = 1;
+  /// First-iteration gradient step, in registry step units (the `a` gain).
+  double step_scale = 2.0;
+  /// First-iteration probe offset, in registry step units (the `c` gain).
+  double perturbation_scale = 1.0;
+  /// Gain decay exponents; the classic Spall constants.
+  double alpha = 0.602;
+  double gamma = 0.101;
+  /// Stability constant A in the a_k schedule (typically ~10% of the
+  /// iteration budget).
+  double stability = 1.0;
+};
+
+struct SpsaResult {
+  double initial_objective = 0;  ///< objective at the starting point
+  double best_objective = 0;     ///< objective at the returned point
+  int evaluations = 0;           ///< objective calls made (2*iters + 1)
+  /// (name, value) pairs for the tuned knobs -- the starting values and the
+  /// winning values, in SpsaOptions::knobs order. `tuned` is exactly what
+  /// TunableProfileStore::put expects.
+  std::vector<std::pair<std::string, double>> initial;
+  std::vector<std::pair<std::string, double>> tuned;
+  bool improved() const { return best_objective < initial_objective; }
+};
+
+/// Minimize `objective` over `options.knobs` of `registry`. The objective
+/// is called with the candidate values already stored in `registry` (read
+/// them through the typed accessors / get()); lower is better. On return
+/// the registry holds the best point seen. Throws InvalidArgument on an
+/// empty knob list or a non-positive iteration count.
+SpsaResult spsa_minimize(Tunables& registry, const SpsaOptions& options,
+                         const std::function<double()>& objective);
+
+}  // namespace psdp::util

@@ -21,6 +21,7 @@
 #include "serve/scheduler.hpp"
 #include "sparse/csr.hpp"
 #include "test_helpers.hpp"
+#include "util/tunables.hpp"
 
 namespace psdp::serve {
 namespace {
@@ -455,7 +456,7 @@ TEST(BatchScheduler, QueueAndRunSecondsAreSplitAndDeadlinesEchoed) {
     EXPECT_GE(r.queue_seconds, 0);
     EXPECT_EQ(r.seconds, r.run_seconds) << "seconds aliases run time";
   }
-  EXPECT_EQ(results[0].deadline_ms, 0);
+  EXPECT_FALSE(results[0].deadline_ms.has_value());
   EXPECT_EQ(results[1].deadline_ms, 1e7);
   EXPECT_TRUE(results[1].deadline_met);
 }
@@ -715,9 +716,109 @@ TEST(Manifest, ParsesPriorityAndDeadlineRoundTrip) {
   const std::vector<JobSpec>& jobs = batch.jobs();
   EXPECT_EQ(jobs[0].priority, 3);
   EXPECT_EQ(jobs[0].deadline_ms, 12.5);
-  EXPECT_EQ(jobs[1].deadline_ms, 0);  // explicit zero = no deadline
+  // An explicit zero is a real (immediately-due) deadline, distinct from
+  // the unset state of a line that never mentions deadline-ms.
+  ASSERT_TRUE(jobs[1].deadline_ms.has_value());
+  EXPECT_EQ(*jobs[1].deadline_ms, 0);
   EXPECT_EQ(jobs[2].priority, 0);
-  EXPECT_EQ(jobs[2].deadline_ms, 0);
+  EXPECT_FALSE(jobs[2].deadline_ms.has_value());
+}
+
+TEST(Manifest, HashInsideValueIsDataNotComment) {
+  // '#' only opens a comment at line start or after whitespace; embedded
+  // in a token it is data (the old find-any-'#' rule truncated the value
+  // *and* the line quoted by later error messages).
+  std::stringstream manifest(
+      "# full-line comment\n"
+      "packing-lp a.psdp label=p99#high id=run#7 # trailing comment\n"
+      "\t# indented comment\n"
+      "packing-lp b.psdp eps=0.2\t# tab before comment\n");
+  const SolveBatch batch = read_manifest(manifest, "test");
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.jobs()[0].label, "p99#high");
+  EXPECT_EQ(batch.jobs()[0].instance, "run#7");
+  EXPECT_EQ(batch.jobs()[1].options.eps, 0.2);
+}
+
+TEST(Manifest, SetLinesApplyTunableOverrides) {
+  struct Restore {
+    ~Restore() { util::tunables().reset(); }
+  } restore;
+  std::stringstream manifest(
+      "set lanes=2 wide-work=1048576\n"
+      "set cache_capacity=7\n"
+      "packing-lp a.psdp\n");
+  const SolveBatch batch = read_manifest(manifest, "test");
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(util::tunables().get(util::TunableId::k_lanes), 2);
+  EXPECT_EQ(util::tunables().get(util::TunableId::k_wide_work), 1048576);
+  // Options structs constructed after the manifest load (the solver_cli
+  // startup order) read the overrides.
+  EXPECT_EQ(SchedulerOptions{}.lanes, 2);
+  EXPECT_EQ(SchedulerOptions{}.wide_work, 1048576);
+  EXPECT_EQ(ArtifactCache::Options{}.capacity, 7u);
+}
+
+TEST(Manifest, SetLineErrorsNameLocationAndTunable) {
+  struct Restore {
+    ~Restore() { util::tunables().reset(); }
+  } restore;
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::stringstream in(text);
+    try {
+      read_manifest(in, "m");
+    } catch (const InvalidArgument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    const std::string what = message_of("set lanes=banana\n");
+    EXPECT_NE(what.find("m:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("lanes"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("set segment_rows=1\n");  // below min
+    EXPECT_NE(what.find("segment_rows"), std::string::npos) << what;
+    EXPECT_NE(what.find("range"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("set no_such_knob=1\n");
+    EXPECT_NE(what.find("no_such_knob"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("packing-lp a.psdp\nset\n");
+    EXPECT_NE(what.find("m:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("without assignments"), std::string::npos) << what;
+  }
+  {
+    const std::string what = message_of("set lanes\n");
+    EXPECT_NE(what.find("key=value"), std::string::npos) << what;
+  }
+}
+
+TEST(BatchScheduler, ZeroDeadlineIsImmediatelyDueNotUnset) {
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  SolveBatch batch;
+  for (int i = 0; i < 2; ++i) {
+    batch.add_lp(str("lp", i), std::make_shared<const core::PackingLp>(
+                                   apps::complete_graph_matching_lp(6).lp));
+  }
+  // Pre-fix, deadline_ms == 0 silently meant "no deadline"; now 0 is a
+  // real, immediately-due deadline and only an unset optional means none.
+  batch.jobs()[0].deadline_ms = 0;
+
+  BatchScheduler scheduler;
+  const std::vector<JobResult> results = scheduler.run(batch);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[0].deadline_ms.has_value());
+  EXPECT_EQ(*results[0].deadline_ms, 0);
+  EXPECT_FALSE(results[0].deadline_met)
+      << "a zero deadline cannot be met by any positive service time";
+  EXPECT_FALSE(results[1].deadline_ms.has_value());
+  EXPECT_TRUE(results[1].deadline_met) << "no deadline set, none missed";
 }
 
 TEST(Manifest, PriorityAndDeadlineErrorsNameLineAndToken) {

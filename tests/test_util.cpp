@@ -188,6 +188,33 @@ TEST(Cli, NumericParseErrorsNameFlagAndText) {
   }
 }
 
+TEST(Cli, ParseIndexListAcceptsCommaSeparatedValues) {
+  EXPECT_EQ(util::parse_index_list("1,2,3"), (std::vector<Index>{1, 2, 3}));
+  EXPECT_EQ(util::parse_index_list("42"), (std::vector<Index>{42}));
+  EXPECT_TRUE(util::parse_index_list("").empty());
+}
+
+TEST(Cli, ParseIndexListNamesBadItems) {
+  // The bench_kernels --widths path used a raw std::stoll here: "4,x,16"
+  // crashed with an unhandled std::invalid_argument instead of a usage
+  // error. Every item now routes through the shared typed parser.
+  try {
+    util::parse_index_list("4,x,16");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("x"), std::string::npos);
+  }
+  EXPECT_THROW(util::parse_index_list("4,,16"), InvalidArgument);
+  EXPECT_THROW(util::parse_index_list("99999999999999999999999999"),
+               InvalidArgument);
+  try {
+    util::parse_index_list("4,8,");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing comma"), std::string::npos);
+  }
+}
+
 TEST(Cli, RejectsDuplicateFlagRegistration) {
   util::Cli cli("prog", "test");
   cli.flag<Index>("n", 1, "count");
