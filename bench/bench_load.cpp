@@ -44,8 +44,10 @@
 
 #include "apps/generators.hpp"
 #include "bench_common.hpp"
+#include "io/instance_io.hpp"
 #include "par/parallel.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/solverd.hpp"
 #include "util/cli.hpp"
 #include "util/spsa.hpp"
 #include "util/timer.hpp"
@@ -241,10 +243,12 @@ RunReport replay(const std::vector<JobClass>& classes,
   return report;
 }
 
-/// Splice `section` into the JSON file at `path` as its "latency" member,
-/// replacing a previous one and preserving everything else. Falls back to
-/// a fresh standalone object when the file is absent or unreadable.
-void splice_latency(const std::string& path, const std::string& section) {
+/// Splice `section` into the JSON file at `path` as its `name` member,
+/// replacing a previous one and preserving everything else (the "latency"
+/// and "daemon" sections coexist in BENCH_serve.json). Falls back to a
+/// fresh standalone object when the file is absent or unreadable.
+void splice_section(const std::string& path, const std::string& name,
+                    const std::string& section) {
   std::string text;
   {
     std::ifstream in(path);
@@ -256,9 +260,10 @@ void splice_latency(const std::string& path, const std::string& section) {
   }
   const std::size_t close = text.rfind('}');
   if (close == std::string::npos) {
-    text = str("{\n  \"bench\": \"serve\",\n  \"latency\": ", section, "\n}\n");
+    text = str("{\n  \"bench\": \"serve\",\n  \"", name, "\": ", section,
+               "\n}\n");
   } else {
-    const std::size_t key = text.find("\"latency\"");
+    const std::size_t key = text.find(str("\"", name, "\""));
     if (key != std::string::npos) {
       // Erase from the comma before the key through the member's matching
       // closing brace.
@@ -271,17 +276,234 @@ void splice_latency(const std::string& path, const std::string& section) {
         if (text[i] == '}' && --depth == 0) break;
         ++i;
       }
-      PSDP_CHECK(i < text.size(),
-                 str(path, ": unbalanced braces in existing latency section"));
+      PSDP_CHECK(i < text.size(), str(path, ": unbalanced braces in existing ",
+                                      name, " section"));
       text.erase(begin, i + 1 - begin);
     }
     const std::size_t tail = text.rfind('}');
-    text.insert(tail, str(",\n  \"latency\": ", section, "\n"));
+    text.insert(tail, str(",\n  \"", name, "\": ", section, "\n"));
   }
   std::ofstream out(path);
   out << text;
   out.flush();
   PSDP_CHECK(out.good(), str("cannot write ", path));
+}
+
+// ---------------------------------------------------------- endpoint mode --
+
+/// Replay the arrival stream against a solverd daemon instead of the
+/// in-process schedulers. "loopback" runs an in-process daemon over the
+/// loopback transport (deterministic, no sockets); anything else is dialed
+/// as a socket endpoint (unix:/path, tcp:host:port) -- the daemon there
+/// must run at this bench's pool width, or the bitwise identity gate
+/// rightly fails.
+///
+/// Each template's instance is persisted to a .psdp file first (io round
+/// trips are bit-exact), submit lines reference the files with the exact
+/// solver options of the in-process path, and every decoded result payload
+/// is gated bitwise against the template's solo reference. Latency is
+/// reported per class: queue/run as the daemon measured them, total as the
+/// client observed it (result frame arrival minus scheduled arrival).
+/// The report lands in BENCH_serve.json as a "daemon" section.
+int replay_daemon(const std::string& endpoint,
+                  const std::vector<JobClass>& classes,
+                  const std::vector<Arrival>& arrivals,
+                  const std::vector<std::vector<serve::JobResult>>& solo,
+                  int lanes, int width, const std::string& out_path) {
+  std::vector<std::vector<std::string>> paths(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    for (const JobTemplate& t : classes[c].templates) {
+      std::string path = str("bench_load_", t.instance, ".psdp");
+      io::save_factorized(path, apps::random_factorized(t.generator));
+      paths[c].push_back(std::move(path));
+    }
+  }
+
+  std::optional<serve::LoopbackListener> loopback;
+  std::optional<serve::Solverd> daemon;
+  std::thread server;
+  std::unique_ptr<serve::Connection> connection;
+  if (endpoint == "loopback") {
+    loopback.emplace();
+    serve::SolverdOptions options;
+    options.lanes = lanes;
+    options.max_connections = 1;  // serve() returns once our session drains
+    daemon.emplace(*loopback, options);
+    connection = loopback->connect();
+    server = std::thread([&] { daemon->serve(); });
+  } else {
+    connection = serve::socket_connect(endpoint);
+  }
+  serve::SolverdClient client(std::move(connection));
+
+  struct Observed {
+    serve::WireResult wire;
+    double at_seconds = 0;  ///< client clock when the result frame landed
+    bool backpressure = false;
+  };
+  // Reader-thread state; the main thread touches it only after join().
+  std::vector<Observed> observed;
+  std::vector<std::string> wire_errors;
+  bool done = false;
+
+  util::WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+  std::thread reader([&] {
+    try {
+      while (std::optional<serve::Frame> frame = client.read()) {
+        const double at =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (frame->type == serve::FrameType::kDone) {
+          done = true;
+          break;
+        }
+        if (frame->type == serve::FrameType::kError) {
+          wire_errors.push_back(frame->payload);
+          continue;
+        }
+        if (frame->type != serve::FrameType::kResult &&
+            frame->type != serve::FrameType::kBackpressure) {
+          continue;
+        }
+        Observed o;
+        o.wire = serve::decode_result_line(frame->payload);
+        o.at_seconds = at;
+        o.backpressure = frame->type == serve::FrameType::kBackpressure;
+        observed.push_back(std::move(o));
+      }
+    } catch (const std::exception& e) {
+      wire_errors.push_back(str("client read failed: ", e.what()));
+    }
+  });
+
+  std::vector<std::string> submit_errors;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Arrival& a = arrivals[i];
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(a.at_seconds)));
+    const JobClass& cls = classes[static_cast<std::size_t>(a.cls)];
+    const JobTemplate& t = cls.templates[static_cast<std::size_t>(a.tmpl)];
+    std::ostringstream line;
+    line.precision(17);  // doubles must re-parse to the identical bits
+    line << "packing-factorized "
+         << paths[static_cast<std::size_t>(a.cls)]
+                 [static_cast<std::size_t>(a.tmpl)]
+         << " eps=" << t.options.eps
+         << " decision-eps=" << t.options.decision_eps
+         << " probe=phased sketch-rows="
+         << t.options.decision.dot_options.sketch_rows_override
+         << " label=" << i << " id=" << t.instance;
+    if (cls.deadline) line << " deadline-ms=" << cls.deadline_ms;
+    if (!client.submit(line.str())) {
+      submit_errors.push_back(str("submit failed at arrival ", i,
+                                  ": daemon gone"));
+      break;
+    }
+  }
+  client.goodbye();
+  reader.join();
+  const double makespan = timer.seconds();
+  if (daemon.has_value()) server.join();
+  for (std::string& e : submit_errors) wire_errors.push_back(std::move(e));
+  for (const std::string& e : wire_errors) {
+    std::cout << "WIRE ERROR: " << e << "\n";
+  }
+
+  // ---- identity + latency ------------------------------------------------
+  Index mismatches = 0;
+  std::size_t delivered = 0, shed = 0;
+  std::vector<std::vector<double>> queue(classes.size()), run(classes.size()),
+      total(classes.size());
+  for (const Observed& o : observed) {
+    PSDP_CHECK(o.wire.id >= 1 && o.wire.id <= arrivals.size(),
+               str("daemon echoed unknown job id ", o.wire.id));
+    const Arrival& a = arrivals[o.wire.id - 1];
+    const serve::JobResult& r = o.wire.result;
+    if (r.shed || o.backpressure) {
+      ++shed;
+      continue;
+    }
+    ++delivered;
+    const std::size_t c = static_cast<std::size_t>(a.cls);
+    const serve::JobResult& ref =
+        solo[c][static_cast<std::size_t>(a.tmpl)];
+    if (!r.ok || !serve::payload_bitwise_equal(r, ref)) {
+      ++mismatches;
+      std::cout << "IDENTITY MISMATCH: job " << o.wire.id - 1 << " ("
+                << r.label << ")"
+                << (!r.ok ? str(": ", r.error) : std::string()) << "\n";
+    }
+    queue[c].push_back(r.queue_seconds);
+    run[c].push_back(r.run_seconds);
+    total[c].push_back(o.at_seconds - a.at_seconds);
+  }
+  const std::size_t missing = arrivals.size() - observed.size();
+
+  util::Table table(
+      {"class", "p50 queue", "p99 queue", "p99 total(client)", "jobs"});
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const Percentiles q = percentiles(queue[c]);
+    const Percentiles t = percentiles(total[c]);
+    table.add_row({classes[c].name, util::Table::cell(q.p50),
+                   util::Table::cell(q.p99), util::Table::cell(t.p99),
+                   util::Table::cell(static_cast<double>(total[c].size()))});
+  }
+  table.print();
+  std::cout << "daemon replay: " << delivered << " results, " << shed
+            << " backpressure, " << missing << " missing, "
+            << wire_errors.size() << " wire errors over " << makespan
+            << " s\n";
+
+  // ---- JSON --------------------------------------------------------------
+  {
+    std::ostringstream section;
+    section.precision(17);
+    section << "{\n    \"endpoint\": \"" << endpoint
+            << "\", \"threads\": " << width << ", \"lanes\": " << lanes
+            << ", \"jobs\": " << arrivals.size() << ",\n    \"results\": "
+            << delivered << ", \"backpressure\": " << shed
+            << ", \"missing\": " << missing
+            << ", \"wire_errors\": " << wire_errors.size()
+            << ", \"identity_mismatches\": " << mismatches
+            << ", \"clean_done\": " << (done ? "true" : "false")
+            << ",\n    \"makespan_seconds\": " << makespan
+            << ", \"jobs_per_second\": "
+            << (makespan > 0 ? static_cast<double>(delivered) / makespan : 0)
+            << ",\n    \"classes\": {";
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      const Percentiles q = percentiles(queue[c]);
+      const Percentiles r = percentiles(run[c]);
+      const Percentiles t = percentiles(total[c]);
+      section << (c > 0 ? ", " : "") << "\"" << classes[c].name
+              << "\": {\"jobs\": " << total[c].size()
+              << ", \"p50_queue\": " << q.p50 << ", \"p99_queue\": " << q.p99
+              << ", \"p50_run\": " << r.p50 << ", \"p99_run\": " << r.p99
+              << ", \"p50_total\": " << t.p50 << ", \"p99_total\": " << t.p99
+              << "}";
+    }
+    section << "}\n  }";
+    splice_section(out_path, "daemon", section.str());
+  }
+  std::cout << "spliced daemon section into " << out_path << "\n";
+
+  // ---- verdicts ----------------------------------------------------------
+  bool ok = true;
+  bench::print_verdict(mismatches == 0,
+                       mismatches == 0
+                           ? std::string("daemon payloads bitwise identical "
+                                         "to in-process solo runs")
+                           : str(mismatches, " daemon job(s) diverged"));
+  ok = ok && mismatches == 0;
+  const bool drained = done && missing == 0;
+  bench::print_verdict(
+      drained, done ? str(missing, " of ", arrivals.size(),
+                          " results missing at clean drain")
+                    : std::string("stream ended without a done frame"));
+  ok = ok && drained;
+  return ok ? 0 : 1;
 }
 
 std::string class_json(const RunReport& report,
@@ -332,6 +554,13 @@ int main(int argc, char** argv) {
   auto& seed = cli.flag<int>("seed", 42, "arrival-stream RNG seed");
   auto& out_path = cli.flag<std::string>(
       "out", "BENCH_serve.json", "JSON file to splice the latency section into");
+  auto& endpoint = cli.flag<std::string>(
+      "endpoint", "",
+      "replay against a solverd daemon instead of the in-process schedulers: "
+      "'loopback' (in-process daemon over the loopback transport) or a "
+      "socket endpoint (unix:/path | tcp:host:port). A socket daemon must "
+      "run at this bench's --threads width or the identity gate fails. "
+      "Splices a 'daemon' section instead of 'latency'");
   auto& assert_improvement = cli.flag<Real>(
       "assert-improvement", 0,
       "fail unless baseline/aware tiny p99 >= this at >= 95% of baseline "
@@ -481,6 +710,15 @@ int main(int argc, char** argv) {
   }
   std::cout << n_jobs << " arrivals at " << rate << " jobs/s over ~"
             << clock << " s\n\n";
+
+  // ---- daemon endpoint mode ----------------------------------------------
+  // Same solo references, same arrival stream -- but the jobs travel as
+  // framed manifest lines through a solverd daemon, and the payloads come
+  // back over the wire. Replaces the baseline/aware comparison entirely.
+  if (!endpoint.value.empty()) {
+    return replay_daemon(endpoint.value, classes, arrivals, solo, lanes,
+                         width, out_path.value);
+  }
 
   // ---- baseline: the PR-5 static regime ----------------------------------
   serve::SchedulerOptions baseline_options;
@@ -662,7 +900,7 @@ int main(int argc, char** argv) {
       section << "}}";
     }
     section << "\n  }";
-    splice_latency(out_path.value, section.str());
+    splice_section(out_path.value, "latency", section.str());
   }
   std::cout << "spliced latency section into " << out_path.value << "\n";
 

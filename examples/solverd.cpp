@@ -1,0 +1,135 @@
+// The solverd daemon front end: serve the batch scheduler over a socket.
+//
+//   ./solverd --socket=unix:/tmp/solverd.sock [--threads=8] [--lanes=4]
+//   ./solverd --socket=tcp:127.0.0.1:7411 --max-queue=64 --admission=shed-lowest
+//
+// Clients connect and speak the framed protocol of docs/SOLVERD.md: submit
+// manifest job lines (serve/manifest.hpp format, priority=/deadline-ms=
+// and `set` lines included), receive one result frame per job as the
+// scheduler finishes it, and a final done frame after a goodbye. All
+// connections share one warm ArtifactCache, so repeat jobs on an instance
+// skip its preparation entirely.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish, their results
+// flush to the clients that asked, every session gets its done frame, and
+// the process exits 0. --connections=N serves exactly N sessions and then
+// drains -- the deterministic-exit mode CI's smoke test uses.
+#include <cerrno>
+#include <csignal>
+#include <iostream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "par/parallel.hpp"
+#include "serve/solverd.hpp"
+#include "util/cli.hpp"
+#include "util/tunables.hpp"
+
+namespace {
+
+using namespace psdp;
+
+// Self-pipe: the signal handler may only do async-signal-safe work, so it
+// writes one byte; a watcher thread turns that into Solverd::stop().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void handle_signal(int) {
+  const char byte = 's';
+  // The return value is irrelevant: either the watcher wakes, or we are
+  // already shutting down and the pipe is gone.
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("solverd", "Serve the batch solve scheduler over a socket");
+  auto& socket = cli.flag<std::string>(
+      "socket", "unix:solverd.sock",
+      "endpoint: unix:/path/to.sock | tcp:host:port | bare unix path");
+  auto& threads = cli.flag<int>(
+      "threads", 0,
+      "thread-pool width (0 = hardware default). Results are bitwise "
+      "functions of this width: match the client's reference width");
+  auto& lanes = cli.flag<int>("lanes", 0, "scheduler lanes (0 = auto)");
+  auto& max_queue = cli.flag<int>(
+      "max-queue", 0, "admission bound on waiting jobs (0 = unbounded)");
+  auto& admission = cli.flag<std::string>(
+      "admission", "reject",
+      "full-queue policy: reject (shed the arrival) | shed-lowest");
+  auto& connections = cli.flag<int>(
+      "connections", 0, "serve exactly N sessions then drain (0 = forever)");
+  auto& max_frame = cli.flag<Index>(
+      "max-frame-bytes", static_cast<Index>(serve::FrameLimits{}.max_payload),
+      "largest accepted request frame payload");
+  auto& allow_set = cli.flag<bool>(
+      "allow-set", true,
+      "honor `set key=value` tunable lines from clients");
+  util::add_tunable_flags(cli);
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (cli.help_requested()) return 0;
+
+  try {
+    if (threads.value > 0) par::set_num_threads(threads.value);
+
+    serve::SolverdOptions options;
+    options.lanes = lanes.value;
+    options.scheduler.max_queue = static_cast<std::size_t>(
+        max_queue.value > 0 ? max_queue.value : 0);
+    if (admission.value == "reject") {
+      options.scheduler.admission = serve::AdmissionPolicy::kReject;
+    } else if (admission.value == "shed-lowest") {
+      options.scheduler.admission = serve::AdmissionPolicy::kShedLowest;
+    } else {
+      throw InvalidArgument(str("unknown --admission '", admission.value,
+                                "' (reject | shed-lowest)"));
+    }
+    options.max_connections = connections.value;
+    PSDP_CHECK(max_frame.value > 0, "--max-frame-bytes must be positive");
+    options.max_frame_bytes = static_cast<std::size_t>(max_frame.value);
+    options.apply_set_lines = allow_set.value;
+
+    serve::SocketListener listener(socket.value);
+    serve::Solverd daemon(listener, options);
+
+    PSDP_CHECK(::pipe(g_signal_pipe) == 0, "solverd: cannot create pipe");
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::thread watcher([&daemon] {
+      char byte = 0;
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      daemon.stop();
+    });
+
+    std::cout << "solverd: listening on " << listener.name() << " ("
+              << par::num_threads() << " threads)" << std::endl;
+    daemon.serve();
+
+    // Unblock the watcher if no signal arrived (e.g. --connections ran
+    // out), then report and exit cleanly.
+    handle_signal(0);
+    watcher.join();
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+
+    const serve::SolverdStats stats = daemon.stats();
+    std::cout << "solverd: drained. " << stats.connections
+              << " connections, " << stats.jobs << " jobs, "
+              << stats.results << " results, " << stats.backpressure
+              << " backpressure, " << stats.parse_errors
+              << " parse errors, " << stats.protocol_errors
+              << " protocol errors, " << stats.write_failures
+              << " write failures\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

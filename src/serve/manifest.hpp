@@ -11,6 +11,10 @@
 //   eps=0.1          target relative accuracy (OptimizeOptions::eps)
 //   decision-eps=0   per-probe decision eps (0 = auto)
 //   probe=decision   factorized probe solver: decision | phased | bucketed
+//   sketch-rows=N    fixed sketch rows (BigDotExpOptions::
+//                    sketch_rows_override; 0 = the eps-derived default) --
+//                    lets a wire client reproduce an in-process
+//                    configuration exactly (bench_load --endpoint)
 //   label=NAME       display label (default: "<path>:<line>")
 //   id=KEY           artifact-cache key (default: "<kind>:<path>"), so jobs
 //                    naming the same file share its prepared artifacts
@@ -45,6 +49,24 @@
 #include "serve/scheduler.hpp"
 
 namespace psdp::serve {
+
+/// What one manifest line turned out to be.
+enum class ManifestLineKind {
+  kBlank,  ///< empty or comment-only; nothing happened
+  kSet,    ///< a `set key=value ...` line; the tunable registry was mutated
+  kJob,    ///< a job line; `*job` was filled in
+};
+
+/// Parse a single manifest line. Comments are stripped, `set` lines are
+/// applied to the process-wide tunable registry immediately, and job lines
+/// fill `*job`. Malformed lines raise InvalidArgument prefixed
+/// "`source`:`line_number`:" and quoting the line -- the same discipline
+/// for files (read_manifest) and wire submissions (serve/solverd.hpp),
+/// which is what keeps daemon error payloads as precise as CLI parse
+/// errors.
+ManifestLineKind parse_manifest_line(const std::string& line,
+                                     const std::string& source,
+                                     Index line_number, JobSpec* job);
 
 /// Parse a manifest into a batch. Paths are taken as written (resolve them
 /// relative to the caller's working directory); instance files are loaded

@@ -1,0 +1,478 @@
+#include "serve/solverd.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+
+#include "serve/manifest.hpp"
+#include "util/cli.hpp"
+#include "util/wire.hpp"
+
+namespace psdp::serve {
+
+// ----------------------------------------------------------- result codec --
+
+namespace {
+
+std::string join_hex(const linalg::Vector& v) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(v.size()) * 17);
+  for (Index i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    out += util::hex_bits(v[i]);
+  }
+  return out;
+}
+
+linalg::Vector split_hex(const std::string& text, const std::string& what) {
+  if (text.empty()) return linalg::Vector{};
+  std::vector<Real> values;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = text.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    values.push_back(util::from_hex_bits(text.substr(begin, end - begin), what));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return linalg::Vector(std::move(values));
+}
+
+bool parse_wire_bool(const std::string& value, const std::string& what) {
+  PSDP_CHECK(value == "0" || value == "1",
+             str("solverd: ", what, " must be 0 or 1, got '", value, "'"));
+  return value == "1";
+}
+
+}  // namespace
+
+std::string encode_result_line(std::uint64_t id, const JobResult& r) {
+  std::ostringstream out;
+  out << "id=" << id
+      << " instance=" << util::escape_line(r.instance)
+      << " label=" << util::escape_line(r.label)
+      << " kind=" << job_kind_name(r.kind)
+      << " ok=" << (r.ok ? 1 : 0)
+      << " shed=" << (r.shed ? 1 : 0)
+      << " cache=" << (r.cache_hit ? 1 : 0)
+      << " lane=" << r.lane
+      << " preempt=" << r.preemptions
+      << " promoted=" << (r.promoted ? 1 : 0)
+      << " queue_s=" << util::hex_bits(r.queue_seconds)
+      << " run_s=" << util::hex_bits(r.run_seconds)
+      << " deadline="
+      << (r.deadline_ms.has_value() ? util::hex_bits(*r.deadline_ms)
+                                    : std::string("none"))
+      << " met=" << (r.deadline_met ? 1 : 0);
+  if (r.ok) {
+    // Exactly the fields payload_bitwise_equal inspects, bit-exact.
+    switch (r.kind) {
+      case JobKind::kPackingDense:
+      case JobKind::kPackingFactorized:
+        out << " lower=" << util::hex_bits(r.packing.lower)
+            << " upper=" << util::hex_bits(r.packing.upper)
+            << " x=" << join_hex(r.packing.best_x);
+        break;
+      case JobKind::kCovering:
+        out << " objective=" << util::hex_bits(r.covering.objective)
+            << " lower_bound=" << util::hex_bits(r.covering.lower_bound)
+            << " plower=" << util::hex_bits(r.covering.packing.lower)
+            << " pupper=" << util::hex_bits(r.covering.packing.upper);
+        break;
+      case JobKind::kPackingLp:
+        out << " lower=" << util::hex_bits(r.lp.lower)
+            << " upper=" << util::hex_bits(r.lp.upper)
+            << " x=" << join_hex(r.lp.best_x);
+        break;
+    }
+  }
+  if (!r.error.empty()) out << " error=" << util::escape_line(r.error);
+  return out.str();
+}
+
+WireResult decode_result_line(const std::string& line) {
+  WireResult out;
+  JobResult& r = out.result;
+  bool saw_id = false;
+  bool saw_kind = false;
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    PSDP_CHECK(eq != std::string::npos,
+               str("solverd: result token without '=': '", token, "'"));
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      const Index id = util::detail::parse_value<Index>(value);
+      PSDP_CHECK(id >= 1, str("solverd: result id must be >= 1, got ", value));
+      out.id = static_cast<std::uint64_t>(id);
+      saw_id = true;
+    } else if (key == "instance") {
+      r.instance = util::unescape_line(value);
+    } else if (key == "label") {
+      r.label = util::unescape_line(value);
+    } else if (key == "kind") {
+      r.kind = job_kind_from_name(value);
+      saw_kind = true;
+    } else if (key == "ok") {
+      r.ok = parse_wire_bool(value, "ok");
+    } else if (key == "shed") {
+      r.shed = parse_wire_bool(value, "shed");
+    } else if (key == "cache") {
+      r.cache_hit = parse_wire_bool(value, "cache");
+    } else if (key == "lane") {
+      r.lane = util::detail::parse_value<int>(value);
+    } else if (key == "preempt") {
+      r.preemptions = util::detail::parse_value<int>(value);
+    } else if (key == "promoted") {
+      r.promoted = parse_wire_bool(value, "promoted");
+    } else if (key == "queue_s") {
+      r.queue_seconds = util::from_hex_bits(value, "queue_s");
+    } else if (key == "run_s") {
+      r.run_seconds = util::from_hex_bits(value, "run_s");
+      r.seconds = r.run_seconds;
+    } else if (key == "deadline") {
+      if (value == "none") {
+        r.deadline_ms.reset();
+      } else {
+        r.deadline_ms = util::from_hex_bits(value, "deadline");
+      }
+    } else if (key == "met") {
+      r.deadline_met = parse_wire_bool(value, "met");
+    } else if (key == "lower") {
+      r.packing.lower = r.lp.lower = util::from_hex_bits(value, "lower");
+    } else if (key == "upper") {
+      r.packing.upper = r.lp.upper = util::from_hex_bits(value, "upper");
+    } else if (key == "x") {
+      r.packing.best_x = split_hex(value, "x");
+      r.lp.best_x = r.packing.best_x;
+    } else if (key == "objective") {
+      r.covering.objective = util::from_hex_bits(value, "objective");
+    } else if (key == "lower_bound") {
+      r.covering.lower_bound = util::from_hex_bits(value, "lower_bound");
+    } else if (key == "plower") {
+      r.covering.packing.lower = util::from_hex_bits(value, "plower");
+    } else if (key == "pupper") {
+      r.covering.packing.upper = util::from_hex_bits(value, "pupper");
+    } else if (key == "error") {
+      r.error = util::unescape_line(value);
+    } else {
+      // Forward compatibility: a newer daemon may add fields. Tolerate.
+    }
+  }
+  PSDP_CHECK(saw_id && saw_kind,
+             str("solverd: result line missing id/kind: '", line, "'"));
+  return out;
+}
+
+// ----------------------------------------------------------------- daemon --
+
+/// Per-connection state. Kept alive by shared_ptrs captured in on_complete
+/// callbacks, so a result can always be delivered (or counted as a write
+/// failure) even while the session is tearing down.
+struct Solverd::Session {
+  std::uint64_t conn_id = 0;
+  std::string source;  ///< "conn<N>": the error-message manifest name
+  std::unique_ptr<Connection> connection;
+
+  /// Serializes every outbound frame: lane threads flush results while the
+  /// session thread answers parse errors.
+  std::mutex write_mutex;
+  bool dead = false;            ///< peer gone: drop (and count) writes
+  std::uint64_t delivered = 0;  ///< kResult + kBackpressure frames sent
+
+  /// Submitted-but-undelivered job count; the drain barrier.
+  std::mutex pending_mutex;
+  std::condition_variable pending_cv;
+  std::size_t outstanding = 0;
+
+  Index line_number = 0;         ///< manifest lines seen, across frames
+  std::uint64_t next_job_id = 0; ///< wire ids count job lines from 1
+
+  /// Write one frame under the write lock. Returns false (and marks the
+  /// session dead) when the peer is gone.
+  bool write(FrameType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (dead) return false;
+    if (!write_frame(*connection, type, payload)) {
+      dead = true;
+      return false;
+    }
+    if (type == FrameType::kResult || type == FrameType::kBackpressure) {
+      ++delivered;
+    }
+    return true;
+  }
+};
+
+Solverd::Solverd(Listener& listener, SolverdOptions options)
+    : listener_(listener),
+      options_(std::move(options)),
+      scheduler_(options_.scheduler) {}
+
+Solverd::~Solverd() { stop(); }
+
+SolverdStats Solverd::stats() const {
+  SolverdStats out;
+  out.connections = connections_.load();
+  out.jobs = jobs_.load();
+  out.results = results_.load();
+  out.backpressure = backpressure_.load();
+  out.parse_errors = parse_errors_.load();
+  out.protocol_errors = protocol_errors_.load();
+  out.write_failures = write_failures_.load();
+  return out;
+}
+
+void Solverd::serve() {
+  stopping_.store(false);
+  scheduler_.open(options_.lanes);
+  int accepted = 0;
+  while (!stopping_.load()) {
+    std::unique_ptr<Connection> connection = listener_.accept();
+    if (connection == nullptr) break;  // listener shut down
+    if (stopping_.load()) {
+      connection->close();
+      break;
+    }
+    auto session = std::make_shared<Session>();
+    session->conn_id = ++connections_;
+    session->source = str("conn", session->conn_id);
+    session->connection = std::move(connection);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(session);
+      session_threads_.emplace_back(
+          [this, session] { session_loop(session); });
+    }
+    ++accepted;
+    if (options_.max_connections > 0 &&
+        accepted >= options_.max_connections) {
+      break;
+    }
+  }
+  listener_.shutdown();  // idempotent; refuses connects while we drain
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+    sessions_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Results were already streamed per session; close() returns the same
+  // payloads again for the batch interface, which the daemon discards.
+  scheduler_.close();
+}
+
+void Solverd::stop() {
+  stopping_.store(true);
+  listener_.shutdown();
+  // Half-close the live sessions: their pending reads return EOF, which
+  // each session treats exactly like kGoodbye -- drain, kDone, close.
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const std::weak_ptr<Session>& weak : sessions_) {
+      if (std::shared_ptr<Session> session = weak.lock()) {
+        live.push_back(std::move(session));
+      }
+    }
+  }
+  for (const std::shared_ptr<Session>& session : live) {
+    session->connection->shutdown_read();
+  }
+}
+
+void Solverd::session_loop(const std::shared_ptr<Session>& session) {
+  const FrameLimits limits{options_.max_frame_bytes};
+  while (true) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(*session->connection, limits);
+    } catch (const ProtocolError& e) {
+      // The byte stream cannot be resynchronized: report, then fall
+      // through to the drain so already-submitted jobs still deliver.
+      ++protocol_errors_;
+      session->write(FrameType::kError,
+                          str("scope=connection error=",
+                              util::escape_line(e.what())));
+      break;
+    }
+    if (!frame.has_value()) break;  // clean EOF (or stop()'s half-close)
+    if (frame->type == FrameType::kGoodbye) break;
+    if (frame->type == FrameType::kSubmit) {
+      handle_submit(session, frame->payload);
+      continue;
+    }
+    // A syntactically valid frame the client has no business sending
+    // (kResult and friends flow server -> client only).
+    ++protocol_errors_;
+    session->write(
+        FrameType::kError,
+        str("scope=connection error=",
+            util::escape_line(str("unexpected frame type '",
+                                  static_cast<char>(frame->type),
+                                  "' from client"))));
+    break;
+  }
+
+  // Drain: every submitted job delivers (or fails to, against a dead
+  // peer) before the session answers kDone and closes. The scheduler owns
+  // the jobs, so this never blocks it -- only this session thread waits.
+  {
+    std::unique_lock<std::mutex> lock(session->pending_mutex);
+    session->pending_cv.wait(lock,
+                             [&] { return session->outstanding == 0; });
+  }
+  std::uint64_t delivered = 0;
+  {
+    std::lock_guard<std::mutex> lock(session->write_mutex);
+    delivered = session->delivered;
+  }
+  session->write(FrameType::kDone,
+                      str("results=", delivered));
+  {
+    std::lock_guard<std::mutex> lock(session->write_mutex);
+    session->dead = true;  // late callbacks count write failures, not I/O
+    session->connection->close();
+  }
+}
+
+void Solverd::handle_submit(const std::shared_ptr<Session>& session,
+                            const std::string& payload) {
+  std::istringstream lines(payload);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++session->line_number;
+    if (!options_.apply_set_lines) {
+      std::istringstream probe(line);
+      std::string first;
+      if (probe >> first && first == "set") {
+        ++parse_errors_;
+        session->write(
+            FrameType::kError,
+            str("scope=frame error=",
+                util::escape_line(str(session->source, ":",
+                                      session->line_number,
+                                      ": set lines are disabled on this "
+                                      "daemon (--allow-set=0)"))));
+        continue;
+      }
+    }
+    JobSpec job;
+    ManifestLineKind kind = ManifestLineKind::kBlank;
+    try {
+      kind = parse_manifest_line(line, session->source,
+                                 session->line_number, &job);
+    } catch (const InvalidArgument& e) {
+      // One bad line answers one kError frame; the rest of the payload
+      // still submits. Nothing here touches the lanes.
+      ++parse_errors_;
+      session->write(FrameType::kError,
+                          str("scope=frame error=",
+                              util::escape_line(e.what())));
+      continue;
+    }
+    if (kind != ManifestLineKind::kJob) continue;
+
+    const std::uint64_t id = ++session->next_job_id;
+    std::shared_ptr<Session> strong = session;
+    job.on_complete = [this, strong, id](const JobResult& result) {
+      deliver(strong, id, result);
+    };
+    {
+      std::lock_guard<std::mutex> lock(session->pending_mutex);
+      ++session->outstanding;
+    }
+    ++jobs_;
+    try {
+      scheduler_.submit(std::move(job));
+    } catch (const std::exception& e) {
+      // submit() itself refused (scheduler not open -- a stop() race).
+      // The callback never fires, so undo the outstanding count here.
+      {
+        std::lock_guard<std::mutex> lock(session->pending_mutex);
+        --session->outstanding;
+        session->pending_cv.notify_all();
+      }
+      session->write(FrameType::kError,
+                          str("scope=frame error=",
+                              util::escape_line(e.what())));
+    }
+  }
+}
+
+void Solverd::deliver(const std::shared_ptr<Session>& session,
+                      std::uint64_t id, const JobResult& result) {
+  // Runs on whichever thread finished the job (a lane, usually). Nothing
+  // here may throw out: an escaped exception would be recorded as
+  // callback_error, but worse, skipping the outstanding decrement would
+  // wedge the session's drain forever.
+  const FrameType type =
+      result.shed ? FrameType::kBackpressure : FrameType::kResult;
+  bool written = false;
+  try {
+    written = session->write(type, encode_result_line(id, result));
+  } catch (...) {
+    written = false;
+  }
+  if (written) {
+    if (type == FrameType::kBackpressure) {
+      ++backpressure_;
+    } else {
+      ++results_;
+    }
+  } else {
+    ++write_failures_;
+  }
+  std::lock_guard<std::mutex> lock(session->pending_mutex);
+  --session->outstanding;
+  session->pending_cv.notify_all();
+}
+
+// ----------------------------------------------------------------- client --
+
+SolverdClient::SolverdClient(std::unique_ptr<Connection> connection,
+                             FrameLimits limits)
+    : connection_(std::move(connection)), limits_(limits) {
+  PSDP_CHECK(connection_ != nullptr, "solverd: client needs a connection");
+}
+
+bool SolverdClient::submit(std::string_view manifest_lines) {
+  return write_frame(*connection_, FrameType::kSubmit, manifest_lines);
+}
+
+bool SolverdClient::goodbye() {
+  return write_frame(*connection_, FrameType::kGoodbye, {});
+}
+
+std::optional<Frame> SolverdClient::read() {
+  return read_frame(*connection_, limits_);
+}
+
+SolverdClient::Drain SolverdClient::drain() {
+  goodbye();
+  Drain out;
+  while (std::optional<Frame> frame = read()) {
+    switch (frame->type) {
+      case FrameType::kResult:
+        out.results.push_back(decode_result_line(frame->payload));
+        break;
+      case FrameType::kBackpressure:
+        out.backpressure.push_back(decode_result_line(frame->payload));
+        break;
+      case FrameType::kError:
+        out.errors.push_back(frame->payload);
+        break;
+      case FrameType::kDone:
+        out.done = true;
+        return out;
+      default:
+        break;  // client-direction frames echoed back: ignore
+    }
+  }
+  return out;
+}
+
+}  // namespace psdp::serve

@@ -1,0 +1,452 @@
+#include "serve/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace psdp::serve {
+
+namespace {
+
+constexpr char kMagic0 = 'P';
+constexpr char kMagic1 = 's';
+
+bool known_frame_type(char c) {
+  switch (static_cast<FrameType>(c)) {
+    case FrameType::kSubmit:
+    case FrameType::kGoodbye:
+    case FrameType::kResult:
+    case FrameType::kBackpressure:
+    case FrameType::kError:
+    case FrameType::kDone:
+      return true;
+  }
+  return false;
+}
+
+/// Read exactly `size` bytes. Returns the byte count actually read (< size
+/// only at end of stream).
+std::size_t read_exact(Connection& connection, char* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = connection.read_some(out + got, size - got);
+    if (n == 0) break;
+    got += n;
+  }
+  return got;
+}
+
+}  // namespace
+
+std::optional<Frame> read_frame(Connection& connection,
+                                const FrameLimits& limits) {
+  char header[kFrameHeaderBytes];
+  const std::size_t got = read_exact(connection, header, sizeof(header));
+  if (got == 0) return std::nullopt;  // clean EOF at a frame boundary
+  if (got < sizeof(header)) {
+    throw ProtocolError(str("torn frame: end of stream after ", got,
+                            " of ", sizeof(header), " header bytes"));
+  }
+  if (header[0] != kMagic0 || header[1] != kMagic1) {
+    throw ProtocolError("bad frame magic (expected \"Ps\")");
+  }
+  if (!known_frame_type(header[2])) {
+    throw ProtocolError(str("unknown frame type '", header[2], "'"));
+  }
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i) {
+    length = (length << 8) |
+             static_cast<std::uint32_t>(static_cast<unsigned char>(
+                 header[4 + i]));
+  }
+  if (length > limits.max_payload) {
+    throw ProtocolError(str("frame payload of ", length,
+                            " bytes exceeds the ", limits.max_payload,
+                            "-byte limit"));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[2]);
+  frame.payload.resize(length);
+  if (length > 0) {
+    const std::size_t body = read_exact(connection, frame.payload.data(),
+                                        length);
+    if (body < length) {
+      throw ProtocolError(str("torn frame: end of stream after ", body,
+                              " of ", length, " payload bytes"));
+    }
+  }
+  return frame;
+}
+
+bool write_frame(Connection& connection, FrameType type,
+                 std::string_view payload) {
+  PSDP_CHECK(payload.size() <= 0xffffffffu,
+             str("frame payload of ", payload.size(),
+                 " bytes exceeds the u32 length field"));
+  std::string buffer;
+  buffer.reserve(kFrameHeaderBytes + payload.size());
+  buffer.push_back(kMagic0);
+  buffer.push_back(kMagic1);
+  buffer.push_back(static_cast<char>(type));
+  buffer.push_back('\0');
+  std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>(length & 0xff));
+    length >>= 8;
+  }
+  buffer.append(payload);
+  // One write for header + payload: a frame is never torn by the sender.
+  return connection.write_all(buffer.data(), buffer.size());
+}
+
+// --------------------------------------------------------------- loopback --
+
+namespace {
+
+/// One direction of a loopback connection: an unbounded byte queue.
+/// write() never blocks (so a stalled reader cannot wedge a scheduler
+/// lane); read_some() blocks until bytes arrive or the stream ends.
+class LoopbackPipe {
+ public:
+  bool write(const char* data, std::size_t size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (read_closed_ || write_closed_) return false;
+    buffer_.append(data, size);
+    cv_.notify_all();
+    return true;
+  }
+
+  std::size_t read_some(char* out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return head_ < buffer_.size() || write_closed_ || read_closed_;
+    });
+    if (read_closed_ || head_ >= buffer_.size()) return 0;
+    const std::size_t n = std::min(max, buffer_.size() - head_);
+    std::memcpy(out, buffer_.data() + head_, n);
+    head_ += n;
+    if (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
+    }
+    return n;
+  }
+
+  void close_write() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    write_closed_ = true;
+    cv_.notify_all();
+  }
+
+  void close_read() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    read_closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string buffer_;
+  std::size_t head_ = 0;
+  bool write_closed_ = false;  ///< writer gone: drained reads return EOF
+  bool read_closed_ = false;   ///< reader gone: writes fail, reads EOF now
+};
+
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackPipe> in,
+                     std::shared_ptr<LoopbackPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  std::size_t read_some(char* out, std::size_t max) override {
+    return in_->read_some(out, max);
+  }
+
+  bool write_all(const char* data, std::size_t size) override {
+    return out_->write(data, size);
+  }
+
+  void shutdown_read() override { in_->close_read(); }
+
+  void close() override {
+    in_->close_read();
+    out_->close_write();
+  }
+
+ private:
+  std::shared_ptr<LoopbackPipe> in_;
+  std::shared_ptr<LoopbackPipe> out_;
+};
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_loopback_pair() {
+  auto a_to_b = std::make_shared<LoopbackPipe>();
+  auto b_to_a = std::make_shared<LoopbackPipe>();
+  return {std::make_unique<LoopbackConnection>(b_to_a, a_to_b),
+          std::make_unique<LoopbackConnection>(a_to_b, b_to_a)};
+}
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+loopback_pair() {
+  return make_loopback_pair();
+}
+
+struct LoopbackListener::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool shutdown = false;
+};
+
+LoopbackListener::LoopbackListener() : state_(std::make_shared<State>()) {}
+
+LoopbackListener::~LoopbackListener() { shutdown(); }
+
+std::unique_ptr<Connection> LoopbackListener::connect() {
+  auto [client, server] = make_loopback_pair();
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    PSDP_CHECK(!state_->shutdown, "loopback listener is shut down");
+    state_->pending.push_back(std::move(server));
+    state_->cv.notify_all();
+  }
+  return std::move(client);
+}
+
+std::unique_ptr<Connection> LoopbackListener::accept() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] {
+    return !state_->pending.empty() || state_->shutdown;
+  });
+  if (state_->pending.empty()) return nullptr;  // shut down
+  std::unique_ptr<Connection> connection = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return connection;
+}
+
+void LoopbackListener::shutdown() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->shutdown = true;
+  // Connections queued but never accepted see a closed peer.
+  for (auto& pending : state_->pending) pending->close();
+  state_->pending.clear();
+  state_->cv.notify_all();
+}
+
+// ---------------------------------------------------------------- sockets --
+
+namespace {
+
+struct ParsedEndpoint {
+  bool tcp = false;
+  std::string path;  ///< unix-socket path
+  std::string host;  ///< tcp host ("" = any/loopback)
+  std::uint16_t port = 0;
+};
+
+ParsedEndpoint parse_endpoint(const std::string& endpoint) {
+  ParsedEndpoint parsed;
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    parsed.tcp = true;
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    PSDP_CHECK(colon != std::string::npos,
+               str("tcp endpoint '", endpoint, "' needs host:port"));
+    parsed.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    PSDP_CHECK(!port_text.empty() &&
+                   port_text.find_first_not_of("0123456789") ==
+                       std::string::npos,
+               str("bad tcp port '", port_text, "' in '", endpoint, "'"));
+    const unsigned long port = std::stoul(port_text);
+    PSDP_CHECK(port <= 65535, str("tcp port ", port, " out of range"));
+    parsed.port = static_cast<std::uint16_t>(port);
+    return parsed;
+  }
+  parsed.path =
+      endpoint.rfind("unix:", 0) == 0 ? endpoint.substr(5) : endpoint;
+  PSDP_CHECK(!parsed.path.empty(), "empty unix-socket path");
+  PSDP_CHECK(parsed.path.size() < sizeof(sockaddr_un{}.sun_path),
+             str("unix-socket path '", parsed.path, "' is too long"));
+  return parsed;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, path.c_str(),
+               sizeof(address.sun_path) - 1);
+  return address;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port,
+                        bool for_bind) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    address.sin_addr.s_addr =
+        for_bind ? htonl(INADDR_ANY) : htonl(INADDR_LOOPBACK);
+  } else {
+    PSDP_CHECK(::inet_pton(AF_INET, host.c_str(), &address.sin_addr) == 1,
+               str("cannot parse IPv4 address '", host, "'"));
+  }
+  return address;
+}
+
+/// A connected socket. close() half-closes via ::shutdown so a concurrent
+/// reader unblocks; the fd itself is released only in the destructor (no
+/// fd-reuse races between a closing thread and a blocked reader).
+class SocketConnection final : public Connection {
+ public:
+  explicit SocketConnection(int fd) : fd_(fd) {}
+
+  ~SocketConnection() override {
+    close();
+    ::close(fd_);
+  }
+
+  std::size_t read_some(char* out, std::size_t max) override {
+    while (true) {
+      const ssize_t n = ::recv(fd_, out, max, 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      return 0;  // connection reset etc.: end of stream for the caller
+    }
+  }
+
+  bool write_all(const char* data, std::size_t size) override {
+    std::size_t sent = 0;
+    while (sent < size) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE, never SIGPIPE -- a client
+      // that disconnected mid-stream must not kill the daemon.
+      const ssize_t n =
+          ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void shutdown_read() override { ::shutdown(fd_, SHUT_RD); }
+
+  void close() override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+SocketListener::SocketListener(const std::string& endpoint)
+    : endpoint_(endpoint) {
+  const ParsedEndpoint parsed = parse_endpoint(endpoint);
+  fd_ = ::socket(parsed.tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  PSDP_CHECK(fd_ >= 0, str("cannot create socket for '", endpoint, "': ",
+                           std::strerror(errno)));
+  int bound = -1;
+  if (parsed.tcp) {
+    const int reuse = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    const sockaddr_in address = tcp_address(parsed.host, parsed.port, true);
+    bound = ::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address));
+  } else {
+    ::unlink(parsed.path.c_str());  // a stale socket file blocks bind
+    const sockaddr_un address = unix_address(parsed.path);
+    bound = ::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+                   sizeof(address));
+    if (bound == 0) unlink_path_ = parsed.path;
+  }
+  if (bound != 0 || ::listen(fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw InvalidArgument(str("cannot listen on '", endpoint, "': ", why));
+  }
+  int pipe_fds[2];
+  PSDP_CHECK(::pipe(pipe_fds) == 0,
+             str("cannot create wake pipe: ", std::strerror(errno)));
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+}
+
+SocketListener::~SocketListener() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+}
+
+std::unique_ptr<Connection> SocketListener::accept() {
+  while (true) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if (fds[1].revents != 0) return nullptr;  // shutdown() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return nullptr;
+    }
+    return std::make_unique<SocketConnection>(client);
+  }
+}
+
+void SocketListener::shutdown() {
+  if (wake_write_ >= 0) {
+    const char byte = 'x';
+    // A full pipe is fine: one pending byte already wakes the poll.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+std::unique_ptr<Connection> socket_connect(const std::string& endpoint) {
+  const ParsedEndpoint parsed = parse_endpoint(endpoint);
+  const int fd = ::socket(parsed.tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  PSDP_CHECK(fd >= 0, str("cannot create socket for '", endpoint, "': ",
+                          std::strerror(errno)));
+  int connected = -1;
+  if (parsed.tcp) {
+    const sockaddr_in address = tcp_address(parsed.host, parsed.port, false);
+    connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                          sizeof(address));
+  } else {
+    const sockaddr_un address = unix_address(parsed.path);
+    connected = ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                          sizeof(address));
+  }
+  if (connected != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw InvalidArgument(str("cannot connect to '", endpoint, "': ", why));
+  }
+  return std::make_unique<SocketConnection>(fd);
+}
+
+}  // namespace psdp::serve

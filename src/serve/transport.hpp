@@ -1,0 +1,194 @@
+// The solverd transport seam: a byte-stream Connection/Listener interface,
+// the frame codec on top of it, and two implementations --
+//
+//   * LoopbackListener: an in-process transport over mutex/cv byte pipes.
+//     It runs the daemon's full framing/dispatch/streaming path with no OS
+//     sockets, so integration and fault-injection tests are deterministic
+//     and CI-safe (tests/test_solverd.cpp drives every protocol behavior
+//     through it, including torn frames and mid-stream disconnects).
+//   * SocketListener / socket_connect: real POSIX sockets for production
+//     use -- a Unix-domain socket ("unix:/path/to.sock", the default for a
+//     bare path) or TCP ("tcp:host:port").
+//
+// The daemon (serve/solverd.hpp) is written entirely against Connection and
+// Listener; which transport backs a deployment is the caller's choice, and
+// nothing above this seam can tell the difference. That is the point: every
+// network behavior -- framing, streaming, backpressure, drain, disconnects
+// -- is testable without a network.
+//
+// Wire framing (docs/SOLVERD.md has the full protocol):
+//
+//   frame := header(8 bytes) payload(header.length bytes)
+//   header: bytes 0-1  magic "Ps"
+//           byte  2    frame type (FrameType, an ASCII letter)
+//           byte  3    reserved, 0
+//           bytes 4-7  payload length, unsigned 32-bit little-endian
+//
+// read_frame() distinguishes a clean end of stream (EOF exactly at a frame
+// boundary: returns nullopt) from a torn frame (EOF mid-header or
+// mid-payload), a bad magic, an unknown type, and an oversized payload --
+// all of which throw ProtocolError and poison the stream (there is no way
+// to resynchronize a byte stream after a framing error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace psdp::serve {
+
+/// A framing-level failure: torn frame, bad magic, unknown frame type, or a
+/// payload over the negotiated limit. Fatal to the connection that raised
+/// it (the stream cannot be resynchronized), never to the daemon.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// One bidirectional byte stream. Implementations must support concurrent
+/// use by one reader thread and one writer thread (the daemon reads frames
+/// on the session thread while scheduler lanes write results).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Read up to `max` bytes into `out`; blocks until at least one byte is
+  /// available. Returns the byte count, or 0 at end of stream (peer closed
+  /// or shutdown_read() was called on this endpoint).
+  virtual std::size_t read_some(char* out, std::size_t max) = 0;
+
+  /// Write all of `data`. Returns false when the peer is gone (the write
+  /// is dropped); never throws and never raises SIGPIPE -- a dead client
+  /// must not take a scheduler lane down with it.
+  virtual bool write_all(const char* data, std::size_t size) = 0;
+
+  /// Stop reading: pending and future read_some() calls on THIS endpoint
+  /// return 0. Writes (result flushing) stay open -- this is the daemon's
+  /// graceful-drain half-close.
+  virtual void shutdown_read() = 0;
+
+  /// Full close: both directions. The peer sees end of stream; its writes
+  /// start failing.
+  virtual void close() = 0;
+};
+
+/// Accepts connections for a daemon. accept() blocks; shutdown() unblocks
+/// it (returning nullptr) and refuses further connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// The next inbound connection, or nullptr once shutdown() was called.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Unblock accept() and refuse further connections. Idempotent and
+  /// callable from any thread (this is how Solverd::stop() interrupts the
+  /// accept loop).
+  virtual void shutdown() = 0;
+
+  /// Human-readable endpoint name for logs and error sources.
+  virtual std::string name() const = 0;
+};
+
+// ---------------------------------------------------------------- framing --
+
+enum class FrameType : char {
+  // client -> server
+  kSubmit = 'S',    ///< payload: manifest job / `set` lines, '\n'-separated
+  kGoodbye = 'Q',   ///< no payload: done submitting, drain and finish
+  // server -> client
+  kResult = 'R',        ///< payload: one result line (serve/solverd.hpp codec)
+  kBackpressure = 'B',  ///< payload: a shed/rejected job (admission control)
+  kError = 'E',         ///< payload: "scope=<frame|connection> error=<text>"
+  kDone = 'D',          ///< payload: "results=<n>": drain complete, closing
+};
+
+struct Frame {
+  FrameType type = FrameType::kSubmit;
+  std::string payload;
+};
+
+struct FrameLimits {
+  /// Largest accepted payload. Oversized inbound frames raise ProtocolError
+  /// before any payload byte is read, so a hostile length cannot force an
+  /// allocation.
+  std::size_t max_payload = 1u << 20;
+};
+
+/// Size of the fixed frame header.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Read exactly one frame. Returns nullopt on a clean end of stream (EOF
+/// before the first header byte); throws ProtocolError on a torn frame,
+/// bad magic, unknown frame type, or a payload over `limits.max_payload`.
+std::optional<Frame> read_frame(Connection& connection,
+                                const FrameLimits& limits = {});
+
+/// Write one frame. Returns false when the peer is gone (like write_all).
+/// Throws InvalidArgument if the payload exceeds the u32 length field.
+bool write_frame(Connection& connection, FrameType type,
+                 std::string_view payload);
+
+// --------------------------------------------------------------- loopback --
+
+/// In-process transport: connect() hands the client endpoint back and
+/// queues the server endpoint for accept(). Byte streams are mutex/cv
+/// pipes; partial writes, half-closes and disconnects behave exactly like
+/// their socket counterparts, minus the OS.
+class LoopbackListener final : public Listener {
+ public:
+  LoopbackListener();
+  ~LoopbackListener() override;
+
+  /// Create a connected pair; returns the client endpoint (the server
+  /// endpoint becomes the next accept() result). Throws InvalidArgument
+  /// after shutdown().
+  std::unique_ptr<Connection> connect();
+
+  std::unique_ptr<Connection> accept() override;
+  void shutdown() override;
+  std::string name() const override { return "loopback"; }
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// A connected loopback pair without a listener -- the unit-test harness
+/// for the frame codec itself.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+loopback_pair();
+
+// ---------------------------------------------------------------- sockets --
+
+/// POSIX socket listener. Endpoint syntax:
+///   "unix:/path/to.sock"  Unix-domain socket (the path is unlinked first);
+///   "tcp:host:port"       IPv4 TCP ("tcp::port" binds INADDR_ANY);
+///   anything else         treated as a bare Unix-socket path.
+class SocketListener final : public Listener {
+ public:
+  explicit SocketListener(const std::string& endpoint);
+  ~SocketListener() override;
+
+  std::unique_ptr<Connection> accept() override;
+  void shutdown() override;
+  std::string name() const override { return endpoint_; }
+
+ private:
+  std::string endpoint_;
+  std::string unlink_path_;  ///< bound unix-socket path, removed on destroy
+  int fd_ = -1;
+  int wake_read_ = -1;   ///< self-pipe: shutdown() wakes the accept poll
+  int wake_write_ = -1;
+};
+
+/// Connect to a SocketListener endpoint (same syntax). Throws
+/// InvalidArgument when the endpoint is malformed or unreachable.
+std::unique_ptr<Connection> socket_connect(const std::string& endpoint);
+
+}  // namespace psdp::serve

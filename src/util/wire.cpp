@@ -1,0 +1,84 @@
+#include "util/wire.hpp"
+
+#include <cstring>
+
+namespace psdp::util {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[bits & 0xf];
+    bits >>= 4;
+  }
+  return out;
+}
+
+double from_hex_bits(const std::string& text, const std::string& what) {
+  PSDP_CHECK(text.size() == 16,
+             str(what, ": expected 16 hex digits, got '", text, "'"));
+  std::uint64_t bits = 0;
+  for (const char c : text) {
+    const int v = hex_value(c);
+    PSDP_CHECK(v >= 0, str(what, ": invalid hex digit '", c, "' in '", text,
+                           "'"));
+    bits = (bits << 4) | static_cast<std::uint64_t>(v);
+  }
+  double out = 0;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+std::string escape_line(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case ' ': out += "\\s"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_line(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 's': out += ' '; break;
+      default:
+        out += '\\';
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace psdp::util

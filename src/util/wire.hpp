@@ -1,0 +1,37 @@
+// Wire-format scalar codecs shared by the solverd protocol (serve/solverd)
+// and its clients (bench_load --endpoint, the tests).
+//
+// The daemon streams solver results as text lines, but the serve layer's
+// acceptance gates compare payloads *bitwise* (serve::payload_bitwise_equal):
+// a decimal rendering that loses one ulp would fail the identity gate. So
+// every Real crossing the wire travels as the 16-hex-digit IEEE-754 bit
+// pattern of the double -- exact by construction, locale-independent, and
+// fixed-width. Free-text fields (error messages) are escaped onto a single
+// line so the line-oriented result format survives arbitrary what() text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace psdp::util {
+
+/// The 16 lowercase hex digits of the IEEE-754 bit pattern of `v`
+/// (big-endian nibble order: hex_bits(0.0) == "0000000000000000").
+std::string hex_bits(double v);
+
+/// Inverse of hex_bits. Throws InvalidArgument unless `text` is exactly 16
+/// hex digits; `what` names the field in the error.
+double from_hex_bits(const std::string& text, const std::string& what);
+
+/// Escape `text` into one whitespace-free token: backslash, newline,
+/// carriage return, and space become "\\", "\n", "\r", "\s". Result lines
+/// are space-separated key=value tokens, so every free-text value (labels,
+/// error messages) must come out token-safe.
+std::string escape_line(const std::string& text);
+
+/// Inverse of escape_line. Unknown escapes pass through verbatim.
+std::string unescape_line(const std::string& text);
+
+}  // namespace psdp::util

@@ -1,0 +1,51 @@
+# Locks solver_cli --batch exit statuses as part of the CLI contract:
+#   0  every job solved
+#   1  the batch ran but at least one job failed (partial failure)
+#   2  the manifest itself could not be parsed (nothing ran)
+# Scripted callers (CI gates, cron reruns) branch on these; a change is a
+# breaking interface change and must update docs/SOLVERD.md too.
+#
+# Run via:  cmake -DCLI=<solver_cli> -DWORK_DIR=<scratch> -P batch_exit_status.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DCLI=<solver_cli> -DWORK_DIR=<dir> -P batch_exit_status.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${CLI}" "--write-example=${WORK_DIR}/lp.psdp" --kind=packing-lp
+  RESULT_VARIABLE write_rc OUTPUT_QUIET)
+if(NOT write_rc EQUAL 0)
+  message(FATAL_ERROR "--write-example failed with ${write_rc}")
+endif()
+
+function(expect_batch_exit manifest_text expected what)
+  string(SHA1 tag "${manifest_text}")
+  set(manifest "${WORK_DIR}/jobs_${tag}.txt")
+  file(WRITE "${manifest}" "${manifest_text}")
+  execute_process(
+    COMMAND "${CLI}" "--batch=${manifest}" --threads=2
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL expected)
+    message(FATAL_ERROR
+            "${what}: expected exit ${expected}, got ${rc}\n${out}\n${err}")
+  endif()
+  message(STATUS "${what}: exit ${rc} (expected ${expected})")
+endfunction()
+
+expect_batch_exit(
+  "packing-lp ${WORK_DIR}/lp.psdp eps=0.2\npacking-lp ${WORK_DIR}/lp.psdp eps=0.1\n"
+  0 "all jobs succeed")
+
+# A missing instance file fails that one job at solve time; the rest of the
+# batch still runs, and the partial failure is the exit status.
+expect_batch_exit(
+  "packing-lp ${WORK_DIR}/lp.psdp eps=0.2\npacking-lp ${WORK_DIR}/absent.psdp eps=0.2\n"
+  1 "one job fails")
+
+# A malformed manifest never starts the batch.
+expect_batch_exit(
+  "warp-drive ${WORK_DIR}/lp.psdp\n"
+  2 "manifest parse error")

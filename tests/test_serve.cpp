@@ -437,6 +437,49 @@ TEST(BatchScheduler, ThrowingCallbackIsRecordedWithoutFailingTheJob) {
   EXPECT_TRUE(results[1].callback_error.empty());
 }
 
+TEST(BatchScheduler, ThrowingCallbackCannotKillAStreamingLane) {
+  // The daemon's whole delivery path is an on_complete callback running on
+  // a lane thread. A throw there -- std::exception or not -- must be
+  // contained to callback_error with the lane alive for the next job.
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  BatchScheduler scheduler;
+  scheduler.open(1);
+  std::atomic<int> fired{0};
+  const auto lp_spec = [&](const std::string& key,
+                           std::function<void()> boom) {
+    JobSpec spec;
+    spec.instance = key;
+    spec.kind = JobKind::kPackingLp;
+    spec.builder = [](const sparse::TransposePlanOptions&) {
+      return tiny_lp_instance();
+    };
+    spec.on_complete = [&fired, boom = std::move(boom)](const JobResult&) {
+      fired.fetch_add(1);
+      boom();
+    };
+    return spec;
+  };
+  scheduler.submit(lp_spec("throws-exception", [] {
+    throw std::runtime_error("streaming boom");
+  }));
+  scheduler.submit(lp_spec("throws-int", [] { throw 42; }));  // not a
+                                                              // std::exception
+  scheduler.submit(lp_spec("quiet", [] {}));
+
+  const std::vector<JobResult> results = scheduler.close();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(fired.load(), 3);
+  for (const JobResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  EXPECT_NE(results[0].callback_error.find("streaming boom"),
+            std::string::npos);
+  EXPECT_FALSE(results[1].callback_error.empty());
+  EXPECT_TRUE(results[2].callback_error.empty());
+  EXPECT_EQ(scheduler.stats().completed, 3u);
+}
+
 TEST(BatchScheduler, QueueAndRunSecondsAreSplitAndDeadlinesEchoed) {
   ThreadGuard guard;
   par::set_num_threads(2);
@@ -722,6 +765,45 @@ TEST(Manifest, ParsesPriorityAndDeadlineRoundTrip) {
   EXPECT_EQ(*jobs[1].deadline_ms, 0);
   EXPECT_EQ(jobs[2].priority, 0);
   EXPECT_FALSE(jobs[2].deadline_ms.has_value());
+}
+
+TEST(Manifest, SketchRowsOverrideParsesPerJob) {
+  std::stringstream manifest(
+      "packing-factorized a.psdp sketch-rows=8\n"
+      "packing-factorized b.psdp sketch-rows=0\n"
+      "packing-factorized c.psdp\n");
+  const SolveBatch batch = read_manifest(manifest, "test");
+  ASSERT_EQ(batch.size(), 3u);
+  const std::vector<JobSpec>& jobs = batch.jobs();
+  EXPECT_EQ(jobs[0].options.decision.dot_options.sketch_rows_override, 8);
+  // sketch-rows=0 and an absent key both mean the eps-derived default,
+  // and the override never leaks between lines.
+  EXPECT_EQ(jobs[1].options.decision.dot_options.sketch_rows_override, 0);
+  EXPECT_EQ(jobs[2].options.decision.dot_options.sketch_rows_override, 0);
+}
+
+TEST(Manifest, SketchRowsErrorsNameLineAndToken) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    std::stringstream in(text);
+    try {
+      read_manifest(in, "m");
+    } catch (const InvalidArgument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  {
+    const std::string what =
+        message_of("packing-lp a.psdp\npacking-lp b.psdp sketch-rows=lots\n");
+    EXPECT_NE(what.find("m:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("lots"), std::string::npos) << what;
+  }
+  {
+    const std::string what =
+        message_of("packing-lp a.psdp sketch-rows=-4\n");
+    EXPECT_NE(what.find("m:1"), std::string::npos) << what;
+    EXPECT_NE(what.find(">= 0"), std::string::npos) << what;
+  }
 }
 
 TEST(Manifest, HashInsideValueIsDataNotComment) {
