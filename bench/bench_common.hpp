@@ -5,7 +5,9 @@
 // the measured shape with the claim (EXPERIMENTS.md records these).
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,56 @@ inline util::LinearFit report_exponent(const std::string& what,
   std::cout << what << ": fitted exponent " << fit.slope
             << " (R^2 = " << fit.r_squared << ")\n";
   return fit;
+}
+
+/// Splice `section` into the JSON file at `path` as its `name` member,
+/// replacing a previous one and preserving everything else (so e.g. the
+/// "latency" and "daemon" sections coexist in BENCH_serve.json, and the
+/// "sharding" section survives a bench_kernels rewrite-in-between only if
+/// bench_shard runs after it). Falls back to a fresh standalone object
+/// tagged `{"bench": root_label}` when the file is absent or unreadable.
+inline void splice_json_section(const std::string& path,
+                                const std::string& root_label,
+                                const std::string& name,
+                                const std::string& section) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in.is_open()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  const std::size_t close = text.rfind('}');
+  if (close == std::string::npos) {
+    text = str("{\n  \"bench\": \"", root_label, "\",\n  \"", name,
+               "\": ", section, "\n}\n");
+  } else {
+    const std::size_t key = text.find(str("\"", name, "\""));
+    if (key != std::string::npos) {
+      // Erase from the comma before the key through the member's matching
+      // closing brace.
+      std::size_t begin = text.rfind(',', key);
+      if (begin == std::string::npos) begin = key;
+      std::size_t i = text.find('{', key);
+      int depth = 0;
+      while (i < text.size()) {
+        if (text[i] == '{') ++depth;
+        if (text[i] == '}' && --depth == 0) break;
+        ++i;
+      }
+      PSDP_CHECK(i < text.size(), str(path, ": unbalanced braces in existing ",
+                                      name, " section"));
+      text.erase(begin, i + 1 - begin);
+    }
+    const std::size_t tail = text.rfind('}');
+    text.insert(tail, str(",\n  \"", name, "\": ", section, "\n"));
+  }
+  std::ofstream out(path);
+  out << text;
+  out.flush();
+  PSDP_CHECK(out.good(), str("cannot write ", path));
 }
 
 }  // namespace psdp::bench

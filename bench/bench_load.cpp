@@ -9,11 +9,14 @@
 //              lane between rounds), and dynamic widening (the last jobs
 //              of a burst take the whole pool).
 //
-// The mix is 80% tiny / 15% medium / 5% elephant factorized-packing jobs;
-// tiny and medium jobs carry relative deadlines calibrated from per-class
-// solo runs, elephants are batch work with no deadline. The arrival rate
-// is self-calibrated to a target utilization from the same solo runs, so
-// the bench exercises comparable queueing pressure on any machine.
+// The mix is 60% tiny / 15% medium / 5% elephant factorized-packing jobs
+// plus 10% dense-packing and 10% covering jobs (so the SPSA profile pass
+// below records tuned entries for every serve job kind, not only
+// factorized); tiny and medium jobs carry relative deadlines calibrated
+// from per-class solo runs, the rest are batch work with no deadline. The
+// arrival rate is self-calibrated to a target
+// utilization from the same solo runs, so the bench exercises comparable
+// queueing pressure on any machine.
 //
 // Reported per run and per class: p50/p99 queue, run and total latency,
 // jobs/s over the makespan, deadline-hit rate, and the scheduler's
@@ -42,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/beamforming.hpp"
 #include "apps/generators.hpp"
 #include "bench_common.hpp"
 #include "io/instance_io.hpp"
@@ -58,10 +62,15 @@ using namespace psdp;
 
 /// One reusable job configuration: a cache key, a deterministic builder,
 /// and solver options. Arrivals instantiate these round-robin per class.
+/// `kind` selects which generator member is live (the others stay at their
+/// defaults, unused).
 struct JobTemplate {
   std::string instance;
   std::string label;
-  apps::FactorizedOptions generator;
+  serve::JobKind kind = serve::JobKind::kPackingFactorized;
+  apps::FactorizedOptions generator;        ///< kPackingFactorized
+  apps::EllipseOptions dense_generator;     ///< kPackingDense
+  apps::BeamformingOptions covering_generator;  ///< kCovering
   core::OptimizeOptions options;
 };
 
@@ -106,9 +115,9 @@ std::vector<JobClass> make_classes(bool smoke) {
       cls.templates.push_back(std::move(t));
     }
   };
-  std::vector<JobClass> classes(3);
+  std::vector<JobClass> classes(5);
   classes[0].name = "tiny";
-  classes[0].weight = 0.80;
+  classes[0].weight = 0.60;
   classes[0].deadline = true;
   fill(classes[0], smoke ? 128 : 256, 8, 0.5, 3, 100);
   classes[1].name = "medium";
@@ -119,7 +128,62 @@ std::vector<JobClass> make_classes(bool smoke) {
   classes[2].weight = 0.05;
   classes[2].deadline = false;
   fill(classes[2], smoke ? 512 : 4096, 12, 0.4, 1, 300);
+  // Dense-packing and covering classes: small interactive-sized jobs whose
+  // sole structural purpose is exercising the non-factorized solve paths in
+  // the same stream -- and feeding their shape buckets into --profile-out.
+  classes[3].name = "dense";
+  classes[3].weight = 0.10;
+  classes[3].deadline = false;
+  for (int i = 0; i < 2; ++i) {
+    JobTemplate t;
+    t.instance = str("dense", i);
+    t.label = t.instance;
+    t.kind = serve::JobKind::kPackingDense;
+    // The dense oracle pays an O(m^3) eigensolve every round: keep the
+    // dimension small so this class stays interactive-sized (comparable to
+    // tiny/medium), not a second elephant.
+    t.dense_generator.m = smoke ? 8 : 12;
+    t.dense_generator.n = smoke ? 12 : 24;
+    t.dense_generator.rank = 3;
+    t.dense_generator.seed = 400 + static_cast<std::uint64_t>(i);
+    t.options = load_options(0.6);
+    classes[3].templates.push_back(std::move(t));
+  }
+  classes[4].name = "covering";
+  classes[4].weight = 0.10;
+  classes[4].deadline = false;
+  for (int i = 0; i < 2; ++i) {
+    JobTemplate t;
+    t.instance = str("covering", i);
+    t.label = t.instance;
+    t.kind = serve::JobKind::kCovering;
+    t.covering_generator.users = smoke ? 12 : 24;
+    t.covering_generator.antennas = smoke ? 6 : 10;
+    t.covering_generator.seed = 500 + static_cast<std::uint64_t>(i);
+    t.options = load_options(0.5);
+    classes[4].templates.push_back(std::move(t));
+  }
   return classes;
+}
+
+/// Build one template's prepared instance, the single source of truth for
+/// both the submit-time builder and the profile shape-bucket key.
+/// `plan` routes the cache-owned transpose-plan options into factorized
+/// builds (null = generator defaults; dense/covering builds ignore it).
+serve::PreparedInstance build_template_instance(
+    const JobTemplate& t, const sparse::TransposePlanOptions* plan) {
+  switch (t.kind) {
+    case serve::JobKind::kPackingDense:
+      return serve::prepare_packing(apps::random_ellipses(t.dense_generator));
+    case serve::JobKind::kCovering:
+      return serve::prepare_covering(
+          apps::beamforming_problem(t.covering_generator));
+    default: {
+      apps::FactorizedOptions options = t.generator;
+      options.plan_options = plan;
+      return serve::prepare_factorized(apps::random_factorized(options));
+    }
+  }
 }
 
 serve::JobSpec make_spec(const JobTemplate& t,
@@ -127,7 +191,7 @@ serve::JobSpec make_spec(const JobTemplate& t,
   serve::JobSpec spec;
   spec.instance = t.instance;
   spec.label = t.label;
-  spec.kind = serve::JobKind::kPackingFactorized;
+  spec.kind = t.kind;
   spec.options = t.options;
   // Re-derive the registry-backed solver knobs at submit time: the
   // template's options were constructed before any profile load or SPSA
@@ -136,11 +200,8 @@ serve::JobSpec make_spec(const JobTemplate& t,
   spec.options.dot_block_size = util::tunable_dot_block_size();
   spec.options.decision.dot_options.block_size = util::tunable_block_size();
   spec.deadline_ms = deadline_ms;
-  const apps::FactorizedOptions generator = t.generator;
-  spec.builder = [generator](const sparse::TransposePlanOptions& plan) {
-    apps::FactorizedOptions options = generator;
-    options.plan_options = &plan;
-    return serve::prepare_factorized(apps::random_factorized(options));
+  spec.builder = [t](const sparse::TransposePlanOptions& plan) {
+    return build_template_instance(t, &plan);
   };
   return spec;
 }
@@ -243,50 +304,10 @@ RunReport replay(const std::vector<JobClass>& classes,
   return report;
 }
 
-/// Splice `section` into the JSON file at `path` as its `name` member,
-/// replacing a previous one and preserving everything else (the "latency"
-/// and "daemon" sections coexist in BENCH_serve.json). Falls back to a
-/// fresh standalone object when the file is absent or unreadable.
+/// BENCH_serve.json splice: the "latency" and "daemon" sections coexist.
 void splice_section(const std::string& path, const std::string& name,
                     const std::string& section) {
-  std::string text;
-  {
-    std::ifstream in(path);
-    if (in.is_open()) {
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      text = buffer.str();
-    }
-  }
-  const std::size_t close = text.rfind('}');
-  if (close == std::string::npos) {
-    text = str("{\n  \"bench\": \"serve\",\n  \"", name, "\": ", section,
-               "\n}\n");
-  } else {
-    const std::size_t key = text.find(str("\"", name, "\""));
-    if (key != std::string::npos) {
-      // Erase from the comma before the key through the member's matching
-      // closing brace.
-      std::size_t begin = text.rfind(',', key);
-      if (begin == std::string::npos) begin = key;
-      std::size_t i = text.find('{', key);
-      int depth = 0;
-      while (i < text.size()) {
-        if (text[i] == '{') ++depth;
-        if (text[i] == '}' && --depth == 0) break;
-        ++i;
-      }
-      PSDP_CHECK(i < text.size(), str(path, ": unbalanced braces in existing ",
-                                      name, " section"));
-      text.erase(begin, i + 1 - begin);
-    }
-    const std::size_t tail = text.rfind('}');
-    text.insert(tail, str(",\n  \"", name, "\": ", section, "\n"));
-  }
-  std::ofstream out(path);
-  out << text;
-  out.flush();
-  PSDP_CHECK(out.good(), str("cannot write ", path));
+  bench::splice_json_section(path, "serve", name, section);
 }
 
 // ---------------------------------------------------------- endpoint mode --
@@ -314,7 +335,18 @@ int replay_daemon(const std::string& endpoint,
   for (std::size_t c = 0; c < classes.size(); ++c) {
     for (const JobTemplate& t : classes[c].templates) {
       std::string path = str("bench_load_", t.instance, ".psdp");
-      io::save_factorized(path, apps::random_factorized(t.generator));
+      switch (t.kind) {
+        case serve::JobKind::kPackingDense:
+          io::save_packing(path, apps::random_ellipses(t.dense_generator));
+          break;
+        case serve::JobKind::kCovering:
+          io::save_covering(path,
+                            apps::beamforming_problem(t.covering_generator));
+          break;
+        default:
+          io::save_factorized(path, apps::random_factorized(t.generator));
+          break;
+      }
       paths[c].push_back(std::move(path));
     }
   }
@@ -388,7 +420,7 @@ int replay_daemon(const std::string& endpoint,
     const JobTemplate& t = cls.templates[static_cast<std::size_t>(a.tmpl)];
     std::ostringstream line;
     line.precision(17);  // doubles must re-parse to the identical bits
-    line << "packing-factorized "
+    line << serve::job_kind_name(t.kind) << " "
          << paths[static_cast<std::size_t>(a.cls)]
                  [static_cast<std::size_t>(a.tmpl)]
          << " eps=" << t.options.eps
@@ -601,13 +633,12 @@ int main(int argc, char** argv) {
   std::vector<JobClass> classes = make_classes(smoke.value);
 
   // The profile key of one class: the shape bucket of its (deterministic)
-  // generated instance, exactly as PreparedInstance::shape_bucket computes
-  // it for factorized jobs.
+  // generated instance, exactly as the ArtifactCache computes it at resolve
+  // time -- so a later solver_cli/manifest run on the same shapes matches
+  // the persisted entry, whatever the job kind.
   const auto class_bucket = [](const JobClass& cls) {
-    const core::FactorizedPackingInstance instance =
-        apps::random_factorized(cls.templates.front().generator);
-    return util::ShapeBucket::of(instance.total_nnz(), instance.dim(),
-                                 instance.size());
+    return build_template_instance(cls.templates.front(), nullptr)
+        .shape_bucket();
   };
 
   // ---- tuned profile, applied before anything solves ---------------------

@@ -24,6 +24,7 @@
 #include "core/certificates.hpp"
 #include "core/optimize.hpp"
 #include "core/poslp.hpp"
+#include "io/chunked.hpp"
 #include "io/instance_io.hpp"
 #include "par/parallel.hpp"
 #include "serve/manifest.hpp"
@@ -64,13 +65,27 @@ int solve_packing_dense(const std::string& path, const core::OptimizeOptions& op
   return check.feasible ? 0 : 1;
 }
 
+/// Load a factorized instance from either serialization: chunked container
+/// files are sniffed by magic and loaded shard-at-a-time, everything else
+/// goes through the text reader. `shards` > 0 requests that constraint
+/// partition on the result (overriding a chunked file's stored cuts).
+core::FactorizedPackingInstance load_factorized_any(const std::string& path,
+                                                    Index shards) {
+  if (io::is_chunked_instance_file(path)) {
+    return io::load_factorized_chunked(path, {}, shards);
+  }
+  return io::load_factorized(path, {}, shards);
+}
+
 int solve_packing_factorized(const std::string& path,
                              core::OptimizeOptions options,
-                             const util::TunableProfileStore* profiles) {
-  const core::FactorizedPackingInstance instance = io::load_factorized(path);
+                             const util::TunableProfileStore* profiles,
+                             Index shards) {
+  const core::FactorizedPackingInstance instance =
+      load_factorized_any(path, shards);
   std::cout << "Loaded factorized packing instance: n = " << instance.size()
             << ", m = " << instance.dim() << ", q = " << instance.total_nnz()
-            << "\n";
+            << ", shards = " << instance.shard_count() << "\n";
   // With --tunables-profile, apply the tuned values recorded for this
   // instance's shape bucket (if any) and re-derive the registry-backed
   // option defaults the caller captured before the profile landed.
@@ -93,6 +108,15 @@ int solve_packing_factorized(const std::string& path,
   const core::PackingOptimum r = core::approx_packing(instance, options);
   std::cout << "OPT in [" << r.lower << ", " << r.upper << "]  ("
             << timer.seconds() << " s)\n";
+  // Full-precision bound echo: 17 significant digits round-trip a double
+  // exactly, so diffing this line between runs is a bitwise-objective gate
+  // (the CI ooc-smoke job compares shards=1 vs shards=4 with it).
+  {
+    std::ostringstream bits;
+    bits.precision(17);
+    bits << "objective-bits: " << r.lower << " " << r.upper;
+    std::cout << bits.str() << "\n";
+  }
   const core::DualCheck check = core::check_dual(instance, r.best_x);
   std::cout << "Witness verified: " << std::boolalpha << check.feasible << "\n";
   return check.feasible ? 0 : 1;
@@ -247,6 +271,14 @@ int main(int argc, char** argv) {
       "write-example", "", "write a sample instance here and exit");
   auto& batch = cli.flag<std::string>(
       "batch", "", "job manifest to run through the batch scheduler");
+  auto& shards = cli.flag<int>(
+      "shards", 0,
+      "packing-factorized: constraint shard count for the out-of-core "
+      "oracle sweep (0 = keep the file's partition, 1 = unsharded)");
+  auto& write_chunked = cli.flag<std::string>(
+      "write-chunked", "",
+      "convert --input (factorized, text or chunked) to the chunked binary "
+      "format at this path, cut into --shards blocks, and exit");
   auto& lanes = cli.flag<int>(
       "lanes", 0, "batch mode: concurrent job lanes (0 = auto)");
   auto& threads = cli.flag<int>(
@@ -282,6 +314,16 @@ int main(int argc, char** argv) {
       write_example(example.value, kind.value);
       return 0;
     }
+    if (!write_chunked.value.empty()) {
+      PSDP_CHECK(!input.value.empty(), "--write-chunked needs --input");
+      const core::FactorizedPackingInstance instance =
+          load_factorized_any(input.value, shards.value);
+      io::save_factorized_chunked(write_chunked.value, instance);
+      std::cout << "Wrote chunked instance (" << instance.shard_count()
+                << " shards, " << instance.total_nnz() << " nnz) to "
+                << write_chunked.value << "\n";
+      return 0;
+    }
     std::optional<util::TunableProfileStore> profiles;
     if (!profile_path.value.empty()) {
       profiles = util::TunableProfileStore::load(profile_path.value);
@@ -303,8 +345,9 @@ int main(int argc, char** argv) {
       return solve_packing_dense(input.value, options);
     }
     if (kind.value == "packing-factorized") {
-      return solve_packing_factorized(
-          input.value, options, profiles ? &*profiles : nullptr);
+      return solve_packing_factorized(input.value, options,
+                                      profiles ? &*profiles : nullptr,
+                                      shards.value);
     }
     if (kind.value == "covering") {
       return solve_covering(input.value, options);

@@ -44,6 +44,7 @@
 #include "linalg/vector.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/factorized.hpp"
+#include "sparse/sharded.hpp"
 #include "util/tunables.hpp"
 
 namespace psdp::core {
@@ -195,6 +196,22 @@ BigDotExpResult big_dot_exp(const linalg::SymmetricOp& phi,
 void big_dot_exp(const linalg::SymmetricOp& phi,
                  const linalg::BlockOp& phi_block, Index dim, Real kappa,
                  const sparse::FactorizedSet& as,
+                 const BigDotExpOptions& options, SolverWorkspace& workspace,
+                 BigDotExpResult& result,
+                 const linalg::BlockOpF* phi_block_f = nullptr);
+
+/// Sharded workspace form: the constraint set arrives with its shard
+/// partition. With one shard this is byte-for-byte the unsharded call
+/// above (same code path, locked by tests). With K > 1 shards the fused
+/// per-constraint dots sweep runs shard-by-shard in fixed order 0..K-1 and
+/// every cross-constraint reduction -- each panel's trace share included --
+/// switches to thread-count-independent fixed-chunk summation
+/// (par::deterministic_sum), so the result bits depend on the instance and
+/// K but never on the pool width. SketchedTaylorOracle routes here whenever
+/// its instance is sharded.
+void big_dot_exp(const linalg::SymmetricOp& phi,
+                 const linalg::BlockOp& phi_block, Index dim, Real kappa,
+                 const sparse::ShardedFactorizedSet& as,
                  const BigDotExpOptions& options, SolverWorkspace& workspace,
                  BigDotExpResult& result,
                  const linalg::BlockOpF* phi_block_f = nullptr);

@@ -54,10 +54,21 @@ void PackingInstance::validate(bool check_psd) const {
 
 FactorizedPackingInstance::FactorizedPackingInstance(
     sparse::FactorizedSet constraints)
-    : set_(std::move(constraints)) {
-  traces_.reserve(static_cast<std::size_t>(set_.size()));
-  for (Index i = 0; i < set_.size(); ++i) {
-    traces_.push_back(set_[i].trace());
+    : FactorizedPackingInstance(
+          sparse::ShardedFactorizedSet(std::move(constraints))) {}
+
+FactorizedPackingInstance::FactorizedPackingInstance(
+    sparse::FactorizedSet constraints, Index shards,
+    const sparse::TransposePlanOptions& plan_options)
+    : FactorizedPackingInstance(sparse::ShardedFactorizedSet(
+          std::move(constraints), shards, plan_options)) {}
+
+FactorizedPackingInstance::FactorizedPackingInstance(
+    sparse::ShardedFactorizedSet constraints)
+    : sharded_(std::move(constraints)) {
+  traces_.reserve(static_cast<std::size_t>(sharded_.size()));
+  for (Index i = 0; i < sharded_.size(); ++i) {
+    traces_.push_back(sharded_[i].trace());
     PSDP_CHECK(traces_.back() > 0,
                str("factorized constraint ", i, " is zero; drop it instead"));
   }
@@ -70,19 +81,19 @@ Real FactorizedPackingInstance::constraint_trace(Index i) const {
 
 FactorizedPackingInstance FactorizedPackingInstance::scaled(Real s) const {
   PSDP_CHECK(s > 0, "packing scale must be positive");
-  std::vector<sparse::FactorizedPsd> items;
-  items.reserve(set_.items().size());
-  // FactorizedPsd::scaled carries the cached transpose index and
-  // lambda_max bound along, so a binary search's per-probe rescale does
-  // not re-run the per-factor setup.
-  for (const auto& item : set_.items()) items.push_back(item.scaled(s));
-  return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)));
+  // FactorizedPsd::scaled (inside ShardedFactorizedSet::scaled) carries the
+  // cached transpose index and lambda_max bound along, so a binary search's
+  // per-probe rescale does not re-run the per-factor setup; the shard
+  // boundaries travel too.
+  return FactorizedPackingInstance(sharded_.scaled(s));
 }
 
 PackingInstance FactorizedPackingInstance::to_dense() const {
   std::vector<Matrix> constraints;
   constraints.reserve(static_cast<std::size_t>(size()));
-  for (Index i = 0; i < size(); ++i) constraints.push_back(set_[i].to_dense());
+  for (Index i = 0; i < size(); ++i) {
+    constraints.push_back(sharded_[i].to_dense());
+  }
   return PackingInstance(std::move(constraints));
 }
 

@@ -25,6 +25,7 @@
 
 #include "linalg/matrix.hpp"
 #include "sparse/factorized.hpp"
+#include "sparse/sharded.hpp"
 
 namespace psdp::core {
 
@@ -61,29 +62,48 @@ class PackingInstance {
   Index dim_ = 0;
 };
 
-/// Normalized packing instance in factorized form.
+/// Normalized packing instance in factorized form. Always carries a shard
+/// partition of its constraints (sparse::ShardedFactorizedSet); the
+/// single-shard default is the unsharded legacy path, bit-identical to the
+/// pre-sharding library. Solvers reach the sharding through the oracle
+/// seam -- SketchedTaylorOracle reads sharded() and engages the per-shard
+/// deterministic sweeps when shard_count() > 1.
 class FactorizedPackingInstance {
  public:
   FactorizedPackingInstance() = default;
+  /// Single-shard wrap (the legacy constructor every existing call site
+  /// uses; nothing about the set changes).
   explicit FactorizedPackingInstance(sparse::FactorizedSet constraints);
+  /// Partition into `shards` nnz-balanced constraint shards (see
+  /// ShardedFactorizedSet; shards > 1 forces transpose indexes under
+  /// `plan_options` for the determinism contract).
+  FactorizedPackingInstance(sparse::FactorizedSet constraints, Index shards,
+                            const sparse::TransposePlanOptions& plan_options = {});
+  /// Adopt an already-partitioned set (the chunked loader's path).
+  explicit FactorizedPackingInstance(sparse::ShardedFactorizedSet constraints);
 
-  Index size() const { return set_.size(); }
-  Index dim() const { return set_.dim(); }
-  Index total_nnz() const { return set_.total_nnz(); }
+  Index size() const { return sharded_.size(); }
+  Index dim() const { return sharded_.dim(); }
+  Index total_nnz() const { return sharded_.total_nnz(); }
 
-  const sparse::FactorizedSet& set() const { return set_; }
-  const sparse::FactorizedPsd& operator[](Index i) const { return set_[i]; }
+  const sparse::FactorizedSet& set() const { return sharded_.set(); }
+  const sparse::ShardedFactorizedSet& sharded() const { return sharded_; }
+  Index shard_count() const { return sharded_.shard_count(); }
+  const sparse::FactorizedPsd& operator[](Index i) const {
+    return sharded_[i];
+  }
 
   Real constraint_trace(Index i) const;
 
   /// Copy with every A_i scaled by s (factors scaled by sqrt(s)); s >= 0.
+  /// Shard boundaries travel with the copy.
   FactorizedPackingInstance scaled(Real s) const;
 
   /// Densify (small instances / tests).
   PackingInstance to_dense() const;
 
  private:
-  sparse::FactorizedSet set_;
+  sparse::ShardedFactorizedSet sharded_;
   std::vector<Real> traces_;
 };
 

@@ -137,7 +137,8 @@ void write_factorized(std::ostream& out,
 }
 
 FactorizedPackingInstance read_factorized(
-    std::istream& in, const sparse::TransposePlanOptions& plan_options) {
+    std::istream& in, const sparse::TransposePlanOptions& plan_options,
+    Index shards) {
   expect_header(in, "packing-factorized");
   const auto [n, m] = read_size(in);
   std::vector<sparse::FactorizedPsd> items;
@@ -163,6 +164,10 @@ FactorizedPackingInstance read_factorized(
     }
     items.emplace_back(sparse::Csr::from_triplets(m, cols, std::move(triplets)),
                        plan_options);
+  }
+  if (shards > 1) {
+    return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)),
+                                     shards, plan_options);
   }
   return FactorizedPackingInstance(sparse::FactorizedSet(std::move(items)));
 }
@@ -299,9 +304,10 @@ void save_factorized(const std::string& path,
 }
 
 FactorizedPackingInstance load_factorized(
-    const std::string& path, const sparse::TransposePlanOptions& plan_options) {
-  return load(path, [&plan_options](std::istream& i) {
-    return read_factorized(i, plan_options);
+    const std::string& path, const sparse::TransposePlanOptions& plan_options,
+    Index shards) {
+  return load(path, [&plan_options, shards](std::istream& i) {
+    return read_factorized(i, plan_options, shards);
   });
 }
 

@@ -40,8 +40,12 @@ void write_lp(std::ostream& out, const core::PackingLp& lp);
 /// it (sparse::AutotuneOptions::plan_cache); the default is the process-wide
 /// cache, exactly as before.
 core::PackingInstance read_packing(std::istream& in);
+/// `shards` > 1 cuts the loaded constraints into that many nnz-balanced
+/// contiguous partitions (the out-of-core oracle sweep granularity); 0 or 1
+/// keeps the legacy unsharded instance.
 core::FactorizedPackingInstance read_factorized(
-    std::istream& in, const sparse::TransposePlanOptions& plan_options = {});
+    std::istream& in, const sparse::TransposePlanOptions& plan_options = {},
+    Index shards = 0);
 core::CoveringProblem read_covering(std::istream& in);
 core::PackingLp read_lp(std::istream& in);
 
@@ -52,7 +56,7 @@ void save_factorized(const std::string& path,
                      const core::FactorizedPackingInstance& instance);
 core::FactorizedPackingInstance load_factorized(
     const std::string& path,
-    const sparse::TransposePlanOptions& plan_options = {});
+    const sparse::TransposePlanOptions& plan_options = {}, Index shards = 0);
 void save_covering(const std::string& path, const core::CoveringProblem& problem);
 core::CoveringProblem load_covering(const std::string& path);
 void save_lp(const std::string& path, const core::PackingLp& lp);

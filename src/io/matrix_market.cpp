@@ -1,5 +1,6 @@
 #include "io/matrix_market.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -150,6 +151,138 @@ linalg::Matrix read_array_body(std::istream& in, const MmHeader& header) {
   return result;
 }
 
+// ------------------------------------------------------------- streaming --
+
+/// Sorted, duplicate-free COO accumulator of canonicalized entries (lower
+/// triangle only for symmetric input). Parallel arrays rather than Triplet
+/// records so the final columns/values move into the CSR without a copy.
+struct CooAccumulator {
+  std::vector<Index> rows;
+  std::vector<Index> cols;
+  std::vector<Real> vals;
+
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Stable-sort the staging buffer by (row, col), fold its duplicates left
+/// to right (listing order -- the stable sort preserves it), then merge the
+/// result into the accumulator, summing keys present on both sides. The
+/// accumulator stays sorted and duplicate-free throughout, so every flush
+/// is one linear merge.
+void flush_staging(std::vector<sparse::Triplet>& staging,
+                   CooAccumulator& acc) {
+  if (staging.empty()) return;
+  std::stable_sort(staging.begin(), staging.end(),
+                   [](const sparse::Triplet& a, const sparse::Triplet& b) {
+                     return a.row != b.row ? a.row < b.row : a.col < b.col;
+                   });
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < staging.size();) {
+    const Index r = staging[i].row;
+    const Index c = staging[i].col;
+    Real v = staging[i].value;
+    std::size_t j = i + 1;
+    while (j < staging.size() && staging[j].row == r &&
+           staging[j].col == c) {
+      v += staging[j].value;
+      ++j;
+    }
+    staging[w++] = {r, c, v};
+    i = j;
+  }
+  staging.resize(w);
+
+  CooAccumulator merged;
+  merged.rows.reserve(acc.size() + staging.size());
+  merged.cols.reserve(acc.size() + staging.size());
+  merged.vals.reserve(acc.size() + staging.size());
+  std::size_t a = 0;
+  std::size_t s = 0;
+  while (a < acc.size() || s < staging.size()) {
+    bool take_acc;
+    bool both = false;
+    if (a >= acc.size()) {
+      take_acc = false;
+    } else if (s >= staging.size()) {
+      take_acc = true;
+    } else {
+      const Index ar = acc.rows[a], ac = acc.cols[a];
+      const Index sr = staging[s].row, sc = staging[s].col;
+      if (ar == sr && ac == sc) {
+        take_acc = true;
+        both = true;
+      } else {
+        take_acc = ar != sr ? ar < sr : ac < sc;
+      }
+    }
+    if (take_acc) {
+      merged.rows.push_back(acc.rows[a]);
+      merged.cols.push_back(acc.cols[a]);
+      // Earlier listings live in the accumulator: acc + staging keeps the
+      // duplicates-sum in listing order across flush boundaries.
+      merged.vals.push_back(both ? acc.vals[a] + staging[s].value
+                                 : acc.vals[a]);
+      ++a;
+      if (both) ++s;
+    } else {
+      merged.rows.push_back(staging[s].row);
+      merged.cols.push_back(staging[s].col);
+      merged.vals.push_back(staging[s].value);
+      ++s;
+    }
+  }
+  acc = std::move(merged);
+  staging.clear();
+}
+
+/// Assemble the final CSR from the merged accumulator: a straight
+/// from_parts adoption for general matrices; for symmetric input each
+/// merged lower-triangle entry (r, c) is mirrored exactly once to (c, r).
+/// The single pass in (row, col) order fills every row's columns in
+/// strictly ascending order -- a row's own (lower) entries arrive before
+/// any mirror lands in it, because mirrors come from later rows.
+sparse::Csr assemble_streamed(CooAccumulator&& acc, Index rows, Index cols,
+                              bool symmetric) {
+  std::vector<Index> offsets(static_cast<std::size_t>(rows) + 1, 0);
+  const std::size_t merged = acc.size();
+  for (std::size_t e = 0; e < merged; ++e) {
+    ++offsets[static_cast<std::size_t>(acc.rows[e]) + 1];
+    if (symmetric && acc.rows[e] != acc.cols[e]) {
+      ++offsets[static_cast<std::size_t>(acc.cols[e]) + 1];
+    }
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  if (!symmetric) {
+    // Already row-major sorted: the column/value arrays are the CSR body.
+    return sparse::Csr::from_parts(rows, cols, std::move(offsets),
+                                   std::move(acc.cols),
+                                   std::move(acc.vals));
+  }
+  const Index nnz = offsets.back();
+  std::vector<Index> out_cols(static_cast<std::size_t>(nnz));
+  std::vector<Real> out_vals(static_cast<std::size_t>(nnz));
+  std::vector<Index> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t e = 0; e < merged; ++e) {
+    const Index r = acc.rows[e];
+    const Index c = acc.cols[e];
+    const Real v = acc.vals[e];
+    Index& at = cursor[static_cast<std::size_t>(r)];
+    out_cols[static_cast<std::size_t>(at)] = c;
+    out_vals[static_cast<std::size_t>(at)] = v;
+    ++at;
+    if (r != c) {
+      Index& mirror = cursor[static_cast<std::size_t>(c)];
+      out_cols[static_cast<std::size_t>(mirror)] = r;
+      out_vals[static_cast<std::size_t>(mirror)] = v;
+      ++mirror;
+    }
+  }
+  return sparse::Csr::from_parts(rows, cols, std::move(offsets),
+                                 std::move(out_cols), std::move(out_vals));
+}
+
 void write_banner(std::ostream& out, bool coordinate, bool symmetric) {
   out << "%%MatrixMarket matrix " << (coordinate ? "coordinate" : "array")
       << " real " << (symmetric ? "symmetric" : "general") << "\n";
@@ -236,6 +369,55 @@ sparse::Csr read_matrix_market_sparse(std::istream& in) {
   return sparse::Csr::from_dense(read_array_body(in, header));
 }
 
+sparse::Csr read_matrix_market_sparse_streaming(
+    std::istream& in, const StreamingMmOptions& options) {
+  PSDP_CHECK(options.staging_capacity >= 1,
+             "matrix market: staging capacity must be positive");
+  const MmHeader header = read_banner(in);
+  PSDP_CHECK(header.coordinate,
+             "matrix market: streaming reader requires coordinate format");
+
+  std::string line;
+  PSDP_CHECK(next_line(in, line), "matrix market: missing size line");
+  std::istringstream sizes(line);
+  Index rows = 0, cols = 0, nnz = 0;
+  PSDP_CHECK(static_cast<bool>(sizes >> rows >> cols >> nnz),
+             "matrix market: malformed size line");
+  PSDP_CHECK(rows >= 1 && cols >= 1 && nnz >= 0,
+             "matrix market: non-positive dimensions");
+  PSDP_CHECK(!header.symmetric || rows == cols,
+             "matrix market: symmetric matrix must be square");
+
+  // Same per-entry validation and canonicalization as the in-RAM body
+  // (read_coordinate_body), but the entry lands in a bounded staging
+  // buffer instead of a whole-file vector, and symmetric entries are
+  // *only* canonicalized here -- the single mirror per merged entry is
+  // applied at assembly, never buffered.
+  CooAccumulator acc;
+  std::vector<sparse::Triplet> staging;
+  staging.reserve(static_cast<std::size_t>(
+      std::min<Index>(options.staging_capacity, std::max<Index>(1, nnz))));
+  for (Index k = 0; k < nnz; ++k) {
+    PSDP_CHECK(next_line(in, line),
+               str("matrix market: expected ", nnz, " entries, got ", k));
+    std::istringstream entry(line);
+    Index r = 0, c = 0;
+    Real v = 0;
+    PSDP_CHECK(static_cast<bool>(entry >> r >> c >> v),
+               str("matrix market: malformed entry line '", line, "'"));
+    PSDP_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+               str("matrix market: index (", r, ",", c, ") out of range"));
+    PSDP_CHECK(std::isfinite(v), "matrix market: non-finite value");
+    if (header.symmetric && c > r) std::swap(r, c);
+    staging.push_back({r - 1, c - 1, v});
+    if (static_cast<Index>(staging.size()) >= options.staging_capacity) {
+      flush_staging(staging, acc);
+    }
+  }
+  flush_staging(staging, acc);
+  return assemble_streamed(std::move(acc), rows, cols, header.symmetric);
+}
+
 linalg::Matrix read_matrix_market_dense(std::istream& in) {
   const MmHeader header = read_banner(in);
   if (!header.coordinate) return read_array_body(in, header);
@@ -266,6 +448,13 @@ sparse::Csr load_matrix_market_sparse(const std::string& path) {
   std::ifstream in(path);
   PSDP_CHECK(in.is_open(), str("matrix market: cannot open '", path, "'"));
   return read_matrix_market_sparse(in);
+}
+
+sparse::Csr load_matrix_market_sparse_streaming(
+    const std::string& path, const StreamingMmOptions& options) {
+  std::ifstream in(path);
+  PSDP_CHECK(in.is_open(), str("matrix market: cannot open '", path, "'"));
+  return read_matrix_market_sparse_streaming(in, options);
 }
 
 linalg::Matrix load_matrix_market_dense(const std::string& path) {

@@ -55,6 +55,31 @@ void write_matrix_market(std::ostream& out, const linalg::Matrix& matrix,
 /// combination.
 sparse::Csr read_matrix_market_sparse(std::istream& in);
 
+/// Knobs of the streaming coordinate reader.
+struct StreamingMmOptions {
+  /// Entries buffered before each sort-and-merge flush. This bounds the
+  /// reader's working memory beyond the output itself: peak resident is
+  /// O(distinct nnz + staging_capacity), independent of how many listings
+  /// (duplicates, redundant symmetric pairs) the file carries.
+  Index staging_capacity = 1 << 20;
+};
+
+/// Streaming variant of read_matrix_market_sparse for files whose listing
+/// count dwarfs memory: one pass over the stream, a bounded staging buffer
+/// (sorted and merged into the accumulated matrix each time it fills), and
+/// no materialized whole-file triplet vector -- the in-RAM reader buffers
+/// every listing (with symmetric mirrors, twice) before sorting. Applies
+/// the identical duplicates-sum + lower-triangle canonicalization policy:
+/// symmetric entries canonicalize during the scan, unordered-pair
+/// duplicates sum (in listing order), and each merged entry is mirrored
+/// exactly once at assembly. On exactly-representable inputs the result is
+/// bit-identical to the in-RAM reader (locked by tests); otherwise the two
+/// differ only by duplicate-summation rounding order. Coordinate format
+/// only -- array files raise InvalidArgument (dense data has no streaming
+/// story).
+sparse::Csr read_matrix_market_sparse_streaming(
+    std::istream& in, const StreamingMmOptions& options = {});
+
 /// Read an array-format (dense) MatrixMarket stream. Coordinate files are
 /// also accepted and densified, under the same duplicates-sum policy as the
 /// sparse reader.
@@ -66,6 +91,8 @@ void save_matrix_market(const std::string& path, const sparse::Csr& matrix,
 void save_matrix_market(const std::string& path, const linalg::Matrix& matrix,
                         bool symmetric = false);
 sparse::Csr load_matrix_market_sparse(const std::string& path);
+sparse::Csr load_matrix_market_sparse_streaming(
+    const std::string& path, const StreamingMmOptions& options = {});
 linalg::Matrix load_matrix_market_dense(const std::string& path);
 
 }  // namespace psdp::io

@@ -154,6 +154,58 @@ Real parallel_sum(Index begin, Index end, Body&& body,
                          std::forward<Body>(body), std::plus<Real>{}, grain);
 }
 
+/// Default chunk length of deterministic_sum: long enough that the serial
+/// per-chunk sweeps dominate the fork-join, short enough that a panel-sized
+/// range (dim x block) still fans out over the pool.
+inline constexpr Index kDeterministicSumChunk = 16384;
+
+/// Thread-count-independent parallel sum: the range is cut into fixed
+/// `chunk`-length pieces (the partition depends only on the range and the
+/// chunk length, never on num_threads()), each piece is summed serially in
+/// index order on whichever worker picks it up, and the per-piece partials
+/// are combined serially in piece order on the calling thread. Bitwise
+/// deterministic across thread counts -- the reduction the K>1 sharded
+/// sweeps use where parallel_sum's num_threads()-shaped chunking would make
+/// the bits a function of the pool width. Reuses parallel_reduce's
+/// per-thread partials scratch, so steady-state calls allocate nothing.
+template <typename Body>
+Real deterministic_sum(Index begin, Index end, Body&& body,
+                       Index chunk = kDeterministicSumChunk) {
+  if (end <= begin) return 0;
+  PSDP_CHECK(chunk >= 1, "deterministic_sum: chunk must be positive");
+  const Index n = end - begin;
+  const Index pieces = (n + chunk - 1) / chunk;
+  if (pieces == 1) {
+    Real acc = 0;
+    for (Index i = begin; i < end; ++i) acc += body(i);
+    return acc;
+  }
+  bool& busy = detail::reduce_scratch_busy<Real>();
+  std::vector<Real> local;
+  const bool use_scratch = !busy;
+  std::vector<Real>& partial =
+      use_scratch ? detail::reduce_scratch<Real>() : local;
+  if (use_scratch) busy = true;
+  struct BusyReset {
+    bool* flag;
+    bool owned;
+    ~BusyReset() {
+      if (owned) *flag = false;
+    }
+  } busy_reset{&busy, use_scratch};
+  partial.assign(static_cast<std::size_t>(pieces), Real{0});
+  parallel_for(0, pieces, [&](Index c) {
+    const Index b = begin + c * chunk;
+    const Index e = std::min(end, b + chunk);
+    Real acc = 0;
+    for (Index i = b; i < e; ++i) acc += body(i);
+    partial[static_cast<std::size_t>(c)] = acc;
+  }, /*grain=*/1);
+  Real acc = 0;
+  for (const Real p : partial) acc += p;
+  return acc;
+}
+
 /// Parallel max of body(i) over a non-empty range.
 template <typename Body>
 Real parallel_max(Index begin, Index end, Body&& body,

@@ -4,6 +4,7 @@
 #include <istream>
 #include <sstream>
 
+#include "io/chunked.hpp"
 #include "io/instance_io.hpp"
 #include "util/cli.hpp"
 #include "util/tunables.hpp"
@@ -22,14 +23,27 @@ core::ProbeSolver probe_from_name(const std::string& name) {
 }
 
 /// Builder loading `path` at resolve time, routed through the cache's plan
-/// options so loaded factors tune into the owned plan memo.
-ArtifactCache::Builder path_builder(JobKind kind, const std::string& path) {
-  return [kind, path](const sparse::TransposePlanOptions& plan_options) {
+/// options so loaded factors tune into the owned plan memo. Factorized
+/// paths are sniffed for the chunked container magic and dispatched to the
+/// shard-at-a-time loader; `shards` > 0 requests that partition on the
+/// loaded instance (text or chunked, overriding a chunked file's stored
+/// cuts).
+ArtifactCache::Builder path_builder(JobKind kind, const std::string& path,
+                                    Index shards) {
+  return [kind, path, shards](const sparse::TransposePlanOptions& plan_options) {
     switch (kind) {
       case JobKind::kPackingDense:
         return prepare_packing(io::load_packing(path));
-      case JobKind::kPackingFactorized:
-        return prepare_factorized(io::load_factorized(path, plan_options));
+      case JobKind::kPackingFactorized: {
+        if (io::is_chunked_instance_file(path)) {
+          io::ChunkedLoadOptions options;
+          options.plan_options = plan_options;
+          return prepare_factorized(
+              io::load_factorized_chunked(path, options, shards));
+        }
+        return prepare_factorized(
+            io::load_factorized(path, plan_options, shards));
+      }
       case JobKind::kCovering:
         return prepare_covering(io::load_covering(path));
       case JobKind::kPackingLp:
@@ -101,9 +115,10 @@ ManifestLineKind parse_manifest_line(const std::string& raw,
   }
   std::string path;
   if (!(fields >> path)) fail("missing instance path");
-  job->builder = path_builder(job->kind, path);
   job->instance = str(kind_name, ":", path);
   job->label = str(path, ":", line_number);
+  Index shards = 0;       // 0 = the loader's default partition
+  bool explicit_id = false;
 
   std::string option;
   while (fields >> option) {
@@ -131,6 +146,13 @@ ManifestLineKind parse_manifest_line(const std::string& raw,
       } else if (key == "id") {
         PSDP_CHECK(!value.empty(), "id must be non-empty");
         job->instance = value;
+        explicit_id = true;
+      } else if (key == "shards") {
+        PSDP_CHECK(job->kind == JobKind::kPackingFactorized,
+                   str("shards applies to packing-factorized jobs, not ",
+                       kind_name));
+        shards = util::detail::parse_value<Index>(value);
+        PSDP_CHECK(shards >= 0, str("shards must be >= 0, got ", value));
       } else if (key == "wide") {
         job->work = util::detail::parse_value<bool>(value)
                         ? std::numeric_limits<Index>::max() / 2
@@ -150,6 +172,14 @@ ManifestLineKind parse_manifest_line(const std::string& raw,
     } catch (const InvalidArgument& e) {
       fail(e.what());
     }
+  }
+  job->builder = path_builder(job->kind, path, shards);
+  // Different partitions of one file are different prepared artifacts:
+  // the default cache key carries the shards request so a shards=4 job
+  // never resolves to a cached shards=1 instance. An explicit id= takes
+  // the caller's word that sharing is intended.
+  if (shards > 0 && !explicit_id) {
+    job->instance = str(job->instance, ":shards=", shards);
   }
   return ManifestLineKind::kJob;
 }

@@ -162,8 +162,9 @@ bool payload_bitwise_equal(const JobResult& a, const JobResult& b) {
 }
 
 /// One accepted job: its spec, its (in-place accumulated) result, and the
-/// scheduling timestamps. Lives in the pointer-stable slots_ deque for the
-/// whole session.
+/// scheduling timestamps. Lives in the pointer-stable slots_ deque until the
+/// job retires (result harvested into results_, callback delivered), then is
+/// recycled for a later submission.
 struct BatchScheduler::Slot {
   JobSpec spec;
   JobResult result;
@@ -395,6 +396,7 @@ void BatchScheduler::finish(Slot& slot) {
       wide_active_ = false;
       wide_active_hint_.store(false, std::memory_order_relaxed);
     }
+    retire_locked(slot);
   }
   // Lanes may be sleeping on the gang token; wake them now that it is
   // free (narrow finishes wake nobody -- a waiting lane only sleeps when
@@ -447,6 +449,9 @@ void BatchScheduler::open(int lanes) {
     session_open_ = true;
     closing_ = false;
     slots_.clear();
+    free_slots_.clear();
+    results_.clear();
+    submitted_ = 0;
     waiting_.clear();
     waiting_count_.store(0, std::memory_order_relaxed);
     running_count_.store(0, std::memory_order_relaxed);
@@ -470,9 +475,19 @@ std::size_t BatchScheduler::submit(JobSpec job) {
     std::lock_guard<std::mutex> lock(mutex_);
     PSDP_CHECK(session_open_ && !closing_,
                "serve: submit() needs an open scheduler");
-    index = slots_.size();
-    slots_.emplace_back();
-    Slot& slot = slots_.back();
+    index = submitted_++;
+    results_.emplace_back();  // terminal home, filled when the job retires
+    Slot* reused = nullptr;
+    if (!free_slots_.empty()) {
+      reused = free_slots_.back();
+      free_slots_.pop_back();
+      *reused = Slot{};
+      ++stats_.slots_recycled;
+    } else {
+      slots_.emplace_back();
+      reused = &slots_.back();
+    }
+    Slot& slot = *reused;
     slot.spec = std::move(job);
     if (slot.spec.label.empty()) {
       slot.spec.label = str(slot.spec.instance, "#", index);
@@ -531,9 +546,20 @@ std::size_t BatchScheduler::submit(JobSpec job) {
     }
   }
   work_cv_.notify_all();
-  // The shed job's callback fires outside the lock (it is user code).
-  if (shed_slot != nullptr) invoke_callback(*shed_slot);
+  // The shed job's callback fires outside the lock (it is user code); the
+  // slot retires right after -- the callback was its last use.
+  if (shed_slot != nullptr) {
+    invoke_callback(*shed_slot);
+    std::lock_guard<std::mutex> lock(mutex_);
+    retire_locked(*shed_slot);
+  }
   return index;
+}
+
+void BatchScheduler::retire_locked(Slot& slot) {
+  const std::size_t index = slot.result.index;
+  results_[index] = std::move(slot.result);
+  free_slots_.push_back(&slot);
 }
 
 void BatchScheduler::shed_locked(Slot& slot, const char* why) {
@@ -557,11 +583,15 @@ std::vector<JobResult> BatchScheduler::close() {
   lane_threads_.clear();
 
   std::vector<JobResult> results;
-  results.reserve(slots_.size());
-  for (Slot& slot : slots_) results.push_back(std::move(slot.result));
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Every job retired at finish/shed time, so results_ is complete and
+    // already in submission order.
+    results = std::move(results_);
+    results_.clear();
     slots_.clear();
+    free_slots_.clear();
+    submitted_ = 0;
     waiting_.clear();
     waiting_count_.store(0, std::memory_order_relaxed);
     session_open_ = false;
@@ -593,7 +623,9 @@ std::future<std::vector<JobResult>> BatchScheduler::run_async(
 
 SchedulerStats BatchScheduler::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  SchedulerStats out = stats_;
+  out.slots_live = slots_.size();
+  return out;
 }
 
 }  // namespace psdp::serve

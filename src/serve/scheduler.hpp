@@ -222,6 +222,12 @@ struct SchedulerStats {
   std::uint64_t completed = 0;    ///< jobs finished (ok or failed)
   std::uint64_t deadline_misses = 0;  ///< finished after their deadline
   std::size_t peak_queue = 0;     ///< max waiting-job count observed
+  /// Slot-recycling counters: slots_live is the slot arena's current size
+  /// (bounded by concurrent jobs, not total submissions -- the 10k-job
+  /// regression test asserts this), slots_recycled counts retired slots
+  /// reused for later submissions.
+  std::size_t slots_live = 0;
+  std::uint64_t slots_recycled = 0;
 };
 
 /// The batch executor. One scheduler owns one ArtifactCache, so artifacts
@@ -293,6 +299,10 @@ class BatchScheduler {
   void finish(Slot& slot);
   void shed_locked(Slot& slot, const char* why);
   void invoke_callback(Slot& slot);
+  /// Move the slot's result into results_ (its terminal home) and push the
+  /// slot onto the free list for reuse by a later submission. Called with
+  /// mutex_ held, after the callback fired -- the last use of the slot.
+  void retire_locked(Slot& slot);
 
   SchedulerOptions options_;
   ArtifactCache cache_;
@@ -301,7 +311,18 @@ class BatchScheduler {
 
   mutable std::mutex mutex_;            ///< queue + stats + lifecycle state
   std::condition_variable work_cv_;     ///< lanes: new work, token, closing
-  std::deque<Slot> slots_;              ///< pointer-stable job storage
+  /// Pointer-stable slot arena. Slots are RECYCLED: when a job retires
+  /// (finished or shed, callback delivered, result moved to results_) its
+  /// slot joins free_slots_ and serves a later submission, so the arena's
+  /// size tracks the number of in-flight jobs -- lanes plus queue -- not
+  /// the session's total submissions. A streaming session of 10k jobs
+  /// keeps a handful of slots live (test_serve locks this); pointers held
+  /// by waiting_/lanes stay valid because retirement strictly follows the
+  /// last use.
+  std::deque<Slot> slots_;
+  std::vector<Slot*> free_slots_;       ///< retired slots awaiting reuse
+  std::size_t submitted_ = 0;           ///< submission-order index counter
+  std::vector<JobResult> results_;      ///< terminal results by index
   std::vector<Slot*> waiting_;          ///< admission-accepted, not started
   std::vector<std::thread> lane_threads_;
   bool session_open_ = false;

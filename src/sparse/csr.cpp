@@ -49,6 +49,42 @@ Csr Csr::from_triplets(Index rows, Index cols, std::vector<Triplet> triplets) {
   return m;
 }
 
+Csr Csr::from_parts(Index rows, Index cols, std::vector<Index> offsets,
+                    std::vector<Index> columns, std::vector<Real> values) {
+  PSDP_CHECK(rows >= 0 && cols >= 0, "csr: dimensions must be non-negative");
+  PSDP_CHECK(static_cast<Index>(offsets.size()) == rows + 1,
+             str("csr: offsets must have rows+1 entries, got ", offsets.size(),
+                 " for ", rows, " rows"));
+  PSDP_CHECK(columns.size() == values.size(),
+             "csr: column/value arrays must be parallel");
+  PSDP_CHECK(offsets[0] == 0, "csr: offsets must start at 0");
+  PSDP_CHECK(offsets[static_cast<std::size_t>(rows)] ==
+                 static_cast<Index>(columns.size()),
+             str("csr: offsets end at ", offsets[static_cast<std::size_t>(rows)],
+                 ", expected nnz ", columns.size()));
+  for (Index r = 0; r < rows; ++r) {
+    const Index b = offsets[static_cast<std::size_t>(r)];
+    const Index e = offsets[static_cast<std::size_t>(r) + 1];
+    PSDP_CHECK(b <= e, str("csr: offsets decrease at row ", r));
+    for (Index k = b; k < e; ++k) {
+      const Index c = columns[static_cast<std::size_t>(k)];
+      PSDP_CHECK(c >= 0 && c < cols,
+                 str("csr: column ", c, " out of range in row ", r));
+      PSDP_CHECK(k == b || columns[static_cast<std::size_t>(k) - 1] < c,
+                 str("csr: columns not strictly ascending in row ", r));
+      PSDP_CHECK(std::isfinite(values[static_cast<std::size_t>(k)]),
+                 str("csr: non-finite value in row ", r));
+    }
+  }
+  Csr m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_ = std::move(offsets);
+  m.columns_ = std::move(columns);
+  m.values_ = std::move(values);
+  return m;
+}
+
 Csr Csr::from_dense(const Matrix& dense, Real drop_tol) {
   std::vector<Triplet> triplets;
   for (Index i = 0; i < dense.rows(); ++i) {

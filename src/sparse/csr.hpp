@@ -48,6 +48,18 @@ class Csr {
   static Csr from_triplets(Index rows, Index cols,
                            std::vector<Triplet> triplets);
 
+  /// Adopt already-assembled CSR arrays verbatim: `offsets` has rows+1
+  /// non-decreasing entries starting at 0 and ending at columns.size(),
+  /// column indices are strictly ascending within each row and in range,
+  /// values are finite and parallel to the columns. No sorting, merging or
+  /// copying beyond the moves -- this is the zero-rearrangement entry point
+  /// of the chunked binary loader and the streaming MatrixMarket reader,
+  /// which assemble canonical CSR themselves and must not pay (or
+  /// re-randomize) a triplet round-trip. Throws InvalidArgument naming the
+  /// first malformed datum.
+  static Csr from_parts(Index rows, Index cols, std::vector<Index> offsets,
+                        std::vector<Index> columns, std::vector<Real> values);
+
   /// Dense -> sparse conversion, dropping entries with |v| <= drop_tol.
   static Csr from_dense(const Matrix& dense, Real drop_tol = 0);
 

@@ -46,6 +46,15 @@ class FactorizedPsd {
   static FactorizedPsd from_dense_psd(const Matrix& a, Real tol = 1e-10);
 
   const Csr& q() const { return q_; }
+
+  /// Build (idempotently) the factor's transpose index regardless of the
+  /// aspect gate. The sharded sets call this for every factor when K > 1:
+  /// the CSC gather kernels are thread-count deterministic, the fallback
+  /// owned-column scatter is not.
+  void ensure_transpose_index(const TransposePlanOptions& plan_options) {
+    q_.build_transpose_index(plan_options);
+  }
+
   Index dim() const { return q_.rows(); }
   Index factor_cols() const { return q_.cols(); }
   Index nnz() const { return q_.nnz(); }

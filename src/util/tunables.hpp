@@ -81,6 +81,10 @@ class Cli;
 //   cache_capacity       ArtifactCache::Options::capacity
 //   workspaces_per_entry ArtifactCache::Options::workspaces_per_entry
 //   plan_cache_capacity  process-wide TransposePlanCache capacity
+//   shards               constraint-shard count of factorized instances
+//                        (ShardedFactorizedSet); 1 = the unsharded legacy
+//                        path (bit-identical), >1 engages the per-shard
+//                        sweep with fixed-order reductions
 // The block-size steps are 16, not the flag granularity of 4: their 0
 // default is an "auto" sentinel, so the first SPSA probe lands on 0 +/- step
 // and must be a *plausible* fixed block, not a pathological tiny one.
@@ -98,7 +102,8 @@ class Cli;
   PSDP_TUNABLE(bound_flux_ratio, Real, 8, 1, 64, 1)                       \
   PSDP_TUNABLE(cache_capacity, Index, 32, 1, 4096, 4)                     \
   PSDP_TUNABLE(workspaces_per_entry, Index, 8, 0, 256, 1)                 \
-  PSDP_TUNABLE(plan_cache_capacity, Index, 256, 1, 65536, 16)
+  PSDP_TUNABLE(plan_cache_capacity, Index, 256, 1, 65536, 16)              \
+  PSDP_TUNABLE(shards, Index, 1, 1, 256, 1)
 
 /// One enumerator per registry entry, in list order.
 enum class TunableId : int {

@@ -226,5 +226,65 @@ TEST(MatrixMarket, MissingFileThrows) {
                InvalidArgument);
 }
 
+void expect_same_csr(const Csr& a, const Csr& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t r = 0; r < a.row_offsets().size(); ++r) {
+    EXPECT_EQ(a.row_offsets()[r], b.row_offsets()[r]);
+  }
+  for (std::size_t p = 0; p < a.values().size(); ++p) {
+    EXPECT_EQ(a.col_indices()[p], b.col_indices()[p]);
+    EXPECT_EQ(a.values()[p], b.values()[p]);  // bit-exact
+  }
+}
+
+TEST(MatrixMarket, StreamingReaderMatchesInRamReaderBitwise) {
+  // Cross-reader contract: the bounded-memory streaming reader applies the
+  // same canonicalization as the in-RAM reader -- duplicates sum, symmetric
+  // entries canonicalize to the lower triangle before duplicate detection,
+  // the merged value mirrors once -- so both produce bit-identical CSR on a
+  // duplicate-heavy file that exercises every rule at once.
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "4 4 8\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"    // diagonal duplicate: sums
+      "2 1 7.0\n"
+      "1 2 -3.0\n"   // redundant mirrored pair: canonicalizes, then sums
+      "3 2 0.125\n"
+      "3 2 0.25\n"   // lower-triangle duplicate: sums, mirrors once
+      "4 4 -2.0\n"
+      "4 1 1.0\n";
+  std::stringstream in_ram(text);
+  const Csr reference = read_matrix_market_sparse(in_ram);
+  std::stringstream streamed(text);
+  const Csr streaming = read_matrix_market_sparse_streaming(streamed);
+  expect_same_csr(streaming, reference);
+}
+
+TEST(MatrixMarket, StreamingReaderMatchesAcrossStagingFlushes) {
+  // A staging buffer smaller than the listing count forces mid-stream
+  // merge flushes; the result must not depend on where the flushes land.
+  std::ostringstream text;
+  text << "%%MatrixMarket matrix coordinate real general\n"
+       << "16 16 64\n";
+  for (int k = 0; k < 64; ++k) {
+    // Collision-rich pattern: every entry repeats four times across the
+    // stream, far apart, so flush boundaries split duplicate groups.
+    text << (k % 16 + 1) << " " << (k % 4 + 1) << " " << (0.5 + 0.25 * (k % 3))
+         << "\n";
+  }
+  std::stringstream in_ram(text.str());
+  const Csr reference = read_matrix_market_sparse(in_ram);
+  for (Index staging : {Index{4}, Index{7}, Index{64}, Index{1} << 20}) {
+    StreamingMmOptions options;
+    options.staging_capacity = staging;
+    std::stringstream streamed(text.str());
+    const Csr streaming = read_matrix_market_sparse_streaming(streamed, options);
+    expect_same_csr(streaming, reference);
+  }
+}
+
 }  // namespace
 }  // namespace psdp::io

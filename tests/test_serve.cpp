@@ -480,6 +480,55 @@ TEST(BatchScheduler, ThrowingCallbackCannotKillAStreamingLane) {
   EXPECT_EQ(scheduler.stats().completed, 3u);
 }
 
+TEST(BatchScheduler, SlotRecyclingBoundsArenaOverTenThousandJobs) {
+  // The out-of-core serving story: a streaming session feeds jobs for hours,
+  // so the slot arena must track the number of *in-flight* jobs, not the
+  // session's total submissions. 10k tiny jobs with bounded backpressure
+  // must leave only a handful of slots live, with everything else recycled
+  // -- and close() must still return all 10k results in submission order.
+  ThreadGuard guard;
+  par::set_num_threads(2);
+  constexpr std::size_t kJobs = 10000;
+  constexpr std::size_t kInFlightCap = 64;
+
+  BatchScheduler scheduler;
+  scheduler.open(2);
+  std::atomic<std::size_t> completed{0};
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    // Backpressure: a real streaming client paces on completions; without
+    // it the whole 10k would sit in waiting_ at once and the arena would
+    // legitimately hold 10k live slots.
+    while (i - completed.load(std::memory_order_acquire) >= kInFlightCap) {
+      std::this_thread::yield();
+    }
+    JobSpec spec;
+    spec.instance = "recycle";  // one shared artifact: builds once
+    spec.kind = JobKind::kPackingLp;
+    spec.options.eps = 0.9;  // the job payload is irrelevant: cheapest solve
+    spec.builder = [](const sparse::TransposePlanOptions&) {
+      return tiny_lp_instance();
+    };
+    spec.on_complete = [&completed](const JobResult&) {
+      completed.fetch_add(1, std::memory_order_release);
+    };
+    scheduler.submit(spec);
+  }
+
+  const SchedulerStats mid = scheduler.stats();
+  EXPECT_LE(mid.slots_live, kInFlightCap + 2)
+      << "the arena must stay bounded by in-flight jobs, not submissions";
+  EXPECT_GE(mid.slots_recycled, kJobs - kInFlightCap - 2);
+
+  const std::vector<JobResult> results = scheduler.close();
+  ASSERT_EQ(results.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].label << ": " << results[i].error;
+    ASSERT_EQ(results[i].index, i) << "results must stay in submission order";
+  }
+  EXPECT_EQ(completed.load(), kJobs);
+  EXPECT_EQ(scheduler.stats().completed, kJobs);
+}
+
 TEST(BatchScheduler, QueueAndRunSecondsAreSplitAndDeadlinesEchoed) {
   ThreadGuard guard;
   par::set_num_threads(2);
